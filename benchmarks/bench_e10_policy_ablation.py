@@ -1,0 +1,67 @@
+"""E10 — ablation over the (·, +, +R, Agg) policy interpretations.
+
+The paper leaves the four operators as owner-specified policies and sketches
+union / join / minimum-size as natural choices.  This benchmark runs the same
+query over the same database under the policy combinations DESIGN.md calls
+out and reports the resulting citation sizes, making the trade-off concrete:
+comprehensiveness (union of everything) vs conciseness (min-size +R, joined
+records).
+"""
+
+import pytest
+
+from repro import CitationEngine, CitationPolicy
+from repro.workloads import gtopdb
+from benchmarks.conftest import report
+
+POLICIES = {
+    "paper-default (union/union/min_size/union)": CitationPolicy.default(),
+    "union everywhere": CitationPolicy.union_everywhere(),
+    "joined records": CitationPolicy.joined(),
+    "max-coverage +R": CitationPolicy.from_names("union", "union", "max_coverage", "union"),
+    "first-rewriting +R": CitationPolicy.from_names("union", "union", "first", "union"),
+}
+
+
+@pytest.fixture(scope="module")
+def db():
+    return gtopdb.generate(families=120, seed=10)
+
+
+@pytest.mark.parametrize("policy_name", sorted(POLICIES))
+def test_e10_policy_timing(benchmark, db, policy_name):
+    engine = CitationEngine(db, gtopdb.citation_views(), policy=POLICIES[policy_name])
+    result = benchmark(lambda: engine.cite(gtopdb.paper_query()))
+    assert result.citation.record_count() >= 1
+
+
+def test_e10_report(benchmark, db):
+    def run():
+        rows = []
+        for name, policy in POLICIES.items():
+            engine = CitationEngine(db, gtopdb.citation_views(), policy=policy)
+            result = engine.cite(gtopdb.paper_query())
+            rows.append(
+                {
+                    "policy": name,
+                    "records": result.citation.record_count(),
+                    "size": result.citation.size(),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("E10: policy ablation on the GtoPdb query", rows)
+    by_name = {row["policy"]: row for row in rows}
+    # Shape: the paper's default (min-size +R) is much smaller than union-everything,
+    # which credits every family committee.
+    assert (
+        by_name["paper-default (union/union/min_size/union)"]["size"]
+        < by_name["union everywhere"]["size"]
+    )
+    # max-coverage keeps the comprehensive alternative.
+    assert (
+        by_name["max-coverage +R"]["size"] >= by_name["paper-default (union/union/min_size/union)"]["size"]
+    )
+    # joining records reduces the record count to (roughly) one per tuple.
+    assert by_name["joined records"]["records"] <= by_name["union everywhere"]["records"]

@@ -1,0 +1,96 @@
+"""E11 — the conjunctive-query substrate: evaluation, containment, minimization.
+
+Sanity-scale measurements of the query machinery everything else is built on:
+join evaluation on chain and star databases, containment checking and
+minimization on synthetic queries, and the SQL front-end.
+"""
+
+import pytest
+
+from repro.query.containment import is_contained_in, is_equivalent_to
+from repro.query.evaluator import evaluate, evaluate_with_bindings
+from repro.query.minimization import minimize
+from repro.query.sql import parse_sql
+from repro.workloads import gtopdb
+from repro.workloads.query_workload import (
+    WorkloadGenerator,
+    chain_database,
+    chain_query,
+    star_database,
+    star_query,
+)
+from benchmarks.conftest import report
+
+
+@pytest.mark.parametrize("length", [2, 4, 6])
+def test_e11_chain_join_evaluation(benchmark, length):
+    db = chain_database(length, rows_per_relation=200, seed=1)
+    query = chain_query(length)
+    result = benchmark(lambda: evaluate(query, db))
+    assert result.schema.arity == 2
+
+
+@pytest.mark.parametrize("arms", [2, 4])
+def test_e11_star_join_with_bindings(benchmark, arms):
+    db = star_database(arms, rows_per_relation=200, seed=1)
+    query = star_query(arms)
+    by_tuple = benchmark(lambda: evaluate_with_bindings(query, db))
+    assert isinstance(by_tuple, dict)
+
+
+def test_e11_containment_checks(benchmark):
+    generator = WorkloadGenerator(gtopdb.schema(), seed=11)
+    workload = generator.workload(12, atoms=3)
+
+    def run():
+        decisions = 0
+        for query in workload:
+            for other in workload:
+                if is_contained_in(query, other):
+                    decisions += 1
+        return decisions
+
+    decisions = benchmark(run)
+    assert decisions >= len(workload)  # reflexivity
+
+
+def test_e11_minimization(benchmark):
+    generator = WorkloadGenerator(gtopdb.schema(), seed=13)
+    workload = generator.workload(15, atoms=3)
+
+    def run():
+        return [minimize(query) for query in workload]
+
+    minimized = benchmark(run)
+    for original, minimal in zip(workload, minimized):
+        assert is_equivalent_to(original, minimal)
+
+
+def test_e11_sql_front_end(benchmark):
+    schema = gtopdb.schema()
+    sql = (
+        "SELECT f.FName, c.PName FROM Family f, Committee c, FamilyIntro i "
+        "WHERE f.FID = c.FID AND f.FID = i.FID"
+    )
+    query = benchmark(lambda: parse_sql(sql, schema))
+    assert query.predicates() == {"Family", "Committee", "FamilyIntro"}
+
+
+def test_e11_report(benchmark):
+    def run():
+        rows = []
+        for length in (2, 4, 6):
+            db = chain_database(length, rows_per_relation=200, seed=1)
+            result = evaluate(chain_query(length), db)
+            rows.append(
+                {
+                    "workload": f"chain-{length}",
+                    "base_tuples": db.total_rows(),
+                    "answers": len(result),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("E11: substrate join evaluation", rows)
+    assert all(row["answers"] >= 0 for row in rows)

@@ -1,0 +1,63 @@
+"""E12 — the provenance-semiring substrate.
+
+Measures annotation-propagating evaluation (polynomials, counting, lineage)
+on the GtoPdb workload and the size of the resulting provenance expressions,
+which bounds the size of tuple-level citations (baseline E5).
+"""
+
+import pytest
+
+from repro.provenance.annotated import AnnotatedDatabase, evaluate_annotated, lineage_of
+from repro.provenance.semirings import CountingSemiring
+from repro.workloads import gtopdb
+from benchmarks.conftest import report
+
+SCALES = [50, 150]
+
+
+@pytest.mark.parametrize("families", SCALES)
+def test_e12_polynomial_propagation(benchmark, families):
+    db = gtopdb.generate(families=families, seed=12)
+    annotated = AnnotatedDatabase.with_tuple_tokens(db)
+    result = benchmark(lambda: evaluate_annotated(gtopdb.paper_query(), annotated))
+    assert len(result) > 0
+
+
+@pytest.mark.parametrize("families", SCALES)
+def test_e12_counting_semiring(benchmark, families):
+    db = gtopdb.generate(families=families, seed=12)
+    annotated = AnnotatedDatabase(db, CountingSemiring())
+    result = benchmark(
+        lambda: evaluate_annotated(gtopdb.paper_query(), annotated, default_annotation=1)
+    )
+    assert all(annotation >= 1 for _row, annotation in result.items())
+
+
+def test_e12_lineage(benchmark):
+    db = gtopdb.generate(families=100, seed=12)
+    lineage = benchmark(lambda: lineage_of(gtopdb.paper_query(), db))
+    assert all(tokens for tokens in lineage.values())
+
+
+def test_e12_report(benchmark):
+    def run():
+        rows = []
+        for families in SCALES:
+            db = gtopdb.generate(families=families, seed=12)
+            annotated = AnnotatedDatabase.with_tuple_tokens(db)
+            result = evaluate_annotated(gtopdb.paper_query(), annotated)
+            monomials = [polynomial.monomial_count() for _row, polynomial in result.items()]
+            tokens = [len(polynomial.tokens()) for _row, polynomial in result.items()]
+            rows.append(
+                {
+                    "families": families,
+                    "answers": len(result),
+                    "max_monomials_per_answer": max(monomials),
+                    "avg_tokens_per_answer": round(sum(tokens) / len(tokens), 2),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("E12: provenance polynomial sizes on the GtoPdb query", rows)
+    assert rows[-1]["answers"] >= rows[0]["answers"]

@@ -1,0 +1,96 @@
+"""E13 — beyond conjunctive queries: unions and timestamped citation views.
+
+Covers the two language-extension directions Section 3 sketches that are not
+exercised elsewhere: citations for unions of conjunctive queries (answers may
+be derived through several disjuncts, combined with ``+``) and
+timestamp-parameterized views ("citations could then depend on the
+timestamp").
+"""
+
+import pytest
+
+from repro import CitationEngine, CitationPolicy
+from repro.core.temporal import TemporalCitationEngine, add_timestamps, timestamp_view
+from repro.core.union_engine import cite_union
+from repro.query.ucq import UnionQuery
+from repro.workloads import gtopdb
+from benchmarks.conftest import report
+
+UNION_TEXT = """
+Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text);
+Q(FName) :- Family(FID, FName, Desc), Committee(FID, PName), PName = "D. Hoyer"
+"""
+
+
+@pytest.fixture(scope="module")
+def union_views():
+    views = gtopdb.citation_views()
+    # add a committee view so the second disjunct is coverable
+    from repro.core.citation_view import CitationView, DefaultCitationFunction
+    from repro.query.parser import parse_query
+
+    committee = CitationView(
+        parse_query("VC(FID, PName) :- Committee(FID, PName)"),
+        citation_queries=[parse_query(f'CVC(D) :- D = "{gtopdb.DATABASE_TITLE} committees"')],
+        citation_function=DefaultCitationFunction(
+            constants={"publisher": "IUPHAR/BPS"}, field_map={"D": "title"}
+        ),
+        description="whole-table citation for committees",
+    )
+    return views + [committee]
+
+
+def test_e13_union_citation(benchmark, union_views):
+    db = gtopdb.generate(families=100, seed=13)
+    engine = CitationEngine(db, union_views, policy=CitationPolicy.default())
+    union = UnionQuery.parse(UNION_TEXT)
+    result = benchmark(lambda: cite_union(engine, union, mode="economical"))
+    assert len(result) > 0
+    assert result.citation.record_count() >= 1
+
+
+def test_e13_temporal_citation(benchmark):
+    base = gtopdb.generate(families=100, seed=13)
+    db = add_timestamps(base, "2016", relations=["Family", "FamilyIntro"])
+    for fid in range(5000, 5020):
+        db.insert("Family", (fid, f"Era-2 family {fid}", "d", "2024"))
+        db.insert("FamilyIntro", (fid, f"intro {fid}", "2024"))
+    views = [
+        timestamp_view("Family", db.schema, extra_parameters=["FID"]),
+        timestamp_view("FamilyIntro", db.schema),
+    ]
+    engine = TemporalCitationEngine(db, views)
+    query = "Q(FName) :- Family(FID, FName, Desc, T), FamilyIntro(FID, Text, T2)"
+    eras = benchmark(lambda: engine.eras_cited(query))
+    assert eras == {"2016", "2024"}
+
+
+def test_e13_report(benchmark, union_views):
+    def run():
+        db = gtopdb.generate(families=100, seed=13)
+        engine = CitationEngine(db, union_views, policy=CitationPolicy.default())
+        union = UnionQuery.parse(UNION_TEXT)
+        single = engine.cite(union.disjuncts[0], mode="economical")
+        combined = cite_union(engine, union, mode="economical")
+        multi_derived = sum(
+            1 for tc in combined.tuple_citations if "+" in str(tc.expression)
+        )
+        return [
+            {
+                "query": "first disjunct only (CQ)",
+                "answers": len(single),
+                "citation_records": single.citation.record_count(),
+                "multi_derived_tuples": 0,
+            },
+            {
+                "query": "union of both disjuncts (UCQ)",
+                "answers": len(combined),
+                "citation_records": combined.citation.record_count(),
+                "multi_derived_tuples": multi_derived,
+            },
+        ]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("E13: citations beyond conjunctive queries (UCQ)", rows)
+    assert rows[1]["answers"] >= rows[0]["answers"]
+    assert rows[1]["multi_derived_tuples"] >= 1

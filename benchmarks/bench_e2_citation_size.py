@@ -1,0 +1,64 @@
+"""E2 — citation size: parameterized vs unparameterized views.
+
+The paper argues that the estimated size of the citation through the
+parameterized view V1 is "proportional to the size of Family, whereas the
+estimated size of the citation using Q2 would be 1".  This benchmark measures
+the *actual* citation sizes under the union policy for growing databases and
+checks that shape: linear growth through V1, constant through V2.
+"""
+
+import pytest
+
+from repro import CitationEngine, CitationPolicy
+from repro.workloads import gtopdb
+from benchmarks.conftest import report
+
+SCALES = [10, 50, 200]
+
+
+def _engine(db, views):
+    return CitationEngine(db, views, policy=CitationPolicy.union_everywhere())
+
+
+@pytest.mark.parametrize("families", SCALES)
+def test_e2_parameterized_view_citation_grows_linearly(benchmark, families):
+    db = gtopdb.generate(families=families, duplicate_name_fraction=0.0, seed=2)
+    views = gtopdb.citation_views()
+    engine = _engine(db, [views[0], views[2]])  # V1 (parameterized) + V3
+    result = benchmark(lambda: engine.cite(gtopdb.paper_query()))
+    # one citation record per family plus the single V3 record
+    assert result.citation.record_count() == families + 1
+
+
+@pytest.mark.parametrize("families", SCALES)
+def test_e2_unparameterized_view_citation_is_constant(benchmark, families):
+    db = gtopdb.generate(families=families, duplicate_name_fraction=0.0, seed=2)
+    views = gtopdb.citation_views()
+    engine = _engine(db, [views[1], views[2]])  # V2 + V3, both unparameterized
+    result = benchmark(lambda: engine.cite(gtopdb.paper_query()))
+    assert result.citation.record_count() == 2
+
+
+def test_e2_report_table(benchmark):
+    def run():
+        rows = []
+        for families in SCALES:
+            db = gtopdb.generate(families=families, duplicate_name_fraction=0.0, seed=2)
+            views = gtopdb.citation_views()
+            via_v1 = _engine(db, [views[0], views[2]]).cite(gtopdb.paper_query())
+            via_v2 = _engine(db, [views[1], views[2]]).cite(gtopdb.paper_query())
+            rows.append(
+                {
+                    "families": families,
+                    "records_via_V1": via_v1.citation.record_count(),
+                    "records_via_V2": via_v2.citation.record_count(),
+                    "size_via_V1": via_v1.citation.size(),
+                    "size_via_V2": via_v2.citation.size(),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("E2: citation size, parameterized (V1) vs unparameterized (V2)", rows)
+    assert rows[-1]["records_via_V1"] > rows[0]["records_via_V1"]
+    assert rows[-1]["records_via_V2"] == rows[0]["records_via_V2"]

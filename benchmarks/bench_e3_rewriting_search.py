@@ -1,0 +1,68 @@
+"""E3 — the rewriting search space: Bucket vs MiniCon as views grow.
+
+"It is infeasible both in terms of run time and the size of the resulting
+citation to go through all rewritings and all assignments within each of
+them" (Section 3).  This benchmark measures how the two rewriting algorithms
+behave as the number of candidate views grows on star queries, and reports
+the candidate-space statistics that motivate cost-based pruning (E4).
+"""
+
+import pytest
+
+from repro.rewriting.bucket import BucketRewriter
+from repro.rewriting.minicon import MiniConRewriter
+from repro.workloads.query_workload import star_query, star_views
+from benchmarks.conftest import report
+
+ARMS = [2, 3, 4]
+
+
+@pytest.mark.parametrize("arms", ARMS)
+def test_e3_bucket_on_star_queries(benchmark, arms):
+    views = [cv.view for cv in star_views(arms)]
+    query = star_query(arms)
+    rewriter = BucketRewriter(views)
+    rewritings = benchmark(lambda: rewriter.rewrite(query))
+    assert rewritings
+    assert rewriter.last_statistics.candidate_space >= 1
+
+
+@pytest.mark.parametrize("arms", ARMS)
+def test_e3_minicon_on_star_queries(benchmark, arms):
+    views = [cv.view for cv in star_views(arms)]
+    query = star_query(arms)
+    rewriter = MiniConRewriter(views)
+    rewritings = benchmark(lambda: rewriter.rewrite(query))
+    assert rewritings
+
+
+def test_e3_search_space_report(benchmark):
+    def run():
+        rows = []
+        for arms in ARMS:
+            views = [cv.view for cv in star_views(arms)]
+            query = star_query(arms)
+            bucket = BucketRewriter(views)
+            minicon = MiniConRewriter(views)
+            bucket_rewritings = bucket.rewrite(query)
+            minicon_rewritings = minicon.rewrite(query)
+            rows.append(
+                {
+                    "arms": arms,
+                    "views": len(views),
+                    "bucket_candidates": bucket.last_statistics.candidates_considered,
+                    "bucket_rewritings": len(bucket_rewritings),
+                    "minicon_mcds": minicon.last_statistics.mcds,
+                    "minicon_combinations": minicon.last_statistics.combinations_considered,
+                    "minicon_rewritings": len(minicon_rewritings),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("E3: rewriting search space (star queries)", rows)
+    # Shape: the candidate space the Bucket algorithm explores grows with the
+    # number of views, while MiniCon considers no more combinations than Bucket.
+    assert rows[-1]["bucket_candidates"] >= rows[0]["bucket_candidates"]
+    for row in rows:
+        assert row["minicon_combinations"] <= max(row["bucket_candidates"], 1)

@@ -1,0 +1,81 @@
+"""E4 — cost-based pruning and schema-level reasoning vs the formal semantics.
+
+The paper calls for "cost functions to reduce the search space" and suggests
+doing "some of the reasoning at the schema level".  This benchmark compares
+three ways of computing the citation of the same query over the same
+database:
+
+* ``formal``      — all rewritings, per-tuple expressions (Definitions 2.1/2.2),
+* ``economical``  — cost-based selection of a single rewriting, per-tuple,
+* ``schema-level``— cost-based selection plus query-level (no per-tuple) citation.
+"""
+
+import pytest
+
+from repro import CitationEngine, CitationPolicy
+from repro.core.schema_level import cite_schema_level
+from repro.workloads import gtopdb
+from benchmarks.conftest import report
+
+
+@pytest.fixture(scope="module")
+def db():
+    return gtopdb.generate(families=200, seed=11)
+
+
+@pytest.fixture(scope="module")
+def views():
+    return gtopdb.citation_views()
+
+
+def _engine(db, views):
+    return CitationEngine(db, views, policy=CitationPolicy.union_everywhere())
+
+
+def test_e4_formal_semantics(benchmark, db, views):
+    engine = _engine(db, views)
+    result = benchmark(lambda: engine.cite(gtopdb.paper_query(), mode="formal"))
+    assert len(result) > 0
+
+
+def test_e4_cost_pruned(benchmark, db, views):
+    engine = _engine(db, views)
+    result = benchmark(lambda: engine.cite(gtopdb.paper_query(), mode="economical"))
+    assert len(result) > 0
+
+
+def test_e4_schema_level(benchmark, db, views):
+    engine = _engine(db, views)
+    result = benchmark(lambda: cite_schema_level(engine, gtopdb.paper_query()))
+    assert result.result_size > 0
+
+
+def test_e4_report(benchmark, db, views):
+    def run():
+        engine = _engine(db, views)
+        formal = engine.cite(gtopdb.paper_query(), mode="formal")
+        economical = engine.cite(gtopdb.paper_query(), mode="economical")
+        schema_level = cite_schema_level(engine, gtopdb.paper_query())
+        return [
+            {
+                "strategy": "formal (all rewritings)",
+                "rewritings": len(formal.rewritings),
+                "citation_records": formal.citation.record_count(),
+            },
+            {
+                "strategy": "economical (cost-pruned)",
+                "rewritings": len(economical.rewritings),
+                "citation_records": economical.citation.record_count(),
+            },
+            {
+                "strategy": "schema-level",
+                "rewritings": 1,
+                "citation_records": schema_level.citation.record_count(),
+            },
+        ]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("E4: cost-based pruning and schema-level reasoning", rows)
+    assert rows[1]["rewritings"] <= rows[0]["rewritings"]
+    assert rows[1]["citation_records"] <= rows[0]["citation_records"]
+    assert rows[2]["citation_records"] == rows[1]["citation_records"]

@@ -1,0 +1,83 @@
+"""E5 — view-based citations vs the tuple-level provenance and manual baselines.
+
+The comparison the paper's approach is motivated by:
+
+* tuple-level provenance citation needs one annotation per base tuple and its
+  citations grow with the lineage of the result;
+* manually attached page-view citations cover only the fixed pages;
+* the view-based approach needs a handful of view specifications, covers
+  general queries and (under the paper's default policy) produces citations
+  that stay small.
+"""
+
+import pytest
+
+from repro import CitationEngine, CitationPolicy
+from repro.baselines.full_provenance import FullProvenanceCitationBaseline
+from repro.baselines.manual_citation import ManualCitationBaseline
+from repro.workloads import gtopdb
+from benchmarks.conftest import report
+
+SCALES = [20, 100, 300]
+
+
+def _manual_baseline():
+    return ManualCitationBaseline(
+        {
+            "P1(FID, FName, Desc) :- Family(FID, FName, Desc)": {"title": "Family list page"},
+            "P2(FID, Text) :- FamilyIntro(FID, Text)": {"title": "Family introductions page"},
+        },
+        database_citation={"title": gtopdb.DATABASE_TITLE},
+    )
+
+
+@pytest.mark.parametrize("families", SCALES)
+def test_e5_view_based_engine(benchmark, families):
+    db = gtopdb.generate(families=families, seed=5)
+    engine = CitationEngine(db, gtopdb.citation_views())
+    result = benchmark(lambda: engine.cite(gtopdb.paper_query(), mode="economical"))
+    assert result.citation.record_count() >= 1
+
+
+@pytest.mark.parametrize("families", SCALES)
+def test_e5_tuple_level_baseline(benchmark, families):
+    db = gtopdb.generate(families=families, seed=5)
+    baseline = FullProvenanceCitationBaseline(db)
+    _per_tuple, aggregate = benchmark(lambda: baseline.cite(gtopdb.paper_query()))
+    assert aggregate.record_count() >= families
+
+
+def test_e5_report(benchmark):
+    def run():
+        rows = []
+        query = gtopdb.paper_query()
+        for families in SCALES:
+            db = gtopdb.generate(families=families, seed=5)
+            views = gtopdb.citation_views()
+            engine = CitationEngine(db, views, policy=CitationPolicy.default())
+            baseline = FullProvenanceCitationBaseline(db)
+            manual = _manual_baseline()
+            rows.append(
+                {
+                    "families": families,
+                    "db_tuples": db.total_rows(),
+                    "view_specs_needed": len(views),
+                    "tuple_annotations_needed": baseline.annotations_required(),
+                    "view_based_citation_size": engine.cite(query, mode="economical").citation.size(),
+                    "tuple_level_citation_size": baseline.citation_size(query),
+                    "manual_covers_query": manual.covers(query),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("E5: view-based vs tuple-level vs manual citation", rows)
+    for row in rows:
+        # Owner effort: a handful of views vs one annotation per tuple.
+        assert row["view_specs_needed"] < row["tuple_annotations_needed"]
+        # Citation size: the view-based citation stays small while the
+        # tuple-level one grows with the data.
+        assert row["view_based_citation_size"] < row["tuple_level_citation_size"]
+        # The manual baseline cannot cover the general query at all.
+        assert row["manual_covers_query"] is False
+    assert rows[-1]["tuple_level_citation_size"] > rows[0]["tuple_level_citation_size"]

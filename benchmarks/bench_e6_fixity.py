@@ -1,0 +1,94 @@
+"""E6 — fixity: versioned storage and citation resolution cost.
+
+Measures (a) the cost of committing update batches under the two storage
+strategies (delta chain vs full snapshots), (b) the cost of materialising an
+old version, and (c) the cost of resolving a persistent citation against the
+version it was minted for, including the fixity hash check.
+"""
+
+import pytest
+
+from repro.versioning import CitationResolver, VersionedDatabase
+from repro.workloads import gtopdb
+from benchmarks.conftest import report
+
+BATCHES = 20
+BATCH_SIZE = 10
+
+
+def _load(versioned, families=100):
+    source = gtopdb.generate(families=families, seed=6)
+    for relation in source.relations():
+        versioned.insert_many(relation.schema.name, relation.rows)
+    versioned.commit("initial")
+
+
+def _apply_batches(versioned):
+    fid = 10_000
+    for batch in range(BATCHES):
+        for _ in range(BATCH_SIZE):
+            fid += 1
+            versioned.insert("Family", (fid, f"Batch family {fid}", "generated"))
+            versioned.insert("FamilyIntro", (fid, f"intro {fid}"))
+        versioned.commit(f"batch {batch}")
+
+
+@pytest.mark.parametrize("storage", ["delta", "snapshot"])
+def test_e6_commit_update_batches(benchmark, storage):
+    def run():
+        versioned = VersionedDatabase(gtopdb.schema(), storage=storage, snapshot_interval=10)
+        _load(versioned)
+        _apply_batches(versioned)
+        return versioned
+
+    versioned = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(versioned.versions) == BATCHES + 1
+
+
+def test_e6_materialize_old_version(benchmark):
+    versioned = VersionedDatabase(gtopdb.schema(), snapshot_interval=10)
+    _load(versioned)
+    _apply_batches(versioned)
+    old = benchmark(lambda: versioned.materialize(5))
+    assert old.sizes()["Family"] == 100 + 5 * BATCH_SIZE
+
+
+def test_e6_resolve_persistent_citation(benchmark):
+    versioned = VersionedDatabase(gtopdb.schema(), snapshot_interval=10)
+    _load(versioned)
+    resolver = CitationResolver(versioned, gtopdb.citation_views())
+    persistent = resolver.cite_current(str(gtopdb.paper_query()))
+    _apply_batches(versioned)
+    resolved = benchmark(lambda: resolver.resolve(persistent))
+    # fixity: the resolved answer reflects the cited version, not the current one
+    assert len(resolved.result) <= 100
+
+
+def test_e6_storage_report(benchmark):
+    def run():
+        rows = []
+        for storage in ("delta", "snapshot"):
+            versioned = VersionedDatabase(
+                gtopdb.schema(), storage=storage, snapshot_interval=10
+            )
+            _load(versioned)
+            _apply_batches(versioned)
+            cost = versioned.storage_cost()
+            rows.append(
+                {
+                    "storage": storage,
+                    "versions": len(versioned.versions),
+                    "snapshots": cost["snapshots"],
+                    "snapshot_rows": cost["snapshot_rows"],
+                    "delta_rows": cost["delta_rows"],
+                    "verify_last": versioned.verify(len(versioned.versions) - 1),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("E6: version storage (delta chain vs full snapshots)", rows)
+    delta_row = next(r for r in rows if r["storage"] == "delta")
+    snapshot_row = next(r for r in rows if r["storage"] == "snapshot")
+    assert delta_row["snapshot_rows"] < snapshot_row["snapshot_rows"]
+    assert delta_row["verify_last"] and snapshot_row["verify_last"]

@@ -1,0 +1,82 @@
+"""E8 — choosing the "best" citation views for an expected workload.
+
+Measures greedy view selection over a growing candidate pool and reports the
+coverage / conciseness / ambiguity trade-off the paper's "Defining citations"
+challenge describes.  On small pools the greedy choice is compared against
+exhaustive enumeration.
+"""
+
+import pytest
+
+from repro.core.view_selection import (
+    ViewSelectionProblem,
+    select_views_exhaustive,
+    select_views_greedy,
+)
+from repro.workloads import gtopdb
+from benchmarks.conftest import report
+
+WORKLOAD = [
+    gtopdb.paper_query(),
+    *[query for query in gtopdb.example_queries()[1:5]],
+]
+
+
+@pytest.fixture(scope="module")
+def db():
+    return gtopdb.generate(families=60, seed=8)
+
+
+@pytest.mark.parametrize("pool", [3, 6])
+def test_e8_greedy_selection(benchmark, db, pool):
+    candidates = gtopdb.citation_views(extended=True)[:pool]
+    problem = ViewSelectionProblem(candidates, WORKLOAD, db, max_views=4)
+    selected = benchmark(lambda: select_views_greedy(problem))
+    assert selected
+
+
+def test_e8_exhaustive_selection_small_pool(benchmark, db):
+    candidates = gtopdb.citation_views(extended=True)[:4]
+    problem = ViewSelectionProblem(candidates, WORKLOAD, db, max_views=3)
+    selected = benchmark(lambda: select_views_exhaustive(problem))
+    assert selected
+
+
+def test_e8_report(benchmark, db):
+    def run():
+        rows = []
+        candidates = gtopdb.citation_views(extended=True)
+        for pool in (3, 4, 6):
+            problem = ViewSelectionProblem(candidates[:pool], WORKLOAD, db, max_views=4)
+            greedy = select_views_greedy(problem)
+            rows.append(
+                {
+                    "candidate_pool": pool,
+                    "selected": [view.name for view in greedy],
+                    "coverage": round(problem.coverage(greedy), 3),
+                    "cost": round(problem.cost(greedy), 1),
+                    "ambiguity": round(problem.ambiguity(greedy), 2),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("E8: greedy view selection for the GtoPdb workload", rows)
+    # Shape: a larger candidate pool can only improve coverage.
+    coverages = [row["coverage"] for row in rows]
+    assert coverages == sorted(coverages)
+    assert coverages[-1] >= 0.8
+
+
+def test_e8_greedy_matches_exhaustive_coverage(benchmark, db):
+    candidates = gtopdb.citation_views(extended=True)[:4]
+    problem = ViewSelectionProblem(candidates, WORKLOAD, db, max_views=3)
+
+    def run():
+        return (
+            problem.coverage(select_views_greedy(problem)),
+            problem.coverage(select_views_exhaustive(problem)),
+        )
+
+    greedy_coverage, optimal_coverage = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert greedy_coverage == pytest.approx(optimal_coverage)

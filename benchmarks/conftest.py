@@ -1,0 +1,61 @@
+"""Shared fixtures and reporting helpers for the benchmark suite.
+
+Each ``bench_eN_*.py`` file regenerates one experiment from DESIGN.md's
+experiment index.  The paper (a vision paper) publishes no numeric tables, so
+the benchmarks measure the quantities its arguments rely on — citation sizes,
+rewriting-search effort, incremental-maintenance speed-ups — and print the
+rows that EXPERIMENTS.md records.  Assertions check the qualitative *shape*
+(who wins, how things scale), never absolute timings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CitationEngine, CitationPolicy
+from repro.workloads import gtopdb
+
+
+def report(title: str, rows: list[dict]) -> None:
+    """Print an experiment table (captured by pytest -s and the bench logs)."""
+    print(f"\n=== {title} ===")
+    if not rows:
+        print("(no rows)")
+        return
+    columns = list(rows[0])
+    print(" | ".join(f"{c:>24}" for c in columns))
+    for row in rows:
+        print(" | ".join(f"{str(row[c]):>24}" for c in columns))
+
+
+@pytest.fixture(scope="session")
+def paper_db():
+    return gtopdb.paper_instance()
+
+
+@pytest.fixture(scope="session")
+def paper_views():
+    return gtopdb.citation_views()
+
+
+@pytest.fixture(scope="session")
+def medium_gtopdb():
+    """A medium synthetic GtoPdb instance shared across benchmarks."""
+    return gtopdb.generate(families=300, targets_per_family=3, ligands=300, seed=17)
+
+
+@pytest.fixture(scope="session")
+def paper_query():
+    return gtopdb.paper_query()
+
+
+@pytest.fixture
+def default_engine(medium_gtopdb, paper_views):
+    return CitationEngine(medium_gtopdb, paper_views, policy=CitationPolicy.default())
+
+
+@pytest.fixture
+def union_engine(medium_gtopdb, paper_views):
+    return CitationEngine(
+        medium_gtopdb, paper_views, policy=CitationPolicy.union_everywhere()
+    )

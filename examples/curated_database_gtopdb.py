@@ -1,0 +1,96 @@
+"""Scenario: citing ad-hoc queries over a curated pharmacology database.
+
+A researcher works against a synthetic GtoPdb-like database (families,
+targets, ligands, interactions, curators).  The database owner has specified
+six citation views (per-family, per-target, and whole-table views).  The
+researcher issues ad-hoc SQL, and every result comes back with a citation —
+including queries that correspond to no web page of the database, which is
+exactly the gap the paper identifies.
+
+Run with:  python examples/curated_database_gtopdb.py
+"""
+
+from repro import CitationEngine, CitationPolicy, parse_sql
+from repro.baselines.manual_citation import ManualCitationBaseline
+from repro.core.size import abbreviate_citation, reference_citation
+from repro.workloads import gtopdb
+
+
+def main() -> None:
+    database = gtopdb.generate(families=120, targets_per_family=3, ligands=150, seed=20)
+    views = gtopdb.citation_views(extended=True)
+    schema = gtopdb.schema()
+    engine = CitationEngine(
+        database, views, policy=CitationPolicy.default(), on_no_rewriting="fallback"
+    )
+
+    print("Synthetic GtoPdb instance:", database)
+    print("Citation views:", ", ".join(cv.name for cv in views))
+    print()
+
+    queries = {
+        "families with an introduction": (
+            "SELECT f.FName FROM Family f, FamilyIntro i WHERE f.FID = i.FID"
+        ),
+        "targets of the Calcitonin-like families": (
+            "SELECT t.TName, f.FName FROM Target t, Family f WHERE t.FID = f.FID"
+        ),
+        "ligand interactions per target": (
+            "SELECT t.TName, l.LName FROM Target t, Interaction i, Ligand l "
+            "WHERE t.TID = i.TID AND i.LID = l.LID"
+        ),
+    }
+
+    for label, sql in queries.items():
+        query = parse_sql(sql, schema)
+        result = engine.cite(query, mode="economical")
+        print(f"--- {label} ---")
+        print("SQL:", sql)
+        print(f"answers: {len(result)} tuples")
+        citation = result.citation
+        lines = citation.to_text(abbreviate_after=3).splitlines()
+        print(f"citation: {citation.record_count()} records, size {citation.size()}")
+        for line in lines[:5]:
+            print("  " + line)
+        if len(lines) > 5:
+            print(f"  ... ({len(lines) - 5} more lines)")
+        print()
+
+    # A fine-grained citation: per-family credit via the parameterized view V1.
+    union_engine = CitationEngine(
+        database, views, policy=CitationPolicy.union_everywhere()
+    )
+    fine = union_engine.cite(
+        "Q(FID, FName, Desc) :- Family(FID, FName, Desc)", mode="formal"
+    )
+    one_family = fine.tuple_citations[0]
+    print("--- fine-grained citation of a single family tuple ---")
+    print("tuple:", one_family.row)
+    print("expression:", one_family.expression)
+    print(one_family.citation().to_text(abbreviate_after=3))
+    print()
+
+    # Large citations can be abbreviated or replaced by a reference object.
+    print("--- handling citation size ---")
+    full = union_engine.cite(gtopdb.paper_query()).citation
+    print(f"full citation: {full.record_count()} records, size {full.size()}")
+    abbreviated = abbreviate_citation(full, max_names=2)
+    print(f"abbreviated:   size {abbreviated.size()}")
+    reference = reference_citation(full)
+    print("by reference: ", reference.to_text())
+    print()
+
+    # What the current practice (manual page-view citations) can and cannot do.
+    manual = ManualCitationBaseline(
+        {"P1(FID, FName, Desc) :- Family(FID, FName, Desc)": {"title": "Family list page"}},
+        database_citation={"title": gtopdb.DATABASE_TITLE},
+    )
+    adhoc = parse_sql(queries["ligand interactions per target"], schema)
+    print("--- manual page-view citations (current practice) ---")
+    print("covers the family list page:", manual.covers("Q(A,B,C) :- Family(A,B,C)"))
+    print("covers the ad-hoc join query:", manual.covers(adhoc))
+    print("fallback citation it returns:", manual.cite(adhoc).to_text())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Baselines the view-based citation model is compared against.
+
+* :mod:`repro.baselines.full_provenance` — tuple-level provenance citation:
+  annotate every base tuple with its own citation and propagate annotations
+  through the query (the "obvious" alternative the paper's approach improves
+  on in citation size and owner effort);
+* :mod:`repro.baselines.manual_citation` — the current practice of GtoPdb and
+  friends: hand-written citations for a fixed set of web-page views, which
+  simply fails (falls back to a whole-database citation) for general queries.
+"""
+
+from repro.baselines.full_provenance import FullProvenanceCitationBaseline
+from repro.baselines.manual_citation import ManualCitationBaseline
+
+__all__ = ["FullProvenanceCitationBaseline", "ManualCitationBaseline"]

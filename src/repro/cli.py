@@ -1,0 +1,192 @@
+"""Command-line interface for the data-citation library.
+
+Subcommands
+-----------
+``cite``      answer a query over a JSON database and print its citation
+``validate``  statically check a citation specification against a schema
+``views``     list the citation views of a specification (or the defaults)
+``explain``   show how the citation of a query is constructed
+``demo``      run the paper's running example end to end
+
+The database file is the JSON format written by
+:func:`repro.relational.csvio.dump_database_json`; the specification file is
+the JSON format accepted by :func:`repro.core.spec.load_specification`.  When
+no specification is supplied, default views are generated for the schema
+(:func:`repro.core.spec.default_views_for_schema`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.core.engine import CitationEngine
+from repro.core.explain import explain_citation
+from repro.core.spec import (
+    default_views_for_schema,
+    dump_specification,
+    load_specification,
+    validate_views_against_schema,
+)
+from repro.core.policy import CitationPolicy
+from repro.errors import ReproError
+from repro.query.parser import parse_query
+from repro.query.sql import parse_sql
+from repro.relational.csvio import load_database_json
+
+
+def _load_engine(args: argparse.Namespace) -> CitationEngine:
+    database = load_database_json(args.database)
+    if args.spec:
+        views, policy = load_specification(args.spec, schema=database.schema)
+    else:
+        views = default_views_for_schema(database.schema, database_title=args.title)
+        policy = CitationPolicy.default()
+    return CitationEngine(
+        database, views, policy=policy, on_no_rewriting="fallback"
+    )
+
+
+def _parse_user_query(text: str, engine: CitationEngine):
+    stripped = text.strip()
+    if stripped.lower().startswith("select"):
+        return parse_sql(stripped, engine.database.schema)
+    return parse_query(stripped)
+
+
+def _cmd_cite(args: argparse.Namespace) -> int:
+    engine = _load_engine(args)
+    query = _parse_user_query(args.query, engine)
+    result = engine.cite(query, mode=args.mode)
+    if args.format == "text":
+        print(result.citation.to_text(abbreviate_after=args.abbreviate))
+    elif args.format == "bibtex":
+        print(result.citation.to_bibtex())
+    elif args.format == "ris":
+        print(result.citation.to_ris())
+    elif args.format == "xml":
+        print(result.citation.to_xml())
+    else:
+        print(result.citation.to_json())
+    if args.show_answers:
+        print(f"\n# {len(result)} answer tuple(s)", file=sys.stderr)
+        for row in result.rows():
+            print(f"#   {row}", file=sys.stderr)
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    database = load_database_json(args.database)
+    views, _policy = load_specification(args.spec)
+    problems = validate_views_against_schema(views, database.schema)
+    if problems:
+        for problem in problems:
+            print(f"ERROR: {problem}")
+        return 1
+    print(f"specification OK: {len(views)} view(s) match the schema")
+    return 0
+
+
+def _cmd_views(args: argparse.Namespace) -> int:
+    database = load_database_json(args.database)
+    if args.spec:
+        views, policy = load_specification(args.spec, schema=database.schema)
+    else:
+        views = default_views_for_schema(database.schema, database_title=args.title)
+        policy = CitationPolicy.default()
+    if args.as_json:
+        print(json.dumps(dump_specification(views, policy), indent=2))
+        return 0
+    for view in views:
+        kind = "parameterized" if view.is_parameterized else "unparameterized"
+        print(f"{view.name} ({kind}): {view.query}")
+        if view.description:
+            print(f"    {view.description}")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    engine = _load_engine(args)
+    query = _parse_user_query(args.query, engine)
+    explanation = explain_citation(engine, query)
+    print(explanation.to_text())
+    return 0
+
+
+def _cmd_demo(_args: argparse.Namespace) -> int:
+    from repro.workloads import gtopdb
+
+    database = gtopdb.paper_instance()
+    engine = CitationEngine(database, gtopdb.citation_views())
+    result = engine.cite(gtopdb.paper_query())
+    print("Query:", gtopdb.paper_query())
+    for tuple_citation in result.tuple_citations:
+        print(f"  {tuple_citation.row}: {tuple_citation.expression}")
+    print()
+    print(result.citation.to_text())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-cite",
+        description="Fine-grained, view-based data citation (PODS 2017 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub: argparse.ArgumentParser, needs_spec: bool = False) -> None:
+        sub.add_argument("--database", required=True, help="database JSON file")
+        if needs_spec:
+            sub.add_argument("--spec", required=True, help="citation specification JSON file")
+        else:
+            sub.add_argument("--spec", help="citation specification JSON file (optional)")
+        sub.add_argument(
+            "--title", default="Cited database", help="database title used by default views"
+        )
+
+    cite = subparsers.add_parser("cite", help="cite a query result")
+    add_common(cite)
+    cite.add_argument("query", help="Datalog-style query or SELECT statement")
+    cite.add_argument("--mode", choices=["formal", "economical"], default="economical")
+    cite.add_argument(
+        "--format", choices=["text", "bibtex", "ris", "xml", "json"], default="text"
+    )
+    cite.add_argument("--abbreviate", type=int, default=None, help="'et al.' after N names")
+    cite.add_argument("--show-answers", action="store_true", help="print answers to stderr")
+    cite.set_defaults(func=_cmd_cite)
+
+    validate = subparsers.add_parser("validate", help="validate a specification against a schema")
+    add_common(validate, needs_spec=True)
+    validate.set_defaults(func=_cmd_validate)
+
+    views = subparsers.add_parser("views", help="list citation views (or generated defaults)")
+    add_common(views)
+    views.add_argument("--as-json", action="store_true", help="dump as a specification JSON")
+    views.set_defaults(func=_cmd_views)
+
+    explain = subparsers.add_parser("explain", help="explain how a citation is constructed")
+    add_common(explain)
+    explain.add_argument("query", help="Datalog-style query or SELECT statement")
+    explain.set_defaults(func=_cmd_explain)
+
+    demo = subparsers.add_parser("demo", help="run the paper's running example")
+    demo.set_defaults(func=_cmd_demo)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

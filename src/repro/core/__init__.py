@@ -1,0 +1,82 @@
+"""The data-citation model of Davidson et al. (PODS 2017).
+
+This package is the paper's primary contribution:
+
+* :mod:`repro.core.record` — citation records (the snippets a citation carries),
+* :mod:`repro.core.citation_view` — citation views: a (possibly λ-parameterized)
+  view query, its citation queries and its citation function,
+* :mod:`repro.core.expression` — the algebra of citations: joint use ``·``,
+  alternative bindings ``+``, alternative rewritings ``+R`` and aggregation
+  ``Agg`` (Definitions 2.1 and 2.2),
+* :mod:`repro.core.policy` — owner-specified interpretations of those four
+  operators (union, join, minimum-size, ...),
+* :mod:`repro.core.engine` — the :class:`CitationEngine` that rewrites a
+  general query using the citation views and constructs its citation,
+* :mod:`repro.core.rewriting_selector` — cost-based pruning of the rewriting
+  space (Section 3, "Calculating citations"),
+* :mod:`repro.core.schema_level` — query-level (schema-level) citation
+  reasoning that avoids per-tuple enumeration,
+* :mod:`repro.core.size` — citation-size estimation and abbreviation
+  (Section 3, "Size of citations"),
+* :mod:`repro.core.view_selection` — choosing the "best" views for an
+  expected workload (Section 3, "Defining citations"),
+* :mod:`repro.core.incremental` — incremental citation maintenance under
+  updates (Section 3, "Citation evolution"),
+* :mod:`repro.core.formatter` — human-readable, BibTeX, RIS, XML and JSON
+  renderings of citations.
+"""
+
+from repro.core.record import CitationRecord, CitationSet
+from repro.core.citation_view import CitationView, DefaultCitationFunction
+from repro.core.expression import (
+    Aggregate,
+    Alternative,
+    CitationAtom,
+    CitationExpression,
+    Joint,
+    RewriteAlternative,
+)
+from repro.core.policy import CitationPolicy, Combinators
+from repro.core.engine import CitationEngine, CitedResult, TupleCitation
+from repro.core.citation import Citation
+from repro.core.rewriting_selector import RewritingSelector
+from repro.core.size import abbreviate_record, estimate_citation_size
+from repro.core.view_selection import ViewSelectionProblem, select_views_greedy
+from repro.core.incremental import IncrementalCitationMaintainer
+from repro.core.union_engine import UnionCitedResult, cite_union
+from repro.core.temporal import TemporalCitationEngine, timestamp_view
+from repro.core.spec import default_views_for_schema, load_specification
+from repro.core.explain import CitationExplanation, explain_citation
+
+__all__ = [
+    "CitationRecord",
+    "CitationSet",
+    "CitationView",
+    "DefaultCitationFunction",
+    "CitationExpression",
+    "CitationAtom",
+    "Joint",
+    "Alternative",
+    "RewriteAlternative",
+    "Aggregate",
+    "CitationPolicy",
+    "Combinators",
+    "CitationEngine",
+    "CitedResult",
+    "TupleCitation",
+    "Citation",
+    "RewritingSelector",
+    "estimate_citation_size",
+    "abbreviate_record",
+    "ViewSelectionProblem",
+    "select_views_greedy",
+    "IncrementalCitationMaintainer",
+    "cite_union",
+    "UnionCitedResult",
+    "TemporalCitationEngine",
+    "timestamp_view",
+    "load_specification",
+    "default_views_for_schema",
+    "explain_citation",
+    "CitationExplanation",
+]

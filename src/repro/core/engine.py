@@ -1,0 +1,336 @@
+"""The citation engine: rewrite a general query and construct its citation.
+
+This module implements the paper's approach end to end:
+
+1. the query is rewritten into (minimal) equivalent queries over the citation
+   views, ignoring λ-parameters (Section 2);
+2. for every rewriting and every output tuple, the set of bindings is
+   enumerated; each binding yields the joint (``·``) citation of the view
+   atoms it instantiates, with the views' parameters valued by the binding
+   (Definition 2.1);
+3. multiple bindings are combined with ``+`` (Definition 2.2), multiple
+   rewritings with ``+R`` and the result tuples with ``Agg``;
+4. the resulting expression is evaluated under the owner's
+   :class:`~repro.core.policy.CitationPolicy` into concrete citation records.
+
+Two operating modes address the paper's "Calculating citations" challenge:
+
+* ``mode="formal"`` follows the formal semantics: every rewriting contributes
+  to the per-tuple ``+R`` expression;
+* ``mode="economical"`` uses the :class:`~repro.core.rewriting_selector.RewritingSelector`
+  to pick the cheapest rewriting(s) up front — the cost-based pruning the
+  paper advocates — and only evaluates those.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Literal, Mapping, Sequence
+
+from repro.core.citation import Citation
+from repro.core.citation_view import CitationView, views_of
+from repro.core.expression import (
+    Aggregate,
+    CitationAtom,
+    CitationExpression,
+    alternative,
+    joint,
+    rewrite_alternative,
+)
+from repro.core.policy import CitationPolicy
+from repro.core.record import CitationRecord, CitationSet
+from repro.core.rewriting_selector import RewritingSelector
+from repro.errors import CitationError, NoRewritingError
+from repro.query.ast import ConjunctiveQuery, Constant, Term, Variable
+from repro.query.evaluator import Binding, QueryEvaluator
+from repro.query.parser import parse_query
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+from repro.rewriting.bucket import BucketRewriter
+from repro.rewriting.minicon import MiniConRewriter
+from repro.rewriting.rewriting import Rewriting
+from repro.rewriting.view import materialize_views
+
+Mode = Literal["formal", "economical"]
+
+
+@dataclass(frozen=True)
+class TupleCitation:
+    """The citation of a single output tuple."""
+
+    row: tuple
+    expression: CitationExpression
+    records: CitationSet
+
+    def citation(self) -> Citation:
+        """Wrap the records as a :class:`Citation` object."""
+        return Citation(self.records, expression=self.expression)
+
+    def size(self) -> int:
+        """Total snippet count of the tuple's citation."""
+        return sum(record.size() for record in self.records)
+
+
+@dataclass
+class CitedResult:
+    """A query answer together with per-tuple and aggregate citations."""
+
+    query: ConjunctiveQuery
+    rewritings: list[Rewriting]
+    tuple_citations: list[TupleCitation]
+    citation: Citation
+    policy: CitationPolicy
+    mode: Mode
+    result: Relation
+    used_fallback: bool = False
+    _by_row: dict[tuple, TupleCitation] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self._by_row = {tc.row: tc for tc in self.tuple_citations}
+
+    def rows(self) -> list[tuple]:
+        """The answer tuples in deterministic order."""
+        return self.result.sorted_rows()
+
+    def citation_for(self, row: tuple) -> TupleCitation:
+        """The citation of one output tuple."""
+        try:
+            return self._by_row[tuple(row)]
+        except KeyError:
+            raise CitationError(f"tuple {row!r} is not in the result of {self.query.name!r}") from None
+
+    def total_citation_size(self) -> int:
+        """Size of the aggregate citation."""
+        return self.citation.size()
+
+    def __len__(self) -> int:
+        return len(self.result)
+
+
+class CitationEngine:
+    """Constructs citations for general queries over a cited database."""
+
+    def __init__(
+        self,
+        database: Database,
+        citation_views: Sequence[CitationView],
+        policy: CitationPolicy | None = None,
+        rewriter: Literal["minicon", "bucket"] | object = "minicon",
+        mode: Mode = "formal",
+        selector: RewritingSelector | None = None,
+        on_no_rewriting: Literal["error", "fallback"] = "error",
+        fallback_citation: CitationRecord | None = None,
+    ) -> None:
+        self.database = database
+        self.citation_views = list(citation_views)
+        if not self.citation_views:
+            raise CitationError("a citation engine needs at least one citation view")
+        self.policy = policy or CitationPolicy.default()
+        self.mode: Mode = mode
+        self.on_no_rewriting = on_no_rewriting
+        self.fallback_citation = fallback_citation
+        self._views = views_of(self.citation_views)
+        self._citation_view_by_name = {cv.name: cv for cv in self.citation_views}
+        if len(self._citation_view_by_name) != len(self.citation_views):
+            raise CitationError("citation view names must be unique")
+        if rewriter == "minicon":
+            self.rewriter = MiniConRewriter(self._views)
+        elif rewriter == "bucket":
+            self.rewriter = BucketRewriter(self._views)
+        else:
+            self.rewriter = rewriter
+        self.selector = selector or RewritingSelector(
+            database, strategy="min_citation_size", keep=1
+        )
+        self._view_relations: dict[str, Relation] | None = None
+        self._record_cache: dict[tuple[str, tuple], CitationRecord] = {}
+
+    # -- caches ------------------------------------------------------------------
+    def invalidate_caches(self) -> None:
+        """Drop materialised views and cached citation records (after updates)."""
+        self._view_relations = None
+        self._record_cache.clear()
+
+    def view_relations(self) -> dict[str, Relation]:
+        """Materialisations of all citation views (cached)."""
+        if self._view_relations is None:
+            self._view_relations = materialize_views(self._views, self.database)
+        return self._view_relations
+
+    # -- rewriting ----------------------------------------------------------------
+    def rewritings(self, query: ConjunctiveQuery | str) -> list[Rewriting]:
+        """All minimal equivalent rewritings of *query* over the citation views."""
+        query = self._as_query(query)
+        return self.rewriter.rewrite(query.without_parameters())
+
+    # -- citation records -----------------------------------------------------------
+    def citation_record(
+        self, view_name: str, parameter_values: Mapping[str, object] | None = None
+    ) -> CitationRecord:
+        """``FV(CV(p̄))`` for one view and one parameter valuation (cached)."""
+        parameter_values = dict(parameter_values or {})
+        key = (view_name, tuple(sorted(parameter_values.items(), key=repr)))
+        cached = self._record_cache.get(key)
+        if cached is None:
+            citation_view = self._citation_view_by_name.get(view_name)
+            if citation_view is None:
+                raise CitationError(f"unknown citation view {view_name!r}")
+            cached = citation_view.citation_for(self.database, parameter_values)
+            self._record_cache[key] = cached
+        return cached
+
+    def _atom_for(
+        self, view_name: str, parameter_values: Mapping[str, object]
+    ) -> CitationAtom:
+        record = self.citation_record(view_name, parameter_values)
+        return CitationAtom(view_name, parameter_values, record)
+
+    def _parameters_for_view_atom(
+        self, citation_view: CitationView, atom_terms: Sequence[Term], binding: Binding
+    ) -> dict[str, object]:
+        """Extract the parameter valuation of one view atom under one binding.
+
+        The paper: "Bi is the result of applying B to the variables occurring
+        in an atom involving Vi" — restricted here to the λ-parameter
+        positions of the view head.
+        """
+        values: dict[str, object] = {}
+        for name, position in citation_view.view.parameter_positions().items():
+            term = atom_terms[position]
+            if isinstance(term, Constant):
+                values[name] = term.value
+            else:
+                assert isinstance(term, Variable)
+                if term not in binding:
+                    raise CitationError(
+                        f"binding does not determine parameter {name!r} of view "
+                        f"{citation_view.name!r}"
+                    )
+                values[name] = binding[term]
+        return values
+
+    # -- Definitions 2.1 / 2.2 ---------------------------------------------------------
+    def citation_for_binding(
+        self, rewriting: Rewriting, binding: Binding
+    ) -> CitationExpression:
+        """Definition 2.1: the joint citation of one binding of one rewriting."""
+        atoms: list[CitationExpression] = []
+        for view_atom in rewriting.query.body:
+            citation_view = self._citation_view_by_name.get(view_atom.predicate)
+            if citation_view is None:
+                raise CitationError(
+                    f"rewriting uses view {view_atom.predicate!r} with no citation view"
+                )
+            parameters = self._parameters_for_view_atom(
+                citation_view, view_atom.terms, binding
+            )
+            atoms.append(self._atom_for(view_atom.predicate, parameters))
+        return joint(atoms)
+
+    def citation_for_tuple_in_rewriting(
+        self, rewriting: Rewriting, bindings: Sequence[Binding]
+    ) -> CitationExpression:
+        """Definition 2.2: combine the citations of all bindings with ``+``.
+
+        Bindings are processed in a deterministic order so that the symbolic
+        citation expression is reproducible across runs.
+        """
+        ordered = sorted(bindings, key=lambda b: sorted((v.name, repr(b[v])) for v in b))
+        return alternative(
+            [self.citation_for_binding(rewriting, binding) for binding in ordered]
+        )
+
+    # -- main entry point -----------------------------------------------------------------
+    def cite(
+        self,
+        query: ConjunctiveQuery | str,
+        mode: Mode | None = None,
+    ) -> CitedResult:
+        """Answer *query* and construct per-tuple and aggregate citations."""
+        query = self._as_query(query)
+        mode = mode or self.mode
+        rewritings = self.rewritings(query)
+        if not rewritings:
+            return self._handle_no_rewriting(query, mode)
+        if mode == "economical":
+            rewritings = self.selector.select(rewritings)
+
+        evaluator = QueryEvaluator(self.database, extra_relations=self.view_relations())
+        per_rewriting: list[tuple[Rewriting, dict[tuple, list[Binding]]]] = []
+        all_rows: set[tuple] = set()
+        for rewriting in rewritings:
+            bindings_by_row = evaluator.evaluate_with_bindings(rewriting.query)
+            per_rewriting.append((rewriting, bindings_by_row))
+            all_rows.update(bindings_by_row)
+
+        tuple_citations: list[TupleCitation] = []
+        for row in sorted(all_rows, key=repr):
+            alternatives: list[CitationExpression] = []
+            for rewriting, bindings_by_row in per_rewriting:
+                bindings = bindings_by_row.get(row)
+                if not bindings:
+                    continue
+                alternatives.append(
+                    self.citation_for_tuple_in_rewriting(rewriting, bindings)
+                )
+            expression = rewrite_alternative(alternatives)
+            records = self.policy.evaluate(expression)
+            tuple_citations.append(TupleCitation(row, expression, records))
+
+        aggregate_expression = Aggregate([tc.expression for tc in tuple_citations])
+        aggregate_records = self.policy.aggregate([tc.records for tc in tuple_citations])
+        result_relation = self._result_relation(query, all_rows)
+        citation = Citation(
+            aggregate_records,
+            expression=aggregate_expression,
+            query_text=str(query),
+        )
+        return CitedResult(
+            query=query,
+            rewritings=rewritings,
+            tuple_citations=tuple_citations,
+            citation=citation,
+            policy=self.policy,
+            mode=mode,
+            result=result_relation,
+        )
+
+    # -- helpers -------------------------------------------------------------------------
+    def _handle_no_rewriting(self, query: ConjunctiveQuery, mode: Mode) -> CitedResult:
+        if self.on_no_rewriting == "error":
+            raise NoRewritingError(query.name)
+        fallback = self.fallback_citation or CitationRecord(
+            {"title": "Cited database", "note": "no citation view covers this query"}
+        )
+        result_relation = QueryEvaluator(self.database).evaluate(query.without_parameters())
+        rows = result_relation.rows
+        atom = CitationAtom("__database__", {}, fallback)
+        tuple_citations = [
+            TupleCitation(row, atom, frozenset({fallback})) for row in sorted(rows, key=repr)
+        ]
+        citation = Citation(
+            frozenset({fallback}),
+            expression=Aggregate([atom]) if tuple_citations else Aggregate([]),
+            query_text=str(query),
+        )
+        return CitedResult(
+            query=query,
+            rewritings=[],
+            tuple_citations=tuple_citations,
+            citation=citation,
+            policy=self.policy,
+            mode=mode,
+            result=result_relation,
+            used_fallback=True,
+        )
+
+    def _result_relation(self, query: ConjunctiveQuery, rows: Iterable[tuple]) -> Relation:
+        from repro.query.evaluator import result_schema
+
+        return Relation(result_schema(query), rows)
+
+    @staticmethod
+    def _as_query(query: ConjunctiveQuery | str) -> ConjunctiveQuery:
+        if isinstance(query, str):
+            return parse_query(query)
+        return query

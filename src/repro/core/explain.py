@@ -1,0 +1,170 @@
+"""Human-readable explanations of how a citation was constructed.
+
+Data citation is about credit, so users (and database owners debugging their
+view specifications) need to see *why* a citation looks the way it does: which
+rewritings were considered, which one the cost model preferred, how many
+bindings each answer tuple had, and which view contributed which snippet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.engine import CitationEngine, CitedResult
+from repro.core.schema_level import cite_schema_level
+from repro.errors import NoRewritingError
+from repro.query.ast import ConjunctiveQuery
+from repro.rewriting.cost import RewritingCostModel
+
+
+@dataclass
+class CitationExplanation:
+    """Structured explanation of one citation construction."""
+
+    query: str
+    rewritings: list[dict] = field(default_factory=list)
+    selected_rewriting: str | None = None
+    tuples: list[dict] = field(default_factory=list)
+    aggregate_records: int = 0
+    aggregate_size: int = 0
+    policy: str = ""
+    notes: list[str] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        """Render the explanation as indented text."""
+        lines = [f"Query: {self.query}", f"Policy: {self.policy}"]
+        lines.append(f"Rewritings considered: {len(self.rewritings)}")
+        for entry in self.rewritings:
+            marker = "*" if entry["rewriting"] == self.selected_rewriting else " "
+            lines.append(
+                f"  {marker} {entry['rewriting']}"
+                f"  [views: {', '.join(entry['views'])};"
+                f" est. citations: {entry['estimated_citation_size']:.0f};"
+                f" parameterized: {entry['parameterized']}]"
+            )
+        if self.selected_rewriting is not None:
+            lines.append("  (* = preferred by the minimum-estimated-size cost model)")
+        lines.append(f"Answer tuples: {len(self.tuples)}")
+        for entry in self.tuples[:10]:
+            lines.append(
+                f"  {entry['tuple']}: {entry['bindings']} binding(s), "
+                f"{entry['records']} citation record(s) — {entry['expression']}"
+            )
+        if len(self.tuples) > 10:
+            lines.append(f"  ... ({len(self.tuples) - 10} more tuples)")
+        lines.append(
+            f"Aggregate citation: {self.aggregate_records} record(s), size {self.aggregate_size}"
+        )
+        for note in self.notes:
+            lines.append(f"Note: {note}")
+        return "\n".join(lines)
+
+
+def explain_citation(
+    engine: CitationEngine, query: ConjunctiveQuery | str, mode: str = "formal"
+) -> CitationExplanation:
+    """Run the citation pipeline and explain every step of it."""
+    query = engine._as_query(query)
+    explanation = CitationExplanation(query=str(query), policy=engine.policy.name)
+    model = RewritingCostModel(engine.database)
+
+    try:
+        rewritings = engine.rewritings(query)
+    except Exception as error:  # pragma: no cover - defensive
+        explanation.notes.append(f"rewriting failed: {error}")
+        return explanation
+
+    if not rewritings:
+        explanation.notes.append(
+            "no equivalent rewriting exists over the citation views; the engine would "
+            + (
+                "fall back to the database-level citation"
+                if engine.on_no_rewriting == "fallback"
+                else "raise NoRewritingError"
+            )
+        )
+        return explanation
+
+    ranked = model.rank(rewritings)
+    for rewriting, cost in ranked:
+        explanation.rewritings.append(
+            {
+                "rewriting": str(rewriting.query),
+                "views": [view.name for view in rewriting.views_used()],
+                "estimated_citation_size": cost.citation_size,
+                "estimated_evaluation_cost": cost.evaluation_cost,
+                "parameterized": rewriting.uses_parameterized_view(),
+            }
+        )
+    explanation.selected_rewriting = str(ranked[0][0].query)
+
+    result: CitedResult = engine.cite(query, mode=mode)  # type: ignore[arg-type]
+    for tuple_citation in result.tuple_citations:
+        explanation.tuples.append(
+            {
+                "tuple": tuple_citation.row,
+                "bindings": _binding_count(tuple_citation),
+                "records": len(tuple_citation.records),
+                "expression": str(tuple_citation.expression),
+            }
+        )
+    explanation.aggregate_records = result.citation.record_count()
+    explanation.aggregate_size = result.citation.size()
+
+    if any(entry["parameterized"] for entry in explanation.rewritings):
+        explanation.notes.append(
+            "at least one rewriting goes through a λ-parameterized view: its citation size "
+            "grows with the number of distinct parameter values in the result"
+        )
+    return explanation
+
+
+def _binding_count(tuple_citation) -> int:
+    """Number of leaf joint-terms in the tuple's expression (≈ bindings used)."""
+    from repro.core.expression import Alternative, Joint, RewriteAlternative
+
+    expression = tuple_citation.expression
+    if isinstance(expression, RewriteAlternative):
+        operands = expression.operands
+    else:
+        operands = (expression,)
+    count = 0
+    for operand in operands:
+        if isinstance(operand, Alternative):
+            count = max(count, len(operand.operands))
+        elif isinstance(operand, Joint) or operand is not None:
+            count = max(count, 1)
+    return count
+
+
+def explain_coverage(
+    engine: CitationEngine, workload: list[ConjunctiveQuery | str]
+) -> list[dict]:
+    """For every workload query, report whether and how the views cover it."""
+    rows = []
+    for query in workload:
+        parsed = engine._as_query(query)
+        try:
+            rewritings = engine.rewritings(parsed)
+        except NoRewritingError:
+            rewritings = []
+        if rewritings:
+            schema_level = cite_schema_level(engine, parsed)
+            rows.append(
+                {
+                    "query": parsed.name,
+                    "covered": True,
+                    "rewritings": len(rewritings),
+                    "citation_records": schema_level.citation.record_count(),
+                }
+            )
+        else:
+            rows.append(
+                {
+                    "query": parsed.name,
+                    "covered": False,
+                    "rewritings": 0,
+                    "citation_records": 0,
+                }
+            )
+    return rows

@@ -1,0 +1,12 @@
+"""Citation formatters.
+
+The paper requires the citation function to output citations "in some
+appropriate format (e.g. human readable, BibTex, RIS or XML)".  Each module in
+this package renders a :class:`~repro.core.citation.Citation` (a set of
+citation records plus metadata) in one of those formats; JSON is added for
+programmatic consumers.
+"""
+
+from repro.core.formatter import bibtex, csl, jsonfmt, ris, text, xmlfmt
+
+__all__ = ["text", "bibtex", "ris", "xmlfmt", "jsonfmt", "csl"]

@@ -1,0 +1,68 @@
+"""BibTeX citation rendering."""
+
+from __future__ import annotations
+
+import re
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.citation import Citation
+    from repro.core.record import CitationRecord
+
+_FIELD_MAP = {
+    "title": "title",
+    "source": "howpublished",
+    "publisher": "publisher",
+    "year": "year",
+    "url": "url",
+    "identifier": "note",
+    "version": "edition",
+}
+
+
+def _escape(value: object) -> str:
+    text = str(value)
+    return text.replace("{", "\\{").replace("}", "\\}")
+
+
+def _slug(value: object) -> str:
+    return re.sub(r"[^A-Za-z0-9]+", "", str(value))[:24] or "entry"
+
+
+def format_record(record: "CitationRecord", key: str) -> str:
+    """Render one record as an ``@misc`` BibTeX entry."""
+    fields = record.as_dict()
+    lines = [f"@misc{{{key},"]
+    people = fields.get("authors") or fields.get("contributors")
+    if people is not None:
+        names = people if isinstance(people, tuple) else (people,)
+        lines.append(f"  author = {{{' and '.join(_escape(n) for n in names)}}},")
+    for source_field, bibtex_field in _FIELD_MAP.items():
+        if source_field in fields:
+            lines.append(f"  {bibtex_field} = {{{_escape(fields[source_field])}}},")
+    extras = {
+        k: v
+        for k, v in fields.items()
+        if k not in _FIELD_MAP and k not in ("authors", "contributors", "view", "parameters")
+    }
+    if "parameters" in fields:
+        rendered = ", ".join(f"{k}={v}" for k, v in fields["parameters"])
+        lines.append(f"  note = {{parameters: {_escape(rendered)}}},")
+    if extras:
+        rendered = "; ".join(f"{k}: {v}" for k, v in sorted(extras.items()))
+        lines.append(f"  annote = {{{_escape(rendered)}}},")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_citation(citation: "Citation", key_prefix: str = "datacite") -> str:
+    """Render a citation as a sequence of BibTeX entries."""
+    entries = []
+    for index, record in enumerate(citation.sorted_records(), start=1):
+        stem = record.as_dict().get("view") or record.as_dict().get("title") or "record"
+        key = f"{key_prefix}_{_slug(stem)}_{index}"
+        entry = format_record(record, key)
+        if citation.version and "edition" not in entry:
+            entry = entry[:-2] + f"  edition = {{{_escape(citation.version)}}},\n}}"
+        entries.append(entry)
+    return "\n\n".join(entries)

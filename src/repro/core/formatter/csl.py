@@ -1,0 +1,86 @@
+"""CSL-JSON rendering (the citation format used by Zotero, Pandoc, etc.).
+
+CSL-JSON represents each reference as an object with typed fields
+(``type``, ``title``, ``author``, ``issued``, ...).  Data citations map onto
+the ``dataset`` type.  This formatter complements the BibTeX/RIS/XML ones
+mentioned in the paper so that downstream reference managers can ingest the
+citations directly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.citation import Citation
+    from repro.core.record import CitationRecord
+
+
+def _people(value: object) -> list[dict]:
+    names = value if isinstance(value, tuple) else (value,)
+    people = []
+    for name in names:
+        text = str(name).strip()
+        if "," in text:
+            family, given = (part.strip() for part in text.split(",", 1))
+            people.append({"family": family, "given": given})
+        elif " " in text:
+            given, family = text.rsplit(" ", 1)
+            people.append({"family": family, "given": given})
+        else:
+            people.append({"literal": text})
+    return people
+
+
+def record_to_csl(record: "CitationRecord", item_id: str) -> dict:
+    """Convert one citation record into a CSL-JSON item."""
+    fields = record.as_dict()
+    item: dict[str, object] = {"id": item_id, "type": "dataset"}
+    if "title" in fields:
+        item["title"] = str(fields["title"])
+    people = []
+    for field in ("authors", "contributors"):
+        if field in fields:
+            people.extend(_people(fields[field]))
+    if people:
+        item["author"] = people
+    if "publisher" in fields:
+        item["publisher"] = str(fields["publisher"])
+    if "source" in fields:
+        item["container-title"] = str(fields["source"])
+    if "year" in fields:
+        try:
+            item["issued"] = {"date-parts": [[int(fields["year"])]]}
+        except (TypeError, ValueError):
+            item["issued"] = {"literal": str(fields["year"])}
+    if "url" in fields:
+        item["URL"] = str(fields["url"])
+    if "identifier" in fields:
+        item["DOI" if str(fields["identifier"]).startswith("10.") else "note"] = str(
+            fields["identifier"]
+        )
+    if "version" in fields:
+        item["version"] = str(fields["version"])
+    if "parameters" in fields and isinstance(fields["parameters"], tuple):
+        rendered = ", ".join(f"{k}={v}" for k, v in fields["parameters"])
+        item["annote"] = f"parameters: {rendered}"
+    return item
+
+
+def citation_to_csl(citation: "Citation", id_prefix: str = "datacite") -> list[dict]:
+    """Convert a citation into a list of CSL-JSON items."""
+    items = []
+    for index, record in enumerate(citation.sorted_records(), start=1):
+        item = record_to_csl(record, f"{id_prefix}-{index}")
+        if citation.version and "version" not in item:
+            item["version"] = citation.version
+        if citation.timestamp:
+            item["accessed"] = {"literal": citation.timestamp}
+        items.append(item)
+    return items
+
+
+def format_citation(citation: "Citation", id_prefix: str = "datacite") -> str:
+    """Render a citation as a CSL-JSON array (pretty-printed)."""
+    return json.dumps(citation_to_csl(citation, id_prefix), indent=2, sort_keys=True)

@@ -1,0 +1,45 @@
+"""JSON citation rendering."""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.citation import Citation
+
+
+def _jsonable(value: object) -> object:
+    if isinstance(value, tuple):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def citation_payload(citation: "Citation") -> dict:
+    """Build the JSON-serialisable payload of a citation."""
+    records = []
+    for record in citation.sorted_records():
+        fields = {}
+        for key, value in sorted(record.as_dict().items()):
+            if key == "parameters" and isinstance(value, tuple):
+                fields[key] = {str(k): _jsonable(v) for k, v in value}
+            else:
+                fields[key] = _jsonable(value)
+        records.append(fields)
+    payload: dict[str, object] = {"records": records, "size": citation.size()}
+    if citation.version:
+        payload["version"] = citation.version
+    if citation.timestamp:
+        payload["timestamp"] = citation.timestamp
+    if citation.query_text:
+        payload["query"] = citation.query_text
+    if citation.expression is not None:
+        payload["expression"] = citation.symbolic()
+    return payload
+
+
+def format_citation(citation: "Citation") -> str:
+    """Render a citation as pretty-printed JSON."""
+    return json.dumps(citation_payload(citation), indent=2, sort_keys=True)

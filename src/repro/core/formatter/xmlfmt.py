@@ -1,0 +1,57 @@
+"""XML citation rendering."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+from xml.sax.saxutils import escape
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.citation import Citation
+    from repro.core.record import CitationRecord
+
+
+def _render_value(name: str, value: object, indent: str) -> list[str]:
+    if isinstance(value, tuple) and name == "parameters":
+        lines = [f"{indent}<parameters>"]
+        for key, parameter_value in value:
+            lines.append(
+                f'{indent}  <parameter name="{escape(str(key))}">'
+                f"{escape(str(parameter_value))}</parameter>"
+            )
+        lines.append(f"{indent}</parameters>")
+        return lines
+    if isinstance(value, tuple):
+        lines = [f"{indent}<{name}>"]
+        for item in value:
+            lines.append(f"{indent}  <item>{escape(str(item))}</item>")
+        lines.append(f"{indent}</{name}>")
+        return lines
+    return [f"{indent}<{name}>{escape(str(value))}</{name}>"]
+
+
+def format_record(record: "CitationRecord", indent: str = "  ") -> str:
+    """Render one record as a ``<record>`` element."""
+    lines = [f"{indent}<record>"]
+    for name, value in sorted(record.as_dict().items()):
+        lines.extend(_render_value(name, value, indent + "  "))
+    lines.append(f"{indent}</record>")
+    return "\n".join(lines)
+
+
+def format_citation(citation: "Citation") -> str:
+    """Render a full citation as a ``<citation>`` document."""
+    attributes = []
+    if citation.version:
+        attributes.append(f'version="{escape(citation.version)}"')
+    if citation.timestamp:
+        attributes.append(f'timestamp="{escape(citation.timestamp)}"')
+    opening = "<citation" + ("".join(" " + a for a in attributes)) + ">"
+    lines = ['<?xml version="1.0" encoding="UTF-8"?>', opening]
+    if citation.query_text:
+        lines.append(f"  <query>{escape(citation.query_text)}</query>")
+    if citation.expression is not None:
+        lines.append(f"  <expression>{escape(citation.symbolic())}</expression>")
+    for record in citation.sorted_records():
+        lines.append(format_record(record))
+    lines.append("</citation>")
+    return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""Cost-based selection of rewritings (Section 3, "Calculating citations").
+
+Going through all rewritings and all assignments within each of them is
+infeasible for large view sets; the paper calls for cost functions to reduce
+the search space.  The :class:`RewritingSelector` ranks rewritings with the
+:class:`~repro.rewriting.cost.RewritingCostModel` and keeps only the ones the
+engine should actually evaluate.
+"""
+
+from __future__ import annotations
+
+from typing import Literal, Sequence
+
+from repro.errors import PolicyError
+from repro.relational.database import Database
+from repro.rewriting.cost import RewritingCostModel
+from repro.rewriting.rewriting import Rewriting
+
+SelectionStrategy = Literal[
+    "all",
+    "min_citation_size",
+    "min_evaluation_cost",
+    "prefer_unparameterized",
+]
+
+
+class RewritingSelector:
+    """Selects which rewritings the citation engine evaluates."""
+
+    def __init__(
+        self,
+        database: Database | None = None,
+        strategy: SelectionStrategy = "all",
+        keep: int = 1,
+        cost_model: RewritingCostModel | None = None,
+    ) -> None:
+        self.strategy = strategy
+        self.keep = max(1, keep)
+        self.cost_model = cost_model or RewritingCostModel(database)
+
+    def select(self, rewritings: Sequence[Rewriting]) -> list[Rewriting]:
+        """Return the rewritings to evaluate, best first."""
+        rewritings = list(rewritings)
+        if not rewritings:
+            return []
+        if self.strategy == "all":
+            return rewritings
+        if self.strategy == "min_citation_size":
+            ranked = self.cost_model.rank(rewritings)
+            return [rewriting for rewriting, _cost in ranked[: self.keep]]
+        if self.strategy == "min_evaluation_cost":
+            scored = [(self.cost_model.cost(r), r) for r in rewritings]
+            scored.sort(key=lambda pair: (pair[0].evaluation_cost, pair[0].citation_size))
+            return [rewriting for _cost, rewriting in scored[: self.keep]]
+        if self.strategy == "prefer_unparameterized":
+            unparameterized = [r for r in rewritings if not r.uses_parameterized_view()]
+            pool = unparameterized or rewritings
+            ranked = self.cost_model.rank(pool)
+            return [rewriting for rewriting, _cost in ranked[: self.keep]]
+        raise PolicyError(f"unknown rewriting-selection strategy {self.strategy!r}")
+
+    def describe(self, rewritings: Sequence[Rewriting]) -> list[dict[str, object]]:
+        """Return a human-readable cost table for diagnostics."""
+        rows = []
+        for rewriting, cost in self.cost_model.rank(list(rewritings)):
+            rows.append(
+                {
+                    "rewriting": str(rewriting.query),
+                    "views": [view.name for view in rewriting.views_used()],
+                    "evaluation_cost": cost.evaluation_cost,
+                    "citation_size": cost.citation_size,
+                    "parameterized": rewriting.uses_parameterized_view(),
+                }
+            )
+        return rows

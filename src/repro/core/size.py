@@ -1,0 +1,107 @@
+"""Citation-size estimation and abbreviation (Section 3, "Size of citations").
+
+Because views may be λ-parameterized, the size of a citation can be
+proportional to the size of the query result.  This module provides
+
+* :func:`estimate_citation_size` — a schema-level estimate of how large the
+  citation of a query will be under each available rewriting (the quantity
+  the ``+R = minimum estimated size`` policy minimises),
+* :func:`abbreviate_record` / :func:`abbreviate_citation` — "et al."-style
+  truncation of long contributor lists, and
+* :func:`reference_citation` — replace an extended citation by a compact
+  reference (an identifier plus a digest) to the full, searchable citation
+  object, as the paper suggests for very large citations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Sequence
+
+from repro.core.citation import Citation
+from repro.core.record import CitationRecord
+from repro.relational.database import Database
+from repro.rewriting.cost import RewritingCostModel
+from repro.rewriting.rewriting import Rewriting
+
+
+def estimate_citation_size(
+    rewriting: Rewriting, database: Database | None = None
+) -> float:
+    """Estimated number of distinct citations the rewriting will produce.
+
+    Unparameterized views contribute one citation; a parameterized view
+    contributes one citation per distinct parameter valuation (estimated from
+    the database statistics when available).
+    """
+    return RewritingCostModel(database).citation_size(rewriting)
+
+
+def rank_rewritings_by_size(
+    rewritings: Sequence[Rewriting], database: Database | None = None
+) -> list[tuple[Rewriting, float]]:
+    """Rewritings sorted by estimated citation size (smallest first)."""
+    model = RewritingCostModel(database)
+    scored = [(rewriting, model.citation_size(rewriting)) for rewriting in rewritings]
+    scored.sort(key=lambda pair: pair[1])
+    return scored
+
+
+def abbreviate_record(record: CitationRecord, max_names: int = 3) -> CitationRecord:
+    """Apply "et al." truncation to long author / contributor lists."""
+    fields = record.as_dict()
+    for field in ("authors", "contributors"):
+        value = fields.get(field)
+        if isinstance(value, tuple) and len(value) > max_names:
+            fields[field] = tuple(list(value[:max_names]) + ["et al."])
+    return CitationRecord(fields)
+
+
+def abbreviate_citation(citation: Citation, max_names: int = 3) -> Citation:
+    """Abbreviate every record of a citation."""
+    return Citation(
+        frozenset(abbreviate_record(record, max_names) for record in citation.records),
+        expression=citation.expression,
+        query_text=citation.query_text,
+        version=citation.version,
+        timestamp=citation.timestamp,
+    )
+
+
+def citation_digest(citation: Citation) -> str:
+    """A stable digest identifying the (extended) citation object."""
+    payload = sorted(
+        json.dumps(record.as_dict(), sort_keys=True, default=str)
+        for record in citation.records
+    )
+    digest = hashlib.sha256("\n".join(payload).encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+def reference_citation(
+    citation: Citation, resolver_prefix: str = "citation://"
+) -> Citation:
+    """Replace an extended citation by a compact reference to it.
+
+    The paper asks whether the citation object returned "should be an encoding
+    of or reference to an extended citation which is a searchable object"; the
+    reference form carries only a resolvable identifier, the record count and
+    the digest of the full citation.
+    """
+    digest = citation_digest(citation)
+    record = CitationRecord(
+        {
+            "title": "Extended data citation (by reference)",
+            "identifier": f"{resolver_prefix}{digest}",
+            "records": citation.record_count(),
+            "size": citation.size(),
+        }
+    )
+    return Citation(
+        frozenset({record}),
+        expression=citation.expression,
+        query_text=citation.query_text,
+        version=citation.version,
+        timestamp=citation.timestamp,
+    )

@@ -1,0 +1,303 @@
+"""Declarative citation specifications and sensible defaults.
+
+Section 3 ("Defining citations"): specifying view queries, citation queries
+and combination policies "could easily be overwhelming for a non-expert, and
+therefore designing a user-friendly interface with appropriate defaults is
+essential".  This module is that interface:
+
+* :func:`load_specification` — build citation views and a policy from a plain
+  dictionary (trivially loadable from JSON), with validation and actionable
+  error messages;
+* :func:`default_views_for_schema` — generate a sensible default view set for
+  a schema when the owner has specified nothing: one whole-table view per
+  relation, plus a per-entity (key-parameterized) view for every relation that
+  has both a declared key and an obvious "contributor" companion relation;
+* :func:`validate_views_against_schema` — static checks that every view and
+  citation query only mentions existing relations with the right arities.
+
+Example specification::
+
+    {
+      "policy": {"joint": "union", "alternative": "union",
+                 "rewrite_alternative": "min_size", "aggregate": "union"},
+      "views": [
+        {"view": "lambda FID. V1(FID, FName, Desc) :- Family(FID, FName, Desc)",
+         "citation_queries": ["lambda FID. CV1(FID, PName) :- Committee(FID, PName)"],
+         "constants": {"source": "IUPHAR/BPS Guide to PHARMACOLOGY"},
+         "field_map": {"PName": "contributors"},
+         "description": "per-family citation"}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.core.citation_view import CitationView, DefaultCitationFunction
+from repro.core.policy import CitationPolicy, Combinators
+from repro.errors import CitationError, SchemaError
+from repro.query.ast import Atom, ConjunctiveQuery, Variable
+from repro.query.parser import parse_query
+from repro.relational.schema import DatabaseSchema
+
+
+# ---------------------------------------------------------------------------
+# Loading explicit specifications
+# ---------------------------------------------------------------------------
+def _load_policy(data: Mapping[str, object] | None) -> CitationPolicy:
+    if not data:
+        return CitationPolicy.default()
+    known_slots = {"joint", "alternative", "rewrite_alternative", "aggregate"}
+    unknown = set(data) - known_slots
+    if unknown:
+        raise CitationError(
+            f"unknown policy slots {sorted(unknown)}; expected a subset of {sorted(known_slots)}"
+        )
+    return CitationPolicy.from_names(
+        joint=str(data.get("joint", "union")),
+        alternative=str(data.get("alternative", "union")),
+        rewrite_alternative=str(data.get("rewrite_alternative", "min_size")),
+        aggregate=str(data.get("aggregate", "union")),
+    )
+
+
+def _load_view(entry: Mapping[str, object], index: int) -> CitationView:
+    if "view" not in entry:
+        raise CitationError(f"view entry #{index} is missing the required 'view' key")
+    try:
+        view_query = parse_query(str(entry["view"]))
+    except Exception as error:
+        raise CitationError(f"view entry #{index}: cannot parse view query: {error}") from error
+    citation_queries = []
+    for position, text in enumerate(entry.get("citation_queries", []) or []):
+        try:
+            citation_queries.append(parse_query(str(text)))
+        except Exception as error:
+            raise CitationError(
+                f"view entry #{index}: cannot parse citation query #{position}: {error}"
+            ) from error
+    function = DefaultCitationFunction(
+        constants=dict(entry.get("constants", {}) or {}),
+        field_map={str(k): str(v) for k, v in (entry.get("field_map", {}) or {}).items()},
+    )
+    return CitationView(
+        view_query,
+        citation_queries=citation_queries,
+        citation_function=function,
+        description=str(entry.get("description", "")),
+    )
+
+
+def load_specification(
+    specification: Mapping[str, object] | str | Path,
+    schema: DatabaseSchema | None = None,
+) -> tuple[list[CitationView], CitationPolicy]:
+    """Build ``(citation views, policy)`` from a dict, a JSON string or a JSON file."""
+    if isinstance(specification, (str, Path)):
+        text = str(specification)
+        looks_like_json = text.lstrip().startswith("{")
+        if not looks_like_json and Path(text).exists():
+            specification = json.loads(Path(text).read_text(encoding="utf-8"))
+        else:
+            specification = json.loads(text)
+    if not isinstance(specification, Mapping):
+        raise CitationError("a citation specification must be a mapping (or JSON object)")
+    unknown = set(specification) - {"views", "policy"}
+    if unknown:
+        raise CitationError(f"unknown top-level specification keys: {sorted(unknown)}")
+    views_data = specification.get("views", [])
+    if not isinstance(views_data, Sequence) or isinstance(views_data, (str, bytes)):
+        raise CitationError("'views' must be a list of view entries")
+    views = [_load_view(entry, index) for index, entry in enumerate(views_data)]
+    if not views:
+        raise CitationError("a citation specification needs at least one view")
+    policy = _load_policy(specification.get("policy"))  # type: ignore[arg-type]
+    if schema is not None:
+        problems = validate_views_against_schema(views, schema)
+        if problems:
+            raise CitationError(
+                "specification does not match the database schema:\n  - "
+                + "\n  - ".join(problems)
+            )
+    return views, policy
+
+
+def dump_specification(views: Sequence[CitationView], policy: CitationPolicy) -> dict:
+    """Round-trip helper: serialise views + policy back into a specification dict."""
+    def _combinator_name(combinator) -> str:
+        for name in ("union", "join", "min_size", "max_coverage", "first"):
+            if getattr(Combinators, name) is combinator:
+                return name
+        return "union"
+
+    return {
+        "policy": {
+            "joint": _combinator_name(policy.joint),
+            "alternative": _combinator_name(policy.alternative),
+            "rewrite_alternative": _combinator_name(policy.rewrite_alternative),
+            "aggregate": _combinator_name(policy.aggregate),
+        },
+        "views": [
+            {
+                "view": str(view.query).replace("λ ", "lambda "),
+                "citation_queries": [
+                    str(q).replace("λ ", "lambda ") for q in view.citation_queries
+                ],
+                "constants": dict(getattr(view.citation_function, "constants", {})),
+                "field_map": dict(getattr(view.citation_function, "field_map", {})),
+                "description": view.description,
+            }
+            for view in views
+        ],
+    }
+
+
+# ---------------------------------------------------------------------------
+# Static validation
+# ---------------------------------------------------------------------------
+def validate_views_against_schema(
+    views: Sequence[CitationView], schema: DatabaseSchema
+) -> list[str]:
+    """Check that every view / citation query matches the schema; return problems."""
+    problems: list[str] = []
+    for view in views:
+        for query in (view.query, *view.citation_queries):
+            for atom in query.body:
+                if not schema.has_relation(atom.predicate):
+                    problems.append(
+                        f"view {view.name!r}: query {query.name!r} mentions unknown relation "
+                        f"{atom.predicate!r}"
+                    )
+                    continue
+                expected = schema.relation(atom.predicate).arity
+                if atom.arity != expected:
+                    problems.append(
+                        f"view {view.name!r}: atom {atom} has arity {atom.arity} but relation "
+                        f"{atom.predicate!r} has arity {expected}"
+                    )
+    names = [view.name for view in views]
+    duplicates = sorted({name for name in names if names.count(name) > 1})
+    for name in duplicates:
+        problems.append(f"duplicate view name {name!r}")
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# Defaults when the owner specified nothing
+# ---------------------------------------------------------------------------
+#: attribute-name fragments that suggest a column holds person names
+_PERSON_HINTS = ("name", "author", "curator", "contributor", "person")
+
+
+def default_views_for_schema(
+    schema: DatabaseSchema,
+    database_title: str = "Cited database",
+    per_entity: bool = True,
+) -> list[CitationView]:
+    """Generate a sensible default view set for *schema*.
+
+    * one unparameterized whole-table view ``All_<R>`` per relation, whose
+      citation is the database-level title — this alone makes every query over
+      the schema citable (coarsely);
+    * when ``per_entity`` is true, one key-parameterized view ``Per_<R>`` for
+      every relation ``R`` with a single-attribute key that is referenced by a
+      "contributor-like" relation (a relation with a foreign key into ``R``
+      and a person-ish attribute) — these provide fine-grained credit without
+      the owner writing a single query.
+    """
+    views: list[CitationView] = []
+    for relation in schema:
+        variables = tuple(Variable(a) for a in relation.attribute_names)
+        body = (Atom(relation.name, variables),)
+        whole = ConjunctiveQuery(Atom(f"All_{relation.name}", variables), body)
+        views.append(
+            CitationView(
+                whole,
+                citation_queries=[],
+                citation_function=DefaultCitationFunction(
+                    constants={"title": database_title, "unit": relation.name}
+                ),
+                description=f"default whole-table view over {relation.name}",
+            )
+        )
+
+    if not per_entity:
+        return views
+
+    for relation in schema:
+        if not relation.key or len(relation.key) != 1:
+            continue
+        key_attribute = relation.key[0]
+        companion = _contributor_companion(schema, relation.name, key_attribute)
+        if companion is None:
+            continue
+        companion_schema, person_attribute = companion
+        variables = tuple(Variable(a) for a in relation.attribute_names)
+        body = (Atom(relation.name, variables),)
+        parameters = (Variable(key_attribute),)
+        per_entity_query = ConjunctiveQuery(
+            Atom(f"Per_{relation.name}", variables), body, (), parameters
+        )
+        companion_variables = tuple(
+            Variable(a) for a in companion_schema.attribute_names
+        )
+        citation_query = ConjunctiveQuery(
+            Atom(f"Credit_{relation.name}", (Variable(key_attribute), Variable(person_attribute))),
+            (Atom(companion_schema.name, companion_variables),),
+            (),
+            parameters,
+        )
+        views.append(
+            CitationView(
+                per_entity_query,
+                citation_queries=[citation_query],
+                citation_function=DefaultCitationFunction(
+                    constants={"title": database_title, "unit": relation.name},
+                    field_map={person_attribute: "contributors"},
+                ),
+                description=(
+                    f"default per-{relation.name} view crediting {companion_schema.name}"
+                ),
+            )
+        )
+    return views
+
+
+def _contributor_companion(
+    schema: DatabaseSchema, relation: str, key_attribute: str
+) -> tuple | None:
+    """Find a relation with a foreign key into *relation* and a person-like column."""
+    for foreign_key in schema.foreign_keys:
+        if foreign_key.target != relation or foreign_key.ref_columns != (key_attribute,):
+            continue
+        companion = schema.relation(foreign_key.source)
+        for attribute in companion.attribute_names:
+            if attribute in foreign_key.columns:
+                continue
+            lowered = attribute.lower()
+            if any(hint in lowered for hint in _PERSON_HINTS):
+                return companion, attribute
+    return None
+
+
+def ensure_schema_has_snippets(schema: DatabaseSchema, views: Sequence[CitationView]) -> list[str]:
+    """Warn about views whose citation queries pull nothing beyond constants.
+
+    "The database owner must first ensure that the database includes the
+    snippets of information to be included in the citation queries" — this
+    helper reports views that currently carry no snippet queries at all, so
+    the owner knows which citations will be purely static.
+    """
+    warnings = []
+    for view in views:
+        if not view.citation_queries:
+            warnings.append(
+                f"view {view.name!r} has no citation queries: its citation will only contain "
+                "the configured constants"
+            )
+    if not isinstance(schema, DatabaseSchema):  # pragma: no cover - defensive
+        raise SchemaError("ensure_schema_has_snippets expects a DatabaseSchema")
+    return warnings

@@ -1,0 +1,129 @@
+"""Citations for unions of conjunctive queries.
+
+The paper's model is defined for conjunctive queries; its "Other models"
+section asks whether the language needs to be extended.  Unions are the
+natural first extension and fit the algebra directly: an answer of
+``Q = Q¹ ∪ ... ∪ Qᵏ`` may be derived through several disjuncts, and those
+derivations are *alternatives* — exactly what the ``+`` operator already
+models for multiple bindings.  The citation of an answer tuple is therefore
+
+    cite(t, Q) = Σ_{i : t ∈ Qⁱ}  cite(t, Qⁱ)
+
+where each ``cite(t, Qⁱ)`` is the (possibly ``+R``-combined) citation the CQ
+engine produces for the disjunct, and ``Σ`` is the ``+`` policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.citation import Citation
+from repro.core.engine import CitationEngine, Mode, TupleCitation
+from repro.core.expression import Aggregate, alternative
+from repro.errors import NoRewritingError
+from repro.query.evaluator import result_schema
+from repro.query.ucq import UnionQuery, as_union
+from repro.relational.relation import Relation
+
+
+@dataclass
+class UnionCitedResult:
+    """The answer of a union query with per-tuple and aggregate citations."""
+
+    query: UnionQuery
+    tuple_citations: list[TupleCitation]
+    citation: Citation
+    result: Relation
+    per_disjunct_rewritings: list[int]
+    uncovered_disjuncts: list[int]
+
+    def rows(self) -> list[tuple]:
+        """Answer tuples in deterministic order."""
+        return self.result.sorted_rows()
+
+    def __len__(self) -> int:
+        return len(self.result)
+
+
+def cite_union(
+    engine: CitationEngine,
+    query: UnionQuery | str,
+    mode: Mode | None = None,
+    on_uncovered_disjunct: str = "error",
+) -> UnionCitedResult:
+    """Answer a union query and construct its citation.
+
+    Parameters
+    ----------
+    engine:
+        The conjunctive-query citation engine to use per disjunct.
+    query:
+        A :class:`UnionQuery` or its textual form (several rules with the
+        same head predicate).
+    mode:
+        ``"formal"`` or ``"economical"``, as for :meth:`CitationEngine.cite`.
+    on_uncovered_disjunct:
+        ``"error"`` (default) raises when a disjunct has no rewriting over
+        the citation views; ``"skip"`` drops that disjunct's citations but
+        keeps its answers (they carry the engine's fallback record if the
+        engine is configured with one, otherwise an empty citation).
+    """
+    if isinstance(query, str):
+        query = UnionQuery.parse(query)
+    query = as_union(query)
+
+    per_tuple_expressions: dict[tuple, list] = {}
+    per_tuple_records: dict[tuple, list] = {}
+    per_disjunct_rewritings: list[int] = []
+    uncovered: list[int] = []
+    all_rows: set[tuple] = set()
+
+    for index, disjunct in enumerate(query.disjuncts):
+        try:
+            result = engine.cite(disjunct, mode=mode)
+        except NoRewritingError:
+            if on_uncovered_disjunct == "error":
+                raise
+            uncovered.append(index)
+            from repro.query.evaluator import QueryEvaluator
+
+            rows = QueryEvaluator(engine.database).evaluate(disjunct.without_parameters()).rows
+            all_rows.update(rows)
+            per_disjunct_rewritings.append(0)
+            continue
+        per_disjunct_rewritings.append(len(result.rewritings))
+        for tuple_citation in result.tuple_citations:
+            all_rows.add(tuple_citation.row)
+            per_tuple_expressions.setdefault(tuple_citation.row, []).append(
+                tuple_citation.expression
+            )
+            per_tuple_records.setdefault(tuple_citation.row, []).append(
+                tuple_citation.records
+            )
+
+    tuple_citations: list[TupleCitation] = []
+    for row in sorted(all_rows, key=repr):
+        expressions = per_tuple_expressions.get(row, [])
+        if expressions:
+            expression = alternative(expressions)
+            records = engine.policy.alternative(per_tuple_records[row])
+        else:
+            expression = Aggregate([])
+            records = frozenset()
+        tuple_citations.append(TupleCitation(row, expression, records))
+
+    aggregate_records = engine.policy.aggregate([tc.records for tc in tuple_citations])
+    aggregate_expression = Aggregate([tc.expression for tc in tuple_citations])
+    schema = result_schema(query.disjuncts[0])
+    relation = Relation(type(schema)(query.name, schema.attributes, key=None), all_rows)
+    citation = Citation(
+        aggregate_records, expression=aggregate_expression, query_text=str(query)
+    )
+    return UnionCitedResult(
+        query=query,
+        tuple_citations=tuple_citations,
+        citation=citation,
+        result=relation,
+        per_disjunct_rewritings=per_disjunct_rewritings,
+        uncovered_disjuncts=uncovered,
+    )

@@ -1,0 +1,129 @@
+"""Choosing the "best" citation views for an expected workload.
+
+Section 3 ("Defining citations") raises the question of "defining and
+efficiently deciding whether these views represent the best ones given an
+expected query workload, i.e. the ones that cover the expected queries, and
+give concise and unambiguous results".
+
+This module formalises a practical version of that problem:
+
+* a candidate view *covers* a workload query when an equivalent rewriting of
+  the query exists using (a subset of) the already-selected views plus the
+  candidate;
+* the *cost* of a view is its estimated citation size (parameterized views
+  are more precise but produce more citations);
+* the goal is to select at most ``k`` views maximising workload coverage and,
+  among equally covering selections, minimising total cost and ambiguity
+  (number of distinct rewritings per covered query).
+
+Exact selection is exponential in the number of candidates, so a greedy
+algorithm (standard for set-cover-like problems) is provided along with an
+exhaustive optimum for small instances, which the tests compare.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.citation_view import CitationView
+from repro.query.ast import ConjunctiveQuery
+from repro.relational.database import Database
+from repro.rewriting.cost import RewritingCostModel
+from repro.rewriting.minicon import MiniConRewriter
+from repro.rewriting.view import View
+
+
+@dataclass
+class ViewSelectionProblem:
+    """A workload-driven view-selection instance."""
+
+    candidates: Sequence[CitationView]
+    workload: Sequence[ConjunctiveQuery]
+    database: Database | None = None
+    max_views: int | None = None
+    _cover_cache: dict[tuple[frozenset, int], bool] = field(default_factory=dict, repr=False)
+
+    # -- primitives -------------------------------------------------------------
+    def covers(self, selected: Sequence[CitationView], query_index: int) -> bool:
+        """``True`` when the selected views admit an equivalent rewriting of the query."""
+        names = frozenset(cv.name for cv in selected)
+        key = (names, query_index)
+        cached = self._cover_cache.get(key)
+        if cached is not None:
+            return cached
+        views: list[View] = [cv.view for cv in selected]
+        rewriter = MiniConRewriter(views)
+        rewritings = rewriter.rewrite(self.workload[query_index])
+        covered = bool(rewritings)
+        self._cover_cache[key] = covered
+        return covered
+
+    def coverage(self, selected: Sequence[CitationView]) -> float:
+        """Fraction of workload queries covered by the selection."""
+        if not self.workload:
+            return 0.0
+        covered = sum(
+            1 for index in range(len(self.workload)) if self.covers(selected, index)
+        )
+        return covered / len(self.workload)
+
+    def ambiguity(self, selected: Sequence[CitationView]) -> float:
+        """Average number of distinct rewritings per covered query (1.0 = unambiguous)."""
+        views = [cv.view for cv in selected]
+        rewriter = MiniConRewriter(views)
+        counts = []
+        for query in self.workload:
+            rewritings = rewriter.rewrite(query)
+            if rewritings:
+                counts.append(len(rewritings))
+        if not counts:
+            return 0.0
+        return sum(counts) / len(counts)
+
+    def cost(self, selected: Sequence[CitationView]) -> float:
+        """Total estimated citation size of the selected views (conciseness)."""
+        model = RewritingCostModel(self.database)
+        return sum(model.distinct_parameter_values(cv.view) for cv in selected)
+
+    def score(self, selected: Sequence[CitationView]) -> tuple[float, float, float]:
+        """(coverage, -cost, -ambiguity): larger is better on every component."""
+        return (self.coverage(selected), -self.cost(selected), -self.ambiguity(selected))
+
+
+def select_views_greedy(problem: ViewSelectionProblem) -> list[CitationView]:
+    """Greedy view selection: repeatedly add the view with the best marginal score."""
+    budget = problem.max_views or len(problem.candidates)
+    selected: list[CitationView] = []
+    remaining = list(problem.candidates)
+    current_score = problem.score(selected)
+    while remaining and len(selected) < budget:
+        best_view = None
+        best_score = current_score
+        for candidate in remaining:
+            trial_score = problem.score(selected + [candidate])
+            if trial_score > best_score:
+                best_score = trial_score
+                best_view = candidate
+        if best_view is None:
+            break
+        selected.append(best_view)
+        remaining.remove(best_view)
+        current_score = best_score
+    return selected
+
+
+def select_views_exhaustive(problem: ViewSelectionProblem) -> list[CitationView]:
+    """Optimal selection by enumeration (exponential; only for small instances)."""
+    budget = problem.max_views or len(problem.candidates)
+    best: list[CitationView] = []
+    best_score = problem.score(best)
+    candidates = list(problem.candidates)
+    for size in range(1, budget + 1):
+        for combination in itertools.combinations(candidates, size):
+            score = problem.score(list(combination))
+            if score > best_score:
+                best_score = score
+                best = list(combination)
+    return best

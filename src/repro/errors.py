@@ -1,0 +1,89 @@
+"""Exception hierarchy for the :mod:`repro` data-citation library.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch a single base class.  Subsystems raise the more specific subclasses
+below; each carries a human-readable message and, where useful, structured
+context attributes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A relation, attribute or key was used inconsistently with the schema."""
+
+
+class IntegrityError(ReproError):
+    """A key or foreign-key constraint was violated by an update."""
+
+
+class UnknownRelationError(SchemaError):
+    """A query or update referenced a relation that does not exist."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown relation: {name!r}")
+        self.name = name
+
+
+class ArityError(SchemaError):
+    """An atom or tuple had the wrong number of terms for its relation."""
+
+    def __init__(self, relation: str, expected: int, got: int) -> None:
+        super().__init__(
+            f"relation {relation!r} has arity {expected}, got {got} terms"
+        )
+        self.relation = relation
+        self.expected = expected
+        self.got = got
+
+
+class QueryError(ReproError):
+    """A conjunctive query was malformed (unsafe head, bad parameters, ...)."""
+
+
+class ParseError(QueryError):
+    """The textual form of a query or view could not be parsed."""
+
+    def __init__(self, message: str, text: str = "", position: int | None = None) -> None:
+        location = f" at position {position}" if position is not None else ""
+        super().__init__(f"{message}{location}")
+        self.text = text
+        self.position = position
+
+
+class RewritingError(ReproError):
+    """Query rewriting using views failed or produced an inconsistent result."""
+
+
+class NoRewritingError(RewritingError):
+    """No equivalent rewriting of the query exists over the given views."""
+
+    def __init__(self, query_name: str) -> None:
+        super().__init__(
+            f"query {query_name!r} has no equivalent rewriting over the citation views"
+        )
+        self.query_name = query_name
+
+
+class CitationError(ReproError):
+    """Citation construction failed (missing view, bad policy, ...)."""
+
+
+class PolicyError(CitationError):
+    """A citation-combination policy was misconfigured."""
+
+
+class VersionError(ReproError):
+    """A versioned-database operation referenced an unknown or invalid version."""
+
+
+class ProvenanceError(ReproError):
+    """A provenance annotation or semiring operation was invalid."""
+
+
+class OntologyError(ReproError):
+    """An RDF/ontology operation referenced unknown classes or produced a cycle."""

@@ -1,0 +1,46 @@
+"""Provenance semirings (Green, Karvounarakis, Tannen; PODS 2007).
+
+The paper models the joint (``·``) and alternative (``+``) use of citation
+annotations "using the semirings approach of [8]".  This package provides the
+semiring machinery:
+
+* :mod:`repro.provenance.semiring` — the abstract commutative semiring,
+* :mod:`repro.provenance.semirings` — standard instances (Boolean, counting,
+  tropical, lineage, why-provenance, security levels),
+* :mod:`repro.provenance.polynomial` — the most general semiring of
+  provenance polynomials ``N[X]``,
+* :mod:`repro.provenance.annotated` — annotation-propagating evaluation of
+  conjunctive queries over annotated databases.
+"""
+
+from repro.provenance.semiring import Semiring
+from repro.provenance.semirings import (
+    BooleanSemiring,
+    CountingSemiring,
+    LineageSemiring,
+    SecuritySemiring,
+    TropicalSemiring,
+    WhySemiring,
+)
+from repro.provenance.polynomial import Monomial, Polynomial, PolynomialSemiring
+from repro.provenance.annotated import (
+    AnnotatedDatabase,
+    AnnotatedRelation,
+    evaluate_annotated,
+)
+
+__all__ = [
+    "Semiring",
+    "BooleanSemiring",
+    "CountingSemiring",
+    "TropicalSemiring",
+    "LineageSemiring",
+    "WhySemiring",
+    "SecuritySemiring",
+    "Monomial",
+    "Polynomial",
+    "PolynomialSemiring",
+    "AnnotatedRelation",
+    "AnnotatedDatabase",
+    "evaluate_annotated",
+]

@@ -1,0 +1,175 @@
+"""Annotated relations and annotation-propagating query evaluation.
+
+An :class:`AnnotatedRelation` attaches a semiring element to every tuple.
+:func:`evaluate_annotated` evaluates a conjunctive query over an
+:class:`AnnotatedDatabase`, combining annotations with ``·`` within a binding
+(joint use of the matched base tuples) and with ``+`` across the bindings
+that produce the same output tuple (alternative derivations) — the standard
+semiring semantics the citation model builds on.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping
+
+from repro.errors import ProvenanceError, UnknownRelationError
+from repro.provenance.polynomial import Polynomial, PolynomialSemiring
+from repro.provenance.semiring import Semiring
+from repro.query.ast import ConjunctiveQuery, Constant, Variable
+from repro.query.evaluator import QueryEvaluator, result_schema
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+
+
+class AnnotatedRelation:
+    """A relation whose tuples carry semiring annotations."""
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        semiring: Semiring,
+        annotations: Mapping[tuple, object] | None = None,
+    ) -> None:
+        self.schema = schema
+        self.semiring = semiring
+        self._annotations: dict[tuple, object] = {}
+        for row, annotation in (annotations or {}).items():
+            self.set(row, annotation)
+
+    def set(self, row: tuple, annotation: object) -> None:
+        """Annotate *row*; annotating with ``zero`` removes it."""
+        row = self.schema.validate_row(tuple(row))
+        if annotation == self.semiring.zero():
+            self._annotations.pop(row, None)
+        else:
+            self._annotations[row] = annotation
+
+    def add(self, row: tuple, annotation: object) -> None:
+        """Combine *annotation* with the existing one using ``+``."""
+        row = self.schema.validate_row(tuple(row))
+        current = self._annotations.get(row, self.semiring.zero())
+        self.set(row, self.semiring.plus(current, annotation))
+
+    def annotation(self, row: tuple) -> object:
+        """Annotation of *row* (``zero`` when absent)."""
+        return self._annotations.get(tuple(row), self.semiring.zero())
+
+    def support(self) -> Relation:
+        """The plain relation of rows with non-zero annotation."""
+        return Relation(self.schema, self._annotations.keys())
+
+    def items(self) -> Iterable[tuple[tuple, object]]:
+        """Iterate over (row, annotation) pairs."""
+        return self._annotations.items()
+
+    def __len__(self) -> int:
+        return len(self._annotations)
+
+    def __contains__(self, row: object) -> bool:
+        return tuple(row) in self._annotations if isinstance(row, (tuple, list)) else False
+
+    def __repr__(self) -> str:
+        return f"AnnotatedRelation({self.schema.name}, {len(self)} rows, {self.semiring.name})"
+
+
+class AnnotatedDatabase:
+    """A database paired with per-tuple annotations in a common semiring."""
+
+    def __init__(self, database: Database, semiring: Semiring) -> None:
+        self.database = database
+        self.semiring = semiring
+        self._relations: dict[str, AnnotatedRelation] = {}
+        for relation in database.relations():
+            self._relations[relation.schema.name] = AnnotatedRelation(
+                relation.schema, semiring
+            )
+
+    @staticmethod
+    def with_tuple_tokens(database: Database) -> "AnnotatedDatabase":
+        """Annotate every base tuple with its own polynomial variable.
+
+        The token is ``(relation_name, row)`` which identifies the tuple; the
+        result is the universal ``N[X]`` annotation from which any other
+        semiring annotation can be derived by evaluation.
+        """
+        annotated = AnnotatedDatabase(database, PolynomialSemiring())
+        for relation in database.relations():
+            target = annotated.relation(relation.schema.name)
+            for row in relation:
+                target.set(row, Polynomial.variable((relation.schema.name, row)))
+        return annotated
+
+    def relation(self, name: str) -> AnnotatedRelation:
+        """The annotated relation named *name*."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise UnknownRelationError(name) from None
+
+    def annotate(self, relation: str, row: tuple, annotation: object) -> None:
+        """Annotate a base tuple (the tuple must exist in the database)."""
+        base = self.database.relation(relation)
+        if tuple(row) not in base:
+            raise ProvenanceError(
+                f"cannot annotate missing tuple {row!r} of relation {relation!r}"
+            )
+        self.relation(relation).set(row, annotation)
+
+    def annotation(self, relation: str, row: tuple) -> object:
+        """Annotation of a base tuple (``zero`` when not annotated)."""
+        return self.relation(relation).annotation(row)
+
+
+def evaluate_annotated(
+    query: ConjunctiveQuery,
+    annotated: AnnotatedDatabase,
+    default_annotation: object | None = None,
+) -> AnnotatedRelation:
+    """Evaluate *query* propagating annotations through joins and projections.
+
+    Parameters
+    ----------
+    query:
+        The conjunctive query (λ-parameters are ignored).
+    annotated:
+        The annotated database.
+    default_annotation:
+        Annotation assumed for base tuples that exist in the database but
+        carry no explicit annotation.  Defaults to the semiring ``one`` so
+        that un-annotated tuples are neutral under joint use.
+    """
+    semiring = annotated.semiring
+    if default_annotation is None:
+        default_annotation = semiring.one()
+    evaluator = QueryEvaluator(annotated.database)
+    query = query.without_parameters()
+    output = AnnotatedRelation(result_schema(query), semiring)
+
+    for binding in evaluator.bindings(query):
+        annotation = semiring.one()
+        for atom in query.body:
+            row = []
+            for term in atom.terms:
+                if isinstance(term, Constant):
+                    row.append(term.value)
+                else:
+                    assert isinstance(term, Variable)
+                    row.append(binding[term])
+            base = annotated.relation(atom.predicate)
+            tuple_annotation = base.annotation(tuple(row))
+            if tuple_annotation == semiring.zero():
+                tuple_annotation = default_annotation
+            annotation = semiring.times(annotation, tuple_annotation)
+        out_row = evaluator.output_tuple(query, binding)
+        output.add(out_row, annotation)
+    return output
+
+
+def lineage_of(
+    query: ConjunctiveQuery, database: Database
+) -> dict[tuple, set[Hashable]]:
+    """Convenience: the set of contributing base tuples per output tuple."""
+    annotated = AnnotatedDatabase.with_tuple_tokens(database)
+    result = evaluate_annotated(query, annotated)
+    return {row: polynomial.tokens() for row, polynomial in result.items()}

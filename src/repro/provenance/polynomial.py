@@ -1,0 +1,200 @@
+"""Provenance polynomials: the most general commutative semiring ``N[X]``.
+
+A polynomial annotation is a bag of monomials; a monomial is a bag of
+annotation tokens (base-tuple identifiers).  The polynomial records *how* an
+answer was derived: ``·`` concatenates the tokens used jointly and ``+``
+collects alternative derivations.  Every other commutative semiring is a
+homomorphic image of ``N[X]``, which is what lets the citation engine reuse
+the same propagation logic and only change the interpretation of the
+operators (the "policies" of the paper).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterable, Mapping
+
+from repro.provenance.semiring import Semiring
+
+
+@dataclass(frozen=True)
+class Monomial:
+    """A product of annotation tokens with multiplicities (e.g. ``x²y``)."""
+
+    powers: tuple[tuple[Hashable, int], ...]
+
+    @staticmethod
+    def from_tokens(tokens: Iterable[Hashable]) -> "Monomial":
+        """Build a monomial from a bag of tokens."""
+        counts = Counter(tokens)
+        return Monomial(tuple(sorted(counts.items(), key=lambda kv: repr(kv[0]))))
+
+    @staticmethod
+    def unit() -> "Monomial":
+        """The empty monomial (the multiplicative identity ``1``)."""
+        return Monomial(())
+
+    def tokens(self) -> set[Hashable]:
+        """The distinct tokens occurring in the monomial."""
+        return {token for token, _power in self.powers}
+
+    def degree(self) -> int:
+        """Total degree (sum of exponents)."""
+        return sum(power for _token, power in self.powers)
+
+    def times(self, other: "Monomial") -> "Monomial":
+        """Multiply two monomials (add exponents)."""
+        counts = Counter(dict(self.powers))
+        counts.update(dict(other.powers))
+        return Monomial(tuple(sorted(counts.items(), key=lambda kv: repr(kv[0]))))
+
+    def evaluate(self, semiring: Semiring, valuation: Mapping[Hashable, object]) -> object:
+        """Evaluate under a token valuation into the target semiring."""
+        result = semiring.one()
+        for token, power in self.powers:
+            value = valuation[token]
+            for _ in range(power):
+                result = semiring.times(result, value)
+        return result
+
+    def __str__(self) -> str:
+        if not self.powers:
+            return "1"
+        parts = []
+        for token, power in self.powers:
+            text = str(token)
+            parts.append(text if power == 1 else f"{text}^{power}")
+        return "·".join(parts)
+
+
+@dataclass(frozen=True)
+class Polynomial:
+    """A formal sum of monomials with natural-number coefficients."""
+
+    terms: tuple[tuple[Monomial, int], ...]
+
+    # -- constructors ----------------------------------------------------------
+    @staticmethod
+    def zero() -> "Polynomial":
+        """The additive identity."""
+        return Polynomial(())
+
+    @staticmethod
+    def one() -> "Polynomial":
+        """The multiplicative identity."""
+        return Polynomial(((Monomial.unit(), 1),))
+
+    @staticmethod
+    def variable(token: Hashable) -> "Polynomial":
+        """The polynomial consisting of a single annotation token."""
+        return Polynomial(((Monomial.from_tokens([token]), 1),))
+
+    @staticmethod
+    def _normalize(counter: Counter) -> "Polynomial":
+        items = [(m, c) for m, c in counter.items() if c != 0]
+        items.sort(key=lambda mc: (mc[0].degree(), str(mc[0])))
+        return Polynomial(tuple(items))
+
+    # -- arithmetic --------------------------------------------------------------
+    def plus(self, other: "Polynomial") -> "Polynomial":
+        """Add two polynomials (collect alternative derivations)."""
+        counter: Counter = Counter(dict(self.terms))
+        counter.update(dict(other.terms))
+        return Polynomial._normalize(counter)
+
+    def times(self, other: "Polynomial") -> "Polynomial":
+        """Multiply two polynomials (joint derivations)."""
+        counter: Counter = Counter()
+        for mono_a, coeff_a in self.terms:
+            for mono_b, coeff_b in other.terms:
+                counter[mono_a.times(mono_b)] += coeff_a * coeff_b
+        return Polynomial._normalize(counter)
+
+    def __add__(self, other: "Polynomial") -> "Polynomial":
+        return self.plus(other)
+
+    def __mul__(self, other: "Polynomial") -> "Polynomial":
+        return self.times(other)
+
+    # -- inspection ----------------------------------------------------------------
+    def is_zero(self) -> bool:
+        """``True`` for the additive identity."""
+        return not self.terms
+
+    def tokens(self) -> set[Hashable]:
+        """All distinct annotation tokens occurring in the polynomial."""
+        out: set[Hashable] = set()
+        for monomial, _coeff in self.terms:
+            out.update(monomial.tokens())
+        return out
+
+    def monomial_count(self) -> int:
+        """Number of distinct monomials (size of the provenance expression)."""
+        return len(self.terms)
+
+    def degree(self) -> int:
+        """Maximal degree over the monomials (0 for the zero polynomial)."""
+        return max((m.degree() for m, _c in self.terms), default=0)
+
+    # -- specialisation ----------------------------------------------------------------
+    def evaluate(
+        self, semiring: Semiring, valuation: Mapping[Hashable, object] | Callable[[Hashable], object]
+    ) -> object:
+        """Evaluate the polynomial in another semiring (the universal property).
+
+        ``valuation`` maps every token to an element of the target semiring.
+        """
+        if callable(valuation) and not isinstance(valuation, Mapping):
+            lookup: Mapping[Hashable, object] = _CallableMapping(valuation)
+        else:
+            lookup = valuation  # type: ignore[assignment]
+        result = semiring.zero()
+        for monomial, coefficient in self.terms:
+            value = monomial.evaluate(semiring, lookup)
+            for _ in range(coefficient):
+                result = semiring.plus(result, value)
+        return result
+
+    def __str__(self) -> str:
+        if not self.terms:
+            return "0"
+        parts = []
+        for monomial, coefficient in self.terms:
+            text = str(monomial)
+            parts.append(text if coefficient == 1 else f"{coefficient}·{text}")
+        return " + ".join(parts)
+
+
+class _CallableMapping(Mapping):
+    """Adapter exposing a callable as a read-only mapping."""
+
+    def __init__(self, func: Callable[[Hashable], object]) -> None:
+        self._func = func
+
+    def __getitem__(self, key: Hashable) -> object:
+        return self._func(key)
+
+    def __iter__(self):  # pragma: no cover - not enumerable
+        return iter(())
+
+    def __len__(self) -> int:  # pragma: no cover - not enumerable
+        return 0
+
+
+class PolynomialSemiring(Semiring[Polynomial]):
+    """The semiring of provenance polynomials ``N[X]``."""
+
+    name = "polynomial"
+
+    def zero(self) -> Polynomial:
+        return Polynomial.zero()
+
+    def one(self) -> Polynomial:
+        return Polynomial.one()
+
+    def plus(self, left: Polynomial, right: Polynomial) -> Polynomial:
+        return left.plus(right)
+
+    def times(self, left: Polynomial, right: Polynomial) -> Polynomial:
+        return left.times(right)

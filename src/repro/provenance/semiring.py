@@ -1,0 +1,100 @@
+"""The abstract commutative semiring.
+
+A commutative semiring ``(K, +, ·, 0, 1)`` satisfies, for all a, b, c in K::
+
+    (a + b) + c = a + (b + c)        (a · b) · c = a · (b · c)
+    a + b = b + a                    a · b = b · a
+    a + 0 = a                        a · 1 = a
+    a · 0 = 0
+    a · (b + c) = a · b + a · c
+
+Annotation propagation through a conjunctive query uses ``·`` for joint use
+(join) and ``+`` for alternative use (union / projection of multiple
+derivations) — exactly the structure the citation model borrows.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterable, TypeVar
+
+from repro.errors import ProvenanceError
+
+K = TypeVar("K")
+
+
+class Semiring(Generic[K]):
+    """Abstract base class for commutative semirings.
+
+    Subclasses implement :meth:`zero`, :meth:`one`, :meth:`plus` and
+    :meth:`times`; the base class provides n-ary folds and a property-check
+    helper used by the test-suite.
+    """
+
+    name: str = "abstract"
+
+    def zero(self) -> K:
+        """The additive identity (annotation of absent tuples)."""
+        raise NotImplementedError
+
+    def one(self) -> K:
+        """The multiplicative identity (neutral annotation)."""
+        raise NotImplementedError
+
+    def plus(self, left: K, right: K) -> K:
+        """Alternative use of two annotations."""
+        raise NotImplementedError
+
+    def times(self, left: K, right: K) -> K:
+        """Joint use of two annotations."""
+        raise NotImplementedError
+
+    # -- folds -------------------------------------------------------------
+    def sum(self, values: Iterable[K]) -> K:
+        """Fold ``+`` over *values* (``zero`` for the empty iterable)."""
+        result = self.zero()
+        for value in values:
+            result = self.plus(result, value)
+        return result
+
+    def product(self, values: Iterable[K]) -> K:
+        """Fold ``·`` over *values* (``one`` for the empty iterable)."""
+        result = self.one()
+        for value in values:
+            result = self.times(result, value)
+        return result
+
+    # -- diagnostics --------------------------------------------------------
+    def check_axioms(self, samples: Iterable[K]) -> None:
+        """Check the semiring axioms on a finite sample; raise on violation.
+
+        Used by property-based tests; not intended for production paths.
+        """
+        samples = list(samples)
+        zero, one = self.zero(), self.one()
+        for a in samples:
+            if self.plus(a, zero) != a:
+                raise ProvenanceError(f"{self.name}: a + 0 != a for {a!r}")
+            if self.times(a, one) != a:
+                raise ProvenanceError(f"{self.name}: a * 1 != a for {a!r}")
+            if self.times(a, zero) != zero:
+                raise ProvenanceError(f"{self.name}: a * 0 != 0 for {a!r}")
+        for a in samples:
+            for b in samples:
+                if self.plus(a, b) != self.plus(b, a):
+                    raise ProvenanceError(f"{self.name}: + not commutative for {a!r}, {b!r}")
+                if self.times(a, b) != self.times(b, a):
+                    raise ProvenanceError(f"{self.name}: * not commutative for {a!r}, {b!r}")
+        for a in samples:
+            for b in samples:
+                for c in samples:
+                    if self.plus(self.plus(a, b), c) != self.plus(a, self.plus(b, c)):
+                        raise ProvenanceError(f"{self.name}: + not associative")
+                    if self.times(self.times(a, b), c) != self.times(a, self.times(b, c)):
+                        raise ProvenanceError(f"{self.name}: * not associative")
+                    left = self.times(a, self.plus(b, c))
+                    right = self.plus(self.times(a, b), self.times(a, c))
+                    if left != right:
+                        raise ProvenanceError(f"{self.name}: * does not distribute over +")
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

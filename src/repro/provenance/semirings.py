@@ -1,0 +1,151 @@
+"""Standard provenance semirings.
+
+These are the classical instances from Green, Karvounarakis & Tannen (2007):
+
+================  ====================================  =============================
+Semiring          Carrier                               Interpretation
+================  ====================================  =============================
+Boolean           {True, False}                         set semantics
+Counting          natural numbers                       bag semantics / multiplicity
+Tropical          naturals ∪ {∞} with (min, +)          cost of the cheapest derivation
+Lineage           sets of tuple identifiers             which tuples contributed
+Why-provenance    sets of sets of tuple identifiers     witnesses (minimal support sets)
+Security          ordered clearance levels (min, max)   clearance needed to see a tuple
+================  ====================================  =============================
+"""
+
+from __future__ import annotations
+
+import math
+from typing import FrozenSet, Hashable
+
+from repro.provenance.semiring import Semiring
+
+
+class BooleanSemiring(Semiring[bool]):
+    """Set semantics: a tuple is either present or absent."""
+
+    name = "boolean"
+
+    def zero(self) -> bool:
+        return False
+
+    def one(self) -> bool:
+        return True
+
+    def plus(self, left: bool, right: bool) -> bool:
+        return left or right
+
+    def times(self, left: bool, right: bool) -> bool:
+        return left and right
+
+
+class CountingSemiring(Semiring[int]):
+    """Bag semantics: annotations count the number of derivations."""
+
+    name = "counting"
+
+    def zero(self) -> int:
+        return 0
+
+    def one(self) -> int:
+        return 1
+
+    def plus(self, left: int, right: int) -> int:
+        return left + right
+
+    def times(self, left: int, right: int) -> int:
+        return left * right
+
+
+class TropicalSemiring(Semiring[float]):
+    """(min, +) semiring: cost of the cheapest derivation."""
+
+    name = "tropical"
+
+    def zero(self) -> float:
+        return math.inf
+
+    def one(self) -> float:
+        return 0.0
+
+    def plus(self, left: float, right: float) -> float:
+        return min(left, right)
+
+    def times(self, left: float, right: float) -> float:
+        return left + right
+
+
+class LineageSemiring(Semiring[FrozenSet[Hashable]]):
+    """Lineage: the set of base tuples that contribute to an answer.
+
+    Both ``+`` and ``·`` are set union; ``0`` is a distinguished bottom
+    element represented here by ``frozenset({_ABSENT})`` so that
+    ``a · 0 = 0`` holds (a plain empty set would violate that axiom).
+    """
+
+    name = "lineage"
+    _ABSENT = ("__absent__",)
+
+    def zero(self) -> frozenset:
+        return frozenset({self._ABSENT})
+
+    def one(self) -> frozenset:
+        return frozenset()
+
+    def plus(self, left: frozenset, right: frozenset) -> frozenset:
+        if left == self.zero():
+            return right
+        if right == self.zero():
+            return left
+        return left | right
+
+    def times(self, left: frozenset, right: frozenset) -> frozenset:
+        if left == self.zero() or right == self.zero():
+            return self.zero()
+        return left | right
+
+
+class WhySemiring(Semiring[FrozenSet[FrozenSet[Hashable]]]):
+    """Why-provenance: sets of witnesses (each witness is a set of tuple ids)."""
+
+    name = "why"
+
+    def zero(self) -> frozenset:
+        return frozenset()
+
+    def one(self) -> frozenset:
+        return frozenset({frozenset()})
+
+    def plus(self, left: frozenset, right: frozenset) -> frozenset:
+        return left | right
+
+    def times(self, left: frozenset, right: frozenset) -> frozenset:
+        return frozenset(a | b for a in left for b in right)
+
+
+class SecuritySemiring(Semiring[int]):
+    """Access-control semiring over clearance levels ``0 (public) .. top``.
+
+    ``+`` takes the minimum clearance among alternative derivations (the
+    most permissive way to obtain the tuple) and ``·`` the maximum over
+    jointly used tuples (all of them must be visible).  ``zero`` is a level
+    above ``top`` meaning "never visible".
+    """
+
+    name = "security"
+
+    def __init__(self, top: int = 5) -> None:
+        self.top = top
+
+    def zero(self) -> int:
+        return self.top + 1
+
+    def one(self) -> int:
+        return 0
+
+    def plus(self, left: int, right: int) -> int:
+        return min(left, right)
+
+    def times(self, left: int, right: int) -> int:
+        return max(left, right)

@@ -1,0 +1,153 @@
+"""Containment and equivalence of conjunctive queries.
+
+Containment is decided with the classical homomorphism (containment-mapping)
+theorem of Chandra and Merkurjev--Merlin: ``Q1 ⊆ Q2`` iff there is a mapping
+from the variables of ``Q2`` to the terms of ``Q1`` that maps every body atom
+of ``Q2`` onto a body atom of ``Q1`` and maps the head of ``Q2`` onto the
+head of ``Q1``.
+
+λ-parameters are ignored here: the paper specifies that parameters play no
+role during rewriting, so containment is checked on the parameter-free
+queries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.query.ast import Atom, ConjunctiveQuery, Constant, Term, Variable
+
+Substitution = dict[Variable, Term]
+
+
+def _as_term_tuple(atom: Atom, mapping: Mapping[Variable, Term]) -> tuple[Term, ...]:
+    return tuple(
+        mapping.get(t, t) if isinstance(t, Variable) else t for t in atom.terms
+    )
+
+
+def _compatible(term_from: Term, term_to: Term, mapping: Substitution) -> Substitution | None:
+    """Try to extend *mapping* so that *term_from* maps to *term_to*."""
+    if isinstance(term_from, Constant):
+        if isinstance(term_to, Constant) and term_from.value == term_to.value:
+            return mapping
+        return None
+    assert isinstance(term_from, Variable)
+    bound = mapping.get(term_from)
+    if bound is None:
+        extended = dict(mapping)
+        extended[term_from] = term_to
+        return extended
+    if bound == term_to:
+        return mapping
+    return None
+
+
+def _match_atom(atom_from: Atom, atom_to: Atom, mapping: Substitution) -> Substitution | None:
+    if atom_from.predicate != atom_to.predicate or atom_from.arity != atom_to.arity:
+        return None
+    current: Substitution | None = mapping
+    for term_from, term_to in zip(atom_from.terms, atom_to.terms):
+        assert current is not None
+        current = _compatible(term_from, term_to, current)
+        if current is None:
+            return None
+    return current
+
+
+def find_homomorphism(
+    source_atoms: Iterable[Atom],
+    target_atoms: Iterable[Atom],
+    seed: Substitution | None = None,
+) -> Substitution | None:
+    """Find a homomorphism from *source_atoms* into *target_atoms*.
+
+    Every source atom must map onto *some* target atom under a single
+    consistent variable mapping.  Returns the mapping, or ``None``.
+    """
+    source = list(source_atoms)
+    target = list(target_atoms)
+
+    def search(index: int, mapping: Substitution) -> Substitution | None:
+        if index == len(source):
+            return mapping
+        atom = source[index]
+        for candidate in target:
+            extended = _match_atom(atom, candidate, mapping)
+            if extended is not None:
+                result = search(index + 1, extended)
+                if result is not None:
+                    return result
+        return None
+
+    return search(0, dict(seed or {}))
+
+
+def _normalize(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """Drop parameters and replace equality-bound variables by their constants.
+
+    The substitution is applied to the head as well: a query with body atom
+    ``D = "c"`` always outputs ``"c"`` in the ``D`` column, so for containment
+    purposes the two forms are interchangeable.  Queries whose relational body
+    is empty (pure constant queries such as the paper's ``CV2``) keep their
+    equality atoms to stay well-formed.
+    """
+    query = query.without_parameters()
+    bindings = query.constant_bindings()
+    if not bindings:
+        return query
+    if not query.body:
+        return query.inline_equalities()
+    return query.substitute(dict(bindings))
+
+
+def containment_mapping(
+    container: ConjunctiveQuery, contained: ConjunctiveQuery
+) -> Substitution | None:
+    """Return a containment mapping witnessing ``contained ⊆ container``.
+
+    The mapping goes from the variables of *container* to the terms of
+    *contained* (head onto head, body into body).  Returns ``None`` when no
+    such mapping exists.
+    """
+    container = _normalize(container)
+    contained = _normalize(contained)
+    if len(container.head_terms) != len(contained.head_terms):
+        return None
+
+    seed: Substitution = {}
+    current: Substitution | None = seed
+    for term_from, term_to in zip(container.head_terms, contained.head_terms):
+        assert current is not None
+        current = _compatible(term_from, term_to, current)
+        if current is None:
+            return None
+    return find_homomorphism(container.body, contained.body, current)
+
+
+def is_contained_in(query: ConjunctiveQuery, other: ConjunctiveQuery) -> bool:
+    """Return ``True`` when ``query ⊆ other`` (every answer of query is one of other)."""
+    return containment_mapping(other, query) is not None
+
+
+def is_equivalent_to(query: ConjunctiveQuery, other: ConjunctiveQuery) -> bool:
+    """Return ``True`` when the two queries are equivalent."""
+    return is_contained_in(query, other) and is_contained_in(other, query)
+
+
+def is_isomorphic_to(query: ConjunctiveQuery, other: ConjunctiveQuery) -> bool:
+    """Return ``True`` when the queries are identical up to variable renaming.
+
+    A stronger check than equivalence, useful for deduplicating rewritings.
+    """
+    if len(query.body) != len(other.body):
+        return False
+    forward = containment_mapping(query, other)
+    backward = containment_mapping(other, query)
+    if forward is None or backward is None:
+        return False
+    injective_forward = all(isinstance(t, Term) for t in forward.values()) and len(
+        set(forward.values())
+    ) == len(forward)
+    injective_backward = len(set(backward.values())) == len(backward)
+    return injective_forward and injective_backward

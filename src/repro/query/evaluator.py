@@ -1,0 +1,229 @@
+"""Evaluation of conjunctive queries over a relational database.
+
+Two entry points matter for the citation model:
+
+* :func:`evaluate` — the ordinary set-semantics answer of a query, returned
+  as a :class:`~repro.relational.relation.Relation`;
+* :func:`evaluate_with_bindings` — for every output tuple, the list of
+  *all* bindings (valuations of the query's variables) that produce it.
+  Definition 2.2 of the paper combines one citation per binding with the
+  alternative-use operator ``+``, so the engine needs the full binding set.
+
+The evaluator performs a greedy bound-first join: atoms with the most bound
+positions (constants or already-bound join variables) are evaluated first,
+using hash indexes built on demand.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import QueryError, UnknownRelationError
+from repro.query.ast import Atom, ConjunctiveQuery, Constant, Term, Variable
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, RelationSchema
+
+Binding = dict[Variable, object]
+
+
+class QueryEvaluator:
+    """Evaluates conjunctive queries against a :class:`Database`.
+
+    The evaluator may also be given *extra relations* (e.g. materialised
+    views) that are not part of the database schema; atoms whose predicate
+    matches an extra relation are evaluated against it.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        extra_relations: Mapping[str, Relation] | None = None,
+        use_indexes: bool = True,
+    ) -> None:
+        self.database = database
+        self.extra_relations = dict(extra_relations or {})
+        self.use_indexes = use_indexes
+
+    # -- relation resolution ------------------------------------------------
+    def _relation_for(self, predicate: str) -> Relation:
+        if predicate in self.extra_relations:
+            return self.extra_relations[predicate]
+        if predicate in self.database:
+            return self.database.relation(predicate)
+        raise UnknownRelationError(predicate)
+
+    def _check_arity(self, atom: Atom) -> None:
+        relation = self._relation_for(atom.predicate)
+        if relation.schema.arity != atom.arity:
+            raise QueryError(
+                f"atom {atom} has arity {atom.arity} but relation "
+                f"{atom.predicate!r} has arity {relation.schema.arity}"
+            )
+
+    # -- core join ------------------------------------------------------------
+    def bindings(self, query: ConjunctiveQuery) -> Iterator[Binding]:
+        """Yield every satisfying assignment of the query's variables."""
+        for atom in query.body:
+            self._check_arity(atom)
+        seed: Binding = {}
+        for eq in query.equalities:
+            seed[eq.variable] = eq.constant.value
+        yield from self._join(list(query.body), seed)
+
+    def _join(self, atoms: list[Atom], binding: Binding) -> Iterator[Binding]:
+        if not atoms:
+            yield dict(binding)
+            return
+        index = self._pick_next_atom(atoms, binding)
+        atom = atoms[index]
+        rest = atoms[:index] + atoms[index + 1 :]
+        for extended in self._match_atom(atom, binding):
+            yield from self._join(rest, extended)
+
+    def _pick_next_atom(self, atoms: Sequence[Atom], binding: Binding) -> int:
+        def boundness(atom: Atom) -> tuple[int, int]:
+            bound = 0
+            for term in atom.terms:
+                if isinstance(term, Constant) or (
+                    isinstance(term, Variable) and term in binding
+                ):
+                    bound += 1
+            relation = self._relation_for(atom.predicate)
+            return (-bound, len(relation))
+
+        best = min(range(len(atoms)), key=lambda i: boundness(atoms[i]))
+        return best
+
+    def _match_atom(self, atom: Atom, binding: Binding) -> Iterator[Binding]:
+        relation = self._relation_for(atom.predicate)
+        bound_positions: dict[int, object] = {}
+        for position, term in enumerate(atom.terms):
+            if isinstance(term, Constant):
+                bound_positions[position] = term.value
+            elif isinstance(term, Variable) and term in binding:
+                bound_positions[position] = binding[term]
+
+        rows: Iterable[tuple]
+        backed_by_database = (
+            atom.predicate not in self.extra_relations and atom.predicate in self.database
+        )
+        if bound_positions and self.use_indexes and backed_by_database:
+            positions = tuple(sorted(bound_positions))
+            attributes = [relation.schema.attribute_names[i] for i in positions]
+            index = self.database.index_on(atom.predicate, attributes)
+            rows = index.lookup(tuple(bound_positions[i] for i in positions))
+        elif bound_positions:
+            rows = relation.rows_matching(bound_positions)
+        else:
+            rows = relation
+
+        for row in rows:
+            extended = self._unify_row(atom, row, binding)
+            if extended is not None:
+                yield extended
+
+    @staticmethod
+    def _unify_row(atom: Atom, row: tuple, binding: Binding) -> Binding | None:
+        extended = dict(binding)
+        for term, value in zip(atom.terms, row):
+            if isinstance(term, Constant):
+                if term.value != value:
+                    return None
+            else:
+                assert isinstance(term, Variable)
+                existing = extended.get(term, _MISSING)
+                if existing is _MISSING:
+                    extended[term] = value
+                elif existing != value:
+                    return None
+        return extended
+
+    # -- public API -------------------------------------------------------------
+    def output_tuple(self, query: ConjunctiveQuery, binding: Binding) -> tuple:
+        """Project a binding onto the query's head terms."""
+        out = []
+        for term in query.head_terms:
+            if isinstance(term, Constant):
+                out.append(term.value)
+            else:
+                assert isinstance(term, Variable)
+                if term not in binding:
+                    raise QueryError(
+                        f"binding does not cover head variable {term.name!r} of {query.name!r}"
+                    )
+                out.append(binding[term])
+        return tuple(out)
+
+    def evaluate(self, query: ConjunctiveQuery) -> Relation:
+        """Evaluate *query* and return its answer relation (set semantics)."""
+        schema = result_schema(query)
+        answers = {self.output_tuple(query, b) for b in self.bindings(query)}
+        return Relation(schema, answers)
+
+    def evaluate_with_bindings(
+        self, query: ConjunctiveQuery
+    ) -> dict[tuple, list[Binding]]:
+        """Map every output tuple to the list of bindings producing it."""
+        out: dict[tuple, list[Binding]] = {}
+        for binding in self.bindings(query):
+            out.setdefault(self.output_tuple(query, binding), []).append(binding)
+        return out
+
+    def evaluate_parameterized(
+        self, query: ConjunctiveQuery, parameter_values: Mapping[str | Variable, object]
+    ) -> Relation:
+        """Evaluate a parameterized query with its parameters instantiated.
+
+        ``parameter_values`` maps parameter names (or variables) to constants;
+        every parameter of the query must be covered.
+        """
+        substitution: dict[Variable, Term] = {}
+        for param in query.parameters:
+            if param in parameter_values:
+                value = parameter_values[param]
+            elif param.name in parameter_values:
+                value = parameter_values[param.name]
+            else:
+                raise QueryError(
+                    f"missing value for parameter {param.name!r} of query {query.name!r}"
+                )
+            substitution[param] = Constant(value)
+        return self.evaluate(query.substitute(substitution))
+
+
+_MISSING = object()
+
+
+def result_schema(query: ConjunctiveQuery) -> RelationSchema:
+    """Build a relation schema for a query's answer.
+
+    Attribute names follow the head terms; constants get positional names.
+    """
+    names: list[str] = []
+    seen: set[str] = set()
+    for position, term in enumerate(query.head_terms):
+        if isinstance(term, Variable):
+            base = term.name
+        else:
+            base = f"const_{position}"
+        name = base
+        counter = 1
+        while name in seen:
+            counter += 1
+            name = f"{base}_{counter}"
+        seen.add(name)
+        names.append(name)
+    return RelationSchema(query.name, [Attribute(n, object) for n in names], key=None)
+
+
+def evaluate(query: ConjunctiveQuery, database: Database, **kwargs: object) -> Relation:
+    """Module-level convenience wrapper around :class:`QueryEvaluator`."""
+    return QueryEvaluator(database, **kwargs).evaluate(query)
+
+
+def evaluate_with_bindings(
+    query: ConjunctiveQuery, database: Database, **kwargs: object
+) -> dict[tuple, list[Binding]]:
+    """Module-level convenience wrapper returning all bindings per tuple."""
+    return QueryEvaluator(database, **kwargs).evaluate_with_bindings(query)

@@ -1,0 +1,62 @@
+"""Minimization of conjunctive queries (core computation).
+
+A conjunctive query is *minimal* when no body atom can be removed while
+preserving equivalence.  Minimal equivalents (cores) are unique up to
+isomorphism, so the citation engine works with minimal rewritings as the
+paper specifies ("consider the set of minimal equivalent rewritings").
+"""
+
+from __future__ import annotations
+
+from repro.query.ast import ConjunctiveQuery
+from repro.query.containment import is_equivalent_to
+
+
+def minimize(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """Return a minimal query equivalent to *query*.
+
+    Works by repeatedly trying to drop a body atom and checking equivalence
+    of the reduced query with the original; the classical result guarantees
+    that greedy removal reaches the core.
+    """
+    current = query
+    changed = True
+    while changed:
+        changed = False
+        body = list(current.body)
+        for index in range(len(body)):
+            if len(body) <= 1:
+                break
+            reduced_body = body[:index] + body[index + 1 :]
+            if not _is_safe_body(current, reduced_body):
+                continue
+            candidate = current.with_body(reduced_body)
+            if is_equivalent_to(candidate, query):
+                current = candidate
+                changed = True
+                break
+    return current
+
+
+def _is_safe_body(query: ConjunctiveQuery, reduced_body: list) -> bool:
+    """Check that dropping atoms keeps all head variables bound."""
+    bound = {v for atom in reduced_body for v in atom.variables()}
+    bound.update(eq.variable for eq in query.equalities)
+    return all(
+        (not term.is_variable()) or term in bound for term in query.head_terms
+    )
+
+
+def is_minimal(query: ConjunctiveQuery) -> bool:
+    """Return ``True`` when no body atom can be dropped without changing the query."""
+    body = list(query.body)
+    if len(body) <= 1:
+        return True
+    for index in range(len(body)):
+        reduced_body = body[:index] + body[index + 1 :]
+        if not _is_safe_body(query, reduced_body):
+            continue
+        candidate = query.with_body(reduced_body)
+        if is_equivalent_to(candidate, query):
+            return False
+    return True

@@ -1,0 +1,250 @@
+"""Datalog-style parser for (parameterized) conjunctive queries.
+
+The concrete syntax follows the paper's notation as closely as ASCII allows::
+
+    lambda FID. V1(FID, FName, Desc) :- Family(FID, FName, Desc)
+    Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)
+    CV2(D) :- D = "IUPHAR/BPS Guide to PHARMACOLOGY"
+
+* ``lambda`` (or the Unicode ``λ``) introduces the parameter list,
+* identifiers are variables, quoted strings and numbers are constants,
+* ``true``, ``false`` and ``null`` are the obvious constants,
+* the body is a comma-separated list of relational atoms and ``Var = const``
+  equality atoms.
+
+:func:`parse_program` parses several rules separated by newlines or ``;``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import ParseError
+from repro.query.ast import Atom, ConjunctiveQuery, Constant, EqualityAtom, Term, Variable
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<arrow>:-|<-)
+  | (?P<lambda>lambda\b|λ)
+  | (?P<string>"(?:[^"\\]|\\.)*"|'(?:[^'\\]|\\.)*')
+  | (?P<number>-?\d+\.\d+|-?\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<punct>[(),.=;])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    value: str
+    position: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError(f"unexpected character {text[position]!r}", text, position)
+        kind = match.lastgroup or ""
+        if kind != "ws":
+            tokens.append(_Token(kind, match.group(), position))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    # -- token helpers ----------------------------------------------------
+    def _peek(self) -> _Token | None:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input", self.text, len(self.text))
+        self.index += 1
+        return token
+
+    def _expect(self, value: str) -> _Token:
+        token = self._next()
+        if token.value != value:
+            raise ParseError(
+                f"expected {value!r} but found {token.value!r}", self.text, token.position
+            )
+        return token
+
+    def _at_end(self) -> bool:
+        return self.index >= len(self.tokens)
+
+    # -- grammar -----------------------------------------------------------
+    def parse_rule(self) -> ConjunctiveQuery:
+        """Parse a single rule (query / view / citation query)."""
+        parameters = self._parse_lambda_prefix()
+        head = self._parse_atom()
+        self._parse_arrow()
+        body, equalities = self._parse_body()
+        return ConjunctiveQuery(head, body, equalities, parameters)
+
+    def parse_program(self) -> list[ConjunctiveQuery]:
+        """Parse a sequence of rules separated by ``;`` (or just adjacency)."""
+        rules = []
+        while not self._at_end():
+            rules.append(self.parse_rule())
+            token = self._peek()
+            if token is not None and token.value == ";":
+                self._next()
+        return rules
+
+    def _parse_lambda_prefix(self) -> tuple[Variable, ...]:
+        token = self._peek()
+        if token is None or token.kind != "lambda":
+            return ()
+        self._next()
+        parameters: list[Variable] = []
+        while True:
+            name = self._next()
+            if name.kind != "ident":
+                raise ParseError(
+                    f"expected parameter name, found {name.value!r}", self.text, name.position
+                )
+            parameters.append(Variable(name.value))
+            token = self._next()
+            if token.value == ",":
+                continue
+            if token.value == ".":
+                break
+            raise ParseError(
+                f"expected ',' or '.' in parameter list, found {token.value!r}",
+                self.text,
+                token.position,
+            )
+        return tuple(parameters)
+
+    def _parse_arrow(self) -> None:
+        token = self._next()
+        if token.kind != "arrow":
+            raise ParseError(
+                f"expected ':-' but found {token.value!r}", self.text, token.position
+            )
+
+    def _parse_atom(self) -> Atom:
+        name = self._next()
+        if name.kind != "ident":
+            raise ParseError(
+                f"expected predicate name, found {name.value!r}", self.text, name.position
+            )
+        self._expect("(")
+        terms: list[Term] = []
+        token = self._peek()
+        if token is not None and token.value == ")":
+            self._next()
+            return Atom(name.value, ())
+        while True:
+            terms.append(self._parse_term())
+            token = self._next()
+            if token.value == ",":
+                continue
+            if token.value == ")":
+                break
+            raise ParseError(
+                f"expected ',' or ')' in atom, found {token.value!r}", self.text, token.position
+            )
+        return Atom(name.value, tuple(terms))
+
+    def _parse_term(self) -> Term:
+        token = self._next()
+        if token.kind == "string":
+            return Constant(_unquote(token.value))
+        if token.kind == "number":
+            value = float(token.value) if "." in token.value else int(token.value)
+            return Constant(value)
+        if token.kind == "ident":
+            lowered = token.value.lower()
+            if lowered == "true":
+                return Constant(True)
+            if lowered == "false":
+                return Constant(False)
+            if lowered in ("null", "none"):
+                return Constant(None)
+            return Variable(token.value)
+        raise ParseError(f"expected a term, found {token.value!r}", self.text, token.position)
+
+    def _parse_body(self) -> tuple[tuple[Atom, ...], tuple[EqualityAtom, ...]]:
+        atoms: list[Atom] = []
+        equalities: list[EqualityAtom] = []
+        while True:
+            atoms_or_eq = self._parse_body_item()
+            if isinstance(atoms_or_eq, Atom):
+                atoms.append(atoms_or_eq)
+            else:
+                equalities.append(atoms_or_eq)
+            token = self._peek()
+            if token is not None and token.value == ",":
+                self._next()
+                continue
+            break
+        return tuple(atoms), tuple(equalities)
+
+    def _parse_body_item(self) -> Atom | EqualityAtom:
+        start = self.index
+        token = self._next()
+        if token.kind != "ident":
+            raise ParseError(
+                f"expected atom or equality, found {token.value!r}", self.text, token.position
+            )
+        follower = self._peek()
+        if follower is not None and follower.value == "=":
+            self._next()
+            value = self._parse_term()
+            if isinstance(value, Variable):
+                raise ParseError(
+                    "equality atoms must bind a variable to a constant",
+                    self.text,
+                    follower.position,
+                )
+            return EqualityAtom(Variable(token.value), value)
+        self.index = start
+        return self._parse_atom()
+
+
+def _unquote(text: str) -> str:
+    body = text[1:-1]
+    return body.replace('\\"', '"').replace("\\'", "'").replace("\\\\", "\\")
+
+
+def parse_query(text: str) -> ConjunctiveQuery:
+    """Parse a single conjunctive query / view definition from *text*."""
+    parser = _Parser(text)
+    query = parser.parse_rule()
+    if not parser._at_end():
+        token = parser._peek()
+        assert token is not None
+        raise ParseError(
+            f"trailing input after query: {token.value!r}", text, token.position
+        )
+    return query
+
+
+def parse_program(text: str) -> list[ConjunctiveQuery]:
+    """Parse several rules (e.g. a file of view definitions)."""
+    return _Parser(text).parse_program()
+
+
+def iter_rules(text: str) -> Iterator[ConjunctiveQuery]:
+    """Yield rules one by one (thin wrapper around :func:`parse_program`)."""
+    yield from parse_program(text)

@@ -1,0 +1,190 @@
+"""A small SQL front-end that translates SELECT-FROM-WHERE into conjunctive queries.
+
+Curated databases expose SQL to their users; the paper's model is defined on
+conjunctive queries.  This module bridges the two for the common fragment:
+
+* ``SELECT`` of column references (optionally ``DISTINCT``, with aliases),
+* ``FROM`` with comma-separated tables and optional aliases,
+* ``WHERE`` with ``AND``-connected equality predicates between columns or
+  between a column and a literal.
+
+Anything outside this fragment raises :class:`~repro.errors.ParseError`.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ParseError, UnknownRelationError
+from repro.query.ast import Atom, ConjunctiveQuery, Constant, EqualityAtom, Term, Variable
+from repro.relational.schema import DatabaseSchema
+
+_SQL_RE = re.compile(
+    r"^\s*select\s+(?P<distinct>distinct\s+)?(?P<select>.+?)\s+"
+    r"from\s+(?P<from>.+?)"
+    r"(?:\s+where\s+(?P<where>.+?))?\s*;?\s*$",
+    re.IGNORECASE | re.DOTALL,
+)
+
+_LITERAL_RE = re.compile(r"^('(?:[^']|'')*'|\"(?:[^\"]|\"\")*\"|-?\d+(?:\.\d+)?)$")
+
+
+def _parse_literal(text: str) -> object:
+    if text.startswith("'") or text.startswith('"'):
+        return text[1:-1].replace("''", "'").replace('""', '"')
+    if "." in text:
+        return float(text)
+    return int(text)
+
+
+def _split_csv(text: str) -> list[str]:
+    """Split on commas that are not inside quotes."""
+    parts: list[str] = []
+    current = []
+    in_quote: str | None = None
+    for char in text:
+        if in_quote:
+            current.append(char)
+            if char == in_quote:
+                in_quote = None
+        elif char in "'\"":
+            current.append(char)
+            in_quote = char
+        elif char == ",":
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    if current:
+        parts.append("".join(current).strip())
+    return [p for p in parts if p]
+
+
+def parse_sql(
+    sql: str, schema: DatabaseSchema, query_name: str = "Q"
+) -> ConjunctiveQuery:
+    """Translate a SELECT-FROM-WHERE statement into a :class:`ConjunctiveQuery`.
+
+    Parameters
+    ----------
+    sql:
+        The SQL text.
+    schema:
+        Database schema used to resolve table columns into atom positions.
+    query_name:
+        Name given to the resulting query head.
+    """
+    match = _SQL_RE.match(sql)
+    if match is None:
+        raise ParseError("only SELECT ... FROM ... [WHERE ...] is supported", sql)
+
+    # ---- FROM: alias -> table -------------------------------------------------
+    alias_to_table: dict[str, str] = {}
+    table_order: list[str] = []
+    for item in _split_csv(match.group("from")):
+        tokens = item.split()
+        if len(tokens) == 1:
+            table, alias = tokens[0], tokens[0]
+        elif len(tokens) == 2:
+            table, alias = tokens
+        elif len(tokens) == 3 and tokens[1].lower() == "as":
+            table, alias = tokens[0], tokens[2]
+        else:
+            raise ParseError(f"cannot parse FROM item {item!r}", sql)
+        if not schema.has_relation(table):
+            raise UnknownRelationError(table)
+        if alias in alias_to_table:
+            raise ParseError(f"duplicate table alias {alias!r}", sql)
+        alias_to_table[alias] = table
+        table_order.append(alias)
+
+    # ---- variables: one per (alias, column) ------------------------------------
+    def column_variable(alias: str, column: str) -> Variable:
+        table = alias_to_table[alias]
+        schema.relation(table).position(column)  # validates the column
+        return Variable(f"{alias}_{column}")
+
+    def resolve_column(reference: str) -> Variable:
+        reference = reference.strip()
+        if "." in reference:
+            alias, column = reference.split(".", 1)
+            if alias not in alias_to_table:
+                raise ParseError(f"unknown table alias {alias!r}", sql)
+            return column_variable(alias, column)
+        candidates = [
+            alias
+            for alias in table_order
+            if schema.relation(alias_to_table[alias]).has_attribute(reference)
+        ]
+        if not candidates:
+            raise ParseError(f"column {reference!r} not found in FROM tables", sql)
+        if len(candidates) > 1:
+            raise ParseError(f"column {reference!r} is ambiguous", sql)
+        return column_variable(candidates[0], reference)
+
+    # ---- WHERE -----------------------------------------------------------------
+    equalities: list[EqualityAtom] = []
+    merged: dict[Variable, Variable] = {}
+
+    def canonical(variable: Variable) -> Variable:
+        while variable in merged:
+            variable = merged[variable]
+        return variable
+
+    where = match.group("where")
+    if where:
+        for clause in re.split(r"\s+and\s+", where, flags=re.IGNORECASE):
+            clause = clause.strip()
+            if not clause:
+                continue
+            if "=" not in clause:
+                raise ParseError(f"only equality predicates are supported: {clause!r}", sql)
+            left_text, right_text = (part.strip() for part in clause.split("=", 1))
+            left_is_literal = bool(_LITERAL_RE.match(left_text))
+            right_is_literal = bool(_LITERAL_RE.match(right_text))
+            if left_is_literal and right_is_literal:
+                raise ParseError(f"constant-only predicate is not supported: {clause!r}", sql)
+            if left_is_literal or right_is_literal:
+                column_text = right_text if left_is_literal else left_text
+                literal_text = left_text if left_is_literal else right_text
+                variable = canonical(resolve_column(column_text))
+                equalities.append(
+                    EqualityAtom(variable, Constant(_parse_literal(literal_text)))
+                )
+            else:
+                left = canonical(resolve_column(left_text))
+                right = canonical(resolve_column(right_text))
+                if left != right:
+                    merged[right] = left
+
+    # ---- SELECT -----------------------------------------------------------------
+    head_terms: list[Term] = []
+    select_text = match.group("select").strip()
+    if select_text == "*":
+        for alias in table_order:
+            table = alias_to_table[alias]
+            for attribute in schema.relation(table).attribute_names:
+                head_terms.append(canonical(column_variable(alias, attribute)))
+    else:
+        for item in _split_csv(select_text):
+            tokens = re.split(r"\s+as\s+", item, flags=re.IGNORECASE)
+            reference = tokens[0].strip()
+            if _LITERAL_RE.match(reference):
+                head_terms.append(Constant(_parse_literal(reference)))
+            else:
+                head_terms.append(canonical(resolve_column(reference)))
+
+    # ---- body atoms ----------------------------------------------------------------
+    body: list[Atom] = []
+    for alias in table_order:
+        table = alias_to_table[alias]
+        terms = tuple(
+            canonical(column_variable(alias, attribute))
+            for attribute in schema.relation(table).attribute_names
+        )
+        body.append(Atom(table, terms))
+
+    resolved_equalities = [
+        EqualityAtom(canonical(eq.variable), eq.constant) for eq in equalities
+    ]
+    return ConjunctiveQuery(Atom(query_name, tuple(head_terms)), body, resolved_equalities)

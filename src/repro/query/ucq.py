@@ -1,0 +1,175 @@
+"""Unions of conjunctive queries (UCQs).
+
+Section 3 of the paper asks "do we need to go beyond conjunctive queries?".
+The smallest useful step beyond CQs is their finite unions: many web-page
+views of curated databases are naturally unions (e.g. "approved *or*
+investigational drugs").  This module adds
+
+* :class:`UnionQuery` — a named union of conjunctive queries with a common
+  head arity,
+* evaluation (union of the disjuncts' answers, with per-disjunct binding
+  tracking so the citation engine can attribute every answer),
+* containment and equivalence via the classical Sagiv–Yannakakis criterion
+  (``⋃ Qi ⊆ ⋃ Pj`` iff every ``Qi`` is contained in some ``Pj``),
+* minimization (drop disjuncts contained in other disjuncts).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import QueryError
+from repro.query.ast import ConjunctiveQuery
+from repro.query.containment import is_contained_in
+from repro.query.evaluator import Binding, QueryEvaluator, result_schema
+from repro.query.parser import parse_program
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+
+class UnionQuery:
+    """A union of conjunctive queries sharing one output arity."""
+
+    __slots__ = ("name", "disjuncts")
+
+    def __init__(self, name: str, disjuncts: Iterable[ConjunctiveQuery]) -> None:
+        self.name = name
+        self.disjuncts: tuple[ConjunctiveQuery, ...] = tuple(disjuncts)
+        if not self.disjuncts:
+            raise QueryError(f"union query {name!r} needs at least one disjunct")
+        arities = {len(query.head_terms) for query in self.disjuncts}
+        if len(arities) != 1:
+            raise QueryError(
+                f"union query {name!r} has disjuncts of different arities: {sorted(arities)}"
+            )
+
+    # -- construction ------------------------------------------------------
+    @staticmethod
+    def parse(text: str, name: str | None = None) -> "UnionQuery":
+        """Parse a union query from several rules with the same head predicate."""
+        rules = parse_program(text)
+        if not rules:
+            raise QueryError("no rules found in union query text")
+        head_names = {rule.name for rule in rules}
+        if name is None:
+            if len(head_names) != 1:
+                raise QueryError(
+                    f"rules define different predicates {sorted(head_names)}; pass an explicit name"
+                )
+            name = rules[0].name
+        return UnionQuery(name, rules)
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def arity(self) -> int:
+        """Output arity of the union."""
+        return len(self.disjuncts[0].head_terms)
+
+    def predicates(self) -> set[str]:
+        """All base predicates used by any disjunct."""
+        out: set[str] = set()
+        for disjunct in self.disjuncts:
+            out |= disjunct.predicates()
+        return out
+
+    def __len__(self) -> int:
+        return len(self.disjuncts)
+
+    def __iter__(self) -> Iterator[ConjunctiveQuery]:
+        return iter(self.disjuncts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, UnionQuery):
+            return NotImplemented
+        return self.name == other.name and self.disjuncts == other.disjuncts
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.disjuncts))
+
+    def __str__(self) -> str:
+        return " ∪ ".join(str(disjunct) for disjunct in self.disjuncts)
+
+    def __repr__(self) -> str:
+        return f"UnionQuery({self.name}, {len(self.disjuncts)} disjuncts)"
+
+
+# ---------------------------------------------------------------------------
+# Evaluation
+# ---------------------------------------------------------------------------
+def evaluate_union(query: UnionQuery, database: Database, **kwargs: object) -> Relation:
+    """Evaluate a union query (set semantics union of the disjuncts' answers)."""
+    evaluator = QueryEvaluator(database, **kwargs)
+    schema = result_schema(query.disjuncts[0])
+    rows: set[tuple] = set()
+    for disjunct in query.disjuncts:
+        rows |= evaluator.evaluate(disjunct).rows
+    return Relation(
+        schema.__class__(query.name, schema.attributes, key=None), rows
+    )
+
+
+def evaluate_union_with_bindings(
+    query: UnionQuery, database: Database, **kwargs: object
+) -> dict[tuple, list[tuple[int, Binding]]]:
+    """Map each answer to its (disjunct index, binding) derivations.
+
+    The citation engine uses the disjunct index to know which disjunct's
+    rewritings to credit for the answer.
+    """
+    evaluator = QueryEvaluator(database, **kwargs)
+    out: dict[tuple, list[tuple[int, Binding]]] = {}
+    for index, disjunct in enumerate(query.disjuncts):
+        for row, bindings in evaluator.evaluate_with_bindings(disjunct).items():
+            bucket = out.setdefault(row, [])
+            bucket.extend((index, binding) for binding in bindings)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Containment / equivalence / minimization (Sagiv–Yannakakis)
+# ---------------------------------------------------------------------------
+def union_contained_in(query: UnionQuery, other: UnionQuery) -> bool:
+    """``query ⊆ other``: every disjunct of *query* is contained in some disjunct of *other*."""
+    return all(
+        any(is_contained_in(disjunct, candidate) for candidate in other.disjuncts)
+        for disjunct in query.disjuncts
+    )
+
+
+def union_equivalent(query: UnionQuery, other: UnionQuery) -> bool:
+    """Mutual containment of two union queries."""
+    return union_contained_in(query, other) and union_contained_in(other, query)
+
+
+def minimize_union(query: UnionQuery) -> UnionQuery:
+    """Drop disjuncts that are contained in another (distinct) disjunct."""
+    from repro.query.minimization import minimize as minimize_cq
+
+    minimized = [minimize_cq(disjunct) for disjunct in query.disjuncts]
+    kept: list[ConjunctiveQuery] = []
+    for index, disjunct in enumerate(minimized):
+        redundant = False
+        for other_index, other in enumerate(minimized):
+            if other_index == index:
+                continue
+            if is_contained_in(disjunct, other):
+                # Keep the earlier one when two disjuncts are equivalent.
+                if is_contained_in(other, disjunct) and index < other_index:
+                    continue
+                redundant = True
+                break
+        if not redundant:
+            kept.append(disjunct)
+    return UnionQuery(query.name, kept or [minimized[0]])
+
+
+def as_union(query: ConjunctiveQuery | UnionQuery | Sequence[ConjunctiveQuery]) -> UnionQuery:
+    """Coerce a CQ, a list of CQs, or a UCQ into a :class:`UnionQuery`."""
+    if isinstance(query, UnionQuery):
+        return query
+    if isinstance(query, ConjunctiveQuery):
+        return UnionQuery(query.name, [query])
+    queries = list(query)
+    if not queries:
+        raise QueryError("cannot build a union query from an empty sequence")
+    return UnionQuery(queries[0].name, queries)

@@ -1,0 +1,39 @@
+"""Citation views beyond the relational model: RDF and ontologies.
+
+Section 3 ("Other models") observes that for several RDF systems the citation
+depends on the *class* of a resource, and determining the class involves
+reasoning over an ontology.  This package provides the substrate and the
+extension:
+
+* :mod:`repro.rdf.triples` — an in-memory triple store with pattern matching,
+* :mod:`repro.rdf.ontology` — RDFS-style subclass / subproperty reasoning,
+* :mod:`repro.rdf.bgp` — basic-graph-pattern queries, with a bridge to the
+  relational conjunctive-query machinery,
+* :mod:`repro.rdf.citation_rdf` — class-conditional citation views and an
+  RDF citation engine that resolves the most specific citable class of a
+  resource via ontology reasoning.
+"""
+
+from repro.rdf.triples import Triple, TripleStore, RDF_TYPE, RDFS_SUBCLASS_OF
+from repro.rdf.ontology import Ontology
+from repro.rdf.bgp import BGPQuery, TriplePattern, evaluate_bgp, bgp_to_conjunctive_query
+from repro.rdf.citation_rdf import ClassCitationView, RDFCitationEngine
+from repro.rdf.io import loads_triples, dumps_triples, read_triples, write_triples
+
+__all__ = [
+    "loads_triples",
+    "dumps_triples",
+    "read_triples",
+    "write_triples",
+    "Triple",
+    "TripleStore",
+    "RDF_TYPE",
+    "RDFS_SUBCLASS_OF",
+    "Ontology",
+    "TriplePattern",
+    "BGPQuery",
+    "evaluate_bgp",
+    "bgp_to_conjunctive_query",
+    "ClassCitationView",
+    "RDFCitationEngine",
+]

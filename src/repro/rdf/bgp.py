@@ -1,0 +1,172 @@
+"""Basic graph pattern (BGP) queries over a triple store.
+
+A BGP is the conjunctive core of SPARQL: a set of triple patterns sharing
+variables.  Two evaluation paths are provided:
+
+* :func:`evaluate_bgp` — direct evaluation against the
+  :class:`~repro.rdf.triples.TripleStore`,
+* :func:`bgp_to_conjunctive_query` / :func:`store_to_database` — translation
+  into the relational machinery (a single ternary ``Triple`` relation), which
+  lets the rewriting and citation engines of the relational model run
+  unchanged over RDF data.  This is the "conjunctive queries are a core for
+  many different models" point of the paper's Section 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.query.ast import Atom, ConjunctiveQuery, Constant, Term, Variable
+from repro.rdf.triples import Triple, TripleStore
+from repro.relational.database import Database
+from repro.relational.schema import Attribute, DatabaseSchema, RelationSchema
+
+#: Name of the relational encoding of the triple store.
+TRIPLE_RELATION = "Triple"
+
+
+def _is_variable(token: object) -> bool:
+    return isinstance(token, str) and token.startswith("?")
+
+
+@dataclass(frozen=True)
+class TriplePattern:
+    """A triple pattern; components starting with ``?`` are variables."""
+
+    subject: object
+    predicate: object
+    object: object
+
+    def variables(self) -> set[str]:
+        """Variable names (without the ``?`` prefix)."""
+        return {
+            str(token)[1:]
+            for token in (self.subject, self.predicate, self.object)
+            if _is_variable(token)
+        }
+
+    def components(self) -> tuple[object, object, object]:
+        """The three components, in order."""
+        return (self.subject, self.predicate, self.object)
+
+
+@dataclass(frozen=True)
+class BGPQuery:
+    """A basic graph pattern with a list of projected variables."""
+
+    projection: tuple[str, ...]
+    patterns: tuple[TriplePattern, ...]
+
+    def __post_init__(self) -> None:
+        available = set()
+        for pattern in self.patterns:
+            available |= pattern.variables()
+        missing = [v for v in self.projection if v not in available]
+        if missing:
+            raise ValueError(f"projected variables {missing} do not occur in any pattern")
+
+    def variables(self) -> set[str]:
+        """All variables of the pattern."""
+        out: set[str] = set()
+        for pattern in self.patterns:
+            out |= pattern.variables()
+        return out
+
+
+def evaluate_bgp(
+    query: BGPQuery, store: TripleStore
+) -> list[dict[str, object]]:
+    """Evaluate a BGP directly against the store; returns projected bindings."""
+    solutions: list[dict[str, object]] = []
+
+    def match(patterns: Sequence[TriplePattern], binding: dict[str, object]) -> Iterator[dict[str, object]]:
+        if not patterns:
+            yield dict(binding)
+            return
+        pattern, rest = patterns[0], patterns[1:]
+
+        def resolve(token: object) -> object | None:
+            if _is_variable(token):
+                return binding.get(str(token)[1:])
+            return token
+
+        subject = resolve(pattern.subject)
+        predicate = resolve(pattern.predicate)
+        obj = resolve(pattern.object)
+        for triple in store.match(
+            subject if isinstance(subject, str) else None,
+            predicate if isinstance(predicate, str) else None,
+            obj,
+        ):
+            extended = _unify(pattern, triple, binding)
+            if extended is not None:
+                yield from match(rest, extended)
+
+    for solution in match(list(query.patterns), {}):
+        projected = {name: solution[name] for name in query.projection}
+        if projected not in solutions:
+            solutions.append(projected)
+    return solutions
+
+
+def _unify(
+    pattern: TriplePattern, triple: Triple, binding: Mapping[str, object]
+) -> dict[str, object] | None:
+    extended = dict(binding)
+    for token, value in zip(pattern.components(), tuple(triple)):
+        if _is_variable(token):
+            name = str(token)[1:]
+            if name in extended:
+                if extended[name] != value:
+                    return None
+            else:
+                extended[name] = value
+        elif token != value:
+            return None
+    return extended
+
+
+# ---------------------------------------------------------------------------
+# Relational bridge
+# ---------------------------------------------------------------------------
+def triple_schema() -> DatabaseSchema:
+    """Schema of the relational encoding: a single ``Triple(S, P, O)`` relation."""
+    return DatabaseSchema(
+        [
+            RelationSchema(
+                TRIPLE_RELATION,
+                [Attribute("S", object), Attribute("P", object), Attribute("O", object)],
+            )
+        ]
+    )
+
+
+def store_to_database(store: TripleStore) -> Database:
+    """Encode a triple store as a relational database."""
+    database = Database(triple_schema())
+    database.insert_many(
+        TRIPLE_RELATION, ((t.subject, t.predicate, t.object) for t in store)
+    )
+    return database
+
+
+def bgp_to_conjunctive_query(query: BGPQuery, name: str = "Q") -> ConjunctiveQuery:
+    """Translate a BGP into a conjunctive query over the ``Triple`` relation."""
+
+    def term(token: object) -> Term:
+        if _is_variable(token):
+            return Variable(str(token)[1:])
+        return Constant(token)
+
+    atoms = [
+        Atom(TRIPLE_RELATION, (term(p.subject), term(p.predicate), term(p.object)))
+        for p in query.patterns
+    ]
+    head = Atom(name, tuple(Variable(v) for v in query.projection))
+    return ConjunctiveQuery(head, atoms)
+
+
+def patterns(*triples: Iterable[object]) -> tuple[TriplePattern, ...]:
+    """Convenience constructor for a tuple of :class:`TriplePattern`."""
+    return tuple(TriplePattern(*triple) for triple in triples)

@@ -1,0 +1,118 @@
+"""Reading and writing triple stores in an N-Triples-like line format.
+
+eagle-i and other RDF resources are distributed as triple dumps; this module
+lets the examples and tests persist and reload synthetic stores.  The format
+is a pragmatic subset of N-Triples:
+
+* one triple per line: ``subject predicate object .``
+* terms are either ``<...>`` IRIs, bare CURIEs (``ei:CellLine``), quoted
+  string literals, or unquoted numbers / ``true`` / ``false``
+* ``#`` starts a comment line.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from repro.errors import ParseError
+from repro.rdf.triples import Triple, TripleStore
+
+
+def _render_term(value: object) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return str(value)
+    text = str(value)
+    if text.startswith("<") and text.endswith(">"):
+        return text
+    if ":" in text and " " not in text and not text.startswith('"'):
+        return text
+    escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def _parse_term(token: str, line_number: int) -> object:
+    token = token.strip()
+    if not token:
+        raise ParseError("empty term", position=line_number)
+    if token.startswith('"'):
+        if not token.endswith('"') or len(token) < 2:
+            raise ParseError(f"unterminated literal {token!r}", position=line_number)
+        return token[1:-1].replace('\\"', '"').replace("\\\\", "\\")
+    if token in ("true", "false"):
+        return token == "true"
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        pass
+    return token
+
+
+def _split_line(line: str, line_number: int) -> tuple[str, str, str]:
+    """Split a triple line into three term tokens (object may contain spaces)."""
+    working = line.strip()
+    if working.endswith("."):
+        working = working[:-1].rstrip()
+    parts = working.split(None, 2)
+    if len(parts) != 3:
+        raise ParseError(f"expected three terms, got {len(parts)}", line, line_number)
+    return parts[0], parts[1], parts[2]
+
+
+def dumps_triples(store: TripleStore) -> str:
+    """Serialise a triple store to the line format (deterministic order)."""
+    lines = []
+    for triple in sorted(store, key=lambda t: (t.subject, t.predicate, repr(t.object))):
+        lines.append(
+            f"{_render_term(triple.subject)} {_render_term(triple.predicate)} "
+            f"{_render_term(triple.object)} ."
+        )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def loads_triples(text: str) -> TripleStore:
+    """Parse the line format back into a triple store."""
+    store = TripleStore()
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        subject_token, predicate_token, object_token = _split_line(line, line_number)
+        for token in (subject_token, predicate_token):
+            is_iri = token.startswith("<") and token.endswith(">")
+            is_curie = ":" in token and not token.startswith('"')
+            if not (is_iri or is_curie):
+                raise ParseError(
+                    f"subjects and predicates must be IRIs or CURIEs, got {token!r}",
+                    line,
+                    line_number,
+                )
+        subject = _parse_term(subject_token, line_number)
+        predicate = _parse_term(predicate_token, line_number)
+        obj = _parse_term(object_token, line_number)
+        store.add(Triple(str(subject), str(predicate), obj))
+    return store
+
+
+def write_triples(store: TripleStore, path: str | Path) -> None:
+    """Write a triple store to a file."""
+    Path(path).write_text(dumps_triples(store), encoding="utf-8")
+
+
+def read_triples(path: str | Path) -> TripleStore:
+    """Read a triple store from a file written by :func:`write_triples`."""
+    return loads_triples(Path(path).read_text(encoding="utf-8"))
+
+
+def merge_stores(stores: Iterable[TripleStore]) -> TripleStore:
+    """Union several stores into a new one."""
+    merged = TripleStore()
+    for store in stores:
+        merged.add_many(store)
+    return merged

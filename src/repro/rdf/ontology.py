@@ -1,0 +1,149 @@
+"""RDFS-style ontology reasoning: subclass and subproperty hierarchies.
+
+Determining the class of a resource "involves reasoning over an ontology"
+(paper, Section 3).  The :class:`Ontology` maintains the subclass /
+subproperty graphs, computes transitive closures and classifies resources,
+including finding the *most specific* citable class — the operation the
+class-conditional citation views of :mod:`repro.rdf.citation_rdf` need.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+from repro.errors import OntologyError
+from repro.rdf.triples import RDF_TYPE, RDFS_SUBCLASS_OF, RDFS_SUBPROPERTY_OF, TripleStore
+
+
+class Ontology:
+    """Subclass / subproperty hierarchies with transitive-closure reasoning."""
+
+    def __init__(self) -> None:
+        self._superclasses: dict[str, set[str]] = defaultdict(set)
+        self._superproperties: dict[str, set[str]] = defaultdict(set)
+        self._closure_cache: dict[str, set[str]] | None = None
+
+    # -- construction ---------------------------------------------------------------
+    def add_subclass(self, subclass: str, superclass: str) -> None:
+        """Declare ``subclass ⊑ superclass``."""
+        if subclass == superclass:
+            return
+        self._superclasses[subclass].add(superclass)
+        self._superclasses.setdefault(superclass, set())
+        self._closure_cache = None
+
+    def add_subproperty(self, subproperty: str, superproperty: str) -> None:
+        """Declare ``subproperty ⊑ superproperty``."""
+        if subproperty == superproperty:
+            return
+        self._superproperties[subproperty].add(superproperty)
+        self._superproperties.setdefault(superproperty, set())
+
+    @staticmethod
+    def from_store(store: TripleStore) -> "Ontology":
+        """Build an ontology from the schema triples of a store."""
+        ontology = Ontology()
+        for triple in store.match(None, RDFS_SUBCLASS_OF, None):
+            ontology.add_subclass(triple.subject, str(triple.object))
+        for triple in store.match(None, RDFS_SUBPROPERTY_OF, None):
+            ontology.add_subproperty(triple.subject, str(triple.object))
+        return ontology
+
+    # -- reasoning --------------------------------------------------------------------
+    def classes(self) -> set[str]:
+        """All declared classes."""
+        out = set(self._superclasses)
+        for supers in self._superclasses.values():
+            out.update(supers)
+        return out
+
+    def superclasses(self, cls: str, reflexive: bool = False) -> set[str]:
+        """All (transitive) superclasses of *cls*."""
+        closure = self._closure().get(cls, set())
+        return closure | {cls} if reflexive else set(closure)
+
+    def subclasses(self, cls: str, reflexive: bool = False) -> set[str]:
+        """All (transitive) subclasses of *cls*."""
+        out = {c for c, supers in self._closure().items() if cls in supers}
+        if reflexive:
+            out.add(cls)
+        return out
+
+    def is_subclass_of(self, subclass: str, superclass: str) -> bool:
+        """``True`` when ``subclass ⊑ superclass`` (reflexive)."""
+        if subclass == superclass:
+            return True
+        return superclass in self._closure().get(subclass, set())
+
+    def superproperties(self, prop: str, reflexive: bool = False) -> set[str]:
+        """All (transitive) superproperties of *prop*."""
+        out: set[str] = set()
+        frontier = [prop]
+        while frontier:
+            current = frontier.pop()
+            for parent in self._superproperties.get(current, set()):
+                if parent not in out:
+                    out.add(parent)
+                    frontier.append(parent)
+        if reflexive:
+            out.add(prop)
+        return out
+
+    def depth(self, cls: str) -> int:
+        """Length of the longest superclass chain above *cls*."""
+        parents = self._superclasses.get(cls, set())
+        if not parents:
+            return 0
+        return 1 + max(self.depth(parent) for parent in parents)
+
+    def _closure(self) -> dict[str, set[str]]:
+        if self._closure_cache is not None:
+            return self._closure_cache
+        closure: dict[str, set[str]] = {}
+        for cls in list(self._superclasses):
+            seen: set[str] = set()
+            frontier = list(self._superclasses.get(cls, set()))
+            path_guard = 0
+            while frontier:
+                current = frontier.pop()
+                if current in seen:
+                    continue
+                seen.add(current)
+                frontier.extend(self._superclasses.get(current, set()))
+                path_guard += 1
+                if path_guard > 100_000:
+                    raise OntologyError("subclass hierarchy too large or cyclic")
+            if cls in seen:
+                raise OntologyError(f"cyclic subclass hierarchy involving {cls!r}")
+            closure[cls] = seen
+        self._closure_cache = closure
+        return closure
+
+    # -- classification ----------------------------------------------------------------
+    def types_of(self, store: TripleStore, resource: str) -> set[str]:
+        """Inferred classes of *resource*: asserted types plus their superclasses."""
+        inferred: set[str] = set()
+        for asserted in store.types_of(resource):
+            inferred.add(asserted)
+            inferred.update(self.superclasses(asserted))
+        return inferred
+
+    def most_specific(self, classes: Iterable[str]) -> list[str]:
+        """The minimal (most specific) classes among *classes*."""
+        classes = set(classes)
+        return sorted(
+            cls
+            for cls in classes
+            if not any(
+                other != cls and self.is_subclass_of(other, cls) for other in classes
+            )
+        )
+
+    def instances_of(self, store: TripleStore, cls: str) -> set[str]:
+        """Resources whose inferred types include *cls*."""
+        targets = self.subclasses(cls, reflexive=True)
+        out: set[str] = set()
+        for target in targets:
+            out.update(store.subjects(RDF_TYPE, target))
+        return out

@@ -1,0 +1,136 @@
+"""An in-memory RDF triple store.
+
+Terms are plain strings (URIs / CURIEs) or Python literals.  The store keeps
+SPO/POS/OSP indexes so pattern matching stays fast enough for the eagle-i
+style workloads used in the benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+RDF_TYPE = "rdf:type"
+RDFS_SUBCLASS_OF = "rdfs:subClassOf"
+RDFS_SUBPROPERTY_OF = "rdfs:subPropertyOf"
+RDFS_LABEL = "rdfs:label"
+
+
+@dataclass(frozen=True)
+class Triple:
+    """A single (subject, predicate, object) statement."""
+
+    subject: str
+    predicate: str
+    object: object
+
+    def __iter__(self) -> Iterator[object]:
+        return iter((self.subject, self.predicate, self.object))
+
+
+class TripleStore:
+    """A set of triples with by-position indexes."""
+
+    def __init__(self, triples: Iterable[Triple | tuple] = ()) -> None:
+        self._triples: set[Triple] = set()
+        self._by_subject: dict[str, set[Triple]] = defaultdict(set)
+        self._by_predicate: dict[str, set[Triple]] = defaultdict(set)
+        self._by_object: dict[object, set[Triple]] = defaultdict(set)
+        for triple in triples:
+            self.add(triple)
+
+    # -- mutation ----------------------------------------------------------------
+    def add(self, triple: Triple | tuple) -> bool:
+        """Add a triple; return ``True`` when the store changed."""
+        if not isinstance(triple, Triple):
+            subject, predicate, obj = triple
+            triple = Triple(subject, predicate, obj)
+        if triple in self._triples:
+            return False
+        self._triples.add(triple)
+        self._by_subject[triple.subject].add(triple)
+        self._by_predicate[triple.predicate].add(triple)
+        self._by_object[triple.object].add(triple)
+        return True
+
+    def add_many(self, triples: Iterable[Triple | tuple]) -> int:
+        """Add many triples; return the number actually added."""
+        return sum(1 for triple in triples if self.add(triple))
+
+    def remove(self, triple: Triple | tuple) -> bool:
+        """Remove a triple; return ``True`` when it was present."""
+        if not isinstance(triple, Triple):
+            subject, predicate, obj = triple
+            triple = Triple(subject, predicate, obj)
+        if triple not in self._triples:
+            return False
+        self._triples.discard(triple)
+        self._by_subject[triple.subject].discard(triple)
+        self._by_predicate[triple.predicate].discard(triple)
+        self._by_object[triple.object].discard(triple)
+        return True
+
+    # -- lookup --------------------------------------------------------------------
+    def match(
+        self,
+        subject: str | None = None,
+        predicate: str | None = None,
+        obj: object | None = None,
+    ) -> Iterator[Triple]:
+        """Yield triples matching the given constants (``None`` = wildcard)."""
+        candidate_sets = []
+        if subject is not None:
+            candidate_sets.append(self._by_subject.get(subject, set()))
+        if predicate is not None:
+            candidate_sets.append(self._by_predicate.get(predicate, set()))
+        if obj is not None:
+            candidate_sets.append(self._by_object.get(obj, set()))
+        if not candidate_sets:
+            yield from self._triples
+            return
+        smallest = min(candidate_sets, key=len)
+        for triple in smallest:
+            if subject is not None and triple.subject != subject:
+                continue
+            if predicate is not None and triple.predicate != predicate:
+                continue
+            if obj is not None and triple.object != obj:
+                continue
+            yield triple
+
+    def subjects(self, predicate: str | None = None, obj: object | None = None) -> set[str]:
+        """Distinct subjects of the matching triples."""
+        return {t.subject for t in self.match(None, predicate, obj)}
+
+    def objects(self, subject: str | None = None, predicate: str | None = None) -> set[object]:
+        """Distinct objects of the matching triples."""
+        return {t.object for t in self.match(subject, predicate, None)}
+
+    def properties_of(self, subject: str) -> dict[str, list[object]]:
+        """All (predicate -> list of objects) pairs of one resource."""
+        out: dict[str, list[object]] = defaultdict(list)
+        for triple in self._by_subject.get(subject, set()):
+            out[triple.predicate].append(triple.object)
+        return {k: sorted(v, key=repr) for k, v in out.items()}
+
+    def types_of(self, subject: str) -> set[str]:
+        """Asserted ``rdf:type`` classes of one resource (no inference)."""
+        return {str(o) for o in self.objects(subject, RDF_TYPE)}
+
+    # -- dunder --------------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __contains__(self, triple: object) -> bool:
+        if isinstance(triple, Triple):
+            return triple in self._triples
+        if isinstance(triple, tuple) and len(triple) == 3:
+            return Triple(*triple) in self._triples
+        return False
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self._triples)
+
+    def __repr__(self) -> str:
+        return f"TripleStore({len(self._triples)} triples)"

@@ -1,0 +1,42 @@
+"""In-memory relational database substrate.
+
+This package provides the relational storage layer that the citation model is
+defined over: typed schemas with keys and foreign keys, set-semantics relation
+instances, hash indexes, a small relational-algebra evaluator and CSV/JSON IO.
+
+The substrate is deliberately self-contained: the PODS 2017 paper assumes a
+curated relational database (GtoPdb, Reactome, DrugBank) as the thing being
+cited, so the reproduction builds one rather than depending on an external
+engine.
+"""
+
+from repro.relational.schema import Attribute, DatabaseSchema, ForeignKey, RelationSchema
+from repro.relational.relation import Relation
+from repro.relational.database import Database
+from repro.relational.index import HashIndex
+from repro.relational import algebra
+from repro.relational.csvio import (
+    database_from_dicts,
+    database_to_dicts,
+    dump_database_json,
+    load_database_json,
+    relation_from_csv,
+    relation_to_csv,
+)
+
+__all__ = [
+    "Attribute",
+    "RelationSchema",
+    "ForeignKey",
+    "DatabaseSchema",
+    "Relation",
+    "Database",
+    "HashIndex",
+    "algebra",
+    "relation_from_csv",
+    "relation_to_csv",
+    "database_from_dicts",
+    "database_to_dicts",
+    "dump_database_json",
+    "load_database_json",
+]

@@ -1,0 +1,182 @@
+"""A small relational-algebra layer over :class:`~repro.relational.relation.Relation`.
+
+These operators back the conjunctive-query evaluator and are also useful on
+their own in examples.  All operators are functional: they return new
+relations and never mutate their inputs.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.errors import SchemaError
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, RelationSchema
+
+
+def _derived_schema(name: str, attributes: Sequence[Attribute]) -> RelationSchema:
+    return RelationSchema(name, attributes, key=None)
+
+
+def select(relation: Relation, predicate: Callable[[Mapping[str, object]], bool]) -> Relation:
+    """Selection: keep rows whose attribute-dict satisfies *predicate*."""
+    schema = relation.schema
+    keep = (
+        row
+        for row in relation
+        if predicate(dict(zip(schema.attribute_names, row)))
+    )
+    return Relation(_derived_schema(schema.name, schema.attributes), keep)
+
+
+def select_eq(relation: Relation, attribute: str, value: object) -> Relation:
+    """Selection by equality on a single attribute."""
+    pos = relation.schema.position(attribute)
+    keep = (row for row in relation if row[pos] == value)
+    return Relation(
+        _derived_schema(relation.schema.name, relation.schema.attributes), keep
+    )
+
+
+def project(relation: Relation, attributes: Sequence[str], name: str | None = None) -> Relation:
+    """Projection onto *attributes* (set semantics, duplicates removed)."""
+    schema = relation.schema
+    positions = [schema.position(a) for a in attributes]
+    new_attrs = [schema.attributes[i] for i in positions]
+    out_name = name or f"project_{schema.name}"
+    rows = {tuple(row[i] for i in positions) for row in relation}
+    return Relation(_derived_schema(out_name, new_attrs), rows)
+
+
+def rename(relation: Relation, mapping: Mapping[str, str], name: str | None = None) -> Relation:
+    """Rename attributes according to *mapping* (missing attributes keep their name)."""
+    schema = relation.schema
+    new_attrs = [
+        Attribute(mapping.get(a.name, a.name), a.dtype) for a in schema.attributes
+    ]
+    return Relation(_derived_schema(name or schema.name, new_attrs), relation.rows)
+
+
+def union(left: Relation, right: Relation, name: str | None = None) -> Relation:
+    """Set union; both inputs must have the same arity."""
+    if left.schema.arity != right.schema.arity:
+        raise SchemaError(
+            f"union arity mismatch: {left.schema.arity} vs {right.schema.arity}"
+        )
+    out = Relation(
+        _derived_schema(name or left.schema.name, left.schema.attributes), left.rows
+    )
+    out.insert_many(right.rows)
+    return out
+
+
+def difference(left: Relation, right: Relation, name: str | None = None) -> Relation:
+    """Set difference (left rows not present in right)."""
+    if left.schema.arity != right.schema.arity:
+        raise SchemaError(
+            f"difference arity mismatch: {left.schema.arity} vs {right.schema.arity}"
+        )
+    rows = left.rows - right.rows
+    return Relation(_derived_schema(name or left.schema.name, left.schema.attributes), rows)
+
+
+def intersection(left: Relation, right: Relation, name: str | None = None) -> Relation:
+    """Set intersection."""
+    if left.schema.arity != right.schema.arity:
+        raise SchemaError(
+            f"intersection arity mismatch: {left.schema.arity} vs {right.schema.arity}"
+        )
+    rows = left.rows & right.rows
+    return Relation(_derived_schema(name or left.schema.name, left.schema.attributes), rows)
+
+
+def cartesian_product(left: Relation, right: Relation, name: str | None = None) -> Relation:
+    """Cartesian product; attribute names are prefixed to stay unique."""
+    left_attrs = [
+        Attribute(f"{left.schema.name}.{a.name}", a.dtype) for a in left.schema.attributes
+    ]
+    right_attrs = [
+        Attribute(f"{right.schema.name}.{a.name}", a.dtype) for a in right.schema.attributes
+    ]
+    rows = (l + r for l in left for r in right)
+    return Relation(
+        _derived_schema(name or f"{left.schema.name}_x_{right.schema.name}", left_attrs + right_attrs),
+        rows,
+    )
+
+
+def natural_join(left: Relation, right: Relation, name: str | None = None) -> Relation:
+    """Natural join on the attributes the two schemas share (hash join)."""
+    shared = [a for a in left.schema.attribute_names if right.schema.has_attribute(a)]
+    left_pos = [left.schema.position(a) for a in shared]
+    right_pos = [right.schema.position(a) for a in shared]
+    right_keep = [
+        i for i, a in enumerate(right.schema.attribute_names) if a not in shared
+    ]
+    out_attrs = list(left.schema.attributes) + [
+        right.schema.attributes[i] for i in right_keep
+    ]
+    buckets: dict[tuple, list[tuple]] = defaultdict(list)
+    for row in right:
+        buckets[tuple(row[i] for i in right_pos)].append(row)
+    rows = []
+    for row in left:
+        key = tuple(row[i] for i in left_pos)
+        for match in buckets.get(key, ()):
+            rows.append(row + tuple(match[i] for i in right_keep))
+    return Relation(
+        _derived_schema(name or f"{left.schema.name}_join_{right.schema.name}", out_attrs),
+        rows,
+    )
+
+
+def equi_join(
+    left: Relation,
+    right: Relation,
+    pairs: Iterable[tuple[str, str]],
+    name: str | None = None,
+) -> Relation:
+    """Join on explicit ``(left_attr, right_attr)`` equality pairs."""
+    pairs = list(pairs)
+    left_pos = [left.schema.position(l) for l, _r in pairs]
+    right_pos = [right.schema.position(r) for _l, r in pairs]
+    out_attrs = [
+        Attribute(f"{left.schema.name}.{a.name}", a.dtype) for a in left.schema.attributes
+    ] + [
+        Attribute(f"{right.schema.name}.{a.name}", a.dtype) for a in right.schema.attributes
+    ]
+    buckets: dict[tuple, list[tuple]] = defaultdict(list)
+    for row in right:
+        buckets[tuple(row[i] for i in right_pos)].append(row)
+    rows = []
+    for row in left:
+        key = tuple(row[i] for i in left_pos)
+        for match in buckets.get(key, ()):
+            rows.append(row + match)
+    return Relation(
+        _derived_schema(name or f"{left.schema.name}_join_{right.schema.name}", out_attrs),
+        rows,
+    )
+
+
+def semi_join(left: Relation, right: Relation, pairs: Iterable[tuple[str, str]]) -> Relation:
+    """Left semi-join: left rows that have at least one match in right."""
+    pairs = list(pairs)
+    left_pos = [left.schema.position(l) for l, _r in pairs]
+    right_pos = [right.schema.position(r) for _l, r in pairs]
+    keys = {tuple(row[i] for i in right_pos) for row in right}
+    rows = (row for row in left if tuple(row[i] for i in left_pos) in keys)
+    return Relation(_derived_schema(left.schema.name, left.schema.attributes), rows)
+
+
+def group_count(relation: Relation, attributes: Sequence[str], name: str | None = None) -> Relation:
+    """Group by *attributes* and count rows per group (bag-style aggregate)."""
+    schema = relation.schema
+    positions = [schema.position(a) for a in attributes]
+    counts: dict[tuple, int] = defaultdict(int)
+    for row in relation:
+        counts[tuple(row[i] for i in positions)] += 1
+    out_attrs = [schema.attributes[i] for i in positions] + [Attribute("count", int)]
+    rows = (key + (count,) for key, count in counts.items())
+    return Relation(_derived_schema(name or f"count_{schema.name}", out_attrs), rows)

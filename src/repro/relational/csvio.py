@@ -1,0 +1,141 @@
+"""CSV / JSON import-export for relations and databases.
+
+Curated databases such as GtoPdb distribute their content as downloadable CSV
+files; this module lets example scripts and tests round-trip database content
+through files so that citation resolution can be demonstrated against
+persisted snapshots.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.errors import SchemaError
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, DatabaseSchema, RelationSchema
+
+_TYPE_NAMES = {"str": str, "int": int, "float": float, "bool": bool, "object": object}
+
+
+def _coerce(value: str, dtype: type) -> object:
+    if dtype is str or dtype is object:
+        return value
+    if value == "":
+        return None
+    if dtype is int:
+        return int(value)
+    if dtype is float:
+        return float(value)
+    if dtype is bool:
+        return value.lower() in ("1", "true", "yes")
+    raise SchemaError(f"cannot coerce CSV value {value!r} to {dtype!r}")
+
+
+def relation_to_csv(relation: Relation, path: str | Path) -> None:
+    """Write *relation* to a CSV file with a header row."""
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(relation.schema.attribute_names)
+        for row in relation.sorted_rows():
+            writer.writerow(["" if v is None else v for v in row])
+
+
+def relation_from_csv(schema: RelationSchema, path: str | Path) -> Relation:
+    """Read a relation from a CSV file written by :func:`relation_to_csv`."""
+    path = Path(path)
+    relation = Relation(schema)
+    with path.open("r", newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None:
+            return relation
+        if tuple(header) != schema.attribute_names:
+            raise SchemaError(
+                f"CSV header {header!r} does not match schema attributes "
+                f"{list(schema.attribute_names)}"
+            )
+        for raw in reader:
+            row = tuple(
+                _coerce(value, attr.dtype)
+                for value, attr in zip(raw, schema.attributes)
+            )
+            relation.insert(row)
+    return relation
+
+
+def database_to_dicts(db: Database) -> dict[str, list[dict[str, object]]]:
+    """Serialise a database instance as ``{relation: [row dicts]}``."""
+    return {rel.schema.name: rel.as_dicts() for rel in db.relations()}
+
+
+def database_from_dicts(
+    schema: DatabaseSchema, data: Mapping[str, Iterable[Mapping[str, object]]]
+) -> Database:
+    """Build a database from ``{relation: [row dicts]}`` data."""
+    db = Database(schema, enforce_foreign_keys=False)
+    for name, rows in data.items():
+        db.insert_many(name, list(rows))
+    db.enforce_foreign_keys = True
+    return db
+
+
+def _schema_to_json(schema: DatabaseSchema) -> dict:
+    return {
+        "relations": [
+            {
+                "name": rs.name,
+                "attributes": [
+                    {"name": a.name, "type": a.dtype.__name__} for a in rs.attributes
+                ],
+                "key": list(rs.key) if rs.key else None,
+            }
+            for rs in schema
+        ],
+        "foreign_keys": [
+            {
+                "source": fk.source,
+                "columns": list(fk.columns),
+                "target": fk.target,
+                "ref_columns": list(fk.ref_columns),
+            }
+            for fk in schema.foreign_keys
+        ],
+    }
+
+
+def _schema_from_json(data: Mapping) -> DatabaseSchema:
+    from repro.relational.schema import ForeignKey
+
+    relations = [
+        RelationSchema(
+            rel["name"],
+            [Attribute(a["name"], _TYPE_NAMES[a["type"]]) for a in rel["attributes"]],
+            key=rel.get("key"),
+        )
+        for rel in data["relations"]
+    ]
+    foreign_keys = [
+        ForeignKey(
+            fk["source"], tuple(fk["columns"]), fk["target"], tuple(fk["ref_columns"])
+        )
+        for fk in data.get("foreign_keys", [])
+    ]
+    return DatabaseSchema(relations, foreign_keys)
+
+
+def dump_database_json(db: Database, path: str | Path) -> None:
+    """Write schema and content of *db* to a JSON file."""
+    payload = {"schema": _schema_to_json(db.schema), "data": database_to_dicts(db)}
+    Path(path).write_text(json.dumps(payload, indent=2, default=str), encoding="utf-8")
+
+
+def load_database_json(path: str | Path) -> Database:
+    """Load a database previously written by :func:`dump_database_json`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    schema = _schema_from_json(payload["schema"])
+    return database_from_dicts(schema, payload["data"])

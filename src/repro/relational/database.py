@@ -1,0 +1,203 @@
+"""The :class:`Database`: a set of relation instances plus constraint checking.
+
+The database is the object being *cited*.  It supports ordinary updates
+(insert / delete), integrity enforcement (keys and foreign keys), on-demand
+hash indexes and cheap content hashing, which the versioning layer
+(:mod:`repro.versioning`) uses for fixity checks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import IntegrityError, UnknownRelationError
+from repro.relational.index import HashIndex
+from repro.relational.relation import Relation
+from repro.relational.schema import DatabaseSchema, ForeignKey, RelationSchema
+
+
+class Database:
+    """An in-memory relational database instance.
+
+    Parameters
+    ----------
+    schema:
+        The database schema.  Every declared relation gets an (initially
+        empty) instance.
+    enforce_foreign_keys:
+        When ``True`` (default) inserts and deletes are checked against the
+        declared foreign keys.
+    """
+
+    def __init__(self, schema: DatabaseSchema, enforce_foreign_keys: bool = True) -> None:
+        self.schema = schema
+        self.enforce_foreign_keys = enforce_foreign_keys
+        self._relations: dict[str, Relation] = {
+            rs.name: Relation(rs) for rs in schema
+        }
+        self._indexes: dict[tuple[str, tuple[int, ...]], HashIndex] = {}
+
+    # -- relation access ---------------------------------------------------
+    def relation(self, name: str) -> Relation:
+        """Return the relation instance named *name*."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise UnknownRelationError(name) from None
+
+    def relation_schema(self, name: str) -> RelationSchema:
+        """Return the schema of relation *name*."""
+        return self.schema.relation(name)
+
+    def relations(self) -> Iterator[Relation]:
+        """Iterate over all relation instances."""
+        return iter(self._relations.values())
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._relations
+
+    # -- updates -------------------------------------------------------------
+    def insert(self, relation: str, row: tuple | Mapping[str, object]) -> bool:
+        """Insert *row* into *relation*; return ``True`` when the DB changed."""
+        target = self.relation(relation)
+        if isinstance(row, Mapping):
+            row = target.schema.row_from_mapping(row)
+        else:
+            row = target.schema.validate_row(row)
+        if self.enforce_foreign_keys:
+            self._check_foreign_keys_on_insert(relation, row)
+        changed = target.insert(row)
+        if changed:
+            self._update_indexes_on_insert(relation, row)
+        return changed
+
+    def insert_many(self, relation: str, rows: Iterable[tuple | Mapping[str, object]]) -> int:
+        """Insert many rows; return the number of rows actually added."""
+        return sum(1 for row in rows if self.insert(relation, row))
+
+    def delete(self, relation: str, row: tuple) -> bool:
+        """Delete *row* from *relation*; return ``True`` when it was present."""
+        target = self.relation(relation)
+        row = tuple(row)
+        if self.enforce_foreign_keys and row in target:
+            self._check_foreign_keys_on_delete(relation, row)
+        changed = target.delete(row)
+        if changed:
+            self._update_indexes_on_delete(relation, row)
+        return changed
+
+    # -- constraints ----------------------------------------------------------
+    def _referencing_keys(self, relation: str) -> list[ForeignKey]:
+        return [fk for fk in self.schema.foreign_keys if fk.target == relation]
+
+    def _outgoing_keys(self, relation: str) -> list[ForeignKey]:
+        return [fk for fk in self.schema.foreign_keys if fk.source == relation]
+
+    def _check_foreign_keys_on_insert(self, relation: str, row: tuple) -> None:
+        source_schema = self.relation_schema(relation)
+        for fk in self._outgoing_keys(relation):
+            values = tuple(row[source_schema.position(c)] for c in fk.columns)
+            if any(v is None for v in values):
+                continue
+            target_schema = self.relation_schema(fk.target)
+            positions = tuple(target_schema.position(c) for c in fk.ref_columns)
+            target = self.relation(fk.target)
+            if not any(True for _ in target.rows_matching(dict(zip(positions, values)))):
+                raise IntegrityError(
+                    f"foreign key violation: {relation}{fk.columns}={values!r} "
+                    f"has no match in {fk.target}{fk.ref_columns}"
+                )
+
+    def _check_foreign_keys_on_delete(self, relation: str, row: tuple) -> None:
+        target_schema = self.relation_schema(relation)
+        for fk in self._referencing_keys(relation):
+            values = tuple(row[target_schema.position(c)] for c in fk.ref_columns)
+            source_schema = self.relation_schema(fk.source)
+            positions = tuple(source_schema.position(c) for c in fk.columns)
+            source = self.relation(fk.source)
+            if any(True for _ in source.rows_matching(dict(zip(positions, values)))):
+                raise IntegrityError(
+                    f"foreign key violation: cannot delete {row!r} from {relation}; "
+                    f"still referenced by {fk.source}{fk.columns}"
+                )
+
+    def validate(self) -> list[str]:
+        """Check all constraints over the full instance; return violation messages."""
+        problems: list[str] = []
+        for fk in self.schema.foreign_keys:
+            source_schema = self.relation_schema(fk.source)
+            target_schema = self.relation_schema(fk.target)
+            src_positions = tuple(source_schema.position(c) for c in fk.columns)
+            tgt_positions = tuple(target_schema.position(c) for c in fk.ref_columns)
+            available = self.relation(fk.target).project_positions(tgt_positions)
+            for row in self.relation(fk.source):
+                values = tuple(row[i] for i in src_positions)
+                if any(v is None for v in values):
+                    continue
+                if values not in available:
+                    problems.append(
+                        f"{fk.source}{fk.columns}={values!r} missing from "
+                        f"{fk.target}{fk.ref_columns}"
+                    )
+        return problems
+
+    # -- indexes ----------------------------------------------------------------
+    def index_on(self, relation: str, attributes: Iterable[str]) -> HashIndex:
+        """Return (building if necessary) a hash index on *attributes* of *relation*."""
+        schema = self.relation_schema(relation)
+        positions = tuple(schema.position(a) for a in attributes)
+        key = (relation, positions)
+        index = self._indexes.get(key)
+        if index is None:
+            index = HashIndex(self.relation(relation), positions)
+            self._indexes[key] = index
+        return index
+
+    def _update_indexes_on_insert(self, relation: str, row: tuple) -> None:
+        for (name, _positions), index in self._indexes.items():
+            if name == relation:
+                index.add(row)
+
+    def _update_indexes_on_delete(self, relation: str, row: tuple) -> None:
+        for (name, _positions), index in self._indexes.items():
+            if name == relation:
+                index.remove(row)
+
+    # -- inspection ---------------------------------------------------------------
+    def total_rows(self) -> int:
+        """Total number of rows across all relations."""
+        return sum(len(r) for r in self._relations.values())
+
+    def sizes(self) -> dict[str, int]:
+        """Per-relation row counts."""
+        return {name: len(rel) for name, rel in self._relations.items()}
+
+    def content_hash(self) -> str:
+        """A deterministic SHA-256 hash of the full database content.
+
+        Used by the fixity layer to detect whether cited data has changed.
+        """
+        digest = hashlib.sha256()
+        for name in sorted(self._relations):
+            digest.update(name.encode("utf-8"))
+            for row in self._relations[name].sorted_rows():
+                digest.update(repr(row).encode("utf-8"))
+        return digest.hexdigest()
+
+    def copy(self) -> "Database":
+        """Return an independent copy sharing the (immutable) schema."""
+        clone = Database(self.schema, enforce_foreign_keys=False)
+        for name, rel in self._relations.items():
+            clone._relations[name] = rel.copy()
+        clone.enforce_foreign_keys = self.enforce_foreign_keys
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Database):
+            return NotImplemented
+        return self.schema == other.schema and self._relations == other._relations
+
+    def __repr__(self) -> str:
+        sizes = ", ".join(f"{n}={len(r)}" for n, r in self._relations.items())
+        return f"Database({sizes})"

@@ -1,0 +1,66 @@
+"""Hash indexes over relation columns.
+
+Indexes accelerate the join evaluation in :mod:`repro.query.evaluator` and the
+parameterised citation-query lookups in :mod:`repro.core.engine`.  They are
+built on demand and owned by the :class:`~repro.relational.database.Database`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator
+
+from repro.relational.relation import Relation
+
+
+class HashIndex:
+    """A hash index mapping a projection of a row to the rows sharing it."""
+
+    __slots__ = ("relation_name", "positions", "_buckets", "_size")
+
+    def __init__(self, relation: Relation, positions: Iterable[int]) -> None:
+        self.relation_name = relation.schema.name
+        self.positions = tuple(positions)
+        self._buckets: dict[tuple, list[tuple]] = defaultdict(list)
+        self._size = 0
+        for row in relation:
+            self.add(row)
+
+    def _key(self, row: tuple) -> tuple:
+        return tuple(row[i] for i in self.positions)
+
+    def add(self, row: tuple) -> None:
+        """Index *row*."""
+        self._buckets[self._key(row)].append(row)
+        self._size += 1
+
+    def remove(self, row: tuple) -> None:
+        """Remove *row* from the index (no-op when absent)."""
+        key = self._key(row)
+        bucket = self._buckets.get(key)
+        if not bucket:
+            return
+        try:
+            bucket.remove(row)
+            self._size -= 1
+        except ValueError:
+            return
+        if not bucket:
+            del self._buckets[key]
+
+    def lookup(self, key: tuple) -> Iterator[tuple]:
+        """Yield all indexed rows whose projection equals *key*."""
+        yield from self._buckets.get(tuple(key), ())
+
+    def keys(self) -> Iterator[tuple]:
+        """Yield the distinct keys present in the index."""
+        return iter(self._buckets)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __repr__(self) -> str:
+        return (
+            f"HashIndex({self.relation_name}, positions={list(self.positions)}, "
+            f"{len(self._buckets)} keys)"
+        )

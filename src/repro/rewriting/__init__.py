@@ -1,0 +1,31 @@
+"""Answering queries using views: the rewriting substrate of the citation model.
+
+The paper's approach rewrites a general query into equivalent queries over the
+*citation views* and combines their citations.  This package provides:
+
+* :mod:`repro.rewriting.view` — view definitions (a named conjunctive query),
+* :mod:`repro.rewriting.rewriting` — the :class:`Rewriting` object, expansion
+  of view atoms into base atoms, and verification of equivalence,
+* :mod:`repro.rewriting.bucket` — the classical Bucket algorithm,
+* :mod:`repro.rewriting.minicon` — a MiniCon-style algorithm (MCD generation
+  and combination),
+* :mod:`repro.rewriting.cost` — cost estimation used to prune the rewriting
+  search space (paper, Section 3 "Calculating citations").
+"""
+
+from repro.rewriting.view import View, materialize_views
+from repro.rewriting.rewriting import Rewriting, expand_rewriting, is_equivalent_rewriting
+from repro.rewriting.bucket import BucketRewriter
+from repro.rewriting.minicon import MiniConRewriter
+from repro.rewriting.cost import RewritingCostModel
+
+__all__ = [
+    "View",
+    "materialize_views",
+    "Rewriting",
+    "expand_rewriting",
+    "is_equivalent_rewriting",
+    "BucketRewriter",
+    "MiniConRewriter",
+    "RewritingCostModel",
+]

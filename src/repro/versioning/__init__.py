@@ -1,0 +1,24 @@
+"""Fixity: versioned databases and resolvable, time-pinned citations.
+
+One of the core principles of data citation (FORCE-11, CODATA) is *fixity*:
+a citation must bring back the data as seen at the time it was cited even
+though the database keeps evolving.  The paper sketches the standard
+solution — versioning plus a query (or a means of recovering it) and a
+timestamp / version number inside the citation — and points to the Pröll &
+Rauber query-store prototype.  This package implements that mechanism:
+
+* :mod:`repro.versioning.version_store` — a multi-version database using
+  delta chains with periodic snapshots,
+* :mod:`repro.versioning.persistent` — persistent citations that pin the
+  query, the version and a content digest, and can be re-resolved later.
+"""
+
+from repro.versioning.version_store import Version, VersionedDatabase
+from repro.versioning.persistent import PersistentCitation, CitationResolver
+
+__all__ = [
+    "Version",
+    "VersionedDatabase",
+    "PersistentCitation",
+    "CitationResolver",
+]

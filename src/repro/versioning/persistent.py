@@ -1,0 +1,145 @@
+"""Persistent, resolvable citations (the fixity mechanism).
+
+A :class:`PersistentCitation` packages everything needed to retrieve the data
+exactly as it was cited: the query text, the database version, the version's
+content hash and the human-readable citation snippets.  A
+:class:`CitationResolver` re-executes the query against the pinned version
+and checks the content hash, so a reader can verify that the retrieved data
+matches the citation even though the live database has moved on.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.citation import Citation
+from repro.core.citation_view import CitationView
+from repro.core.engine import CitationEngine, CitedResult
+from repro.core.policy import CitationPolicy
+from repro.errors import VersionError
+from repro.query.parser import parse_query
+from repro.versioning.version_store import VersionedDatabase
+
+
+@dataclass(frozen=True)
+class PersistentCitation:
+    """A citation that can be stored, exchanged and later re-resolved."""
+
+    query_text: str
+    version_id: int
+    version_timestamp: str
+    content_hash: str
+    citation_json: str
+
+    def citation(self) -> Citation:
+        """The human-facing citation snippets (without re-resolving the data)."""
+        payload = json.loads(self.citation_json)
+        from repro.core.record import CitationRecord
+
+        records = frozenset(CitationRecord(fields) for fields in payload["records"])
+        return Citation(
+            records,
+            query_text=self.query_text,
+            version=str(self.version_id),
+            timestamp=self.version_timestamp,
+        )
+
+    def to_json(self) -> str:
+        """Serialise the persistent citation (e.g. to store in a reference manager)."""
+        return json.dumps(
+            {
+                "query": self.query_text,
+                "version": self.version_id,
+                "timestamp": self.version_timestamp,
+                "content_hash": self.content_hash,
+                "citation": json.loads(self.citation_json),
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    @staticmethod
+    def from_json(text: str) -> "PersistentCitation":
+        """Inverse of :meth:`to_json`."""
+        payload = json.loads(text)
+        return PersistentCitation(
+            query_text=payload["query"],
+            version_id=payload["version"],
+            version_timestamp=payload["timestamp"],
+            content_hash=payload["content_hash"],
+            citation_json=json.dumps(payload["citation"]),
+        )
+
+
+class CitationResolver:
+    """Creates and resolves persistent citations against a versioned database."""
+
+    def __init__(
+        self,
+        versioned: VersionedDatabase,
+        citation_views: Sequence[CitationView],
+        policy: CitationPolicy | None = None,
+    ) -> None:
+        self.versioned = versioned
+        self.citation_views = list(citation_views)
+        self.policy = policy or CitationPolicy.default()
+
+    def _engine_for(self, version_id: int) -> CitationEngine:
+        database = self.versioned.materialize(version_id)
+        return CitationEngine(
+            database, self.citation_views, policy=self.policy, on_no_rewriting="fallback"
+        )
+
+    # -- creating persistent citations -------------------------------------------------
+    def cite_current(self, query_text: str) -> PersistentCitation:
+        """Cite *query_text* against the latest committed version."""
+        version = self.versioned.current_version
+        return self.cite_at(query_text, version.version_id)
+
+    def cite_at(self, query_text: str, version_id: int) -> PersistentCitation:
+        """Cite *query_text* against a specific committed version."""
+        version = self.versioned.version(version_id)
+        engine = self._engine_for(version_id)
+        result = engine.cite(parse_query(query_text))
+        payload = {
+            "records": [record.as_dict() for record in result.citation.sorted_records()]
+        }
+        return PersistentCitation(
+            query_text=query_text,
+            version_id=version.version_id,
+            version_timestamp=version.timestamp,
+            content_hash=version.content_hash,
+            citation_json=json.dumps(payload, default=_jsonable, sort_keys=True),
+        )
+
+    # -- resolving ----------------------------------------------------------------------
+    def resolve(self, persistent: PersistentCitation, verify: bool = True) -> CitedResult:
+        """Re-execute the cited query against the pinned version.
+
+        With ``verify=True`` the reconstructed version's content hash must
+        match the one recorded in the citation, otherwise :class:`VersionError`
+        is raised — this is the fixity guarantee.
+        """
+        version = self.versioned.version(persistent.version_id)
+        if verify:
+            database = self.versioned.materialize(persistent.version_id)
+            actual = database.content_hash()
+            if actual != persistent.content_hash or actual != version.content_hash:
+                raise VersionError(
+                    f"fixity violation: content of version {persistent.version_id} has hash "
+                    f"{actual[:12]}..., citation recorded {persistent.content_hash[:12]}..."
+                )
+        engine = self._engine_for(persistent.version_id)
+        return engine.cite(parse_query(persistent.query_text))
+
+    def has_drifted(self, persistent: PersistentCitation) -> bool:
+        """``True`` when the *current* data differs from the cited version's data."""
+        return self.versioned.working.content_hash() != persistent.content_hash
+
+
+def _jsonable(value: object) -> object:
+    if isinstance(value, tuple):
+        return list(value)
+    return str(value)

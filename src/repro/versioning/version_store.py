@@ -1,0 +1,207 @@
+"""A multi-version database: snapshots, deltas and time travel.
+
+The :class:`VersionedDatabase` wraps a working :class:`~repro.relational.database.Database`
+and records every committed version.  Storage uses *delta chains*: each
+version stores the inserted and deleted rows relative to its parent, with a
+full snapshot taken every ``snapshot_interval`` versions so that
+reconstruction cost stays bounded.  Both strategies ("delta" vs "snapshot
+only") are exposed because DESIGN.md calls the choice out for ablation (E6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Literal, Mapping
+
+from repro.errors import VersionError
+from repro.relational.database import Database
+from repro.relational.schema import DatabaseSchema
+
+
+@dataclass(frozen=True)
+class Version:
+    """Metadata of one committed database version."""
+
+    version_id: int
+    timestamp: str
+    message: str
+    content_hash: str
+    parent: int | None
+
+
+@dataclass
+class _Delta:
+    """Row-level changes of one version relative to its parent."""
+
+    inserted: dict[str, set[tuple]] = field(default_factory=dict)
+    deleted: dict[str, set[tuple]] = field(default_factory=dict)
+
+    def record_insert(self, relation: str, row: tuple) -> None:
+        if row in self.deleted.get(relation, set()):
+            self.deleted[relation].discard(row)
+        else:
+            self.inserted.setdefault(relation, set()).add(row)
+
+    def record_delete(self, relation: str, row: tuple) -> None:
+        if row in self.inserted.get(relation, set()):
+            self.inserted[relation].discard(row)
+        else:
+            self.deleted.setdefault(relation, set()).add(row)
+
+    def is_empty(self) -> bool:
+        return not any(self.inserted.values()) and not any(self.deleted.values())
+
+    def change_count(self) -> int:
+        return sum(len(rows) for rows in self.inserted.values()) + sum(
+            len(rows) for rows in self.deleted.values()
+        )
+
+
+class VersionedDatabase:
+    """A database whose history of versions can be re-materialised.
+
+    Parameters
+    ----------
+    schema:
+        Schema of the database.
+    storage:
+        ``"delta"`` (default) stores per-version deltas with periodic
+        snapshots; ``"snapshot"`` stores a full copy per version.
+    snapshot_interval:
+        With delta storage, a full snapshot is kept every this many versions.
+    clock:
+        Callable returning the commit timestamp string; injectable for
+        deterministic tests.
+    """
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        storage: Literal["delta", "snapshot"] = "delta",
+        snapshot_interval: int = 10,
+        clock=None,
+    ) -> None:
+        self.schema = schema
+        self.storage = storage
+        self.snapshot_interval = max(1, snapshot_interval)
+        self._clock = clock or _default_clock
+        self.working = Database(schema)
+        self._versions: list[Version] = []
+        self._deltas: dict[int, _Delta] = {}
+        self._snapshots: dict[int, Database] = {}
+        self._pending = _Delta()
+
+    # -- updates to the working copy ------------------------------------------------
+    def insert(self, relation: str, row: tuple | Mapping[str, object]) -> bool:
+        """Insert into the working copy (not yet committed)."""
+        target = self.working.relation(relation)
+        if isinstance(row, Mapping):
+            row = target.schema.row_from_mapping(row)
+        else:
+            row = target.schema.validate_row(tuple(row))
+        changed = self.working.insert(relation, row)
+        if changed:
+            self._pending.record_insert(relation, row)
+        return changed
+
+    def insert_many(self, relation: str, rows: Iterable[tuple | Mapping[str, object]]) -> int:
+        """Insert many rows into the working copy."""
+        return sum(1 for row in rows if self.insert(relation, row))
+
+    def delete(self, relation: str, row: tuple) -> bool:
+        """Delete from the working copy (not yet committed)."""
+        row = tuple(row)
+        changed = self.working.delete(relation, row)
+        if changed:
+            self._pending.record_delete(relation, row)
+        return changed
+
+    # -- committing --------------------------------------------------------------------
+    def commit(self, message: str = "") -> Version:
+        """Commit the pending changes as a new version and return its metadata."""
+        version_id = len(self._versions)
+        parent = version_id - 1 if version_id > 0 else None
+        version = Version(
+            version_id=version_id,
+            timestamp=self._clock(),
+            message=message,
+            content_hash=self.working.content_hash(),
+            parent=parent,
+        )
+        self._versions.append(version)
+        if self.storage == "snapshot" or version_id % self.snapshot_interval == 0:
+            self._snapshots[version_id] = self.working.copy()
+        self._deltas[version_id] = self._pending
+        self._pending = _Delta()
+        return version
+
+    # -- history ------------------------------------------------------------------------
+    @property
+    def versions(self) -> tuple[Version, ...]:
+        """All committed versions, oldest first."""
+        return tuple(self._versions)
+
+    @property
+    def current_version(self) -> Version:
+        """Metadata of the most recent commit."""
+        if not self._versions:
+            raise VersionError("no version has been committed yet")
+        return self._versions[-1]
+
+    def version(self, version_id: int) -> Version:
+        """Metadata of version *version_id*."""
+        if not 0 <= version_id < len(self._versions):
+            raise VersionError(f"unknown version {version_id}")
+        return self._versions[version_id]
+
+    def has_uncommitted_changes(self) -> bool:
+        """``True`` when the working copy differs from the last commit."""
+        return not self._pending.is_empty()
+
+    def storage_cost(self) -> dict[str, int]:
+        """Rows held in snapshots and deltas (for the E6 storage ablation)."""
+        snapshot_rows = sum(db.total_rows() for db in self._snapshots.values())
+        delta_rows = sum(delta.change_count() for delta in self._deltas.values())
+        return {
+            "snapshots": len(self._snapshots),
+            "snapshot_rows": snapshot_rows,
+            "delta_rows": delta_rows,
+        }
+
+    # -- reconstruction --------------------------------------------------------------------
+    def materialize(self, version_id: int) -> Database:
+        """Reconstruct the database content as of version *version_id*."""
+        self.version(version_id)  # validates
+        base_id = max(
+            (vid for vid in self._snapshots if vid <= version_id), default=None
+        )
+        if base_id is None:
+            database = Database(self.schema, enforce_foreign_keys=False)
+            start = 0
+        else:
+            database = self._snapshots[base_id].copy()
+            database.enforce_foreign_keys = False
+            start = base_id + 1
+        for vid in range(start, version_id + 1):
+            delta = self._deltas.get(vid)
+            if delta is None:
+                continue
+            for relation, rows in delta.deleted.items():
+                for row in rows:
+                    database.relation(relation).delete(row)
+            for relation, rows in delta.inserted.items():
+                for row in rows:
+                    database.relation(relation).insert(row)
+        database.enforce_foreign_keys = True
+        return database
+
+    def verify(self, version_id: int) -> bool:
+        """Check that reconstruction reproduces the recorded content hash."""
+        reconstructed = self.materialize(version_id)
+        return reconstructed.content_hash() == self.version(version_id).content_hash
+
+
+def _default_clock() -> str:
+    import datetime
+
+    return datetime.datetime.now(datetime.timezone.utc).isoformat(timespec="seconds")

@@ -1,0 +1,23 @@
+"""Synthetic curated databases and query workloads.
+
+The paper motivates the citation problem with four production systems:
+GtoPdb (IUPHAR/BPS Guide to Pharmacology), eagle-i, Reactome and DrugBank.
+Their contents are proprietary or too large to ship, so this package provides
+synthetic generators that reproduce the *structural* properties the citation
+model depends on: keyed relations, per-unit curator assignments, shared names
+(so multiple bindings per output tuple occur), ontology-classified RDF
+resources, and so on.  DESIGN.md documents the substitution.
+"""
+
+from repro.workloads import drugbank, eagle_i, gtopdb, reactome
+from repro.workloads.query_workload import WorkloadGenerator, chain_query, star_query
+
+__all__ = [
+    "gtopdb",
+    "eagle_i",
+    "reactome",
+    "drugbank",
+    "WorkloadGenerator",
+    "chain_query",
+    "star_query",
+]

@@ -1,0 +1,209 @@
+"""A synthetic DrugBank-style database.
+
+DrugBank is "a relational database combining chemical, pharmacological and
+pharmaceutical data with sequence, structure, and pathway information"
+(paper, Section 1); its citation guidance asks users to cite the database
+release plus the accession number of the drug card they used.  The synthetic
+schema models drugs, their targets, interactions between drugs and the
+database release metadata, with citation views at both granularities.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.citation_view import CitationView, DefaultCitationFunction
+from repro.query.parser import parse_query
+from repro.relational.database import Database
+from repro.relational.schema import Attribute, DatabaseSchema, ForeignKey, RelationSchema
+
+DATABASE_TITLE = "DrugBank Online"
+
+_GROUPS = ("approved", "investigational", "experimental", "withdrawn")
+_ACTIONS = ("inhibitor", "agonist", "antagonist", "substrate")
+
+
+def schema() -> DatabaseSchema:
+    """The synthetic DrugBank schema."""
+    return DatabaseSchema(
+        [
+            RelationSchema(
+                "Drug",
+                [
+                    Attribute("DrugID", str),
+                    Attribute("DName", str),
+                    Attribute("Group", str),
+                    Attribute("Formula", str),
+                ],
+                key=["DrugID"],
+            ),
+            RelationSchema(
+                "DrugTarget",
+                [
+                    Attribute("DrugID", str),
+                    Attribute("ProteinID", str),
+                    Attribute("Action", str),
+                ],
+                key=["DrugID", "ProteinID"],
+            ),
+            RelationSchema(
+                "Protein",
+                [Attribute("ProteinID", str), Attribute("GeneName", str), Attribute("Organism", str)],
+                key=["ProteinID"],
+            ),
+            RelationSchema(
+                "DrugInteraction",
+                [
+                    Attribute("DrugID", str),
+                    Attribute("OtherDrugID", str),
+                    Attribute("Severity", str),
+                ],
+                key=["DrugID", "OtherDrugID"],
+            ),
+            RelationSchema(
+                "ReleaseInfo",
+                [Attribute("Release", str), Attribute("Year", int), Attribute("DOI", str)],
+                key=["Release"],
+            ),
+        ],
+        foreign_keys=[
+            ForeignKey("DrugTarget", ("DrugID",), "Drug", ("DrugID",)),
+            ForeignKey("DrugTarget", ("ProteinID",), "Protein", ("ProteinID",)),
+            ForeignKey("DrugInteraction", ("DrugID",), "Drug", ("DrugID",)),
+            ForeignKey("DrugInteraction", ("OtherDrugID",), "Drug", ("DrugID",)),
+        ],
+    )
+
+
+def generate(
+    drugs: int = 100,
+    proteins: int = 80,
+    targets_per_drug: int = 2,
+    interactions: int = 150,
+    seed: int = 17,
+) -> Database:
+    """Generate a synthetic DrugBank instance."""
+    rng = random.Random(seed)
+    database = Database(schema(), enforce_foreign_keys=False)
+
+    database.insert_many(
+        "Drug",
+        [
+            (
+                f"DB{index:05d}",
+                f"Drug-{index}",
+                rng.choice(_GROUPS),
+                f"C{rng.randrange(5, 30)}H{rng.randrange(5, 40)}N{rng.randrange(0, 6)}",
+            )
+            for index in range(1, drugs + 1)
+        ],
+    )
+    database.insert_many(
+        "Protein",
+        [
+            (f"P{index:05d}", f"GENE{index}", rng.choice(["Homo sapiens", "E. coli"]))
+            for index in range(1, proteins + 1)
+        ],
+    )
+    drug_targets = {}
+    for index in range(1, drugs + 1):
+        for _ in range(targets_per_drug):
+            protein = f"P{rng.randrange(1, proteins + 1):05d}"
+            drug_targets.setdefault(
+                (f"DB{index:05d}", protein),
+                (f"DB{index:05d}", protein, rng.choice(_ACTIONS)),
+            )
+    database.insert_many("DrugTarget", sorted(drug_targets.values()))
+
+    pairs = {}
+    while len(pairs) < interactions:
+        a = rng.randrange(1, drugs + 1)
+        b = rng.randrange(1, drugs + 1)
+        if a == b:
+            continue
+        pairs.setdefault(
+            (f"DB{a:05d}", f"DB{b:05d}"),
+            (f"DB{a:05d}", f"DB{b:05d}", rng.choice(["major", "moderate", "minor"])),
+        )
+    database.insert_many("DrugInteraction", sorted(pairs.values()))
+
+    database.insert_many(
+        "ReleaseInfo", [("5.1.12", 2024, "10.1093/nar/gkx1037")]
+    )
+    database.enforce_foreign_keys = True
+    return database
+
+
+def citation_views() -> list[CitationView]:
+    """Per-drug-card and whole-database citation views."""
+    per_drug = CitationView(
+        parse_query(
+            "lambda DrugID. DV1(DrugID, DName, Group, Formula) :- "
+            "Drug(DrugID, DName, Group, Formula)"
+        ),
+        citation_queries=[
+            parse_query(
+                "lambda DrugID. DCV1(DrugID, DName) :- Drug(DrugID, DName, Group, Formula)"
+            ),
+            parse_query("DCV1rel(Release, Year) :- ReleaseInfo(Release, Year, DOI)"),
+        ],
+        citation_function=DefaultCitationFunction(
+            constants={"source": DATABASE_TITLE, "unit": "drug card"},
+            field_map={"DName": "title", "Release": "version", "Year": "year"},
+        ),
+        description="Per-drug-card citation (accession number + release)",
+    )
+    whole_database = CitationView(
+        parse_query("DV2(DrugID, DName, Group, Formula) :- Drug(DrugID, DName, Group, Formula)"),
+        citation_queries=[
+            parse_query(f'DCV2(D) :- D = "{DATABASE_TITLE}"'),
+            parse_query("DCV2rel(Release, Year, DOI) :- ReleaseInfo(Release, Year, DOI)"),
+        ],
+        citation_function=DefaultCitationFunction(
+            constants={"publisher": "DrugBank"},
+            field_map={"D": "title", "Release": "version", "Year": "year", "DOI": "identifier"},
+        ),
+        description="Whole-database citation attached to the Drug table",
+    )
+    targets = CitationView(
+        parse_query("DV3(DrugID, ProteinID, Action) :- DrugTarget(DrugID, ProteinID, Action)"),
+        citation_queries=[parse_query(f'DCV3(D) :- D = "{DATABASE_TITLE} targets"')],
+        citation_function=DefaultCitationFunction(
+            constants={"publisher": "DrugBank"}, field_map={"D": "title"}
+        ),
+        description="Whole-table citation for drug targets",
+    )
+    proteins = CitationView(
+        parse_query("DV4(ProteinID, GeneName, Organism) :- Protein(ProteinID, GeneName, Organism)"),
+        citation_queries=[parse_query(f'DCV4(D) :- D = "{DATABASE_TITLE} proteins"')],
+        citation_function=DefaultCitationFunction(
+            constants={"publisher": "DrugBank"}, field_map={"D": "title"}
+        ),
+        description="Whole-table citation for proteins",
+    )
+    interactions = CitationView(
+        parse_query(
+            "DV5(DrugID, OtherDrugID, Severity) :- DrugInteraction(DrugID, OtherDrugID, Severity)"
+        ),
+        citation_queries=[parse_query(f'DCV5(D) :- D = "{DATABASE_TITLE} drug interactions"')],
+        citation_function=DefaultCitationFunction(
+            constants={"publisher": "DrugBank"}, field_map={"D": "title"}
+        ),
+        description="Whole-table citation for drug-drug interactions",
+    )
+    return [per_drug, whole_database, targets, proteins, interactions]
+
+
+def example_queries():
+    """A small workload over the DrugBank schema."""
+    return [
+        parse_query(
+            "Q1(DName, GeneName) :- Drug(DrugID, DName, Group, Formula), "
+            "DrugTarget(DrugID, ProteinID, Action), Protein(ProteinID, GeneName, Organism)"
+        ),
+        parse_query("Q2(DrugID, DName, Group, Formula) :- Drug(DrugID, DName, Group, Formula)"),
+        parse_query(
+            "Q3(DName, Severity) :- Drug(DrugID, DName, Group, Formula), "
+            "DrugInteraction(DrugID, OtherDrugID, Severity)"
+        ),
+    ]

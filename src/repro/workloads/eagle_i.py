@@ -1,0 +1,155 @@
+"""A synthetic eagle-i style RDF dataset with an ontology of resource classes.
+
+eagle-i is an RDF dataset "built to facilitate translational science research
+which allows researchers to share information about resources such as cell
+lines and software" (paper, Section 1).  Citations there depend on the class
+of the resource.  The generator below produces
+
+* an ontology (Resource ⊒ Reagent ⊒ {CellLine, Antibody}, Resource ⊒
+  {Software, Instrument, Protocol, Organism}, configurable extra depth),
+* resource instances classified at the leaves, each with a label, a creating
+  lab, contributors and an identifier,
+* :func:`class_citation_views` with per-class citation templates so that the
+  most-specific-class resolution of :mod:`repro.rdf.citation_rdf` is
+  exercised.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.rdf.citation_rdf import ClassCitationView
+from repro.rdf.ontology import Ontology
+from repro.rdf.triples import RDF_TYPE, RDFS_LABEL, RDFS_SUBCLASS_OF, TripleStore
+
+#: predicates used by the synthetic data
+CREATED_BY = "ei:createdBy"
+CONTRIBUTOR = "dc:contributor"
+IDENTIFIER = "dc:identifier"
+PART_OF_LAB = "ei:partOfLaboratory"
+
+_BASE_CLASSES = {
+    "ei:Reagent": "ei:Resource",
+    "ei:CellLine": "ei:Reagent",
+    "ei:Antibody": "ei:Reagent",
+    "ei:PlasmidReagent": "ei:Reagent",
+    "ei:Software": "ei:Resource",
+    "ei:Instrument": "ei:Resource",
+    "ei:Protocol": "ei:Resource",
+    "ei:Organism": "ei:Resource",
+}
+
+_LAB_NAMES = (
+    "Smith Lab",
+    "Chen Lab",
+    "Garcia Lab",
+    "Okafor Lab",
+    "Müller Lab",
+    "Rossi Lab",
+)
+
+_PEOPLE = (
+    "A. Smith",
+    "B. Chen",
+    "C. Garcia",
+    "D. Okafor",
+    "E. Müller",
+    "F. Rossi",
+    "G. Novak",
+    "H. Tanaka",
+)
+
+
+def build_ontology(extra_depth: int = 0) -> tuple[Ontology, list[str]]:
+    """Build the class hierarchy; returns the ontology and its leaf classes.
+
+    ``extra_depth`` chains additional subclasses below each leaf, which the E9
+    benchmark uses to scale the reasoning depth.
+    """
+    ontology = Ontology()
+    for subclass, superclass in _BASE_CLASSES.items():
+        ontology.add_subclass(subclass, superclass)
+    leaves = [
+        "ei:CellLine",
+        "ei:Antibody",
+        "ei:PlasmidReagent",
+        "ei:Software",
+        "ei:Instrument",
+        "ei:Protocol",
+        "ei:Organism",
+    ]
+    for depth in range(extra_depth):
+        new_leaves = []
+        for leaf in leaves:
+            child = f"{leaf}_L{depth + 1}"
+            ontology.add_subclass(child, leaf)
+            new_leaves.append(child)
+        leaves = new_leaves
+    return ontology, leaves
+
+
+def generate(
+    resources: int = 200, extra_depth: int = 0, seed: int = 11
+) -> tuple[TripleStore, Ontology, list[str]]:
+    """Generate the triple store, its ontology and the leaf classes."""
+    rng = random.Random(seed)
+    ontology, leaves = build_ontology(extra_depth)
+    store = TripleStore()
+    for subclass, superclass in _BASE_CLASSES.items():
+        store.add((subclass, RDFS_SUBCLASS_OF, superclass))
+
+    for index in range(1, resources + 1):
+        uri = f"ei:resource/{index}"
+        leaf = leaves[index % len(leaves)]
+        store.add((uri, RDF_TYPE, leaf))
+        store.add((uri, RDFS_LABEL, f"Resource {index}"))
+        store.add((uri, IDENTIFIER, f"EI-{index:06d}"))
+        lab = _LAB_NAMES[index % len(_LAB_NAMES)]
+        store.add((uri, PART_OF_LAB, lab))
+        store.add((uri, CREATED_BY, rng.choice(_PEOPLE)))
+        for person in rng.sample(_PEOPLE, k=2):
+            store.add((uri, CONTRIBUTOR, person))
+    return store, ontology, leaves
+
+
+def class_citation_views(leaves: list[str] | None = None) -> list[ClassCitationView]:
+    """Citation views keyed by ontology class (leaf classes plus fallbacks)."""
+    views = [
+        ClassCitationView(
+            target_class="ei:Resource",
+            property_map={CONTRIBUTOR: "contributors", IDENTIFIER: "identifier"},
+            constants={"source": "eagle-i", "publisher": "eagle-i Network"},
+            priority=0,
+        ),
+        ClassCitationView(
+            target_class="ei:Reagent",
+            property_map={
+                CONTRIBUTOR: "contributors",
+                IDENTIFIER: "identifier",
+                PART_OF_LAB: "publisher",
+            },
+            constants={"source": "eagle-i reagents"},
+            priority=1,
+        ),
+        ClassCitationView(
+            target_class="ei:CellLine",
+            property_map={
+                CREATED_BY: "authors",
+                IDENTIFIER: "identifier",
+                PART_OF_LAB: "publisher",
+            },
+            constants={"source": "eagle-i cell lines"},
+            priority=2,
+        ),
+        ClassCitationView(
+            target_class="ei:Software",
+            property_map={CREATED_BY: "authors", IDENTIFIER: "identifier"},
+            constants={"source": "eagle-i software"},
+            priority=2,
+        ),
+    ]
+    if leaves:
+        for leaf in leaves:
+            if not any(view.target_class == leaf for view in views):
+                continue
+    return views

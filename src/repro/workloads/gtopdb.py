@@ -1,0 +1,356 @@
+"""A synthetic IUPHAR/BPS Guide to Pharmacology (GtoPdb) database.
+
+GtoPdb is the paper's running example.  Two instances are provided:
+
+* :func:`paper_instance` — the exact micro-instance used in Section 2 of the
+  paper: two families named ``Calcitonin`` (FIDs 11 and 12) with committee
+  members and introduction texts, which makes the worked example
+  ``(CV1(11)·CV3 + CV1(12)·CV3) +R (CV2·CV3)`` reproducible tuple for tuple;
+* :func:`generate` — a scalable synthetic instance with families, targets,
+  ligands, interactions, committee members and contributors, used by the
+  benchmarks.
+
+:func:`citation_views` builds the citation views V1 (parameterized by FID,
+credits the family's committee), V2 (unparameterized, whole-database
+citation over ``Family``) and V3 (unparameterized, over ``FamilyIntro``),
+plus optional views over the additional relations.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.core.citation_view import CitationView, DefaultCitationFunction
+from repro.query.parser import parse_query
+from repro.relational.database import Database
+from repro.relational.schema import Attribute, DatabaseSchema, ForeignKey, RelationSchema
+
+#: Title used by the unparameterized whole-database citations (as in the paper).
+DATABASE_TITLE = "IUPHAR/BPS Guide to PHARMACOLOGY"
+
+_FAMILY_STEMS = (
+    "Calcitonin",
+    "Adenosine",
+    "Adrenoceptor",
+    "Angiotensin",
+    "Bradykinin",
+    "Cannabinoid",
+    "Chemokine",
+    "Dopamine",
+    "Endothelin",
+    "Galanin",
+    "Ghrelin",
+    "Glucagon",
+    "Histamine",
+    "Melatonin",
+    "Neurotensin",
+    "Opioid",
+    "Orexin",
+    "Oxytocin",
+    "Serotonin",
+    "Somatostatin",
+    "Vasopressin",
+)
+
+_CURATOR_NAMES = (
+    "D. Hoyer",
+    "A. Davenport",
+    "S. Alexander",
+    "E. Faccenda",
+    "C. Southan",
+    "J. Sharman",
+    "A. Pawson",
+    "M. Spedding",
+    "J. Peters",
+    "A. Harmar",
+    "H. Dale",
+    "K. Katritch",
+    "R. Neubig",
+    "T. Bonner",
+    "P. Molenaar",
+    "L. Jensen",
+)
+
+
+def schema() -> DatabaseSchema:
+    """The synthetic GtoPdb schema (superset of the paper's three relations)."""
+    return DatabaseSchema(
+        [
+            RelationSchema(
+                "Family",
+                [Attribute("FID", int), Attribute("FName", str), Attribute("Desc", str)],
+                key=["FID"],
+            ),
+            RelationSchema(
+                "Committee",
+                [Attribute("FID", int), Attribute("PName", str)],
+                key=["FID", "PName"],
+            ),
+            RelationSchema(
+                "FamilyIntro",
+                [Attribute("FID", int), Attribute("Text", str)],
+                key=["FID"],
+            ),
+            RelationSchema(
+                "Target",
+                [
+                    Attribute("TID", int),
+                    Attribute("FID", int),
+                    Attribute("TName", str),
+                    Attribute("Type", str),
+                ],
+                key=["TID"],
+            ),
+            RelationSchema(
+                "Ligand",
+                [Attribute("LID", int), Attribute("LName", str), Attribute("Type", str)],
+                key=["LID"],
+            ),
+            RelationSchema(
+                "Interaction",
+                [
+                    Attribute("TID", int),
+                    Attribute("LID", int),
+                    Attribute("Action", str),
+                    Attribute("Affinity", float),
+                ],
+                key=["TID", "LID"],
+            ),
+            RelationSchema(
+                "Contributor",
+                [Attribute("TID", int), Attribute("PName", str)],
+                key=["TID", "PName"],
+            ),
+        ],
+        foreign_keys=[
+            ForeignKey("Committee", ("FID",), "Family", ("FID",)),
+            ForeignKey("FamilyIntro", ("FID",), "Family", ("FID",)),
+            ForeignKey("Target", ("FID",), "Family", ("FID",)),
+            ForeignKey("Interaction", ("TID",), "Target", ("TID",)),
+            ForeignKey("Interaction", ("LID",), "Ligand", ("LID",)),
+            ForeignKey("Contributor", ("TID",), "Target", ("TID",)),
+        ],
+    )
+
+
+def paper_instance() -> Database:
+    """The micro-instance of the paper's Section 2 worked example."""
+    database = Database(schema())
+    database.insert_many(
+        "Family",
+        [
+            (11, "Calcitonin", "C1"),
+            (12, "Calcitonin", "C2"),
+            (13, "Adenosine", "A1"),
+        ],
+    )
+    database.insert_many(
+        "Committee",
+        [
+            (11, "D. Hoyer"),
+            (11, "A. Davenport"),
+            (12, "S. Alexander"),
+            (13, "E. Faccenda"),
+        ],
+    )
+    database.insert_many(
+        "FamilyIntro",
+        [
+            (11, "1st"),
+            (12, "2nd"),
+            (13, "Adenosine receptors intro"),
+        ],
+    )
+    return database
+
+
+def generate(
+    families: int = 100,
+    committee_per_family: int = 3,
+    intro_fraction: float = 1.0,
+    targets_per_family: int = 4,
+    ligands: int = 200,
+    interactions_per_target: int = 3,
+    duplicate_name_fraction: float = 0.1,
+    seed: int = 7,
+) -> Database:
+    """Generate a synthetic GtoPdb instance with realistic shape.
+
+    ``duplicate_name_fraction`` controls how many families share a name with
+    another family — the property that makes multiple bindings per output
+    tuple (and hence the ``+`` operator) exercised, as in the paper's two
+    Calcitonin families.
+    """
+    rng = random.Random(seed)
+    database = Database(schema(), enforce_foreign_keys=False)
+
+    family_rows = []
+    for fid in range(1, families + 1):
+        stem = _FAMILY_STEMS[(fid - 1) % len(_FAMILY_STEMS)]
+        if rng.random() < duplicate_name_fraction and fid > 1:
+            name = family_rows[rng.randrange(len(family_rows))][1]
+        else:
+            name = f"{stem} receptors {1 + (fid - 1) // len(_FAMILY_STEMS)}"
+        family_rows.append((fid, name, f"Description of family {fid}"))
+    database.insert_many("Family", family_rows)
+
+    committee_rows = set()
+    for fid in range(1, families + 1):
+        members = rng.sample(_CURATOR_NAMES, k=min(committee_per_family, len(_CURATOR_NAMES)))
+        for member in members:
+            committee_rows.add((fid, member))
+    database.insert_many("Committee", sorted(committee_rows))
+
+    intro_rows = []
+    for fid in range(1, families + 1):
+        if rng.random() <= intro_fraction:
+            intro_rows.append((fid, f"Introductory text for family {fid}"))
+    database.insert_many("FamilyIntro", intro_rows)
+
+    ligand_rows = [
+        (lid, f"Ligand-{lid}", rng.choice(["peptide", "small molecule", "antibody"]))
+        for lid in range(1, ligands + 1)
+    ]
+    database.insert_many("Ligand", ligand_rows)
+
+    target_rows = []
+    contributor_rows = set()
+    interaction_rows: dict[tuple[int, int], tuple] = {}
+    tid = 0
+    for fid in range(1, families + 1):
+        for _ in range(targets_per_family):
+            tid += 1
+            target_rows.append(
+                (tid, fid, f"Target-{tid}", rng.choice(["GPCR", "ion channel", "enzyme"]))
+            )
+            for contributor in rng.sample(_CURATOR_NAMES, k=2):
+                contributor_rows.add((tid, contributor))
+            for _ in range(interactions_per_target):
+                lid = rng.randrange(1, ligands + 1)
+                interaction_rows.setdefault(
+                    (tid, lid),
+                    (tid, lid, rng.choice(["agonist", "antagonist", "inhibitor"]),
+                     round(rng.uniform(4.0, 10.0), 2)),
+                )
+    database.insert_many("Target", target_rows)
+    database.insert_many("Contributor", sorted(contributor_rows))
+    database.insert_many("Interaction", sorted(interaction_rows.values()))
+
+    database.enforce_foreign_keys = True
+    return database
+
+
+def citation_views(extended: bool = False) -> list[CitationView]:
+    """The citation views of the paper's example (plus optional extra views).
+
+    * ``V1`` — λ FID. V1(FID, FName, Desc) :- Family(FID, FName, Desc), with
+      citation query CV1(FID, PName) :- Committee(FID, PName): one citation
+      per family, crediting its committee members;
+    * ``V2`` — V2(FID, FName, Desc) :- Family(FID, FName, Desc), a single
+      whole-table citation;
+    * ``V3`` — V3(FID, Text) :- FamilyIntro(FID, Text), a single whole-table
+      citation.
+
+    With ``extended=True`` additional views over ``Target``, ``Ligand`` and
+    ``Interaction`` are included (a parameterized per-target view crediting
+    its contributors and unparameterized whole-table views).
+    """
+    v1 = CitationView(
+        parse_query("lambda FID. V1(FID, FName, Desc) :- Family(FID, FName, Desc)"),
+        citation_queries=[
+            parse_query("lambda FID. CV1(FID, PName) :- Committee(FID, PName)"),
+            parse_query("lambda FID. CV1name(FID, FName) :- Family(FID, FName, Desc)"),
+        ],
+        citation_function=DefaultCitationFunction(
+            constants={"source": DATABASE_TITLE, "unit": "family"},
+            field_map={"PName": "contributors", "FName": "title"},
+        ),
+        description="Per-family citation crediting the committee members",
+    )
+    v2 = CitationView(
+        parse_query("V2(FID, FName, Desc) :- Family(FID, FName, Desc)"),
+        citation_queries=[
+            parse_query(f'CV2(D) :- D = "{DATABASE_TITLE}"'),
+        ],
+        citation_function=DefaultCitationFunction(
+            constants={"publisher": "IUPHAR/BPS"}, field_map={"D": "title"}
+        ),
+        description="Whole-database citation attached to the Family table",
+    )
+    v3 = CitationView(
+        parse_query("V3(FID, Text) :- FamilyIntro(FID, Text)"),
+        citation_queries=[
+            parse_query(f'CV3(D) :- D = "{DATABASE_TITLE}"'),
+        ],
+        citation_function=DefaultCitationFunction(
+            constants={"publisher": "IUPHAR/BPS"}, field_map={"D": "title"}
+        ),
+        description="Whole-database citation attached to the FamilyIntro table",
+    )
+    views = [v1, v2, v3]
+    if extended:
+        v4 = CitationView(
+            parse_query(
+                "lambda TID. V4(TID, FID, TName, Type) :- Target(TID, FID, TName, Type)"
+            ),
+            citation_queries=[
+                parse_query("lambda TID. CV4(TID, PName) :- Contributor(TID, PName)"),
+                parse_query(
+                    "lambda TID. CV4name(TID, TName) :- Target(TID, FID, TName, Type)"
+                ),
+            ],
+            citation_function=DefaultCitationFunction(
+                constants={"source": DATABASE_TITLE, "unit": "target"},
+                field_map={"PName": "contributors", "TName": "title"},
+            ),
+            description="Per-target citation crediting its contributors",
+        )
+        v5 = CitationView(
+            parse_query("V5(LID, LName, Type) :- Ligand(LID, LName, Type)"),
+            citation_queries=[parse_query(f'CV5(D) :- D = "{DATABASE_TITLE} ligands"')],
+            citation_function=DefaultCitationFunction(
+                constants={"publisher": "IUPHAR/BPS"}, field_map={"D": "title"}
+            ),
+            description="Whole-table citation for ligands",
+        )
+        v6 = CitationView(
+            parse_query(
+                "V6(TID, LID, Action, Affinity) :- Interaction(TID, LID, Action, Affinity)"
+            ),
+            citation_queries=[
+                parse_query(f'CV6(D) :- D = "{DATABASE_TITLE} interactions"')
+            ],
+            citation_function=DefaultCitationFunction(
+                constants={"publisher": "IUPHAR/BPS"}, field_map={"D": "title"}
+            ),
+            description="Whole-table citation for interactions",
+        )
+        views.extend([v4, v5, v6])
+    return views
+
+
+def paper_query():
+    """The paper's example query: family names that have an introduction."""
+    return parse_query(
+        "Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)"
+    )
+
+
+def example_queries() -> Sequence:
+    """A small workload of realistic GtoPdb queries (used by E8 and tests)."""
+    return [
+        paper_query(),
+        parse_query("Q2(FID, FName, Desc) :- Family(FID, FName, Desc)"),
+        parse_query("Q3(FID, Text) :- FamilyIntro(FID, Text)"),
+        parse_query(
+            "Q4(FName, Text) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)"
+        ),
+        parse_query(
+            "Q5(TName, FName) :- Target(TID, FID, TName, Type), Family(FID, FName, Desc)"
+        ),
+        parse_query(
+            "Q6(TName, LName) :- Target(TID, FID, TName, TType), "
+            "Interaction(TID, LID, Action, Affinity), Ligand(LID, LName, LType)"
+        ),
+    ]

@@ -1,0 +1,193 @@
+"""Synthetic query and view workloads for the rewriting benchmarks.
+
+The E3/E4 benchmarks need families of queries and candidate views whose size
+can be scaled: chain queries (R1 ⋈ R2 ⋈ ... ⋈ Rn), star queries (a hub joined
+with n satellites) and randomly generated conjunctive queries over a
+synthetic schema, plus view sets of controllable size (subchains / substars),
+mirroring the workloads classically used to evaluate answering-queries-using-
+views algorithms (Halevy 2001, which the paper cites).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.core.citation_view import CitationView, DefaultCitationFunction
+from repro.query.ast import Atom, ConjunctiveQuery, Variable
+from repro.relational.database import Database
+from repro.relational.schema import Attribute, DatabaseSchema, RelationSchema
+
+
+# ---------------------------------------------------------------------------
+# Schemas and data
+# ---------------------------------------------------------------------------
+def chain_schema(length: int) -> DatabaseSchema:
+    """Binary relations ``R1(A0, A1), ..., Rn(An-1, An)`` forming a chain."""
+    return DatabaseSchema(
+        [
+            RelationSchema(f"R{i}", [Attribute("src", int), Attribute("dst", int)])
+            for i in range(1, length + 1)
+        ]
+    )
+
+
+def chain_database(length: int, rows_per_relation: int = 100, seed: int = 5) -> Database:
+    """Populate a chain schema so that joins have non-trivial results."""
+    rng = random.Random(seed)
+    database = Database(chain_schema(length))
+    domain = max(10, rows_per_relation // 2)
+    for i in range(1, length + 1):
+        rows = {
+            (rng.randrange(domain), rng.randrange(domain))
+            for _ in range(rows_per_relation)
+        }
+        database.insert_many(f"R{i}", rows)
+    return database
+
+
+def chain_query(length: int, name: str = "Q") -> ConjunctiveQuery:
+    """``Q(X0, Xn) :- R1(X0, X1), R2(X1, X2), ..., Rn(Xn-1, Xn)``."""
+    atoms = [
+        Atom(f"R{i}", (Variable(f"X{i - 1}"), Variable(f"X{i}")))
+        for i in range(1, length + 1)
+    ]
+    head = Atom(name, (Variable("X0"), Variable(f"X{length}")))
+    return ConjunctiveQuery(head, atoms)
+
+
+def star_schema(arms: int) -> DatabaseSchema:
+    """A hub relation plus ``arms`` satellite relations."""
+    relations = [
+        RelationSchema("Hub", [Attribute("hub", int), Attribute("tag", str)])
+    ]
+    relations += [
+        RelationSchema(f"S{i}", [Attribute("hub", int), Attribute(f"value{i}", int)])
+        for i in range(1, arms + 1)
+    ]
+    return DatabaseSchema(relations)
+
+
+def star_database(arms: int, rows_per_relation: int = 100, seed: int = 5) -> Database:
+    """Populate a star schema."""
+    rng = random.Random(seed)
+    database = Database(star_schema(arms))
+    hubs = list(range(rows_per_relation))
+    database.insert_many("Hub", ((h, f"tag{h % 7}") for h in hubs))
+    for i in range(1, arms + 1):
+        rows = {
+            (rng.choice(hubs), rng.randrange(1000)) for _ in range(rows_per_relation)
+        }
+        database.insert_many(f"S{i}", rows)
+    return database
+
+
+def star_query(arms: int, name: str = "Q") -> ConjunctiveQuery:
+    """``Q(H, V1, ..., Vn) :- Hub(H, T), S1(H, V1), ..., Sn(H, Vn)``."""
+    atoms = [Atom("Hub", (Variable("H"), Variable("T")))]
+    head_terms = [Variable("H")]
+    for i in range(1, arms + 1):
+        atoms.append(Atom(f"S{i}", (Variable("H"), Variable(f"V{i}"))))
+        head_terms.append(Variable(f"V{i}"))
+    return ConjunctiveQuery(Atom(name, tuple(head_terms)), atoms)
+
+
+# ---------------------------------------------------------------------------
+# View sets
+# ---------------------------------------------------------------------------
+def chain_views(length: int, window: int = 2, parameterized: bool = False) -> list[CitationView]:
+    """Sliding-window subchain views ``Vi(Xi, Xi+w) :- Ri+1 ... Ri+w``.
+
+    With ``window=2`` over a chain of length 4 the views are pairs, so the
+    query has several distinct equivalent rewritings — the shape that makes
+    rewriting enumeration expensive.
+    """
+    views: list[CitationView] = []
+    index = 0
+    for start in range(0, length, 1):
+        end = start + window
+        if end > length:
+            break
+        index += 1
+        atoms = [
+            Atom(f"R{i}", (Variable(f"X{i - 1}"), Variable(f"X{i}")))
+            for i in range(start + 1, end + 1)
+        ]
+        head_vars = (Variable(f"X{start}"), Variable(f"X{end}"))
+        parameters = (Variable(f"X{start}"),) if parameterized else ()
+        query = ConjunctiveQuery(Atom(f"CW{index}", head_vars), atoms, (), parameters)
+        views.append(
+            CitationView(
+                query,
+                citation_queries=[],
+                citation_function=DefaultCitationFunction(
+                    constants={"title": f"Chain window {start}-{end}", "source": "synthetic"}
+                ),
+                description=f"subchain view over R{start + 1}..R{end}",
+            )
+        )
+    return views
+
+
+def star_views(arms: int, parameterized_fraction: float = 0.5) -> list[CitationView]:
+    """One view per satellite (hub joined with that satellite)."""
+    views: list[CitationView] = []
+    for i in range(1, arms + 1):
+        atoms = [
+            Atom("Hub", (Variable("H"), Variable("T"))),
+            Atom(f"S{i}", (Variable("H"), Variable(f"V{i}"))),
+        ]
+        head = Atom(f"SV{i}", (Variable("H"), Variable("T"), Variable(f"V{i}")))
+        parameters = (Variable("H"),) if (i / arms) <= parameterized_fraction else ()
+        query = ConjunctiveQuery(head, atoms, (), parameters)
+        views.append(
+            CitationView(
+                query,
+                citation_queries=[],
+                citation_function=DefaultCitationFunction(
+                    constants={"title": f"Star arm {i}", "source": "synthetic"}
+                ),
+                description=f"hub joined with satellite {i}",
+            )
+        )
+    return views
+
+
+# ---------------------------------------------------------------------------
+# Random workloads
+# ---------------------------------------------------------------------------
+class WorkloadGenerator:
+    """Random conjunctive-query workloads over a given schema."""
+
+    def __init__(self, schema: DatabaseSchema, seed: int = 23) -> None:
+        self.schema = schema
+        self.rng = random.Random(seed)
+
+    def random_query(
+        self, atoms: int = 2, name: str = "W", join_probability: float = 0.7
+    ) -> ConjunctiveQuery:
+        """A random query with the given number of atoms and joins on shared variables."""
+        relation_names = list(self.schema.relation_names)
+        chosen = [self.rng.choice(relation_names) for _ in range(atoms)]
+        variable_pool: list[Variable] = []
+        body: list[Atom] = []
+        for index, relation_name in enumerate(chosen):
+            relation = self.schema.relation(relation_name)
+            terms = []
+            for position in range(relation.arity):
+                if variable_pool and self.rng.random() < join_probability:
+                    terms.append(self.rng.choice(variable_pool))
+                else:
+                    variable = Variable(f"v{index}_{position}")
+                    variable_pool.append(variable)
+                    terms.append(variable)
+            body.append(Atom(relation_name, tuple(terms)))
+        head_size = max(1, min(3, len(variable_pool)))
+        head_vars = self.rng.sample(variable_pool, k=head_size)
+        return ConjunctiveQuery(Atom(name, tuple(head_vars)), body)
+
+    def workload(self, size: int, atoms: int = 2) -> list[ConjunctiveQuery]:
+        """A list of random queries named ``W1 ... Wn``."""
+        return [
+            self.random_query(atoms=atoms, name=f"W{i + 1}") for i in range(size)
+        ]

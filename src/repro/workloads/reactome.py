@@ -1,0 +1,207 @@
+"""A synthetic Reactome-style pathway database.
+
+Reactome is "an open-source, curated and peer reviewed pathway relational
+database" (paper, Section 1) whose citation guidance is per-pathway: cite the
+pathway's curators and reviewers along with the release.  The synthetic
+schema captures that structure: pathways form a hierarchy, contain reactions,
+reactions involve proteins, and each pathway records its curators and
+reviewers.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.citation_view import CitationView, DefaultCitationFunction
+from repro.query.parser import parse_query
+from repro.relational.database import Database
+from repro.relational.schema import Attribute, DatabaseSchema, ForeignKey, RelationSchema
+
+DATABASE_TITLE = "Reactome Pathway Knowledgebase"
+
+_PEOPLE = (
+    "L. Stein",
+    "P. D'Eustachio",
+    "H. Hermjakob",
+    "G. Wu",
+    "M. Gillespie",
+    "B. Jassal",
+    "S. Jupe",
+    "K. Rothfels",
+    "V. Shamovsky",
+    "T. Varusai",
+)
+
+
+def schema() -> DatabaseSchema:
+    """The synthetic Reactome schema."""
+    return DatabaseSchema(
+        [
+            RelationSchema(
+                "Pathway",
+                [
+                    Attribute("PWID", int),
+                    Attribute("PWName", str),
+                    Attribute("Species", str),
+                    Attribute("Release", int),
+                ],
+                key=["PWID"],
+            ),
+            RelationSchema(
+                "PathwayHierarchy",
+                [Attribute("ParentID", int), Attribute("ChildID", int)],
+                key=["ParentID", "ChildID"],
+            ),
+            RelationSchema(
+                "Reaction",
+                [Attribute("RID", int), Attribute("PWID", int), Attribute("RName", str)],
+                key=["RID"],
+            ),
+            RelationSchema(
+                "Participant",
+                [Attribute("RID", int), Attribute("ProteinID", str), Attribute("Role", str)],
+                key=["RID", "ProteinID", "Role"],
+            ),
+            RelationSchema(
+                "Curator",
+                [Attribute("PWID", int), Attribute("PName", str)],
+                key=["PWID", "PName"],
+            ),
+            RelationSchema(
+                "Reviewer",
+                [Attribute("PWID", int), Attribute("PName", str)],
+                key=["PWID", "PName"],
+            ),
+        ],
+        foreign_keys=[
+            ForeignKey("PathwayHierarchy", ("ParentID",), "Pathway", ("PWID",)),
+            ForeignKey("PathwayHierarchy", ("ChildID",), "Pathway", ("PWID",)),
+            ForeignKey("Reaction", ("PWID",), "Pathway", ("PWID",)),
+            ForeignKey("Participant", ("RID",), "Reaction", ("RID",)),
+            ForeignKey("Curator", ("PWID",), "Pathway", ("PWID",)),
+            ForeignKey("Reviewer", ("PWID",), "Pathway", ("PWID",)),
+        ],
+    )
+
+
+def generate(
+    pathways: int = 50,
+    reactions_per_pathway: int = 5,
+    participants_per_reaction: int = 4,
+    release: int = 84,
+    seed: int = 13,
+) -> Database:
+    """Generate a synthetic Reactome instance."""
+    rng = random.Random(seed)
+    database = Database(schema(), enforce_foreign_keys=False)
+
+    database.insert_many(
+        "Pathway",
+        [
+            (
+                pwid,
+                f"Pathway {pwid}",
+                rng.choice(["Homo sapiens", "Mus musculus"]),
+                release,
+            )
+            for pwid in range(1, pathways + 1)
+        ],
+    )
+    hierarchy = set()
+    for pwid in range(2, pathways + 1):
+        parent = rng.randrange(1, pwid)
+        hierarchy.add((parent, pwid))
+    database.insert_many("PathwayHierarchy", sorted(hierarchy))
+
+    rid = 0
+    reaction_rows = []
+    participant_rows = set()
+    for pwid in range(1, pathways + 1):
+        for _ in range(reactions_per_pathway):
+            rid += 1
+            reaction_rows.append((rid, pwid, f"Reaction {rid}"))
+            for _ in range(participants_per_reaction):
+                protein = f"UniProt:P{rng.randrange(10000, 99999)}"
+                participant_rows.add((rid, protein, rng.choice(["input", "output", "catalyst"])))
+    database.insert_many("Reaction", reaction_rows)
+    database.insert_many("Participant", sorted(participant_rows))
+
+    curators = set()
+    reviewers = set()
+    for pwid in range(1, pathways + 1):
+        for person in rng.sample(_PEOPLE, k=2):
+            curators.add((pwid, person))
+        for person in rng.sample(_PEOPLE, k=2):
+            reviewers.add((pwid, person))
+    database.insert_many("Curator", sorted(curators))
+    database.insert_many("Reviewer", sorted(reviewers))
+
+    database.enforce_foreign_keys = True
+    return database
+
+
+def citation_views() -> list[CitationView]:
+    """Citation views: per-pathway (curators + reviewers) and whole-database."""
+    per_pathway = CitationView(
+        parse_query(
+            "lambda PWID. PV1(PWID, PWName, Species, Release) :- "
+            "Pathway(PWID, PWName, Species, Release)"
+        ),
+        citation_queries=[
+            parse_query("lambda PWID. PCV1(PWID, PName) :- Curator(PWID, PName)"),
+            parse_query("lambda PWID. PCV1rev(PWID, PName) :- Reviewer(PWID, PName)"),
+            parse_query(
+                "lambda PWID. PCV1name(PWID, PWName, Release) :- "
+                "Pathway(PWID, PWName, Species, Release)"
+            ),
+        ],
+        citation_function=DefaultCitationFunction(
+            constants={"source": DATABASE_TITLE, "unit": "pathway"},
+            field_map={"PName": "contributors", "PWName": "title", "Release": "version"},
+        ),
+        description="Per-pathway citation crediting curators and reviewers",
+    )
+    whole_pathways = CitationView(
+        parse_query(
+            "PV2(PWID, PWName, Species, Release) :- Pathway(PWID, PWName, Species, Release)"
+        ),
+        citation_queries=[parse_query(f'PCV2(D) :- D = "{DATABASE_TITLE}"')],
+        citation_function=DefaultCitationFunction(
+            constants={"publisher": "Reactome"}, field_map={"D": "title"}
+        ),
+        description="Whole-database citation attached to the Pathway table",
+    )
+    reactions = CitationView(
+        parse_query("PV3(RID, PWID, RName) :- Reaction(RID, PWID, RName)"),
+        citation_queries=[parse_query(f'PCV3(D) :- D = "{DATABASE_TITLE} reactions"')],
+        citation_function=DefaultCitationFunction(
+            constants={"publisher": "Reactome"}, field_map={"D": "title"}
+        ),
+        description="Whole-table citation for reactions",
+    )
+    participants = CitationView(
+        parse_query(
+            "PV4(RID, ProteinID, Role) :- Participant(RID, ProteinID, Role)"
+        ),
+        citation_queries=[parse_query(f'PCV4(D) :- D = "{DATABASE_TITLE} participants"')],
+        citation_function=DefaultCitationFunction(
+            constants={"publisher": "Reactome"}, field_map={"D": "title"}
+        ),
+        description="Whole-table citation for reaction participants",
+    )
+    return [per_pathway, whole_pathways, reactions, participants]
+
+
+def example_queries():
+    """A small workload over the Reactome schema."""
+    return [
+        parse_query(
+            "Q1(PWName, RName) :- Pathway(PWID, PWName, Species, Release), "
+            "Reaction(RID, PWID, RName)"
+        ),
+        parse_query(
+            "Q2(PWName) :- Pathway(PWID, PWName, Species, Release), "
+            "Reaction(RID, PWID, RName), Participant(RID, ProteinID, Role)"
+        ),
+        parse_query("Q3(PWID, PWName, Species, Release) :- Pathway(PWID, PWName, Species, Release)"),
+    ]

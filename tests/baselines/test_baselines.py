@@ -1,0 +1,130 @@
+"""Tests for the tuple-level provenance and manual-citation baselines."""
+
+import pytest
+
+from repro import CitationEngine, CitationPolicy, parse_query
+from repro.baselines.full_provenance import (
+    FullProvenanceCitationBaseline,
+    default_tuple_citation,
+    owner_effort_comparison,
+)
+from repro.baselines.manual_citation import ManualCitationBaseline
+from repro.core.record import CitationRecord
+from repro.errors import CitationError
+from repro.workloads import gtopdb
+
+
+class TestFullProvenanceBaseline:
+    def test_per_tuple_citations_follow_lineage(self, paper_db, paper_query):
+        baseline = FullProvenanceCitationBaseline(paper_db)
+        per_tuple, _aggregate = baseline.cite(paper_query)
+        calcitonin = per_tuple[("Calcitonin",)]
+        identifiers = {record["identifier"] for record in calcitonin.records}
+        assert "Family:11/Calcitonin/C1" in identifiers
+        assert "Family:12/Calcitonin/C2" in identifiers
+        assert "FamilyIntro:11/1st" in identifiers
+        assert len(identifiers) == 4
+
+    def test_aggregate_covers_all_contributing_tuples(self, paper_db, paper_query):
+        baseline = FullProvenanceCitationBaseline(paper_db)
+        _per_tuple, aggregate = baseline.cite(paper_query)
+        assert aggregate.record_count() == 6  # 3 Family + 3 FamilyIntro tuples
+
+    def test_citation_size_grows_with_result(self, paper_views):
+        small = gtopdb.generate(families=10)
+        large = gtopdb.generate(families=50)
+        query = gtopdb.paper_query()
+        assert (
+            FullProvenanceCitationBaseline(large).citation_size(query)
+            > FullProvenanceCitationBaseline(small).citation_size(query)
+        )
+
+    def test_view_based_citation_is_smaller_under_default_policy(self, paper_views):
+        db = gtopdb.generate(families=40)
+        query = gtopdb.paper_query()
+        baseline_size = FullProvenanceCitationBaseline(db).citation_size(query)
+        engine = CitationEngine(db, paper_views, policy=CitationPolicy.default())
+        view_based_size = engine.cite(query, mode="economical").citation.size()
+        assert view_based_size < baseline_size
+
+    def test_owner_effort_comparison(self, paper_db):
+        effort = owner_effort_comparison(paper_db, citation_view_count=3)
+        assert effort["tuple_level_annotations"] == paper_db.total_rows()
+        assert effort["view_level_specifications"] == 3
+
+    def test_custom_tuple_citation_function(self, paper_db, paper_query):
+        def custom(relation, row):
+            return CitationRecord({"source": relation, "note": "custom"})
+
+        baseline = FullProvenanceCitationBaseline(paper_db, tuple_citation=custom)
+        _per_tuple, aggregate = baseline.cite(paper_query)
+        assert all(record["note"] == "custom" for record in aggregate.records)
+
+    def test_default_tuple_citation_fields(self):
+        record = default_tuple_citation("Family", (11, "Calcitonin", "C1"))
+        assert record["source"] == "Family"
+        assert record["identifier"].startswith("Family:")
+
+    def test_annotations_required_equals_database_size(self, paper_db):
+        baseline = FullProvenanceCitationBaseline(paper_db)
+        assert baseline.annotations_required() == paper_db.total_rows()
+
+
+class TestManualCitationBaseline:
+    def _baseline(self, strict=False):
+        return ManualCitationBaseline(
+            {
+                "P1(FID, FName, Desc) :- Family(FID, FName, Desc)": {
+                    "title": "GtoPdb family list page"
+                },
+                "P2(FID, Text) :- FamilyIntro(FID, Text)": {
+                    "title": "GtoPdb family introductions page"
+                },
+            },
+            database_citation={"title": "IUPHAR/BPS Guide to PHARMACOLOGY"},
+            strict=strict,
+        )
+
+    def test_exact_page_view_is_covered(self):
+        baseline = self._baseline()
+        assert baseline.covers("Q(FID, FName, Desc) :- Family(FID, FName, Desc)")
+
+    def test_equivalence_not_just_syntactic_match(self):
+        baseline = self._baseline()
+        assert baseline.covers("Other(A, B, C) :- Family(A, B, C)")
+
+    def test_general_query_not_covered(self, paper_query):
+        baseline = self._baseline()
+        assert not baseline.covers(paper_query)
+
+    def test_fallback_citation_for_general_query(self, paper_query):
+        baseline = self._baseline()
+        citation = baseline.cite(paper_query)
+        assert citation.record_count() == 1
+        assert next(iter(citation.records))["title"].startswith("IUPHAR")
+
+    def test_strict_mode_raises(self, paper_query):
+        baseline = self._baseline(strict=True)
+        with pytest.raises(CitationError):
+            baseline.cite(paper_query)
+
+    def test_page_view_citation_returned(self):
+        baseline = self._baseline()
+        citation = baseline.cite("Q(FID, Text) :- FamilyIntro(FID, Text)")
+        assert next(iter(citation.records))["title"] == "GtoPdb family introductions page"
+
+    def test_coverage_fraction(self, paper_query):
+        baseline = self._baseline()
+        workload = [
+            parse_query("Q(FID, FName, Desc) :- Family(FID, FName, Desc)"),
+            paper_query,
+        ]
+        assert baseline.coverage(workload) == pytest.approx(0.5)
+        assert baseline.coverage([]) == 0.0
+
+    def test_view_based_engine_covers_what_manual_cannot(self, paper_db, paper_views, paper_query):
+        manual = self._baseline()
+        engine = CitationEngine(paper_db, paper_views)
+        assert not manual.covers(paper_query)
+        result = engine.cite(paper_query)
+        assert result.citation.record_count() >= 1

@@ -1,0 +1,50 @@
+"""Shared fixtures: the paper's running example and small synthetic instances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CitationEngine, parse_query
+from repro.workloads import drugbank, gtopdb, reactome
+
+
+@pytest.fixture
+def paper_db():
+    """The GtoPdb micro-instance of the paper's Section 2 example."""
+    return gtopdb.paper_instance()
+
+
+@pytest.fixture
+def paper_views():
+    """The citation views V1, V2, V3 of the paper's example."""
+    return gtopdb.citation_views()
+
+
+@pytest.fixture
+def paper_query():
+    """Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)."""
+    return parse_query("Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)")
+
+
+@pytest.fixture
+def paper_engine(paper_db, paper_views):
+    """A citation engine over the paper instance with the default policy."""
+    return CitationEngine(paper_db, paper_views)
+
+
+@pytest.fixture
+def small_gtopdb():
+    """A small synthetic GtoPdb instance (fast enough for unit tests)."""
+    return gtopdb.generate(families=20, targets_per_family=2, ligands=30, seed=3)
+
+
+@pytest.fixture
+def small_reactome():
+    """A small synthetic Reactome instance."""
+    return reactome.generate(pathways=8, reactions_per_pathway=3, seed=3)
+
+
+@pytest.fixture
+def small_drugbank():
+    """A small synthetic DrugBank instance."""
+    return drugbank.generate(drugs=15, proteins=10, interactions=15, seed=3)

@@ -1,0 +1,86 @@
+"""Tests for the CSL-JSON formatter."""
+
+import json
+
+import pytest
+
+from repro.core.citation import Citation
+from repro.core.formatter.csl import citation_to_csl, record_to_csl
+from repro.core.record import CitationRecord
+
+
+@pytest.fixture
+def citation():
+    records = frozenset(
+        {
+            CitationRecord(
+                {
+                    "title": "Calcitonin receptors",
+                    "contributors": ("D. Hoyer", "A. Davenport"),
+                    "source": "IUPHAR/BPS Guide to PHARMACOLOGY",
+                    "publisher": "IUPHAR/BPS",
+                    "year": 2017,
+                    "identifier": "10.1000/example",
+                    "parameters": {"FID": 11},
+                }
+            ),
+            CitationRecord({"title": "Whole database", "url": "https://example.org"}),
+        }
+    )
+    return Citation(records, version="3", timestamp="2026-06-16")
+
+
+class TestRecordConversion:
+    def test_dataset_type_and_title(self):
+        item = record_to_csl(CitationRecord({"title": "X"}), "id1")
+        assert item["type"] == "dataset"
+        assert item["title"] == "X"
+        assert item["id"] == "id1"
+
+    def test_people_split_into_family_and_given(self):
+        item = record_to_csl(CitationRecord({"authors": ("D. Hoyer",)}), "id1")
+        assert item["author"] == [{"family": "Hoyer", "given": "D."}]
+
+    def test_comma_separated_name(self):
+        item = record_to_csl(CitationRecord({"authors": ("Hoyer, Daniel",)}), "id1")
+        assert item["author"] == [{"family": "Hoyer", "given": "Daniel"}]
+
+    def test_single_token_name_is_literal(self):
+        item = record_to_csl(CitationRecord({"contributors": ("Consortium",)}), "id1")
+        assert item["author"] == [{"literal": "Consortium"}]
+
+    def test_doi_detection(self):
+        with_doi = record_to_csl(CitationRecord({"identifier": "10.1/x"}), "id1")
+        without_doi = record_to_csl(CitationRecord({"identifier": "EI-000001"}), "id2")
+        assert with_doi["DOI"] == "10.1/x"
+        assert without_doi["note"] == "EI-000001"
+
+    def test_year_becomes_issued_date_parts(self):
+        item = record_to_csl(CitationRecord({"year": 2017}), "id1")
+        assert item["issued"] == {"date-parts": [[2017]]}
+
+    def test_parameters_become_annote(self):
+        item = record_to_csl(CitationRecord({"parameters": {"FID": 11}}), "id1")
+        assert item["annote"] == "parameters: FID=11"
+
+
+class TestCitationConversion:
+    def test_one_item_per_record(self, citation):
+        items = citation_to_csl(citation)
+        assert len(items) == 2
+        assert len({item["id"] for item in items}) == 2
+
+    def test_version_and_accessed_propagated(self, citation):
+        items = citation_to_csl(citation)
+        assert all(item.get("version") == "3" or "version" in item for item in items)
+        assert all(item["accessed"] == {"literal": "2026-06-16"} for item in items)
+
+    def test_to_csl_json_is_valid_json(self, citation):
+        payload = json.loads(citation.to_csl_json())
+        assert isinstance(payload, list)
+        assert all(item["type"] == "dataset" for item in payload)
+
+    def test_container_title_from_source(self, citation):
+        items = citation_to_csl(citation)
+        with_source = [item for item in items if "container-title" in item]
+        assert with_source and with_source[0]["container-title"].startswith("IUPHAR")

@@ -1,0 +1,75 @@
+"""Tests for citation explanations."""
+
+import pytest
+
+from repro import CitationEngine, CitationPolicy
+from repro.core.explain import explain_citation, explain_coverage
+from repro.workloads import gtopdb
+
+
+@pytest.fixture
+def engine(paper_db, paper_views):
+    return CitationEngine(paper_db, paper_views)
+
+
+class TestExplainCitation:
+    def test_lists_both_rewritings(self, engine, paper_query):
+        explanation = explain_citation(engine, paper_query)
+        assert len(explanation.rewritings) == 2
+        views = {tuple(entry["views"]) for entry in explanation.rewritings}
+        assert ("V2", "V3") in views or ("V3", "V2") in views
+
+    def test_selected_rewriting_is_the_cheapest(self, engine, paper_query):
+        explanation = explain_citation(engine, paper_query)
+        assert "V2" in explanation.selected_rewriting
+
+    def test_tuple_entries_report_bindings(self, engine, paper_query):
+        explanation = explain_citation(engine, paper_query)
+        by_tuple = {entry["tuple"]: entry for entry in explanation.tuples}
+        assert by_tuple[("Calcitonin",)]["bindings"] == 2
+        assert by_tuple[("Adenosine",)]["bindings"] == 1
+
+    def test_parameterized_note_present(self, engine, paper_query):
+        explanation = explain_citation(engine, paper_query)
+        assert any("parameterized" in note for note in explanation.notes)
+
+    def test_text_rendering(self, engine, paper_query):
+        text = explain_citation(engine, paper_query).to_text()
+        assert "Query:" in text
+        assert "Rewritings considered: 2" in text
+        assert "Aggregate citation" in text
+        assert "*" in text  # the preferred rewriting is marked
+
+    def test_uncovered_query_is_explained(self, engine):
+        explanation = explain_citation(engine, "Q(PName) :- Committee(FID, PName)")
+        assert explanation.rewritings == []
+        assert any("no equivalent rewriting" in note for note in explanation.notes)
+
+    def test_fallback_configuration_is_mentioned(self, paper_db, paper_views):
+        engine = CitationEngine(paper_db, paper_views, on_no_rewriting="fallback")
+        explanation = explain_citation(engine, "Q(PName) :- Committee(FID, PName)")
+        assert any("fall back" in note for note in explanation.notes)
+
+    def test_aggregate_statistics_match_cite(self, paper_db, paper_views, paper_query):
+        engine = CitationEngine(
+            paper_db, paper_views, policy=CitationPolicy.union_everywhere()
+        )
+        explanation = explain_citation(engine, paper_query)
+        result = engine.cite(paper_query)
+        assert explanation.aggregate_records == result.citation.record_count()
+        assert explanation.aggregate_size == result.citation.size()
+
+
+class TestExplainCoverage:
+    def test_coverage_report(self, engine):
+        workload = [
+            gtopdb.paper_query(),
+            "Q2(FID, Text) :- FamilyIntro(FID, Text)",
+            "Q3(PName) :- Committee(FID, PName)",
+        ]
+        rows = explain_coverage(engine, workload)
+        by_name = {row["query"]: row for row in rows}
+        assert by_name["Q"]["covered"] and by_name["Q"]["rewritings"] == 2
+        assert by_name["Q2"]["covered"]
+        assert not by_name["Q3"]["covered"]
+        assert by_name["Q3"]["citation_records"] == 0

@@ -1,0 +1,115 @@
+"""Tests for the citation algebra (·, +, +R, Agg)."""
+
+from repro.core.expression import (
+    Aggregate,
+    Alternative,
+    CitationAtom,
+    Joint,
+    RewriteAlternative,
+    alternative,
+    joint,
+    rewrite_alternative,
+)
+from repro.core.record import CitationRecord
+
+
+def atom(view, **params):
+    return CitationAtom(view, params, CitationRecord({"view": view, **{k: str(v) for k, v in params.items()}}))
+
+
+class TestAtoms:
+    def test_symbolic_rendering_with_parameters(self):
+        assert str(atom("V1", FID=11)) == "CV1(11)"
+
+    def test_symbolic_rendering_without_parameters(self):
+        assert str(atom("V3")) == "CV3"
+
+    def test_equality_ignores_record(self):
+        a = CitationAtom("V1", {"FID": 11}, CitationRecord({"x": 1}))
+        b = CitationAtom("V1", {"FID": 11}, None)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_evaluated_records(self):
+        with_record = atom("V1", FID=11)
+        assert len(with_record.evaluated_records()) == 1
+        assert CitationAtom("V1", {}, None).evaluated_records() == frozenset()
+
+
+class TestStructure:
+    def _paper_expression(self):
+        # (CV1(11)·CV3 + CV1(12)·CV3) +R (CV2·CV3)
+        q1 = Alternative(
+            (
+                Joint((atom("V1", FID=11), atom("V3"))),
+                Joint((atom("V1", FID=12), atom("V3"))),
+            )
+        )
+        q2 = Joint((atom("V2"), atom("V3")))
+        return RewriteAlternative((q1, q2))
+
+    def test_paper_expression_rendering(self):
+        expression = self._paper_expression()
+        assert str(expression) == "((CV1(11)·CV3) + (CV1(12)·CV3)) +R (CV2·CV3)"
+
+    def test_atom_count_and_depth(self):
+        expression = self._paper_expression()
+        assert expression.atom_count() == 6
+        assert expression.depth() == 4
+
+    def test_distinct_citations(self):
+        expression = self._paper_expression()
+        views = {view for view, _params in expression.distinct_citations()}
+        assert views == {"V1", "V2", "V3"}
+        assert len(expression.distinct_citations()) == 4
+
+    def test_aggregate_rendering(self):
+        aggregate = Aggregate((atom("V2"), atom("V3")))
+        assert str(aggregate) == "Agg[CV2, CV3]"
+
+    def test_equality_of_expressions(self):
+        assert self._paper_expression() == self._paper_expression()
+
+
+class TestSmartConstructors:
+    def test_single_operand_collapses(self):
+        only = atom("V2")
+        assert joint([only]) is only
+        assert alternative([only]) is only
+        assert rewrite_alternative([only]) is only
+
+    def test_alternative_deduplicates_equal_operands(self):
+        duplicated = alternative([Joint((atom("V2"), atom("V3")))] * 3)
+        assert isinstance(duplicated, Joint)  # collapsed to the single distinct operand
+
+    def test_rewrite_alternative_keeps_distinct_operands(self):
+        expression = rewrite_alternative(
+            [Joint((atom("V1", FID=11), atom("V3"))), Joint((atom("V2"), atom("V3")))]
+        )
+        assert isinstance(expression, RewriteAlternative)
+        assert len(expression.operands) == 2
+
+
+class TestPolynomialBridge:
+    def test_joint_becomes_product(self):
+        expression = Joint((atom("V2"), atom("V3")))
+        polynomial = expression.to_polynomial()
+        assert polynomial.monomial_count() == 1
+        assert polynomial.degree() == 2
+
+    def test_alternative_becomes_sum(self):
+        expression = Alternative((atom("V1", FID=11), atom("V1", FID=12)))
+        assert expression.to_polynomial().monomial_count() == 2
+
+    def test_paper_expression_polynomial_size(self):
+        q1 = Alternative(
+            (
+                Joint((atom("V1", FID=11), atom("V3"))),
+                Joint((atom("V1", FID=12), atom("V3"))),
+            )
+        )
+        q2 = Joint((atom("V2"), atom("V3")))
+        polynomial = RewriteAlternative((q1, q2)).to_polynomial()
+        assert polynomial.monomial_count() == 3
+        tokens = {token[0] for token in polynomial.tokens()}
+        assert tokens == {"V1", "V2", "V3"}

@@ -1,0 +1,118 @@
+"""Tests for citation-combination policies."""
+
+import pytest
+
+from repro.core.expression import Alternative, CitationAtom, Joint, RewriteAlternative
+from repro.core.policy import CitationPolicy, Combinators
+from repro.core.record import CitationRecord, record_set
+from repro.errors import PolicyError
+
+
+def rec(**fields):
+    return CitationRecord(fields)
+
+
+def atom(view, record, **params):
+    return CitationAtom(view, params, record)
+
+
+class TestCombinators:
+    def test_union(self):
+        a = record_set(rec(title="A"))
+        b = record_set(rec(title="B"), rec(title="A"))
+        assert Combinators.union([a, b]) == record_set(rec(title="A"), rec(title="B"))
+
+    def test_union_of_nothing_is_empty(self):
+        assert Combinators.union([]) == frozenset()
+
+    def test_join_merges_fields(self):
+        a = record_set(rec(title="GtoPdb"))
+        b = record_set(rec(contributors=("X", "Y")))
+        joined = Combinators.join([a, b])
+        assert len(joined) == 1
+        merged = next(iter(joined))
+        assert merged["title"] == "GtoPdb"
+        assert merged["contributors"] == ("X", "Y")
+
+    def test_join_ignores_empty_operands(self):
+        a = record_set(rec(title="GtoPdb"))
+        assert Combinators.join([a, frozenset()]) == a
+
+    def test_min_size_picks_smallest_set(self):
+        small = record_set(rec(title="one"))
+        large = record_set(rec(title="a", extra="b"), rec(title="c"))
+        assert Combinators.min_size([large, small]) == small
+
+    def test_min_size_skips_empty_operands(self):
+        small = record_set(rec(title="one"))
+        assert Combinators.min_size([frozenset(), small]) == small
+
+    def test_min_size_deterministic_tie_break(self):
+        a = record_set(rec(title="aaa"))
+        b = record_set(rec(title="bbb"))
+        assert Combinators.min_size([a, b]) == Combinators.min_size([b, a])
+
+    def test_max_coverage(self):
+        small = record_set(rec(title="one"))
+        large = record_set(rec(title="a"), rec(title="b"))
+        assert Combinators.max_coverage([small, large]) == large
+
+    def test_first(self):
+        small = record_set(rec(title="one"))
+        assert Combinators.first([frozenset(), small]) == small
+        assert Combinators.first([]) == frozenset()
+
+    def test_named_lookup(self):
+        assert Combinators.named("union") is Combinators.union
+        with pytest.raises(PolicyError):
+            Combinators.named("does_not_exist")
+
+
+class TestPolicyEvaluation:
+    def _expression(self):
+        committee_11 = rec(contributors=("D. Hoyer",), view="V1")
+        committee_12 = rec(contributors=("S. Alexander",), view="V1")
+        whole_db = rec(title="GtoPdb", view="V2")
+        intro = rec(title="GtoPdb", view="V3")
+        q1 = Alternative(
+            (
+                Joint((atom("V1", committee_11, FID=11), atom("V3", intro))),
+                Joint((atom("V1", committee_12, FID=12), atom("V3", intro))),
+            )
+        )
+        q2 = Joint((atom("V2", whole_db), atom("V3", intro)))
+        return RewriteAlternative((q1, q2)), whole_db, intro
+
+    def test_default_policy_prefers_small_rewriting(self):
+        expression, whole_db, intro = self._expression()
+        result = CitationPolicy.default().evaluate(expression)
+        assert result == frozenset({whole_db, intro})
+
+    def test_union_everywhere_keeps_all_alternatives(self):
+        expression, _whole_db, _intro = self._expression()
+        result = CitationPolicy.union_everywhere().evaluate(expression)
+        assert len(result) == 4  # V1(11), V1(12), V2, V3 records
+
+    def test_joined_policy_merges_into_single_record(self):
+        expression, _whole_db, _intro = self._expression()
+        result = CitationPolicy.joined().evaluate(expression)
+        assert len(result) == 1
+
+    def test_from_names(self):
+        policy = CitationPolicy.from_names("join", "union", "max_coverage", "union")
+        expression, _whole_db, _intro = self._expression()
+        result = policy.evaluate(expression)
+        assert result  # max_coverage keeps the larger (V1-based) alternative
+        assert policy.name == "join/union/max_coverage/union"
+
+    def test_atom_without_record_evaluates_to_empty(self):
+        policy = CitationPolicy.default()
+        assert policy.evaluate(CitationAtom("V9", {})) == frozenset()
+
+    def test_unknown_node_type_rejected(self):
+        class Strange:
+            def children(self):
+                return ()
+
+        with pytest.raises(PolicyError):
+            CitationPolicy.default().evaluate(Strange())

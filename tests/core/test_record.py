@@ -1,0 +1,87 @@
+"""Tests for citation records."""
+
+import pytest
+
+from repro.core.record import CitationRecord, record_set, set_size
+from repro.errors import CitationError
+
+
+class TestConstruction:
+    def test_mapping_protocol(self):
+        record = CitationRecord({"title": "GtoPdb", "year": 2017})
+        assert record["title"] == "GtoPdb"
+        assert len(record) == 2
+        assert set(record) == {"title", "year"}
+
+    def test_lists_become_tuples(self):
+        record = CitationRecord({"authors": ["B", "A"]})
+        assert record["authors"] == ("A", "B")
+
+    def test_sets_become_sorted_tuples(self):
+        record = CitationRecord({"contributors": {"Z", "A"}})
+        assert record["contributors"] == ("A", "Z")
+
+    def test_nested_dicts_are_frozen(self):
+        record = CitationRecord({"parameters": {"FID": 11}})
+        assert record["parameters"] == (("FID", 11),)
+
+    def test_invalid_field_name(self):
+        with pytest.raises(CitationError):
+            CitationRecord({"": "value"})
+
+    def test_hashable_and_usable_in_sets(self):
+        a = CitationRecord({"title": "X", "authors": ["P", "Q"]})
+        b = CitationRecord({"authors": ["P", "Q"], "title": "X"})
+        assert a == b
+        assert len({a, b}) == 1
+
+    def test_equality_with_plain_mapping(self):
+        assert CitationRecord({"title": "X"}) == {"title": "X"}
+
+
+class TestManipulation:
+    def test_with_fields(self):
+        record = CitationRecord({"title": "X"}).with_fields(year=2017)
+        assert record["year"] == 2017
+        assert record["title"] == "X"
+
+    def test_without_fields(self):
+        record = CitationRecord({"title": "X", "year": 2017}).without_fields("year", "missing")
+        assert "year" not in record
+
+    def test_merge_disjoint_fields(self):
+        merged = CitationRecord({"title": "X"}).merge(CitationRecord({"year": 2017}))
+        assert merged == {"title": "X", "year": 2017}
+
+    def test_merge_conflicting_fields_collects_values(self):
+        merged = CitationRecord({"title": "X"}).merge(CitationRecord({"title": "Y"}))
+        assert merged["title"] == ("X", "Y")
+
+    def test_merge_equal_values_do_not_duplicate(self):
+        merged = CitationRecord({"title": "X"}).merge(CitationRecord({"title": "X"}))
+        assert merged["title"] == "X"
+
+    def test_merge_tuple_values(self):
+        merged = CitationRecord({"authors": ["A"]}).merge(CitationRecord({"authors": ["B", "A"]}))
+        assert set(merged["authors"]) == {"A", "B"}
+
+
+class TestMeasurement:
+    def test_size_counts_atomic_values(self):
+        record = CitationRecord({"title": "X", "authors": ["A", "B", "C"]})
+        assert record.size() == 4
+
+    def test_text_length_positive(self):
+        assert CitationRecord({"title": "X"}).text_length() > 0
+
+    def test_set_size(self):
+        records = record_set({"title": "X"}, {"authors": ["A", "B"]})
+        assert set_size(records) == 3
+
+    def test_record_set_accepts_records_and_mappings(self):
+        record = CitationRecord({"title": "X"})
+        assert record_set(record, {"title": "X"}) == frozenset({record})
+
+    def test_as_dict_round_trip(self):
+        record = CitationRecord({"title": "X", "authors": ["A"]})
+        assert CitationRecord(record.as_dict()) == record

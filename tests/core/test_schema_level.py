@@ -1,0 +1,95 @@
+"""Tests for schema-level (query-level) citation reasoning."""
+
+import pytest
+
+from repro import CitationEngine, CitationPolicy, parse_query
+from repro.core.schema_level import (
+    cite_schema_level,
+    schema_level_parameter_estimate,
+)
+from repro.errors import NoRewritingError
+from repro.workloads import gtopdb
+
+
+@pytest.fixture
+def engine(paper_db, paper_views):
+    return CitationEngine(paper_db, paper_views, policy=CitationPolicy.union_everywhere())
+
+
+class TestSchemaLevelCitation:
+    def test_matches_selected_rewriting(self, engine, paper_query):
+        result = cite_schema_level(engine, paper_query)
+        assert {a.predicate for a in result.rewriting.query.body} == {"V2", "V3"}
+        assert result.result_size == 2
+
+    def test_citation_covers_views_of_selected_rewriting(self, engine, paper_query):
+        result = cite_schema_level(engine, paper_query)
+        views_cited = {record["view"] for record in result.citation.records}
+        assert views_cited == {"V2", "V3"}
+
+    def test_distinct_valuations_counted(self, engine, paper_query):
+        result = cite_schema_level(engine, paper_query)
+        # V2 and V3 are unparameterized: one valuation each.
+        assert result.distinct_parameter_valuations == 2
+        assert result.coverage() == pytest.approx(1.0)
+
+    def test_parameterized_rewriting_counts_parameter_values(self, paper_db, paper_views):
+        # Remove V2 so the engine is forced through the parameterized V1.
+        engine = CitationEngine(
+            paper_db,
+            [paper_views[0], paper_views[2]],
+            policy=CitationPolicy.union_everywhere(),
+        )
+        result = cite_schema_level(
+            engine, "Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)"
+        )
+        # 3 distinct FID values through V1 plus the single V3 citation.
+        assert result.distinct_parameter_valuations == 4
+
+    def test_no_rewriting_raises(self, engine):
+        with pytest.raises(NoRewritingError):
+            cite_schema_level(engine, "Q(PName) :- Committee(FID, PName)")
+
+    def test_query_level_agrees_with_tuple_level_on_union_policy(self, engine, paper_query):
+        schema_level = cite_schema_level(engine, paper_query)
+        tuple_level = engine.cite(paper_query, mode="economical")
+        assert schema_level.citation.records == tuple_level.citation.records
+
+    def test_empty_result_has_zero_coverage(self, engine):
+        result = cite_schema_level(
+            engine, "Q(FName) :- Family(999, FName, Desc), FamilyIntro(999, Text)"
+        )
+        assert result.result_size == 0
+        assert result.coverage() == 0.0
+
+
+class TestParameterEstimate:
+    def test_estimate_upper_bounds_actual(self, engine, paper_query):
+        rewritings = engine.rewritings(paper_query)
+        for rewriting in rewritings:
+            estimate = schema_level_parameter_estimate(engine, rewriting)
+            actual = cite_schema_level(engine, paper_query)
+            if {a.predicate for a in rewriting.query.body} == {
+                a.predicate for a in actual.rewriting.query.body
+            }:
+                assert estimate >= actual.distinct_parameter_valuations
+
+    def test_estimate_scales_with_database(self, paper_views):
+        small_db = gtopdb.generate(families=10)
+        large_db = gtopdb.generate(families=50)
+        query = "Q(FID, FName, Desc) :- Family(FID, FName, Desc)"
+        small_engine = CitationEngine(small_db, paper_views)
+        large_engine = CitationEngine(large_db, paper_views)
+        small_rewritings = [
+            r
+            for r in small_engine.rewritings(query)
+            if r.uses_parameterized_view()
+        ]
+        large_rewritings = [
+            r
+            for r in large_engine.rewritings(query)
+            if r.uses_parameterized_view()
+        ]
+        small_estimate = schema_level_parameter_estimate(small_engine, small_rewritings[0])
+        large_estimate = schema_level_parameter_estimate(large_engine, large_rewritings[0])
+        assert large_estimate > small_estimate

@@ -1,0 +1,109 @@
+"""Tests for citation-size estimation, abbreviation and reference citations."""
+
+import pytest
+
+from repro import CitationEngine, CitationPolicy
+from repro.core.citation import Citation
+from repro.core.record import CitationRecord
+from repro.core.size import (
+    abbreviate_citation,
+    abbreviate_record,
+    citation_digest,
+    estimate_citation_size,
+    rank_rewritings_by_size,
+    reference_citation,
+)
+from repro.workloads import gtopdb
+
+
+@pytest.fixture
+def rewritings(paper_engine, paper_query):
+    return paper_engine.rewritings(paper_query)
+
+
+class TestEstimates:
+    def test_unparameterized_rewriting_is_smaller(self, paper_db, rewritings):
+        sizes = {
+            frozenset(a.predicate for a in r.query.body): estimate_citation_size(r, paper_db)
+            for r in rewritings
+        }
+        assert sizes[frozenset({"V2", "V3"})] < sizes[frozenset({"V1", "V3"})]
+
+    def test_rank_rewritings_by_size(self, paper_db, rewritings):
+        ranked = rank_rewritings_by_size(rewritings, paper_db)
+        assert [s for _r, s in ranked] == sorted(s for _r, s in ranked)
+        assert {a.predicate for a in ranked[0][0].query.body} == {"V2", "V3"}
+
+    def test_parameterized_estimate_grows_with_data(self, paper_views, rewritings):
+        with_v1 = next(
+            r for r in rewritings if any(a.predicate == "V1" for a in r.query.body)
+        )
+        small = estimate_citation_size(with_v1, gtopdb.generate(families=10))
+        large = estimate_citation_size(with_v1, gtopdb.generate(families=200))
+        assert large > small
+
+    def test_actual_citation_size_tracks_estimate(self, paper_views):
+        # Under the union policy, citing through V1 produces one record per
+        # family while V2 produces a single record: measured sizes must agree
+        # with the estimated ordering.
+        db = gtopdb.generate(families=30, duplicate_name_fraction=0.0)
+        engine_v1 = CitationEngine(
+            db, [paper_views[0], paper_views[2]], policy=CitationPolicy.union_everywhere()
+        )
+        engine_v2 = CitationEngine(
+            db, [paper_views[1], paper_views[2]], policy=CitationPolicy.union_everywhere()
+        )
+        query = "Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)"
+        size_v1 = engine_v1.cite(query).citation.record_count()
+        size_v2 = engine_v2.cite(query).citation.record_count()
+        assert size_v1 > size_v2
+        assert size_v1 >= 30  # one citation per family
+        assert size_v2 == 2  # V2 + V3 records
+
+
+class TestAbbreviation:
+    def test_abbreviate_record_truncates_long_lists(self):
+        record = CitationRecord({"contributors": tuple(f"P{i}" for i in range(10))})
+        abbreviated = abbreviate_record(record, max_names=3)
+        assert len(abbreviated["contributors"]) == 4
+        assert abbreviated["contributors"][-1] == "et al."
+
+    def test_short_lists_unchanged(self):
+        record = CitationRecord({"authors": ("A", "B")})
+        assert abbreviate_record(record, max_names=3) == record
+
+    def test_abbreviate_citation_preserves_metadata(self):
+        record = CitationRecord({"contributors": tuple(f"P{i}" for i in range(10))})
+        citation = Citation(frozenset({record}), version="5", query_text="Q")
+        abbreviated = abbreviate_citation(citation)
+        assert abbreviated.version == "5"
+        assert abbreviated.query_text == "Q"
+        assert abbreviated.size() < citation.size()
+
+
+class TestReferenceCitations:
+    def test_reference_is_compact(self):
+        records = frozenset(
+            CitationRecord({"title": f"Record {i}", "contributors": (f"A{i}", f"B{i}")})
+            for i in range(50)
+        )
+        citation = Citation(records, query_text="Q")
+        reference = reference_citation(citation)
+        assert reference.record_count() == 1
+        assert reference.size() < citation.size()
+        only = next(iter(reference.records))
+        assert only["records"] == 50
+
+    def test_digest_is_stable_and_content_sensitive(self):
+        a = Citation(frozenset({CitationRecord({"title": "X"})}))
+        b = Citation(frozenset({CitationRecord({"title": "X"})}))
+        c = Citation(frozenset({CitationRecord({"title": "Y"})}))
+        assert citation_digest(a) == citation_digest(b)
+        assert citation_digest(a) != citation_digest(c)
+
+    def test_reference_identifier_contains_digest(self):
+        citation = Citation(frozenset({CitationRecord({"title": "X"})}))
+        reference = reference_citation(citation, resolver_prefix="cite://")
+        identifier = next(iter(reference.records))["identifier"]
+        assert identifier.startswith("cite://")
+        assert citation_digest(citation) in identifier

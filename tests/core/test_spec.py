@@ -1,0 +1,164 @@
+"""Tests for declarative citation specifications and schema defaults."""
+
+import json
+
+import pytest
+
+from repro import CitationEngine
+from repro.core.policy import Combinators
+from repro.core.spec import (
+    default_views_for_schema,
+    dump_specification,
+    ensure_schema_has_snippets,
+    load_specification,
+    validate_views_against_schema,
+)
+from repro.errors import CitationError
+from repro.workloads import gtopdb
+
+SPEC = {
+    "policy": {
+        "joint": "union",
+        "alternative": "union",
+        "rewrite_alternative": "min_size",
+        "aggregate": "union",
+    },
+    "views": [
+        {
+            "view": "lambda FID. V1(FID, FName, Desc) :- Family(FID, FName, Desc)",
+            "citation_queries": ["lambda FID. CV1(FID, PName) :- Committee(FID, PName)"],
+            "constants": {"source": "IUPHAR/BPS Guide to PHARMACOLOGY"},
+            "field_map": {"PName": "contributors"},
+            "description": "per-family citation",
+        },
+        {
+            "view": "V3(FID, Text) :- FamilyIntro(FID, Text)",
+            "citation_queries": ['CV3(D) :- D = "IUPHAR/BPS Guide to PHARMACOLOGY"'],
+            "field_map": {"D": "title"},
+        },
+    ],
+}
+
+
+class TestLoadSpecification:
+    def test_load_from_dict(self):
+        views, policy = load_specification(SPEC, schema=gtopdb.schema())
+        assert [view.name for view in views] == ["V1", "V3"]
+        assert views[0].is_parameterized
+        assert policy.rewrite_alternative is Combinators.min_size
+
+    def test_load_from_json_string(self):
+        views, _policy = load_specification(json.dumps(SPEC))
+        assert len(views) == 2
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(SPEC), encoding="utf-8")
+        views, _policy = load_specification(path, schema=gtopdb.schema())
+        assert len(views) == 2
+
+    def test_loaded_views_drive_an_engine(self, paper_db):
+        views, policy = load_specification(SPEC, schema=paper_db.schema)
+        engine = CitationEngine(paper_db, views, policy=policy)
+        result = engine.cite(gtopdb.paper_query())
+        assert result.citation.record_count() >= 1
+
+    def test_missing_view_key_rejected(self):
+        with pytest.raises(CitationError, match="missing the required 'view' key"):
+            load_specification({"views": [{"citation_queries": []}]})
+
+    def test_unparseable_view_rejected(self):
+        with pytest.raises(CitationError, match="cannot parse view query"):
+            load_specification({"views": [{"view": "not a query"}]})
+
+    def test_unknown_policy_slot_rejected(self):
+        bad = dict(SPEC, policy={"nonsense": "union"})
+        with pytest.raises(CitationError, match="unknown policy slots"):
+            load_specification(bad)
+
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(CitationError, match="unknown top-level"):
+            load_specification({"views": SPEC["views"], "stuff": 1})
+
+    def test_empty_views_rejected(self):
+        with pytest.raises(CitationError, match="at least one view"):
+            load_specification({"views": []})
+
+    def test_schema_mismatch_reported(self):
+        bad = {
+            "views": [{"view": "V(X) :- NoSuchRelation(X)"}],
+        }
+        with pytest.raises(CitationError, match="NoSuchRelation"):
+            load_specification(bad, schema=gtopdb.schema())
+
+    def test_dump_round_trip(self):
+        views, policy = load_specification(SPEC)
+        dumped = dump_specification(views, policy)
+        reloaded_views, reloaded_policy = load_specification(dumped, schema=gtopdb.schema())
+        assert [v.name for v in reloaded_views] == [v.name for v in views]
+        assert reloaded_policy.rewrite_alternative is policy.rewrite_alternative
+
+
+class TestValidation:
+    def test_arity_mismatch_detected(self):
+        views, _policy = load_specification(
+            {"views": [{"view": "V(FID, FName) :- Family(FID, FName)"}]}
+        )
+        problems = validate_views_against_schema(views, gtopdb.schema())
+        assert any("arity" in problem for problem in problems)
+
+    def test_duplicate_view_names_detected(self):
+        views, _policy = load_specification(
+            {
+                "views": [
+                    {"view": "V(FID, FName, D) :- Family(FID, FName, D)"},
+                    {"view": "V(FID, Text) :- FamilyIntro(FID, Text)"},
+                ]
+            }
+        )
+        problems = validate_views_against_schema(views, gtopdb.schema())
+        assert any("duplicate view name" in problem for problem in problems)
+
+    def test_clean_specification_has_no_problems(self):
+        views, _policy = load_specification(SPEC)
+        assert validate_views_against_schema(views, gtopdb.schema()) == []
+
+    def test_snippetless_views_are_flagged(self):
+        views = default_views_for_schema(gtopdb.schema(), per_entity=False)
+        warnings = ensure_schema_has_snippets(gtopdb.schema(), views)
+        assert len(warnings) == len(views)
+
+
+class TestDefaultViews:
+    def test_whole_table_view_per_relation(self):
+        views = default_views_for_schema(gtopdb.schema(), per_entity=False)
+        assert len(views) == len(gtopdb.schema().relation_names)
+        assert all(not view.is_parameterized for view in views)
+
+    def test_per_entity_views_for_relations_with_contributors(self):
+        views = default_views_for_schema(gtopdb.schema())
+        per_entity = [view for view in views if view.is_parameterized]
+        names = {view.name for view in per_entity}
+        # Family has Committee (PName), Target has Contributor (PName).
+        assert "Per_Family" in names
+        assert "Per_Target" in names
+
+    def test_default_views_cover_every_single_table_query(self, paper_db):
+        views = default_views_for_schema(paper_db.schema, database_title="GtoPdb")
+        engine = CitationEngine(paper_db, views)
+        result = engine.cite("Q(FID, FName, Desc) :- Family(FID, FName, Desc)")
+        assert result.citation.record_count() >= 1
+
+    def test_default_views_cover_the_paper_query(self, paper_db):
+        views = default_views_for_schema(paper_db.schema, database_title="GtoPdb")
+        engine = CitationEngine(paper_db, views)
+        result = engine.cite(gtopdb.paper_query())
+        assert len(result) == 2
+
+    def test_per_entity_citation_credits_contributors(self, paper_db):
+        views = default_views_for_schema(paper_db.schema, database_title="GtoPdb")
+        per_family = next(view for view in views if view.name == "Per_Family")
+        record = per_family.citation_for(paper_db, {"FID": 11})
+        contributors = record["contributors"]
+        names = contributors if isinstance(contributors, tuple) else (contributors,)
+        assert "D. Hoyer" in names

@@ -1,0 +1,104 @@
+"""Tests for timestamp-based citation evolution."""
+
+import pytest
+
+from repro.core.temporal import (
+    TIMESTAMP_ATTRIBUTE,
+    TemporalCitationEngine,
+    add_timestamps,
+    timestamp_view,
+    timestamped_database_schema,
+    timestamped_schema,
+)
+from repro.errors import SchemaError
+from repro.workloads import gtopdb
+
+
+@pytest.fixture
+def temporal_db():
+    """The paper instance stamped with era '2016', plus a family added in '2017'."""
+    base = gtopdb.paper_instance()
+    db = add_timestamps(base, "2016", relations=["Family", "FamilyIntro"])
+    db.insert("Family", (20, "Orexin", "O1", "2017"))
+    db.insert("FamilyIntro", (20, "orexin intro", "2017"))
+    return db
+
+
+@pytest.fixture
+def temporal_engine(temporal_db):
+    views = [
+        timestamp_view("Family", temporal_db.schema, extra_parameters=["FID"]),
+        timestamp_view("FamilyIntro", temporal_db.schema),
+    ]
+    return TemporalCitationEngine(temporal_db, views)
+
+
+class TestSchemaExtension:
+    def test_timestamped_schema_appends_attribute(self):
+        schema = timestamped_schema(gtopdb.schema().relation("Family"))
+        assert schema.attribute_names[-1] == TIMESTAMP_ATTRIBUTE
+        assert schema.key == ("FID",)
+
+    def test_timestamped_schema_is_idempotent(self):
+        once = timestamped_schema(gtopdb.schema().relation("Family"))
+        assert timestamped_schema(once) == once
+
+    def test_database_schema_extension_is_selective(self):
+        schema = timestamped_database_schema(gtopdb.schema(), relations=["Family"])
+        assert schema.relation("Family").has_attribute(TIMESTAMP_ATTRIBUTE)
+        assert not schema.relation("Committee").has_attribute(TIMESTAMP_ATTRIBUTE)
+
+    def test_add_timestamps_stamps_rows(self, temporal_db):
+        assert (11, "Calcitonin", "C1", "2016") in temporal_db.relation("Family")
+        assert (20, "Orexin", "O1", "2017") in temporal_db.relation("Family")
+        # untouched relation keeps its original arity
+        assert temporal_db.relation_schema("Committee").arity == 2
+
+    def test_add_timestamps_with_per_relation_values(self):
+        db = add_timestamps(
+            gtopdb.paper_instance(),
+            {"Family": "r1", "FamilyIntro": "r2"},
+            relations=["Family", "FamilyIntro"],
+        )
+        assert (11, "Calcitonin", "C1", "r1") in db.relation("Family")
+        assert (11, "1st", "r2") in db.relation("FamilyIntro")
+
+
+class TestTimestampViews:
+    def test_view_requires_timestamp_attribute(self):
+        with pytest.raises(SchemaError):
+            timestamp_view("Committee", timestamped_database_schema(gtopdb.schema(), ["Family"]))
+
+    def test_view_parameters_include_timestamp(self, temporal_db):
+        view = timestamp_view("Family", temporal_db.schema, extra_parameters=["FID"])
+        assert set(view.parameter_names()) == {TIMESTAMP_ATTRIBUTE, "FID"}
+
+    def test_citations_differ_across_eras(self, temporal_engine):
+        result = temporal_engine.cite(
+            "Q(FName) :- Family(FID, FName, Desc, T), FamilyIntro(FID, Text, T2)"
+        )
+        eras = temporal_engine.eras_cited(
+            "Q(FName) :- Family(FID, FName, Desc, T), FamilyIntro(FID, Text, T2)"
+        )
+        assert eras == {"2016", "2017"}
+        # Calcitonin (twice, merged by set semantics), Adenosine and Orexin.
+        assert result.result.rows == {("Calcitonin",), ("Adenosine",), ("Orexin",)}
+
+    def test_cite_as_of_restricts_to_one_era(self, temporal_engine):
+        query = "Q(FName) :- Family(FID, FName, Desc, T), FamilyIntro(FID, Text, T2)"
+        old = temporal_engine.cite_as_of(query, "2016")
+        new = temporal_engine.cite_as_of(query, "2017")
+        assert ("Orexin",) not in old.result.rows
+        assert new.result.rows == {("Orexin",)}
+        assert temporal_engine.eras_cited(query) >= {"2016", "2017"}
+
+    def test_timestamp_appears_in_citation_records(self, temporal_engine):
+        result = temporal_engine.cite_as_of(
+            "Q(FName) :- Family(FID, FName, Desc, T), FamilyIntro(FID, Text, T2)", "2017"
+        )
+        timestamps = set()
+        for record in result.citation.records:
+            parameters = dict(record.get("parameters", ()))
+            if TIMESTAMP_ATTRIBUTE in parameters:
+                timestamps.add(parameters[TIMESTAMP_ATTRIBUTE])
+        assert timestamps == {"2017"}

@@ -1,0 +1,91 @@
+"""Tests for workload-driven view selection."""
+
+import pytest
+
+from repro.core.view_selection import (
+    ViewSelectionProblem,
+    select_views_exhaustive,
+    select_views_greedy,
+)
+from repro.query.parser import parse_query
+from repro.workloads import gtopdb
+
+
+@pytest.fixture
+def candidates():
+    return gtopdb.citation_views(extended=True)
+
+
+@pytest.fixture
+def workload():
+    return [
+        parse_query("Q1(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)"),
+        parse_query("Q2(FID, FName, Desc) :- Family(FID, FName, Desc)"),
+        parse_query("Q3(FID, Text) :- FamilyIntro(FID, Text)"),
+        parse_query(
+            "Q4(TName) :- Target(TID, FID, TName, Type)"
+        ),
+    ]
+
+
+class TestProblemPrimitives:
+    def test_covers_detects_rewritable_queries(self, candidates, workload, paper_db):
+        problem = ViewSelectionProblem(candidates, workload, paper_db)
+        v2_v3 = [candidates[1], candidates[2]]
+        assert problem.covers(v2_v3, 0)      # Q1 via V2 ⋈ V3
+        assert problem.covers(v2_v3, 1)      # Q2 via V2
+        assert problem.covers(v2_v3, 2)      # Q3 via V3
+        assert not problem.covers(v2_v3, 3)  # Q4 needs the Target view
+
+    def test_coverage_fraction(self, candidates, workload, paper_db):
+        problem = ViewSelectionProblem(candidates, workload, paper_db)
+        assert problem.coverage([candidates[1], candidates[2]]) == pytest.approx(0.75)
+        assert problem.coverage([]) == 0.0
+
+    def test_cost_prefers_unparameterized_views(self, candidates, workload, paper_db):
+        problem = ViewSelectionProblem(candidates, workload, paper_db)
+        assert problem.cost([candidates[0]]) > problem.cost([candidates[1]])
+
+    def test_ambiguity_counts_rewritings(self, candidates, workload, paper_db):
+        problem = ViewSelectionProblem(candidates, workload[:1], paper_db)
+        # With both V1 and V2 available, Q1 has two rewritings -> ambiguity 2.
+        assert problem.ambiguity([candidates[0], candidates[1], candidates[2]]) == pytest.approx(2.0)
+        assert problem.ambiguity([candidates[1], candidates[2]]) == pytest.approx(1.0)
+
+    def test_coverage_is_cached(self, candidates, workload, paper_db):
+        problem = ViewSelectionProblem(candidates, workload, paper_db)
+        problem.covers([candidates[1]], 1)
+        assert problem.covers([candidates[1]], 1)
+        assert len(problem._cover_cache) == 1
+
+
+class TestSelection:
+    def test_greedy_covers_workload(self, candidates, workload, paper_db):
+        problem = ViewSelectionProblem(candidates, workload, paper_db, max_views=4)
+        selected = select_views_greedy(problem)
+        assert problem.coverage(selected) == pytest.approx(1.0)
+
+    def test_greedy_respects_budget(self, candidates, workload, paper_db):
+        problem = ViewSelectionProblem(candidates, workload, paper_db, max_views=2)
+        assert len(select_views_greedy(problem)) <= 2
+
+    def test_greedy_matches_exhaustive_on_small_instance(self, candidates, paper_db):
+        workload = [
+            parse_query("Q2(FID, FName, Desc) :- Family(FID, FName, Desc)"),
+            parse_query("Q3(FID, Text) :- FamilyIntro(FID, Text)"),
+        ]
+        problem = ViewSelectionProblem(candidates[:3], workload, paper_db, max_views=2)
+        greedy = select_views_greedy(problem)
+        optimal = select_views_exhaustive(problem)
+        assert problem.coverage(greedy) == problem.coverage(optimal)
+
+    def test_exhaustive_prefers_concise_views(self, candidates, paper_db):
+        workload = [parse_query("Q2(FID, FName, Desc) :- Family(FID, FName, Desc)")]
+        problem = ViewSelectionProblem(candidates[:2], workload, paper_db, max_views=1)
+        optimal = select_views_exhaustive(problem)
+        # V2 (unparameterized) covers the query at lower cost than V1.
+        assert [view.name for view in optimal] == ["V2"]
+
+    def test_empty_workload_selects_nothing(self, candidates, paper_db):
+        problem = ViewSelectionProblem(candidates, [], paper_db)
+        assert select_views_greedy(problem) == []

@@ -1,0 +1,123 @@
+"""End-to-end reproduction of the paper's Section 2 worked example (E1).
+
+The paper walks through:
+
+* relations Family / Committee / FamilyIntro with two families named
+  ``Calcitonin`` (FIDs 11 and 12),
+* citation views V1 (λ FID, committee members), V2 and V3 (whole-table),
+* the query Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text),
+* its two rewritings Q1 (V1 ⋈ V3) and Q2 (V2 ⋈ V3),
+* the citation of the result tuple ``Calcitonin``::
+
+      (CV1(11)·CV3 + CV1(12)·CV3) +R (CV2·CV3)
+
+* and, under union for ``·``/``+``/``Agg`` and minimum-estimated-size for
+  ``+R``, the final choice of the citation through Q2 (CV2·CV3).
+
+These tests assert each of those statements against the implementation.
+"""
+
+import pytest
+
+from repro import CitationEngine, CitationPolicy
+from repro.rewriting.cost import RewritingCostModel, cheapest_rewriting
+
+
+class TestRewritingsOfTheExample:
+    def test_q_can_be_rewritten_in_terms_of_v1_v3_and_v2_v3(self, paper_engine, paper_query):
+        rewritings = paper_engine.rewritings(paper_query)
+        assert len(rewritings) == 2
+        combos = {frozenset(a.predicate for a in r.query.body) for r in rewritings}
+        assert combos == {frozenset({"V1", "V3"}), frozenset({"V2", "V3"})}
+
+    def test_rewritings_return_the_same_answers_as_the_query(self, paper_engine, paper_query, paper_db):
+        from repro.query.evaluator import QueryEvaluator
+        from repro.rewriting.view import materialize_views
+
+        views = [cv.view for cv in paper_engine.citation_views]
+        relations = materialize_views(views, paper_db)
+        evaluator = QueryEvaluator(paper_db, extra_relations=relations)
+        direct = QueryEvaluator(paper_db).evaluate(paper_query).rows
+        for rewriting in paper_engine.rewritings(paper_query):
+            assert evaluator.evaluate(rewriting.query).rows == direct
+
+
+class TestCalcitoninCitation:
+    def test_two_bindings_for_calcitonin(self, paper_db, paper_query):
+        from repro.query.evaluator import evaluate_with_bindings
+
+        bindings = evaluate_with_bindings(paper_query, paper_db)
+        assert len(bindings[("Calcitonin",)]) == 2
+
+    def test_symbolic_citation_matches_the_paper(self, paper_engine, paper_query):
+        result = paper_engine.cite(paper_query)
+        calcitonin = result.citation_for(("Calcitonin",))
+        assert str(calcitonin.expression) == (
+            "((CV1(11)·CV3) + (CV1(12)·CV3)) +R (CV2·CV3)"
+        )
+
+    def test_parameters_11_and_12_are_passed_to_v1(self, paper_engine, paper_query):
+        result = paper_engine.cite(paper_query)
+        calcitonin = result.citation_for(("Calcitonin",))
+        v1_params = {
+            atom.parameter_values["FID"]
+            for atom in calcitonin.expression.atoms()
+            if atom.view_name == "V1"
+        }
+        assert v1_params == {11, 12}
+
+    def test_committee_members_differ_per_parameter(self, paper_engine):
+        record_11 = paper_engine.citation_record("V1", {"FID": 11})
+        record_12 = paper_engine.citation_record("V1", {"FID": 12})
+        assert record_11["contributors"] == ("A. Davenport", "D. Hoyer")
+        assert record_12["contributors"] == "S. Alexander"
+        assert record_11 != record_12
+
+    def test_unparameterized_views_have_constant_citations(self, paper_engine):
+        assert paper_engine.citation_record("V2", {}) == paper_engine.citation_record("V2", {})
+        assert paper_engine.citation_record("V3", {})["title"].startswith("IUPHAR/BPS")
+
+
+class TestFinalPolicyStep:
+    def test_estimated_size_of_q1_is_proportional_to_family(self, paper_engine, paper_query, paper_db):
+        rewritings = paper_engine.rewritings(paper_query)
+        model = RewritingCostModel(paper_db)
+        by_views = {
+            frozenset(a.predicate for a in r.query.body): model.citation_size(r)
+            for r in rewritings
+        }
+        assert by_views[frozenset({"V1", "V3"})] == pytest.approx(
+            len(paper_db.relation("Family")) + 1
+        )
+        assert by_views[frozenset({"V2", "V3"})] == pytest.approx(2)
+
+    def test_minimum_size_rewriting_is_q2(self, paper_engine, paper_query, paper_db):
+        best = cheapest_rewriting(
+            paper_engine.rewritings(paper_query), RewritingCostModel(paper_db)
+        )
+        assert {a.predicate for a in best.query.body} == {"V2", "V3"}
+
+    def test_final_citation_is_cv2_dot_cv3(self, paper_engine, paper_query):
+        result = paper_engine.cite(paper_query)
+        assert {record["view"] for record in result.citation.records} == {"V2", "V3"}
+        titles = {record["title"] for record in result.citation.records}
+        assert titles == {"IUPHAR/BPS Guide to PHARMACOLOGY"}
+
+    def test_union_policy_retains_the_full_alternative_structure(
+        self, paper_db, paper_views, paper_query
+    ):
+        engine = CitationEngine(paper_db, paper_views, policy=CitationPolicy.union_everywhere())
+        result = engine.cite(paper_query)
+        # Aggregate citation now credits the committees of families 11, 12 and 13.
+        parameterized = {
+            record["parameters"] for record in result.citation.records if "parameters" in record
+        }
+        assert parameterized == {(("FID", 11),), (("FID", 12),), (("FID", 13),)}
+
+    def test_rendering_of_the_final_citation(self, paper_engine, paper_query):
+        citation = paper_engine.cite(paper_query).citation
+        text = citation.to_text()
+        assert "IUPHAR/BPS Guide to PHARMACOLOGY" in text
+        bibtex = citation.to_bibtex()
+        assert "@misc{" in bibtex
+        assert "IUPHAR/BPS Guide to PHARMACOLOGY" in bibtex

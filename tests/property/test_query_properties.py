@@ -1,0 +1,145 @@
+"""Property-based tests for query evaluation, containment and citation invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import CitationEngine, CitationPolicy, parse_query
+from repro.query.ast import Atom, ConjunctiveQuery, Variable
+from repro.query.containment import is_contained_in, is_equivalent_to
+from repro.query.evaluator import QueryEvaluator, evaluate
+from repro.query.minimization import minimize
+from repro.relational.database import Database
+from repro.relational.schema import Attribute, DatabaseSchema, RelationSchema
+from repro.workloads import gtopdb
+
+# ---------------------------------------------------------------------------
+# A tiny binary-relation schema for random-query generation
+# ---------------------------------------------------------------------------
+_SCHEMA = DatabaseSchema(
+    [
+        RelationSchema("R", [Attribute("a", int), Attribute("b", int)]),
+        RelationSchema("S", [Attribute("a", int), Attribute("b", int)]),
+    ]
+)
+
+_VARIABLES = ["X", "Y", "Z", "W"]
+
+
+@st.composite
+def random_queries(draw):
+    """Safe conjunctive queries over R and S with up to three atoms."""
+    atom_count = draw(st.integers(min_value=1, max_value=3))
+    body = []
+    for _ in range(atom_count):
+        predicate = draw(st.sampled_from(["R", "S"]))
+        left = Variable(draw(st.sampled_from(_VARIABLES)))
+        right = Variable(draw(st.sampled_from(_VARIABLES)))
+        body.append(Atom(predicate, (left, right)))
+    body_vars = sorted({v.name for atom in body for v in atom.variables()})
+    head_size = draw(st.integers(min_value=1, max_value=len(body_vars)))
+    head_vars = tuple(Variable(name) for name in body_vars[:head_size])
+    return ConjunctiveQuery(Atom("Q", head_vars), body)
+
+
+@st.composite
+def small_databases(draw):
+    """Small instances of the R/S schema."""
+    database = Database(_SCHEMA)
+    for relation in ("R", "S"):
+        rows = draw(
+            st.lists(
+                st.tuples(st.integers(0, 3), st.integers(0, 3)), min_size=0, max_size=8
+            )
+        )
+        database.insert_many(relation, rows)
+    return database
+
+
+class TestEvaluationProperties:
+    @given(random_queries(), small_databases())
+    @settings(max_examples=60, deadline=None)
+    def test_every_answer_has_a_binding(self, query, database):
+        evaluator = QueryEvaluator(database)
+        by_tuple = evaluator.evaluate_with_bindings(query)
+        for row, bindings in by_tuple.items():
+            assert bindings
+            for binding in bindings:
+                assert evaluator.output_tuple(query, binding) == row
+
+    @given(random_queries(), small_databases())
+    @settings(max_examples=60, deadline=None)
+    def test_adding_an_atom_only_shrinks_the_answer(self, query, database):
+        extended = query.with_body(tuple(query.body) + (query.body[0],))
+        original = evaluate(query, database).rows
+        restricted = evaluate(extended, database).rows
+        assert restricted <= original or restricted == original
+
+    @given(random_queries(), small_databases())
+    @settings(max_examples=40, deadline=None)
+    def test_minimization_preserves_answers(self, query, database):
+        minimal = minimize(query)
+        assert evaluate(minimal, database).rows == evaluate(query, database).rows
+
+    @given(random_queries(), small_databases())
+    @settings(max_examples=40, deadline=None)
+    def test_containment_is_sound_on_instances(self, query, database):
+        minimal = minimize(query)
+        assert is_equivalent_to(minimal, query)
+        if is_contained_in(query, minimal):
+            assert evaluate(query, database).rows <= evaluate(minimal, database).rows
+
+
+class TestContainmentProperties:
+    @given(random_queries())
+    @settings(max_examples=60, deadline=None)
+    def test_containment_is_reflexive(self, query):
+        assert is_contained_in(query, query)
+
+    @given(random_queries(), random_queries(), random_queries())
+    @settings(max_examples=60, deadline=None)
+    def test_containment_is_transitive(self, a, b, c):
+        if is_contained_in(a, b) and is_contained_in(b, c):
+            assert is_contained_in(a, c)
+
+    @given(random_queries())
+    @settings(max_examples=40, deadline=None)
+    def test_minimized_query_is_equivalent(self, query):
+        assert is_equivalent_to(minimize(query), query)
+
+
+class TestCitationInvariants:
+    @given(
+        st.integers(min_value=3, max_value=12),
+        st.floats(min_value=0.0, max_value=0.5),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_every_result_tuple_gets_a_citation(self, families, duplicate_fraction, seed):
+        database = gtopdb.generate(
+            families=families, duplicate_name_fraction=duplicate_fraction, seed=seed
+        )
+        engine = CitationEngine(database, gtopdb.citation_views())
+        result = engine.cite(gtopdb.paper_query())
+        assert {tc.row for tc in result.tuple_citations} == set(result.result.rows)
+        for tuple_citation in result.tuple_citations:
+            assert tuple_citation.records, "every answer tuple must carry a citation"
+
+    @given(st.integers(min_value=3, max_value=10), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_economical_citation_never_larger_than_formal(self, families, seed):
+        database = gtopdb.generate(families=families, seed=seed)
+        engine = CitationEngine(database, gtopdb.citation_views())
+        query = gtopdb.paper_query()
+        formal = engine.cite(query, mode="formal").citation.size()
+        economical = engine.cite(query, mode="economical").citation.size()
+        assert economical <= formal
+
+    @given(st.integers(min_value=3, max_value=10), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_union_policy_dominates_min_size_policy(self, families, seed):
+        database = gtopdb.generate(families=families, seed=seed)
+        query = gtopdb.paper_query()
+        default = CitationEngine(database, gtopdb.citation_views()).cite(query)
+        union = CitationEngine(
+            database, gtopdb.citation_views(), policy=CitationPolicy.union_everywhere()
+        ).cite(query)
+        assert default.citation.records <= union.citation.records

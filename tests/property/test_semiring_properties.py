@@ -1,0 +1,110 @@
+"""Property-based tests for the provenance semirings and polynomials."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.provenance.polynomial import Polynomial
+from repro.provenance.semirings import (
+    BooleanSemiring,
+    CountingSemiring,
+    LineageSemiring,
+    TropicalSemiring,
+    WhySemiring,
+)
+
+TOKENS = st.sampled_from(["x", "y", "z", "u", "v"])
+
+
+@st.composite
+def polynomials(draw, max_terms=4, max_factors=3):
+    """Random provenance polynomials built from a small token pool."""
+    terms = draw(st.integers(min_value=0, max_value=max_terms))
+    result = Polynomial.zero()
+    for _ in range(terms):
+        factors = draw(st.integers(min_value=1, max_value=max_factors))
+        monomial = Polynomial.one()
+        for _ in range(factors):
+            monomial = monomial * Polynomial.variable(draw(TOKENS))
+        result = result + monomial
+    return result
+
+
+class TestPolynomialSemiringLaws:
+    @given(polynomials(), polynomials(), polynomials())
+    @settings(max_examples=60, deadline=None)
+    def test_associativity_and_commutativity(self, a, b, c):
+        assert (a + b) + c == a + (b + c)
+        assert (a * b) * c == a * (b * c)
+        assert a + b == b + a
+        assert a * b == b * a
+
+    @given(polynomials(), polynomials(), polynomials())
+    @settings(max_examples=60, deadline=None)
+    def test_distributivity(self, a, b, c):
+        assert a * (b + c) == a * b + a * c
+
+    @given(polynomials())
+    @settings(max_examples=30, deadline=None)
+    def test_identities(self, a):
+        assert a + Polynomial.zero() == a
+        assert a * Polynomial.one() == a
+        assert (a * Polynomial.zero()).is_zero()
+
+
+class TestUniversality:
+    @given(polynomials(), polynomials(), st.dictionaries(TOKENS, st.integers(0, 5), min_size=5))
+    @settings(max_examples=60, deadline=None)
+    def test_evaluation_is_a_homomorphism_into_counting(self, a, b, valuation):
+        semiring = CountingSemiring()
+        valuation = {token: valuation.get(token, 1) for token in ["x", "y", "z", "u", "v"]}
+        assert (a + b).evaluate(semiring, valuation) == semiring.plus(
+            a.evaluate(semiring, valuation), b.evaluate(semiring, valuation)
+        )
+        assert (a * b).evaluate(semiring, valuation) == semiring.times(
+            a.evaluate(semiring, valuation), b.evaluate(semiring, valuation)
+        )
+
+    @given(polynomials(), st.dictionaries(TOKENS, st.booleans(), min_size=5))
+    @settings(max_examples=40, deadline=None)
+    def test_boolean_evaluation_matches_counting_positivity(self, a, valuation):
+        booleans = {token: valuation.get(token, False) for token in ["x", "y", "z", "u", "v"]}
+        counts = {token: (1 if value else 0) for token, value in booleans.items()}
+        as_bool = a.evaluate(BooleanSemiring(), booleans)
+        as_count = a.evaluate(CountingSemiring(), counts)
+        assert as_bool == (as_count > 0)
+
+
+def _elements(semiring, draw_values):
+    return st.sampled_from(draw_values)
+
+
+class TestConcreteSemiringLaws:
+    @given(
+        st.sampled_from([0.0, 1.0, 2.5, 7.0, float("inf")]),
+        st.sampled_from([0.0, 1.0, 2.5, 7.0, float("inf")]),
+        st.sampled_from([0.0, 1.0, 2.5, 7.0, float("inf")]),
+    )
+    def test_tropical_distributivity(self, a, b, c):
+        semiring = TropicalSemiring()
+        assert semiring.times(a, semiring.plus(b, c)) == semiring.plus(
+            semiring.times(a, b), semiring.times(a, c)
+        )
+
+    @given(
+        st.frozensets(st.sampled_from(["t1", "t2", "t3"])),
+        st.frozensets(st.sampled_from(["t1", "t2", "t3"])),
+        st.frozensets(st.sampled_from(["t1", "t2", "t3"])),
+    )
+    def test_lineage_distributivity(self, a, b, c):
+        semiring = LineageSemiring()
+        assert semiring.times(a, semiring.plus(b, c)) == semiring.plus(
+            semiring.times(a, b), semiring.times(a, c)
+        )
+
+    @given(
+        st.frozensets(st.frozensets(st.sampled_from(["t1", "t2"])), max_size=3),
+        st.frozensets(st.frozensets(st.sampled_from(["t1", "t2"])), max_size=3),
+    )
+    def test_why_commutativity(self, a, b):
+        semiring = WhySemiring()
+        assert semiring.times(a, b) == semiring.times(b, a)
+        assert semiring.plus(a, b) == semiring.plus(b, a)

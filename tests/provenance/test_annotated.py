@@ -1,0 +1,116 @@
+"""Tests for annotated relations and annotation-propagating evaluation."""
+
+import pytest
+
+from repro.errors import ProvenanceError
+from repro.provenance.annotated import (
+    AnnotatedDatabase,
+    AnnotatedRelation,
+    evaluate_annotated,
+    lineage_of,
+)
+from repro.provenance.polynomial import Polynomial
+from repro.provenance.semirings import BooleanSemiring, CountingSemiring
+from repro.query.parser import parse_query
+from repro.relational.schema import Attribute, RelationSchema
+from repro.workloads import gtopdb
+
+
+@pytest.fixture
+def db():
+    return gtopdb.paper_instance()
+
+
+class TestAnnotatedRelation:
+    def _relation(self):
+        schema = RelationSchema("R", [Attribute("a", int)])
+        return AnnotatedRelation(schema, CountingSemiring())
+
+    def test_set_and_get(self):
+        relation = self._relation()
+        relation.set((1,), 3)
+        assert relation.annotation((1,)) == 3
+        assert relation.annotation((2,)) == 0
+
+    def test_zero_annotation_removes_row(self):
+        relation = self._relation()
+        relation.set((1,), 3)
+        relation.set((1,), 0)
+        assert len(relation) == 0
+
+    def test_add_combines_with_plus(self):
+        relation = self._relation()
+        relation.add((1,), 2)
+        relation.add((1,), 3)
+        assert relation.annotation((1,)) == 5
+
+    def test_support(self):
+        relation = self._relation()
+        relation.set((1,), 2)
+        relation.set((2,), 1)
+        assert len(relation.support()) == 2
+
+
+class TestAnnotatedDatabase:
+    def test_tuple_tokens_annotate_every_row(self, db):
+        annotated = AnnotatedDatabase.with_tuple_tokens(db)
+        family = annotated.relation("Family")
+        assert len(family) == 3
+        annotation = family.annotation((11, "Calcitonin", "C1"))
+        assert annotation.tokens() == {("Family", (11, "Calcitonin", "C1"))}
+
+    def test_annotate_missing_tuple_raises(self, db):
+        annotated = AnnotatedDatabase(db, CountingSemiring())
+        with pytest.raises(ProvenanceError):
+            annotated.annotate("Family", (999, "Nope", "X"), 1)
+
+
+class TestAnnotatedEvaluation:
+    def test_polynomial_propagation_on_paper_query(self, db):
+        annotated = AnnotatedDatabase.with_tuple_tokens(db)
+        query = parse_query("Q(FName) :- Family(FID, FName, D), FamilyIntro(FID, T)")
+        result = evaluate_annotated(query, annotated)
+        calcitonin = result.annotation(("Calcitonin",))
+        # two derivations (families 11 and 12), each joining two base tuples
+        assert calcitonin.monomial_count() == 2
+        assert calcitonin.degree() == 2
+        adenosine = result.annotation(("Adenosine",))
+        assert adenosine.monomial_count() == 1
+
+    def test_counting_semiring_counts_derivations(self, db):
+        annotated = AnnotatedDatabase(db, CountingSemiring())
+        for relation in db.relations():
+            for row in relation:
+                annotated.annotate(relation.schema.name, row, 1)
+        query = parse_query("Q(FName) :- Family(FID, FName, D), FamilyIntro(FID, T)")
+        result = evaluate_annotated(query, annotated)
+        assert result.annotation(("Calcitonin",)) == 2
+        assert result.annotation(("Adenosine",)) == 1
+
+    def test_boolean_semiring_matches_set_semantics(self, db):
+        annotated = AnnotatedDatabase(db, BooleanSemiring())
+        query = parse_query("Q(FName) :- Family(FID, FName, D), FamilyIntro(FID, T)")
+        result = evaluate_annotated(query, annotated, default_annotation=True)
+        assert set(result.support().rows) == {("Calcitonin",), ("Adenosine",)}
+
+    def test_default_annotation_used_for_unannotated_tuples(self, db):
+        annotated = AnnotatedDatabase(db, CountingSemiring())
+        query = parse_query("Q(FName) :- Family(FID, FName, D)")
+        result = evaluate_annotated(query, annotated, default_annotation=1)
+        assert result.annotation(("Adenosine",)) == 1
+
+    def test_lineage_of_collects_contributing_tuples(self, db):
+        query = parse_query("Q(FName) :- Family(FID, FName, D), FamilyIntro(FID, T)")
+        lineage = lineage_of(query, db)
+        assert ("Family", (13, "Adenosine", "A1")) in lineage[("Adenosine",)]
+        assert ("FamilyIntro", (13, "Adenosine receptors intro")) in lineage[("Adenosine",)]
+        assert len(lineage[("Calcitonin",)]) == 4
+
+    def test_constants_in_query_are_respected(self, db):
+        annotated = AnnotatedDatabase.with_tuple_tokens(db)
+        query = parse_query("Q(FName) :- Family(11, FName, D)")
+        result = evaluate_annotated(query, annotated)
+        assert len(result) == 1
+        polynomial = result.annotation(("Calcitonin",))
+        assert isinstance(polynomial, Polynomial)
+        assert polynomial.degree() == 1

@@ -1,0 +1,106 @@
+"""Tests for provenance polynomials and their universality."""
+
+from repro.provenance.polynomial import Monomial, Polynomial, PolynomialSemiring
+from repro.provenance.semirings import BooleanSemiring, CountingSemiring, TropicalSemiring
+
+
+class TestMonomial:
+    def test_from_tokens_counts_multiplicity(self):
+        monomial = Monomial.from_tokens(["x", "y", "x"])
+        assert dict(monomial.powers) == {"x": 2, "y": 1}
+        assert monomial.degree() == 3
+
+    def test_times_adds_exponents(self):
+        a = Monomial.from_tokens(["x"])
+        b = Monomial.from_tokens(["x", "y"])
+        assert dict(a.times(b).powers) == {"x": 2, "y": 1}
+
+    def test_unit(self):
+        assert Monomial.unit().degree() == 0
+        assert str(Monomial.unit()) == "1"
+
+    def test_str(self):
+        assert str(Monomial.from_tokens(["x", "x", "y"])) in ("x^2·y", "y·x^2")
+
+
+class TestPolynomialArithmetic:
+    def test_zero_and_one(self):
+        x = Polynomial.variable("x")
+        assert (x + Polynomial.zero()) == x
+        assert (x * Polynomial.one()) == x
+        assert (x * Polynomial.zero()).is_zero()
+
+    def test_addition_collects_coefficients(self):
+        x = Polynomial.variable("x")
+        double = x + x
+        assert double.terms[0][1] == 2
+        assert double.monomial_count() == 1
+
+    def test_distribution(self):
+        x, y, z = (Polynomial.variable(v) for v in "xyz")
+        assert x * (y + z) == x * y + x * z
+
+    def test_commutativity(self):
+        x, y = Polynomial.variable("x"), Polynomial.variable("y")
+        assert x * y == y * x
+        assert x + y == y + x
+
+    def test_join_of_sums(self):
+        x, y = Polynomial.variable("x"), Polynomial.variable("y")
+        product = (x + y) * (x + y)
+        # x^2 + 2xy + y^2
+        assert product.monomial_count() == 3
+        assert product.degree() == 2
+
+    def test_tokens(self):
+        x, y = Polynomial.variable("x"), Polynomial.variable("y")
+        assert (x * y + x).tokens() == {"x", "y"}
+
+
+class TestEvaluation:
+    def test_evaluation_into_counting(self):
+        x, y = Polynomial.variable("x"), Polynomial.variable("y")
+        polynomial = x * x + x * y  # x² + xy
+        value = polynomial.evaluate(CountingSemiring(), {"x": 2, "y": 3})
+        assert value == 4 + 6
+
+    def test_evaluation_into_boolean(self):
+        x, y = Polynomial.variable("x"), Polynomial.variable("y")
+        polynomial = x * y
+        assert polynomial.evaluate(BooleanSemiring(), {"x": True, "y": False}) is False
+        assert polynomial.evaluate(BooleanSemiring(), {"x": True, "y": True}) is True
+
+    def test_evaluation_into_tropical(self):
+        x, y = Polynomial.variable("x"), Polynomial.variable("y")
+        polynomial = x * y + x  # min(cost(x)+cost(y), cost(x))
+        assert polynomial.evaluate(TropicalSemiring(), {"x": 1.0, "y": 5.0}) == 1.0
+
+    def test_evaluation_with_callable_valuation(self):
+        x = Polynomial.variable(("R", (1,)))
+        value = x.evaluate(CountingSemiring(), lambda token: 7)
+        assert value == 7
+
+    def test_homomorphism_property(self):
+        # evaluate(a op b) == evaluate(a) op evaluate(b) for a sample valuation
+        semiring = CountingSemiring()
+        valuation = {"x": 2, "y": 3, "z": 5}
+        a = Polynomial.variable("x") * Polynomial.variable("y")
+        b = Polynomial.variable("z") + Polynomial.variable("x")
+        left = (a + b).evaluate(semiring, valuation)
+        right = semiring.plus(a.evaluate(semiring, valuation), b.evaluate(semiring, valuation))
+        assert left == right
+        left = (a * b).evaluate(semiring, valuation)
+        right = semiring.times(a.evaluate(semiring, valuation), b.evaluate(semiring, valuation))
+        assert left == right
+
+
+class TestPolynomialSemiring:
+    def test_axioms_on_small_sample(self):
+        semiring = PolynomialSemiring()
+        x, y = Polynomial.variable("x"), Polynomial.variable("y")
+        semiring.check_axioms([semiring.zero(), semiring.one(), x, y, x + y, x * y])
+
+    def test_str_rendering(self):
+        x, y = Polynomial.variable("x"), Polynomial.variable("y")
+        assert str(Polynomial.zero()) == "0"
+        assert "x" in str(x * y + x)

@@ -1,0 +1,127 @@
+"""Tests for the standard provenance semirings."""
+
+import math
+
+import pytest
+
+from repro.errors import ProvenanceError
+from repro.provenance.semirings import (
+    BooleanSemiring,
+    CountingSemiring,
+    LineageSemiring,
+    SecuritySemiring,
+    TropicalSemiring,
+    WhySemiring,
+)
+
+
+class TestBoolean:
+    def test_operations(self):
+        semiring = BooleanSemiring()
+        assert semiring.plus(True, False) is True
+        assert semiring.times(True, False) is False
+        assert semiring.zero() is False
+        assert semiring.one() is True
+
+    def test_axioms(self):
+        BooleanSemiring().check_axioms([True, False])
+
+
+class TestCounting:
+    def test_operations(self):
+        semiring = CountingSemiring()
+        assert semiring.plus(2, 3) == 5
+        assert semiring.times(2, 3) == 6
+
+    def test_folds(self):
+        semiring = CountingSemiring()
+        assert semiring.sum([1, 2, 3]) == 6
+        assert semiring.product([2, 3, 4]) == 24
+        assert semiring.sum([]) == 0
+        assert semiring.product([]) == 1
+
+    def test_axioms(self):
+        CountingSemiring().check_axioms([0, 1, 2, 5])
+
+
+class TestTropical:
+    def test_operations(self):
+        semiring = TropicalSemiring()
+        assert semiring.plus(3.0, 5.0) == 3.0
+        assert semiring.times(3.0, 5.0) == 8.0
+        assert semiring.zero() == math.inf
+        assert semiring.one() == 0.0
+
+    def test_axioms(self):
+        TropicalSemiring().check_axioms([0.0, 1.0, 2.5, math.inf])
+
+
+class TestLineage:
+    def test_union_behaviour(self):
+        semiring = LineageSemiring()
+        a = frozenset({"t1"})
+        b = frozenset({"t2"})
+        assert semiring.plus(a, b) == frozenset({"t1", "t2"})
+        assert semiring.times(a, b) == frozenset({"t1", "t2"})
+
+    def test_zero_annihilates(self):
+        semiring = LineageSemiring()
+        a = frozenset({"t1"})
+        assert semiring.times(a, semiring.zero()) == semiring.zero()
+        assert semiring.plus(a, semiring.zero()) == a
+
+    def test_axioms(self):
+        semiring = LineageSemiring()
+        samples = [semiring.zero(), semiring.one(), frozenset({"a"}), frozenset({"a", "b"})]
+        semiring.check_axioms(samples)
+
+
+class TestWhy:
+    def test_witness_combination(self):
+        semiring = WhySemiring()
+        a = frozenset({frozenset({"t1"})})
+        b = frozenset({frozenset({"t2"}), frozenset({"t3"})})
+        product = semiring.times(a, b)
+        assert frozenset({"t1", "t2"}) in product
+        assert frozenset({"t1", "t3"}) in product
+        assert len(product) == 2
+
+    def test_plus_is_union_of_witness_sets(self):
+        semiring = WhySemiring()
+        a = frozenset({frozenset({"t1"})})
+        b = frozenset({frozenset({"t2"})})
+        assert len(semiring.plus(a, b)) == 2
+
+    def test_axioms(self):
+        semiring = WhySemiring()
+        samples = [
+            semiring.zero(),
+            semiring.one(),
+            frozenset({frozenset({"a"})}),
+            frozenset({frozenset({"a"}), frozenset({"b"})}),
+        ]
+        semiring.check_axioms(samples)
+
+
+class TestSecurity:
+    def test_operations(self):
+        semiring = SecuritySemiring(top=3)
+        assert semiring.plus(1, 2) == 1  # most permissive alternative
+        assert semiring.times(1, 2) == 2  # most restrictive joint use
+        assert semiring.zero() == 4
+
+    def test_axioms(self):
+        semiring = SecuritySemiring(top=3)
+        semiring.check_axioms([0, 1, 2, 3, 4])
+
+
+class TestAxiomChecker:
+    def test_detects_violation(self):
+        class Broken(BooleanSemiring):
+            name = "broken"
+
+            def times(self, left, right):  # not commutative with plus identity
+                return left
+
+        with pytest.raises(ProvenanceError):
+            Broken().check_axioms([True, False])

@@ -1,0 +1,162 @@
+"""Tests for the conjunctive-query AST."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query.ast import (
+    Atom,
+    ConjunctiveQuery,
+    Constant,
+    EqualityAtom,
+    Variable,
+    fresh_variable,
+    make_query,
+)
+
+
+class TestTerms:
+    def test_variable_identity(self):
+        assert Variable("X") == Variable("X")
+        assert Variable("X") != Variable("Y")
+        assert Variable("X").is_variable()
+
+    def test_constant_identity(self):
+        assert Constant(1) == Constant(1)
+        assert Constant(1) != Constant("1")
+        assert not Constant(1).is_variable()
+
+    def test_variable_requires_name(self):
+        with pytest.raises(QueryError):
+            Variable("")
+
+    def test_string_constant_rendering(self):
+        assert str(Constant("abc")) == '"abc"'
+        assert str(Constant(3)) == "3"
+
+    def test_fresh_variables_are_distinct(self):
+        assert fresh_variable() != fresh_variable()
+
+
+class TestAtom:
+    def test_variables_and_constants(self):
+        atom = Atom("R", (Variable("X"), Constant(1), Variable("X")))
+        assert atom.variables() == (Variable("X"), Variable("X"))
+        assert atom.constants() == (Constant(1),)
+        assert atom.arity == 3
+
+    def test_substitute(self):
+        atom = Atom("R", (Variable("X"), Variable("Y")))
+        substituted = atom.substitute({Variable("X"): Constant(5)})
+        assert substituted == Atom("R", (Constant(5), Variable("Y")))
+
+    def test_rejects_non_terms(self):
+        with pytest.raises(QueryError):
+            Atom("R", ("not a term",))
+
+    def test_str(self):
+        assert str(Atom("R", (Variable("X"), Constant(2)))) == "R(X, 2)"
+
+
+class TestEqualityAtom:
+    def test_substitution_keeps_unbound_variable(self):
+        eq = EqualityAtom(Variable("D"), Constant("text"))
+        assert eq.substitute({}) == eq
+
+    def test_substitution_with_equal_constant_disappears(self):
+        eq = EqualityAtom(Variable("D"), Constant("text"))
+        assert eq.substitute({Variable("D"): Constant("text")}) is None
+
+    def test_substitution_with_conflicting_constant_raises(self):
+        eq = EqualityAtom(Variable("D"), Constant("text"))
+        with pytest.raises(QueryError):
+            eq.substitute({Variable("D"): Constant("other")})
+
+
+class TestConjunctiveQuery:
+    def _paper_query(self):
+        return make_query(
+            "Q",
+            ["FName"],
+            [("Family", ["FID", "FName", "Desc"]), ("FamilyIntro", ["FID", "Text"])],
+        )
+
+    def test_basic_structure(self):
+        query = self._paper_query()
+        assert query.name == "Q"
+        assert query.predicates() == {"Family", "FamilyIntro"}
+        assert query.head_variables() == {Variable("FName")}
+        assert Variable("FID") in query.existential_variables()
+
+    def test_join_variables(self):
+        assert self._paper_query().join_variables() == {Variable("FID")}
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery(Atom("Q", (Variable("X"),)), [])
+
+    def test_unsafe_head_rejected(self):
+        with pytest.raises(QueryError):
+            make_query("Q", ["Y"], [("R", ["X"])])
+
+    def test_equality_atom_makes_head_safe(self):
+        query = make_query("CV2", ["D"], [], equalities={"D": "GtoPdb"})
+        assert query.constant_bindings() == {Variable("D"): Constant("GtoPdb")}
+
+    def test_parameter_must_be_in_head(self):
+        with pytest.raises(QueryError):
+            make_query("V", ["FName"], [("Family", ["FID", "FName", "D"])], parameters=["FID"])
+
+    def test_parameterized_query(self):
+        query = make_query(
+            "V1",
+            ["FID", "FName"],
+            [("Family", ["FID", "FName", "Desc"])],
+            parameters=["FID"],
+        )
+        assert query.is_parameterized
+        assert query.without_parameters().parameters == ()
+        assert query.without_parameters().body == query.body
+
+    def test_substitute_renames_consistently(self):
+        query = self._paper_query()
+        renamed = query.substitute({Variable("FID"): Variable("Z")})
+        assert Variable("Z") in renamed.join_variables()
+        assert Variable("FID") not in renamed.variables()
+
+    def test_rename_apart_produces_disjoint_variables(self):
+        query = self._paper_query()
+        renamed = query.rename_apart("_1")
+        assert not (query.variables() & renamed.variables())
+
+    def test_inline_equalities_substitutes_body(self):
+        query = make_query(
+            "Q", ["X"], [("R", ["X", "D"])], equalities={"D": "fixed"}
+        )
+        inlined = query.inline_equalities()
+        assert Constant("fixed") in inlined.body[0].terms
+
+    def test_canonical_instance(self):
+        query = self._paper_query()
+        canonical = query.canonical_instance()
+        assert set(canonical) == {"Family", "FamilyIntro"}
+        assert ("?FID", "?FName", "?Desc") in canonical["Family"]
+
+    def test_equality_and_hash(self):
+        assert self._paper_query() == self._paper_query()
+        assert hash(self._paper_query()) == hash(self._paper_query())
+
+    def test_immutability(self):
+        query = self._paper_query()
+        with pytest.raises(AttributeError):
+            query.head = None
+
+    def test_str_contains_lambda_prefix(self):
+        query = make_query(
+            "V1", ["FID"], [("Family", ["FID", "FName", "Desc"])], parameters=["FID"]
+        )
+        assert str(query).startswith("λ FID. ")
+
+    def test_atoms_with_variable(self):
+        query = self._paper_query()
+        assert len(query.atoms_with_variable(Variable("FID"))) == 2
+        assert len(query.atoms_with_variable(Variable("Text"))) == 1

@@ -1,0 +1,125 @@
+"""Tests for conjunctive-query containment and equivalence."""
+
+from repro.query.containment import (
+    containment_mapping,
+    find_homomorphism,
+    is_contained_in,
+    is_equivalent_to,
+    is_isomorphic_to,
+)
+from repro.query.parser import parse_query
+
+
+class TestContainment:
+    def test_query_contained_in_itself(self):
+        q = parse_query("Q(X) :- R(X, Y)")
+        assert is_contained_in(q, q)
+
+    def test_more_joins_contained_in_fewer(self):
+        specific = parse_query("Q(X) :- R(X, Y), S(Y, Z)")
+        general = parse_query("Q(X) :- R(X, Y)")
+        assert is_contained_in(specific, general)
+        assert not is_contained_in(general, specific)
+
+    def test_constant_selection_contained_in_variable(self):
+        specific = parse_query("Q(X) :- R(X, 5)")
+        general = parse_query("Q(X) :- R(X, Y)")
+        assert is_contained_in(specific, general)
+        assert not is_contained_in(general, specific)
+
+    def test_different_constants_not_contained(self):
+        a = parse_query("Q(X) :- R(X, 5)")
+        b = parse_query("Q(X) :- R(X, 6)")
+        assert not is_contained_in(a, b)
+        assert not is_contained_in(b, a)
+
+    def test_head_arity_mismatch(self):
+        a = parse_query("Q(X) :- R(X, Y)")
+        b = parse_query("Q(X, Y) :- R(X, Y)")
+        assert not is_contained_in(a, b)
+
+    def test_different_predicates_not_contained(self):
+        a = parse_query("Q(X) :- R(X, Y)")
+        b = parse_query("Q(X) :- S(X, Y)")
+        assert not is_contained_in(a, b)
+
+    def test_repeated_variable_containment(self):
+        diagonal = parse_query("Q(X) :- R(X, X)")
+        general = parse_query("Q(X) :- R(X, Y)")
+        assert is_contained_in(diagonal, general)
+        assert not is_contained_in(general, diagonal)
+
+    def test_chain_query_containment_with_folding(self):
+        # The length-3 chain maps homomorphically onto the length-2 chain's pattern.
+        longer = parse_query("Q(X) :- R(X, Y), R(Y, Z), R(Z, W)")
+        shorter = parse_query("Q(X) :- R(X, Y), R(Y, Z)")
+        assert is_contained_in(longer, shorter)
+
+    def test_classic_cycle_vs_triangle(self):
+        # Edge relation E; queries return a vertex on the cycle.
+        triangle = parse_query("Q(X) :- E(X, Y), E(Y, Z), E(Z, X)")
+        hexagon = parse_query(
+            "Q(X) :- E(X, B), E(B, C), E(C, D), E(D, F), E(F, G), E(G, X)"
+        )
+        # A triangle (odd cycle) cannot map homomorphically into the bipartite
+        # 6-cycle, so the hexagon query is NOT contained in the triangle query.
+        assert is_contained_in(hexagon, triangle) is False
+        # The 6-cycle folds onto the triangle (wrap around twice), so the
+        # triangle query IS contained in the hexagon query.
+        assert is_contained_in(triangle, hexagon) is True
+
+
+class TestEquivalence:
+    def test_renamed_variables_are_equivalent(self):
+        a = parse_query("Q(X) :- R(X, Y), S(Y, Z)")
+        b = parse_query("Q(A) :- R(A, B), S(B, C)")
+        assert is_equivalent_to(a, b)
+
+    def test_redundant_atom_preserves_equivalence(self):
+        minimal = parse_query("Q(X) :- R(X, Y)")
+        redundant = parse_query("Q(X) :- R(X, Y), R(X, Z)")
+        assert is_equivalent_to(minimal, redundant)
+
+    def test_body_order_does_not_matter(self):
+        a = parse_query("Q(X) :- R(X, Y), S(Y, Z)")
+        b = parse_query("Q(X) :- S(Y, Z), R(X, Y)")
+        assert is_equivalent_to(a, b)
+
+    def test_parameters_are_ignored(self):
+        plain = parse_query("V(FID, FName) :- Family(FID, FName, D)")
+        parameterized = parse_query("lambda FID. V(FID, FName) :- Family(FID, FName, D)")
+        assert is_equivalent_to(plain, parameterized)
+
+    def test_equalities_participate_in_containment(self):
+        with_eq = parse_query('Q(X, D) :- R(X), D = "c"')
+        with_const = parse_query('Q(X, "c") :- R(X)')
+        assert is_equivalent_to(with_eq, with_const)
+
+    def test_non_equivalent_queries(self):
+        a = parse_query("Q(X) :- R(X, Y), S(Y, Z)")
+        b = parse_query("Q(X) :- R(X, Y)")
+        assert not is_equivalent_to(a, b)
+
+
+class TestMappings:
+    def test_containment_mapping_is_returned(self):
+        general = parse_query("Q(X) :- R(X, Y)")
+        specific = parse_query("Q(A) :- R(A, B), S(B, C)")
+        mapping = containment_mapping(general, specific)
+        assert mapping is not None
+        # X must map to the head variable A of the contained query.
+        from repro.query.ast import Variable
+
+        assert mapping[Variable("X")] == Variable("A")
+
+    def test_find_homomorphism_on_atom_sets(self):
+        source = parse_query("Q(X) :- R(X, Y)").body
+        target = parse_query("Q(A) :- R(A, B), R(B, C)").body
+        assert find_homomorphism(source, target) is not None
+
+    def test_isomorphism_detects_renaming_only(self):
+        a = parse_query("Q(X) :- R(X, Y), S(Y, Z)")
+        b = parse_query("Q(U) :- R(U, V), S(V, W)")
+        c = parse_query("Q(X) :- R(X, Y), S(Y, Z), R(X, W)")
+        assert is_isomorphic_to(a, b)
+        assert not is_isomorphic_to(a, c)

@@ -1,0 +1,129 @@
+"""Tests for the Datalog-style query parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.query.ast import Constant, Variable
+from repro.query.parser import parse_program, parse_query
+
+
+class TestBasicParsing:
+    def test_simple_query(self):
+        query = parse_query("Q(X) :- R(X, Y)")
+        assert query.name == "Q"
+        assert query.head_terms == (Variable("X"),)
+        assert query.body[0].predicate == "R"
+
+    def test_paper_query(self):
+        query = parse_query(
+            "Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)"
+        )
+        assert len(query.body) == 2
+        assert query.predicates() == {"Family", "FamilyIntro"}
+
+    def test_alternative_arrow(self):
+        assert parse_query("Q(X) <- R(X)").name == "Q"
+
+    def test_whitespace_insensitive(self):
+        query = parse_query("  Q( X )   :-   R(X ,  Y) ")
+        assert query.head_terms == (Variable("X"),)
+
+    def test_string_constant(self):
+        query = parse_query('Q(X) :- R(X, "hello world")')
+        assert Constant("hello world") in query.body[0].terms
+
+    def test_single_quoted_string(self):
+        query = parse_query("Q(X) :- R(X, 'quoted')")
+        assert Constant("quoted") in query.body[0].terms
+
+    def test_numeric_constants(self):
+        query = parse_query("Q(X) :- R(X, 42, 3.5, -7)")
+        values = [t.value for t in query.body[0].terms if isinstance(t, Constant)]
+        assert values == [42, 3.5, -7]
+
+    def test_boolean_and_null_constants(self):
+        query = parse_query("Q(X) :- R(X, true, false, null)")
+        values = [t.value for t in query.body[0].terms if isinstance(t, Constant)]
+        assert values == [True, False, None]
+
+
+class TestLambdaParameters:
+    def test_ascii_lambda(self):
+        query = parse_query("lambda FID. V1(FID, FName) :- Family(FID, FName, D)")
+        assert query.parameters == (Variable("FID"),)
+
+    def test_unicode_lambda(self):
+        query = parse_query("λ FID. V1(FID, FName) :- Family(FID, FName, D)")
+        assert query.parameters == (Variable("FID"),)
+
+    def test_multiple_parameters(self):
+        query = parse_query("lambda A, B. V(A, B, C) :- R(A, B, C)")
+        assert query.parameters == (Variable("A"), Variable("B"))
+
+    def test_parameter_not_in_head_rejected(self):
+        with pytest.raises(Exception):
+            parse_query("lambda Z. V(A) :- R(A, Z)")
+
+
+class TestEqualityAtoms:
+    def test_citation_query_with_equality(self):
+        query = parse_query('CV2(D) :- D = "IUPHAR/BPS Guide to PHARMACOLOGY"')
+        assert query.equalities[0].variable == Variable("D")
+        assert query.equalities[0].constant.value == "IUPHAR/BPS Guide to PHARMACOLOGY"
+        assert query.body == ()
+
+    def test_equality_mixed_with_atoms(self):
+        query = parse_query('Q(X, D) :- R(X), D = "fixed"')
+        assert len(query.body) == 1
+        assert len(query.equalities) == 1
+
+    def test_equality_to_variable_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("Q(X) :- R(X), X = Y")
+
+
+class TestErrors:
+    def test_missing_arrow(self):
+        with pytest.raises(ParseError):
+            parse_query("Q(X) R(X)")
+
+    def test_unbalanced_parenthesis(self):
+        with pytest.raises(ParseError):
+            parse_query("Q(X :- R(X)")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_query("Q(X) :- R(X) extra(Y)")
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            parse_query("Q(X) :- R(X) & S(X)")
+
+    def test_empty_input(self):
+        with pytest.raises(ParseError):
+            parse_query("")
+
+
+class TestPrograms:
+    def test_parse_program_multiple_rules(self):
+        rules = parse_program(
+            """
+            V1(FID, FName) :- Family(FID, FName, Desc);
+            V3(FID, Text) :- FamilyIntro(FID, Text)
+            """
+        )
+        assert [rule.name for rule in rules] == ["V1", "V3"]
+
+    def test_parse_program_without_separator(self):
+        rules = parse_program("A(X) :- R(X) B(Y) :- S(Y)")
+        assert len(rules) == 2
+
+    def test_round_trip_through_str(self):
+        query = parse_query("Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)")
+        assert parse_query(str(query)) == query
+
+    def test_round_trip_parameterized(self):
+        text = 'lambda FID. V1(FID, PName) :- Committee(FID, PName)'
+        query = parse_query(text)
+        reparsed = parse_query(str(query).replace("λ", "lambda"))
+        assert reparsed == query

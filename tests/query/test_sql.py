@@ -1,0 +1,107 @@
+"""Tests for the SQL front-end."""
+
+import pytest
+
+from repro.errors import ParseError, UnknownRelationError
+from repro.query.containment import is_equivalent_to
+from repro.query.evaluator import evaluate
+from repro.query.parser import parse_query
+from repro.query.sql import parse_sql
+from repro.workloads import gtopdb
+
+
+@pytest.fixture
+def schema():
+    return gtopdb.schema()
+
+
+@pytest.fixture
+def db():
+    return gtopdb.paper_instance()
+
+
+class TestTranslation:
+    def test_simple_select(self, schema):
+        query = parse_sql("SELECT FID, FName FROM Family", schema)
+        assert query.predicates() == {"Family"}
+        assert len(query.head_terms) == 2
+
+    def test_select_star(self, schema):
+        query = parse_sql("SELECT * FROM Family", schema)
+        assert len(query.head_terms) == 3
+
+    def test_join_via_where(self, schema):
+        sql = "SELECT f.FName FROM Family f, FamilyIntro i WHERE f.FID = i.FID"
+        query = parse_sql(sql, schema)
+        datalog = parse_query("Q(FName) :- Family(FID, FName, D), FamilyIntro(FID, T)")
+        assert is_equivalent_to(query, datalog)
+
+    def test_join_with_as_alias(self, schema):
+        sql = "SELECT f.FName FROM Family AS f, FamilyIntro AS i WHERE f.FID = i.FID"
+        assert parse_sql(sql, schema).predicates() == {"Family", "FamilyIntro"}
+
+    def test_literal_predicate(self, schema, db):
+        sql = "SELECT FName FROM Family WHERE FID = 11"
+        query = parse_sql(sql, schema)
+        assert evaluate(query, db).rows == {("Calcitonin",)}
+
+    def test_string_literal_predicate(self, schema, db):
+        sql = "SELECT FID FROM Family WHERE FName = 'Calcitonin'"
+        assert evaluate(parse_sql(sql, schema), db).rows == {(11,), (12,)}
+
+    def test_literal_on_left_side(self, schema, db):
+        sql = "SELECT FID FROM Family WHERE 11 = FID"
+        assert evaluate(parse_sql(sql, schema), db).rows == {(11,)}
+
+    def test_unqualified_column_resolution(self, schema):
+        sql = "SELECT FName FROM Family WHERE FID = 11"
+        query = parse_sql(sql, schema)
+        assert query.predicates() == {"Family"}
+
+    def test_evaluation_matches_datalog(self, schema, db):
+        sql = (
+            "SELECT f.FName FROM Family f, FamilyIntro i WHERE f.FID = i.FID"
+        )
+        sql_result = evaluate(parse_sql(sql, schema), db)
+        datalog_result = evaluate(
+            parse_query("Q(FName) :- Family(FID, FName, D), FamilyIntro(FID, T)"), db
+        )
+        assert sql_result.rows == datalog_result.rows
+
+    def test_three_table_join(self, schema, db):
+        sql = (
+            "SELECT f.FName, c.PName FROM Family f, Committee c, FamilyIntro i "
+            "WHERE f.FID = c.FID AND f.FID = i.FID"
+        )
+        result = evaluate(parse_sql(sql, schema), db)
+        assert ("Calcitonin", "D. Hoyer") in result
+
+
+class TestErrors:
+    def test_unknown_table(self, schema):
+        with pytest.raises(UnknownRelationError):
+            parse_sql("SELECT x FROM Nope", schema)
+
+    def test_unknown_column(self, schema):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT Unknown FROM Family", schema)
+
+    def test_ambiguous_column(self, schema):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT FID FROM Family, FamilyIntro", schema)
+
+    def test_unknown_alias(self, schema):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT z.FID FROM Family f", schema)
+
+    def test_non_select_rejected(self, schema):
+        with pytest.raises(ParseError):
+            parse_sql("DELETE FROM Family", schema)
+
+    def test_inequality_rejected(self, schema):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT FID FROM Family WHERE FID > 3", schema)
+
+    def test_duplicate_alias_rejected(self, schema):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT f.FID FROM Family f, FamilyIntro f", schema)

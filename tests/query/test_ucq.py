@@ -1,0 +1,120 @@
+"""Tests for unions of conjunctive queries."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query.parser import parse_query
+from repro.query.ucq import (
+    UnionQuery,
+    as_union,
+    evaluate_union,
+    evaluate_union_with_bindings,
+    minimize_union,
+    union_contained_in,
+    union_equivalent,
+)
+from repro.workloads import gtopdb
+
+
+@pytest.fixture
+def db():
+    return gtopdb.paper_instance()
+
+
+@pytest.fixture
+def calcitonin_or_adenosine():
+    return UnionQuery.parse(
+        """
+        Q(FID, FName) :- Family(FID, FName, Desc), FName = "Calcitonin";
+        Q(FID, FName) :- Family(FID, FName, Desc), FName = "Adenosine"
+        """
+    )
+
+
+class TestConstruction:
+    def test_parse_collects_disjuncts(self, calcitonin_or_adenosine):
+        assert len(calcitonin_or_adenosine) == 2
+        assert calcitonin_or_adenosine.arity == 2
+        assert calcitonin_or_adenosine.predicates() == {"Family"}
+
+    def test_mixed_head_names_require_explicit_name(self):
+        text = "A(X) :- R(X, Y); B(X) :- S(X, Y)"
+        with pytest.raises(QueryError):
+            UnionQuery.parse(text)
+        union = UnionQuery.parse(text, name="AB")
+        assert union.name == "AB"
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(QueryError):
+            UnionQuery("U", [parse_query("Q(X) :- R(X, Y)"), parse_query("Q(X, Y) :- R(X, Y)")])
+
+    def test_empty_union_rejected(self):
+        with pytest.raises(QueryError):
+            UnionQuery("U", [])
+
+    def test_as_union_coercions(self):
+        single = parse_query("Q(X) :- R(X, Y)")
+        assert len(as_union(single)) == 1
+        assert len(as_union([single, parse_query("Q(Y) :- S(Y, Z)")])) == 2
+        assert as_union(as_union(single)) == as_union(single)
+        with pytest.raises(QueryError):
+            as_union([])
+
+
+class TestEvaluation:
+    def test_union_of_selections(self, db, calcitonin_or_adenosine):
+        result = evaluate_union(calcitonin_or_adenosine, db)
+        assert result.rows == {
+            (11, "Calcitonin"),
+            (12, "Calcitonin"),
+            (13, "Adenosine"),
+        }
+
+    def test_overlapping_disjuncts_deduplicate(self, db):
+        union = UnionQuery.parse(
+            """
+            Q(FID) :- Family(FID, FName, Desc);
+            Q(FID) :- FamilyIntro(FID, Text)
+            """
+        )
+        assert evaluate_union(union, db).rows == {(11,), (12,), (13,)}
+
+    def test_bindings_track_disjunct_index(self, db):
+        union = UnionQuery.parse(
+            """
+            Q(FID) :- Family(FID, FName, Desc);
+            Q(FID) :- FamilyIntro(FID, Text)
+            """
+        )
+        derivations = evaluate_union_with_bindings(union, db)
+        indices = {index for index, _binding in derivations[(11,)]}
+        assert indices == {0, 1}
+
+
+class TestContainmentAndMinimization:
+    def test_sagiv_yannakakis_containment(self):
+        narrow = UnionQuery.parse('Q(X) :- R(X, 1)', name="N")
+        wide = UnionQuery.parse("Q(X) :- R(X, Y); Q(X) :- S(X, Y)", name="W")
+        assert union_contained_in(narrow, wide)
+        assert not union_contained_in(wide, narrow)
+
+    def test_equivalence_up_to_disjunct_order(self):
+        a = UnionQuery.parse("Q(X) :- R(X, Y); Q(X) :- S(X, Y)")
+        b = UnionQuery.parse("Q(X) :- S(X, A); Q(X) :- R(X, B)")
+        assert union_equivalent(a, b)
+
+    def test_minimize_drops_contained_disjunct(self):
+        union = UnionQuery.parse(
+            "Q(X) :- R(X, Y); Q(X) :- R(X, 5)"
+        )
+        minimal = minimize_union(union)
+        assert len(minimal) == 1
+        assert union_equivalent(minimal, union)
+
+    def test_minimize_keeps_incomparable_disjuncts(self):
+        union = UnionQuery.parse("Q(X) :- R(X, Y); Q(X) :- S(X, Y)")
+        assert len(minimize_union(union)) == 2
+
+    def test_minimize_collapses_equivalent_disjuncts(self):
+        union = UnionQuery.parse("Q(X) :- R(X, Y); Q(X) :- R(X, Z)")
+        assert len(minimize_union(union)) == 1

@@ -1,0 +1,99 @@
+"""Tests for basic-graph-pattern queries and the relational bridge."""
+
+import pytest
+
+from repro.query.evaluator import evaluate
+from repro.rdf.bgp import (
+    BGPQuery,
+    TriplePattern,
+    bgp_to_conjunctive_query,
+    evaluate_bgp,
+    store_to_database,
+)
+from repro.rdf.triples import RDF_TYPE, TripleStore
+
+
+@pytest.fixture
+def store():
+    return TripleStore(
+        [
+            ("r1", RDF_TYPE, "CellLine"),
+            ("r1", "label", "HeLa"),
+            ("r1", "createdBy", "Smith Lab"),
+            ("r2", RDF_TYPE, "CellLine"),
+            ("r2", "label", "HEK293"),
+            ("r3", RDF_TYPE, "Software"),
+            ("r3", "label", "AlignTool"),
+        ]
+    )
+
+
+class TestDirectEvaluation:
+    def test_single_pattern(self, store):
+        query = BGPQuery(("r",), (TriplePattern("?r", RDF_TYPE, "CellLine"),))
+        solutions = evaluate_bgp(query, store)
+        assert {s["r"] for s in solutions} == {"r1", "r2"}
+
+    def test_join_across_patterns(self, store):
+        query = BGPQuery(
+            ("r", "name"),
+            (
+                TriplePattern("?r", RDF_TYPE, "CellLine"),
+                TriplePattern("?r", "label", "?name"),
+            ),
+        )
+        solutions = evaluate_bgp(query, store)
+        assert {(s["r"], s["name"]) for s in solutions} == {("r1", "HeLa"), ("r2", "HEK293")}
+
+    def test_constant_subject(self, store):
+        query = BGPQuery(("p", "o"), (TriplePattern("r1", "?p", "?o"),))
+        assert len(evaluate_bgp(query, store)) == 3
+
+    def test_no_solutions(self, store):
+        query = BGPQuery(("r",), (TriplePattern("?r", RDF_TYPE, "Organism"),))
+        assert evaluate_bgp(query, store) == []
+
+    def test_projection_variable_must_exist(self):
+        with pytest.raises(ValueError):
+            BGPQuery(("missing",), (TriplePattern("?r", RDF_TYPE, "CellLine"),))
+
+    def test_shared_variable_in_object_position(self, store):
+        store.add(("r4", "derivedFrom", "r1"))
+        query = BGPQuery(
+            ("a", "b"),
+            (
+                TriplePattern("?a", "derivedFrom", "?b"),
+                TriplePattern("?b", RDF_TYPE, "CellLine"),
+            ),
+        )
+        assert evaluate_bgp(query, store) == [{"a": "r4", "b": "r1"}]
+
+
+class TestRelationalBridge:
+    def test_store_to_database_row_count(self, store):
+        database = store_to_database(store)
+        assert database.total_rows() == len(store)
+
+    def test_bgp_translation_matches_direct_evaluation(self, store):
+        query = BGPQuery(
+            ("r", "name"),
+            (
+                TriplePattern("?r", RDF_TYPE, "CellLine"),
+                TriplePattern("?r", "label", "?name"),
+            ),
+        )
+        direct = {(s["r"], s["name"]) for s in evaluate_bgp(query, store)}
+        database = store_to_database(store)
+        relational = evaluate(bgp_to_conjunctive_query(query), database).rows
+        assert relational == direct
+
+    def test_translated_query_shape(self, store):
+        query = BGPQuery(("r",), (TriplePattern("?r", RDF_TYPE, "CellLine"),))
+        conjunctive = bgp_to_conjunctive_query(query, name="RDFQ")
+        assert conjunctive.name == "RDFQ"
+        assert conjunctive.body[0].predicate == "Triple"
+        assert len(conjunctive.head_terms) == 1
+
+    def test_pattern_variables(self):
+        pattern = TriplePattern("?s", RDF_TYPE, "?c")
+        assert pattern.variables() == {"s", "c"}

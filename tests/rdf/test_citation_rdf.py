@@ -1,0 +1,126 @@
+"""Tests for class-conditional citation views over RDF data."""
+
+import pytest
+
+from repro.errors import CitationError
+from repro.rdf.bgp import BGPQuery, TriplePattern
+from repro.rdf.citation_rdf import ClassCitationView, RDFCitationEngine
+from repro.rdf.ontology import Ontology
+from repro.rdf.triples import RDF_TYPE, TripleStore
+from repro.workloads import eagle_i
+
+
+@pytest.fixture
+def setup():
+    store = TripleStore(
+        [
+            ("r1", RDF_TYPE, "CellLine"),
+            ("r1", "rdfs:label", "HeLa"),
+            ("r1", "createdBy", "Smith Lab"),
+            ("r2", RDF_TYPE, "Reagent"),
+            ("r2", "rdfs:label", "Buffer X"),
+            ("r3", RDF_TYPE, "Dataset"),
+            ("r3", "rdfs:label", "Orphan dataset"),
+        ]
+    )
+    ontology = Ontology()
+    ontology.add_subclass("CellLine", "Reagent")
+    ontology.add_subclass("Reagent", "Resource")
+    ontology.add_subclass("Dataset", "Thing")
+    views = [
+        ClassCitationView("Resource", constants={"source": "eagle-i"}, priority=0),
+        ClassCitationView(
+            "CellLine",
+            property_map={"createdBy": "authors"},
+            constants={"source": "eagle-i cell lines"},
+            priority=2,
+        ),
+    ]
+    return store, ontology, views
+
+
+class TestClassResolution:
+    def test_most_specific_class_wins(self, setup):
+        store, ontology, views = setup
+        engine = RDFCitationEngine(store, ontology, views)
+        assert engine.view_for_resource("r1").target_class == "CellLine"
+
+    def test_superclass_view_used_as_fallback(self, setup):
+        store, ontology, views = setup
+        engine = RDFCitationEngine(store, ontology, views)
+        assert engine.view_for_resource("r2").target_class == "Resource"
+
+    def test_resource_without_citable_class(self, setup):
+        store, ontology, views = setup
+        engine = RDFCitationEngine(store, ontology, views)
+        assert engine.view_for_resource("r3") is None
+        with pytest.raises(CitationError):
+            engine.cite_resource("r3")
+
+    def test_duplicate_class_views_rejected(self, setup):
+        store, ontology, views = setup
+        with pytest.raises(CitationError):
+            RDFCitationEngine(store, ontology, views + [views[0]])
+
+    def test_priority_breaks_ties(self):
+        store = TripleStore([("r", RDF_TYPE, "A"), ("r", RDF_TYPE, "B")])
+        ontology = Ontology()
+        ontology.add_subclass("A", "Top")
+        ontology.add_subclass("B", "Top")
+        views = [
+            ClassCitationView("A", priority=1),
+            ClassCitationView("B", priority=5),
+        ]
+        engine = RDFCitationEngine(store, ontology, views)
+        assert engine.view_for_resource("r").target_class == "B"
+
+
+class TestCitationContent:
+    def test_property_map_and_label(self, setup):
+        store, ontology, views = setup
+        engine = RDFCitationEngine(store, ontology, views)
+        record = engine.cite_resource("r1")
+        assert record["authors"] == "Smith Lab"
+        assert record["title"] == "HeLa"
+        assert record["identifier"] == "r1"
+        assert record["resource_class"] == "CellLine"
+
+    def test_cite_resources_aggregates(self, setup):
+        store, ontology, views = setup
+        engine = RDFCitationEngine(store, ontology, views)
+        citation = engine.cite_resources(["r1", "r2", "r3"])
+        assert citation.record_count() == 2  # r3 is silently skipped
+
+    def test_cite_query_attaches_citation_to_answers(self, setup):
+        store, ontology, views = setup
+        engine = RDFCitationEngine(store, ontology, views)
+        query = BGPQuery(("r",), (TriplePattern("?r", RDF_TYPE, "CellLine"),))
+        solutions, citation = engine.cite_query(query)
+        assert {s["r"] for s in solutions} == {"r1"}
+        assert citation.record_count() == 1
+        assert "SELECT ?r" in citation.query_text
+
+
+class TestEagleIWorkload:
+    def test_every_resource_is_citable(self):
+        store, ontology, leaves = eagle_i.generate(resources=40, seed=5)
+        engine = RDFCitationEngine(store, ontology, eagle_i.class_citation_views(leaves))
+        for index in range(1, 41):
+            record = engine.cite_resource(f"ei:resource/{index}")
+            assert "identifier" in record
+            assert "source" in record
+
+    def test_class_specific_views_take_precedence(self):
+        store, ontology, leaves = eagle_i.generate(resources=40, seed=5)
+        engine = RDFCitationEngine(store, ontology, eagle_i.class_citation_views(leaves))
+        cell_lines = ontology.instances_of(store, "ei:CellLine")
+        assert cell_lines
+        for resource in cell_lines:
+            record = engine.cite_resource(resource)
+            assert record["resource_class"] == "ei:CellLine"
+
+    def test_ontology_depth_scaling_preserves_citability(self):
+        store, ontology, leaves = eagle_i.generate(resources=20, extra_depth=3, seed=5)
+        engine = RDFCitationEngine(store, ontology, eagle_i.class_citation_views(leaves))
+        record = engine.cite_resource("ei:resource/1")
+        assert record["source"].startswith("eagle-i")

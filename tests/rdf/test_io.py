@@ -1,0 +1,80 @@
+"""Tests for the triple-store line format."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.rdf.io import (
+    dumps_triples,
+    loads_triples,
+    merge_stores,
+    read_triples,
+    write_triples,
+)
+from repro.rdf.triples import TripleStore
+from repro.workloads import eagle_i
+
+
+class TestRoundTrip:
+    def test_simple_round_trip(self):
+        store = TripleStore(
+            [
+                ("ei:r1", "rdf:type", "ei:CellLine"),
+                ("ei:r1", "rdfs:label", "HeLa cell line"),
+                ("ei:r1", "ex:passages", 42),
+                ("ei:r1", "ex:verified", True),
+                ("ei:r1", "ex:score", 0.75),
+            ]
+        )
+        reloaded = loads_triples(dumps_triples(store))
+        assert {tuple(t) for t in reloaded} == {tuple(t) for t in store}
+
+    def test_file_round_trip(self, tmp_path):
+        store, _ontology, _leaves = eagle_i.generate(resources=15, seed=3)
+        path = tmp_path / "eagle.nt"
+        write_triples(store, path)
+        reloaded = read_triples(path)
+        assert len(reloaded) == len(store)
+        assert {tuple(t) for t in reloaded} == {tuple(t) for t in store}
+
+    def test_literal_with_spaces_and_quotes(self):
+        store = TripleStore([("s:1", "p:label", 'He said "hi" there')])
+        reloaded = loads_triples(dumps_triples(store))
+        assert ("s:1", "p:label", 'He said "hi" there') in reloaded
+
+    def test_empty_store(self):
+        assert dumps_triples(TripleStore()) == ""
+        assert len(loads_triples("")) == 0
+
+    def test_deterministic_output(self):
+        store = TripleStore([("s:b", "p:x", 1), ("s:a", "p:x", 2)])
+        assert dumps_triples(store) == dumps_triples(TripleStore(list(store)))
+
+
+class TestParsing:
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# a comment\n\ns:1 p:x \"value\" .\n"
+        assert len(loads_triples(text)) == 1
+
+    def test_trailing_dot_optional(self):
+        assert len(loads_triples('s:1 p:x "v"')) == 1
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ParseError):
+            loads_triples("only two tokens")
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises(ParseError):
+            loads_triples('"literal" p:x "v" .')
+
+    def test_numeric_and_boolean_objects(self):
+        store = loads_triples("s:1 p:n 42 .\ns:1 p:f 2.5 .\ns:1 p:b true .")
+        objects = {t.object for t in store}
+        assert objects == {42, 2.5, True}
+
+
+class TestMerge:
+    def test_merge_stores(self):
+        a = TripleStore([("s:1", "p:x", 1)])
+        b = TripleStore([("s:2", "p:x", 2), ("s:1", "p:x", 1)])
+        merged = merge_stores([a, b])
+        assert len(merged) == 2

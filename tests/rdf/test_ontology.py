@@ -1,0 +1,107 @@
+"""Tests for RDFS-style ontology reasoning."""
+
+import pytest
+
+from repro.errors import OntologyError
+from repro.rdf.ontology import Ontology
+from repro.rdf.triples import RDF_TYPE, RDFS_SUBCLASS_OF, TripleStore
+
+
+@pytest.fixture
+def ontology():
+    onto = Ontology()
+    onto.add_subclass("CellLine", "Reagent")
+    onto.add_subclass("Antibody", "Reagent")
+    onto.add_subclass("Reagent", "Resource")
+    onto.add_subclass("Software", "Resource")
+    return onto
+
+
+class TestHierarchy:
+    def test_transitive_superclasses(self, ontology):
+        assert ontology.superclasses("CellLine") == {"Reagent", "Resource"}
+        assert ontology.superclasses("CellLine", reflexive=True) == {
+            "CellLine",
+            "Reagent",
+            "Resource",
+        }
+
+    def test_subclasses(self, ontology):
+        assert ontology.subclasses("Resource") == {"CellLine", "Antibody", "Reagent", "Software"}
+        assert ontology.subclasses("Reagent", reflexive=True) == {
+            "CellLine",
+            "Antibody",
+            "Reagent",
+        }
+
+    def test_is_subclass_of_is_reflexive_and_transitive(self, ontology):
+        assert ontology.is_subclass_of("CellLine", "CellLine")
+        assert ontology.is_subclass_of("CellLine", "Resource")
+        assert not ontology.is_subclass_of("Resource", "CellLine")
+        assert not ontology.is_subclass_of("Software", "Reagent")
+
+    def test_depth(self, ontology):
+        assert ontology.depth("Resource") == 0
+        assert ontology.depth("Reagent") == 1
+        assert ontology.depth("CellLine") == 2
+
+    def test_classes_enumeration(self, ontology):
+        assert "Resource" in ontology.classes()
+        assert "CellLine" in ontology.classes()
+
+    def test_cycle_detection(self):
+        onto = Ontology()
+        onto.add_subclass("A", "B")
+        onto.add_subclass("B", "C")
+        onto.add_subclass("C", "A")
+        with pytest.raises(OntologyError):
+            onto.superclasses("A")
+
+    def test_self_subclass_is_ignored(self):
+        onto = Ontology()
+        onto.add_subclass("A", "A")
+        assert onto.superclasses("A") == set()
+
+    def test_subproperties(self):
+        onto = Ontology()
+        onto.add_subproperty("hasCurator", "hasContributor")
+        onto.add_subproperty("hasContributor", "hasAgent")
+        assert onto.superproperties("hasCurator") == {"hasContributor", "hasAgent"}
+        assert onto.superproperties("hasCurator", reflexive=True) >= {"hasCurator"}
+
+
+class TestClassification:
+    def _store(self):
+        return TripleStore(
+            [
+                ("r1", RDF_TYPE, "CellLine"),
+                ("r2", RDF_TYPE, "Software"),
+                ("r3", RDF_TYPE, "Reagent"),
+            ]
+        )
+
+    def test_types_of_includes_superclasses(self, ontology):
+        store = self._store()
+        assert ontology.types_of(store, "r1") == {"CellLine", "Reagent", "Resource"}
+        assert ontology.types_of(store, "r2") == {"Software", "Resource"}
+
+    def test_most_specific(self, ontology):
+        assert ontology.most_specific({"CellLine", "Reagent", "Resource"}) == ["CellLine"]
+        assert set(ontology.most_specific({"Reagent", "Software"})) == {"Reagent", "Software"}
+
+    def test_instances_of_uses_subclass_closure(self, ontology):
+        store = self._store()
+        assert ontology.instances_of(store, "Resource") == {"r1", "r2", "r3"}
+        assert ontology.instances_of(store, "Reagent") == {"r1", "r3"}
+        assert ontology.instances_of(store, "CellLine") == {"r1"}
+
+    def test_from_store_reads_schema_triples(self):
+        store = TripleStore(
+            [
+                ("CellLine", RDFS_SUBCLASS_OF, "Reagent"),
+                ("Reagent", RDFS_SUBCLASS_OF, "Resource"),
+                ("r1", RDF_TYPE, "CellLine"),
+            ]
+        )
+        onto = Ontology.from_store(store)
+        assert onto.is_subclass_of("CellLine", "Resource")

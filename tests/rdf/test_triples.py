@@ -1,0 +1,72 @@
+"""Tests for the triple store."""
+
+from repro.rdf.triples import RDF_TYPE, Triple, TripleStore
+
+
+def make_store():
+    return TripleStore(
+        [
+            ("ei:r1", RDF_TYPE, "ei:CellLine"),
+            ("ei:r1", "rdfs:label", "HeLa"),
+            ("ei:r1", "dc:contributor", "A. Smith"),
+            ("ei:r1", "dc:contributor", "B. Chen"),
+            ("ei:r2", RDF_TYPE, "ei:Software"),
+            ("ei:r2", "rdfs:label", "AlignTool"),
+        ]
+    )
+
+
+class TestMutation:
+    def test_add_and_len(self):
+        store = make_store()
+        assert len(store) == 6
+        assert store.add(("ei:r3", RDF_TYPE, "ei:Protocol"))
+        assert len(store) == 7
+
+    def test_duplicate_add_is_noop(self):
+        store = make_store()
+        assert not store.add(("ei:r1", RDF_TYPE, "ei:CellLine"))
+
+    def test_remove(self):
+        store = make_store()
+        assert store.remove(("ei:r1", "rdfs:label", "HeLa"))
+        assert not store.remove(("ei:r1", "rdfs:label", "HeLa"))
+        assert len(store) == 5
+
+    def test_contains_accepts_tuples_and_triples(self):
+        store = make_store()
+        assert ("ei:r1", RDF_TYPE, "ei:CellLine") in store
+        assert Triple("ei:r1", RDF_TYPE, "ei:CellLine") in store
+        assert ("ei:r9", RDF_TYPE, "x") not in store
+
+
+class TestMatching:
+    def test_match_by_subject(self):
+        store = make_store()
+        assert len(list(store.match(subject="ei:r1"))) == 4
+
+    def test_match_by_predicate_and_object(self):
+        store = make_store()
+        matches = list(store.match(predicate=RDF_TYPE, obj="ei:CellLine"))
+        assert len(matches) == 1
+        assert matches[0].subject == "ei:r1"
+
+    def test_match_wildcard(self):
+        store = make_store()
+        assert len(list(store.match())) == 6
+
+    def test_subjects_and_objects(self):
+        store = make_store()
+        assert store.subjects(RDF_TYPE) == {"ei:r1", "ei:r2"}
+        assert store.objects("ei:r1", "dc:contributor") == {"A. Smith", "B. Chen"}
+
+    def test_properties_of(self):
+        store = make_store()
+        properties = store.properties_of("ei:r1")
+        assert properties["dc:contributor"] == ["A. Smith", "B. Chen"]
+        assert properties["rdfs:label"] == ["HeLa"]
+
+    def test_types_of(self):
+        store = make_store()
+        assert store.types_of("ei:r1") == {"ei:CellLine"}
+        assert store.types_of("ei:unknown") == set()

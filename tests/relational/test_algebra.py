@@ -1,0 +1,95 @@
+"""Tests for the relational-algebra operators."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import algebra
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, RelationSchema
+
+
+@pytest.fixture
+def employees():
+    schema = RelationSchema(
+        "Employee", [Attribute("id", int), Attribute("name", str), Attribute("dept", str)]
+    )
+    return Relation(
+        schema,
+        [(1, "Ada", "eng"), (2, "Grace", "eng"), (3, "Edsger", "math")],
+    )
+
+
+@pytest.fixture
+def departments():
+    schema = RelationSchema("Dept", [Attribute("dept", str), Attribute("city", str)])
+    return Relation(schema, [("eng", "Zurich"), ("math", "Austin")])
+
+
+class TestUnaryOperators:
+    def test_select_by_predicate(self, employees):
+        engineers = algebra.select(employees, lambda row: row["dept"] == "eng")
+        assert len(engineers) == 2
+
+    def test_select_eq(self, employees):
+        assert len(algebra.select_eq(employees, "dept", "math")) == 1
+
+    def test_project_removes_duplicates(self, employees):
+        depts = algebra.project(employees, ["dept"])
+        assert depts.rows == {("eng",), ("math",)}
+
+    def test_project_reorders_columns(self, employees):
+        projected = algebra.project(employees, ["name", "id"])
+        assert (("Ada", 1)) in projected.rows
+
+    def test_rename(self, employees):
+        renamed = algebra.rename(employees, {"dept": "department"})
+        assert renamed.schema.has_attribute("department")
+        assert not renamed.schema.has_attribute("dept")
+
+
+class TestSetOperators:
+    def test_union(self, employees):
+        extra = Relation(employees.schema, [(4, "Alan", "cs")])
+        assert len(algebra.union(employees, extra)) == 4
+
+    def test_union_arity_mismatch(self, employees, departments):
+        with pytest.raises(SchemaError):
+            algebra.union(employees, departments)
+
+    def test_difference(self, employees):
+        minus = Relation(employees.schema, [(1, "Ada", "eng")])
+        assert len(algebra.difference(employees, minus)) == 2
+
+    def test_intersection(self, employees):
+        other = Relation(employees.schema, [(1, "Ada", "eng"), (9, "Nobody", "x")])
+        assert algebra.intersection(employees, other).rows == {(1, "Ada", "eng")}
+
+
+class TestJoins:
+    def test_cartesian_product_size(self, employees, departments):
+        product = algebra.cartesian_product(employees, departments)
+        assert len(product) == len(employees) * len(departments)
+
+    def test_natural_join_on_shared_attribute(self, employees, departments):
+        joined = algebra.natural_join(employees, departments)
+        assert len(joined) == 3
+        assert joined.schema.has_attribute("city")
+
+    def test_natural_join_without_shared_attributes_is_product(self, employees):
+        other = Relation(RelationSchema("Other", [Attribute("x", int)]), [(1,), (2,)])
+        assert len(algebra.natural_join(employees, other)) == 6
+
+    def test_equi_join(self, employees, departments):
+        joined = algebra.equi_join(employees, departments, [("dept", "dept")])
+        assert len(joined) == 3
+
+    def test_semi_join(self, employees, departments):
+        only_eng = Relation(departments.schema, [("eng", "Zurich")])
+        result = algebra.semi_join(employees, only_eng, [("dept", "dept")])
+        assert {row[1] for row in result} == {"Ada", "Grace"}
+
+
+class TestAggregation:
+    def test_group_count(self, employees):
+        counts = algebra.group_count(employees, ["dept"])
+        assert dict((row[0], row[1]) for row in counts) == {"eng": 2, "math": 1}

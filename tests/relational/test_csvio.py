@@ -1,0 +1,79 @@
+"""Tests for CSV / JSON import-export."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.csvio import (
+    database_from_dicts,
+    database_to_dicts,
+    dump_database_json,
+    load_database_json,
+    relation_from_csv,
+    relation_to_csv,
+)
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, DatabaseSchema, RelationSchema
+from repro.workloads import gtopdb
+
+
+@pytest.fixture
+def family_schema():
+    return RelationSchema(
+        "Family",
+        [Attribute("FID", int), Attribute("FName", str), Attribute("Score", float)],
+        key=["FID"],
+    )
+
+
+class TestCsv:
+    def test_round_trip(self, tmp_path, family_schema):
+        relation = Relation(family_schema, [(1, "Calcitonin", 0.5), (2, "Adenosine", 1.5)])
+        path = tmp_path / "family.csv"
+        relation_to_csv(relation, path)
+        loaded = relation_from_csv(family_schema, path)
+        assert loaded == relation
+
+    def test_none_round_trips_as_empty_cell(self, tmp_path, family_schema):
+        relation = Relation(family_schema, [(1, "Calcitonin", None)])
+        path = tmp_path / "family.csv"
+        relation_to_csv(relation, path)
+        loaded = relation_from_csv(family_schema, path)
+        assert (1, "Calcitonin", None) in loaded
+
+    def test_header_mismatch_raises(self, tmp_path, family_schema):
+        path = tmp_path / "bad.csv"
+        path.write_text("A,B,C\n1,2,3\n", encoding="utf-8")
+        with pytest.raises(SchemaError):
+            relation_from_csv(family_schema, path)
+
+    def test_empty_file_yields_empty_relation(self, tmp_path, family_schema):
+        path = tmp_path / "empty.csv"
+        path.write_text("", encoding="utf-8")
+        assert len(relation_from_csv(family_schema, path)) == 0
+
+
+class TestDictsAndJson:
+    def test_database_dict_round_trip(self):
+        db = gtopdb.paper_instance()
+        data = database_to_dicts(db)
+        rebuilt = database_from_dicts(db.schema, data)
+        assert rebuilt == db
+
+    def test_json_round_trip(self, tmp_path):
+        db = gtopdb.paper_instance()
+        path = tmp_path / "gtopdb.json"
+        dump_database_json(db, path)
+        loaded = load_database_json(path)
+        assert loaded.sizes() == db.sizes()
+        assert loaded.relation("Family").rows == db.relation("Family").rows
+
+    def test_json_preserves_schema(self, tmp_path):
+        schema = DatabaseSchema([RelationSchema("R", [Attribute("a", int)], key=["a"])])
+        db = Database(schema)
+        db.insert("R", (5,))
+        path = tmp_path / "simple.json"
+        dump_database_json(db, path)
+        loaded = load_database_json(path)
+        assert loaded.relation_schema("R").key == ("a",)
+        assert (5,) in loaded.relation("R")

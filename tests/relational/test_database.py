@@ -1,0 +1,113 @@
+"""Tests for the Database: updates, constraints, indexes, hashing."""
+
+import pytest
+
+from repro.errors import IntegrityError, UnknownRelationError
+from repro.relational.database import Database
+from repro.relational.schema import Attribute, DatabaseSchema, ForeignKey, RelationSchema
+
+
+@pytest.fixture
+def schema():
+    return DatabaseSchema(
+        [
+            RelationSchema("Family", [Attribute("FID", int), Attribute("FName", str)], key=["FID"]),
+            RelationSchema("Committee", [Attribute("FID", int), Attribute("PName", str)]),
+        ],
+        foreign_keys=[ForeignKey("Committee", ("FID",), "Family", ("FID",))],
+    )
+
+
+@pytest.fixture
+def db(schema):
+    database = Database(schema)
+    database.insert("Family", (1, "Calcitonin"))
+    database.insert("Family", (2, "Adenosine"))
+    database.insert("Committee", (1, "D. Hoyer"))
+    return database
+
+
+class TestUpdates:
+    def test_insert_and_contains(self, db):
+        assert (1, "Calcitonin") in db.relation("Family")
+
+    def test_insert_mapping(self, db):
+        db.insert("Family", {"FID": 3, "FName": "Opioid"})
+        assert db.relation("Family").lookup_key((3,)) == (3, "Opioid")
+
+    def test_unknown_relation(self, db):
+        with pytest.raises(UnknownRelationError):
+            db.insert("Nope", (1,))
+
+    def test_foreign_key_enforced_on_insert(self, db):
+        with pytest.raises(IntegrityError):
+            db.insert("Committee", (42, "Nobody"))
+
+    def test_foreign_key_enforced_on_delete(self, db):
+        with pytest.raises(IntegrityError):
+            db.delete("Family", (1, "Calcitonin"))
+
+    def test_delete_unreferenced_row(self, db):
+        assert db.delete("Family", (2, "Adenosine"))
+
+    def test_foreign_key_can_be_disabled(self, schema):
+        database = Database(schema, enforce_foreign_keys=False)
+        database.insert("Committee", (42, "Nobody"))
+        assert database.validate()  # reports the dangling reference
+
+    def test_validate_clean_instance(self, db):
+        assert db.validate() == []
+
+    def test_insert_many(self, db):
+        added = db.insert_many("Family", [(5, "A"), (6, "B"), (5, "A")])
+        assert added == 2
+
+
+class TestIndexes:
+    def test_index_lookup(self, db):
+        index = db.index_on("Family", ["FName"])
+        assert list(index.lookup(("Calcitonin",))) == [(1, "Calcitonin")]
+
+    def test_index_is_maintained_on_insert(self, db):
+        index = db.index_on("Family", ["FName"])
+        db.insert("Family", (7, "Calcitonin"))
+        assert len(list(index.lookup(("Calcitonin",)))) == 2
+
+    def test_index_is_maintained_on_delete(self, db):
+        index = db.index_on("Family", ["FName"])
+        db.delete("Family", (2, "Adenosine"))
+        assert list(index.lookup(("Adenosine",))) == []
+
+    def test_index_is_cached(self, db):
+        assert db.index_on("Family", ["FName"]) is db.index_on("Family", ["FName"])
+
+
+class TestInspection:
+    def test_total_rows_and_sizes(self, db):
+        assert db.total_rows() == 3
+        assert db.sizes() == {"Family": 2, "Committee": 1}
+
+    def test_content_hash_changes_with_content(self, db):
+        before = db.content_hash()
+        db.insert("Family", (9, "New"))
+        assert db.content_hash() != before
+
+    def test_content_hash_is_order_independent(self, schema):
+        a = Database(schema)
+        b = Database(schema)
+        rows = [(1, "X"), (2, "Y"), (3, "Z")]
+        a.insert_many("Family", rows)
+        b.insert_many("Family", list(reversed(rows)))
+        assert a.content_hash() == b.content_hash()
+
+    def test_copy_is_independent(self, db):
+        clone = db.copy()
+        clone.insert("Family", (10, "Clone"))
+        assert db.sizes()["Family"] == 2
+        assert clone.sizes()["Family"] == 3
+
+    def test_copy_preserves_content(self, db):
+        assert db.copy() == db
+
+    def test_repr_mentions_sizes(self, db):
+        assert "Family=2" in repr(db)

@@ -1,0 +1,39 @@
+"""Tests for the hash index."""
+
+from repro.relational.index import HashIndex
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, RelationSchema
+
+
+def make_relation():
+    schema = RelationSchema("R", [Attribute("a", int), Attribute("b", str)])
+    return Relation(schema, [(1, "x"), (2, "x"), (3, "y")])
+
+
+class TestHashIndex:
+    def test_lookup_groups_rows_by_key(self):
+        index = HashIndex(make_relation(), positions=[1])
+        assert sorted(index.lookup(("x",))) == [(1, "x"), (2, "x")]
+        assert list(index.lookup(("z",))) == []
+
+    def test_composite_key(self):
+        index = HashIndex(make_relation(), positions=[0, 1])
+        assert list(index.lookup((3, "y"))) == [(3, "y")]
+
+    def test_add_and_remove(self):
+        relation = make_relation()
+        index = HashIndex(relation, positions=[1])
+        index.add((4, "y"))
+        assert sorted(index.lookup(("y",))) == [(3, "y"), (4, "y")]
+        index.remove((3, "y"))
+        assert list(index.lookup(("y",))) == [(4, "y")]
+        assert len(index) == 3
+
+    def test_remove_missing_row_is_noop(self):
+        index = HashIndex(make_relation(), positions=[0])
+        index.remove((99, "zz"))
+        assert len(index) == 3
+
+    def test_keys_enumerates_distinct_keys(self):
+        index = HashIndex(make_relation(), positions=[1])
+        assert set(index.keys()) == {("x",), ("y",)}

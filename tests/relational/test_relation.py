@@ -1,0 +1,113 @@
+"""Tests for relation instances (set semantics, keys, lookups)."""
+
+import pytest
+
+from repro.errors import IntegrityError
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, RelationSchema
+
+
+@pytest.fixture
+def family_schema():
+    return RelationSchema(
+        "Family", [Attribute("FID", int), Attribute("FName", str)], key=["FID"]
+    )
+
+
+@pytest.fixture
+def family(family_schema):
+    return Relation(family_schema, [(1, "Calcitonin"), (2, "Adenosine")])
+
+
+class TestInsertDelete:
+    def test_insert_returns_true_on_change(self, family):
+        assert family.insert((3, "Opioid"))
+        assert len(family) == 3
+
+    def test_duplicate_insert_is_noop(self, family):
+        assert not family.insert((1, "Calcitonin"))
+        assert len(family) == 2
+
+    def test_insert_mapping(self, family):
+        family.insert({"FID": 5, "FName": "Orexin"})
+        assert (5, "Orexin") in family
+
+    def test_key_violation_raises(self, family):
+        with pytest.raises(IntegrityError):
+            family.insert((1, "Different name"))
+
+    def test_insert_many_counts_changes(self, family):
+        added = family.insert_many([(3, "A"), (3, "A"), (4, "B")])
+        assert added == 2
+
+    def test_delete_existing(self, family):
+        assert family.delete((1, "Calcitonin"))
+        assert (1, "Calcitonin") not in family
+        # the key becomes free again
+        family.insert((1, "Reused"))
+
+    def test_delete_missing_returns_false(self, family):
+        assert not family.delete((99, "Nope"))
+
+    def test_delete_where(self, family):
+        removed = family.delete_where(lambda row: row[0] == 2)
+        assert removed == 1
+        assert len(family) == 1
+
+    def test_clear(self, family):
+        family.clear()
+        assert len(family) == 0
+        family.insert((1, "Again"))  # key index was cleared too
+
+
+class TestLookup:
+    def test_lookup_key(self, family):
+        assert family.lookup_key((1,)) == (1, "Calcitonin")
+        assert family.lookup_key((42,)) is None
+
+    def test_lookup_key_requires_declared_key(self):
+        keyless = Relation(RelationSchema("R", ["a"]))
+        with pytest.raises(IntegrityError):
+            keyless.lookup_key(("x",))
+
+    def test_select_returns_new_relation(self, family):
+        selected = family.select(lambda row: row[1].startswith("C"))
+        assert len(selected) == 1
+        assert len(family) == 2
+
+    def test_rows_matching(self, family):
+        assert list(family.rows_matching({1: "Adenosine"})) == [(2, "Adenosine")]
+
+    def test_project_positions(self, family):
+        assert family.project_positions([1]) == {("Calcitonin",), ("Adenosine",)}
+
+    def test_column(self, family):
+        assert family.column("FName") == {"Calcitonin", "Adenosine"}
+
+
+class TestViews:
+    def test_rows_snapshot_is_immutable_copy(self, family):
+        snapshot = family.rows
+        family.insert((3, "New"))
+        assert len(snapshot) == 2
+
+    def test_sorted_rows_deterministic(self, family):
+        assert family.sorted_rows() == [(1, "Calcitonin"), (2, "Adenosine")]
+
+    def test_sorted_rows_with_uncomparable_values(self):
+        relation = Relation(RelationSchema("R", [Attribute("x", object)]))
+        relation.insert((1,))
+        relation.insert(("a",))
+        assert len(relation.sorted_rows()) == 2
+
+    def test_as_dicts(self, family):
+        assert family.as_dicts()[0] == {"FID": 1, "FName": "Calcitonin"}
+
+    def test_copy_is_independent(self, family):
+        clone = family.copy()
+        clone.insert((9, "Clone only"))
+        assert len(family) == 2
+
+    def test_equality(self, family, family_schema):
+        same = Relation(family_schema, [(2, "Adenosine"), (1, "Calcitonin")])
+        assert family == same

@@ -1,0 +1,121 @@
+"""Tests for the Bucket rewriting algorithm."""
+
+import pytest
+
+from repro.query.parser import parse_query
+from repro.rewriting.bucket import BucketRewriter
+from repro.rewriting.rewriting import is_equivalent_rewriting
+from repro.rewriting.view import View
+from repro.workloads.query_workload import chain_query, chain_views
+
+
+@pytest.fixture
+def paper_views():
+    return [
+        View(parse_query("lambda FID. V1(FID, FName, Desc) :- Family(FID, FName, Desc)")),
+        View(parse_query("V2(FID, FName, Desc) :- Family(FID, FName, Desc)")),
+        View(parse_query("V3(FID, Text) :- FamilyIntro(FID, Text)")),
+    ]
+
+
+@pytest.fixture
+def paper_query():
+    return parse_query("Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)")
+
+
+class TestPaperExample:
+    def test_finds_both_rewritings(self, paper_views, paper_query):
+        rewriter = BucketRewriter(paper_views)
+        rewritings = rewriter.rewrite(paper_query)
+        assert len(rewritings) == 2
+        used = {frozenset(a.predicate for a in r.query.body) for r in rewritings}
+        assert used == {frozenset({"V1", "V3"}), frozenset({"V2", "V3"})}
+
+    def test_all_results_are_equivalent_rewritings(self, paper_views, paper_query):
+        for rewriting in BucketRewriter(paper_views).rewrite(paper_query):
+            assert is_equivalent_rewriting(paper_query, rewriting)
+
+    def test_statistics_are_recorded(self, paper_views, paper_query):
+        rewriter = BucketRewriter(paper_views)
+        rewriter.rewrite(paper_query)
+        stats = rewriter.last_statistics
+        assert stats is not None
+        assert stats.buckets == [2, 1]  # Family covered by V1/V2, FamilyIntro by V3
+        assert stats.candidate_space == 2
+        assert stats.candidates_verified >= 2
+
+
+class TestCoverage:
+    def test_no_rewriting_when_a_subgoal_is_uncovered(self, paper_views):
+        query = parse_query("Q(PName) :- Committee(FID, PName)")
+        assert BucketRewriter(paper_views).rewrite(query) == []
+
+    def test_no_rewriting_when_view_hides_needed_variable(self):
+        # The view projects away the attribute the query needs in its head.
+        views = [View(parse_query("VP(FID) :- Family(FID, FName, Desc)"))]
+        query = parse_query("Q(FName) :- Family(FID, FName, Desc)")
+        assert BucketRewriter(views).rewrite(query) == []
+
+    def test_no_equivalent_rewriting_when_view_is_more_selective(self):
+        views = [View(parse_query('VS(FID, FName) :- Family(FID, FName, "fixed")'))]
+        query = parse_query("Q(FID, FName) :- Family(FID, FName, Desc)")
+        assert BucketRewriter(views).rewrite(query) == []
+
+    def test_identity_rewriting_single_view(self):
+        views = [View(parse_query("V(FID, FName, Desc) :- Family(FID, FName, Desc)"))]
+        query = parse_query("Q(FID, FName) :- Family(FID, FName, Desc)")
+        rewritings = BucketRewriter(views).rewrite(query)
+        assert len(rewritings) == 1
+        assert rewritings[0].query.body[0].predicate == "V"
+
+    def test_join_view_covering_both_subgoals(self, paper_query):
+        views = [
+            View(
+                parse_query(
+                    "VJ(FID, FName, Desc, Text) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)"
+                )
+            )
+        ]
+        rewritings = BucketRewriter(views).rewrite(paper_query)
+        assert len(rewritings) == 1
+        assert len(rewritings[0].query.body) == 1
+
+    def test_constant_in_query_requires_distinguished_view_variable(self):
+        views = [View(parse_query("VP(FName) :- Family(FID, FName, Desc)"))]
+        query = parse_query("Q(FName) :- Family(11, FName, Desc)")
+        # FID = 11 cannot be checked through VP, so no equivalent rewriting exists.
+        assert BucketRewriter(views).rewrite(query) == []
+
+
+class TestChains:
+    def test_chain_query_covered_by_single_step_views(self):
+        length = 3
+        views = [cv.view for cv in chain_views(length, window=1)]
+        query = chain_query(length)
+        rewritings = BucketRewriter(views).rewrite(query)
+        assert rewritings, "expected at least one rewriting from window views"
+        for rewriting in rewritings:
+            assert is_equivalent_rewriting(query, rewriting)
+
+    def test_known_limitation_on_wide_window_views(self):
+        # A window-2 view must cover two query subgoals through its hidden
+        # middle variable; the classical Bucket algorithm misses this
+        # rewriting (MiniCon finds it — see test_minicon.py).
+        length = 4
+        views = [cv.view for cv in chain_views(length, window=2)]
+        assert BucketRewriter(views).rewrite(chain_query(length)) == []
+
+    def test_candidate_cap_limits_search(self):
+        length = 4
+        views = [cv.view for cv in chain_views(length, window=1)]
+        rewriter = BucketRewriter(views, max_candidates=1)
+        rewriter.rewrite(chain_query(length))
+        assert rewriter.last_statistics.candidates_considered <= 2
+
+    def test_minimization_removes_overlapping_views(self):
+        # Windows overlap, so naive combinations contain redundant view atoms.
+        length = 3
+        views = [cv.view for cv in chain_views(length, window=1)]
+        query = chain_query(length)
+        for rewriting in BucketRewriter(views).rewrite(query):
+            assert len(rewriting.query.body) <= length

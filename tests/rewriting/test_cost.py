@@ -1,0 +1,102 @@
+"""Tests for the rewriting cost model."""
+
+import pytest
+
+from repro.query.parser import parse_query
+from repro.rewriting.cost import RewritingCostModel, cheapest_rewriting, cost_table
+from repro.rewriting.minicon import MiniConRewriter
+from repro.rewriting.rewriting import Rewriting
+from repro.rewriting.view import View
+from repro.workloads import gtopdb
+
+
+@pytest.fixture
+def db():
+    return gtopdb.paper_instance()
+
+
+@pytest.fixture
+def views():
+    return [
+        View(parse_query("lambda FID. V1(FID, FName, Desc) :- Family(FID, FName, Desc)")),
+        View(parse_query("V2(FID, FName, Desc) :- Family(FID, FName, Desc)")),
+        View(parse_query("V3(FID, Text) :- FamilyIntro(FID, Text)")),
+    ]
+
+
+@pytest.fixture
+def rewritings(views):
+    query = parse_query("Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)")
+    return MiniConRewriter(views).rewrite(query)
+
+
+def _by_view(rewritings, name):
+    for rewriting in rewritings:
+        if any(atom.predicate == name for atom in rewriting.query.body):
+            return rewriting
+    raise AssertionError(f"no rewriting uses {name}")
+
+
+class TestCitationSize:
+    def test_parameterized_view_costs_more(self, db, views, rewritings):
+        model = RewritingCostModel(db)
+        with_v1 = _by_view(rewritings, "V1")
+        with_v2 = _by_view(rewritings, "V2")
+        assert model.citation_size(with_v1) > model.citation_size(with_v2)
+
+    def test_unparameterized_rewriting_has_unit_cost_per_view(self, db, views, rewritings):
+        model = RewritingCostModel(db)
+        with_v2 = _by_view(rewritings, "V2")
+        assert model.citation_size(with_v2) == pytest.approx(2.0)  # V2 + V3
+
+    def test_parameterized_cost_tracks_family_count(self, views):
+        # With a larger database the estimated citation size of the V1
+        # rewriting grows proportionally to |Family|.
+        small = gtopdb.generate(families=10)
+        large = gtopdb.generate(families=100)
+        query = parse_query("Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)")
+        rewritings_small = MiniConRewriter(views).rewrite(query)
+        with_v1 = _by_view(rewritings_small, "V1")
+        small_cost = RewritingCostModel(small).citation_size(with_v1)
+        large_cost = RewritingCostModel(large).citation_size(with_v1)
+        assert large_cost > small_cost * 5
+
+    def test_without_database_uses_default_cardinality(self, views, rewritings):
+        model = RewritingCostModel(None, default_cardinality=500)
+        with_v1 = _by_view(rewritings, "V1")
+        assert model.citation_size(with_v1) > 1
+
+
+class TestRanking:
+    def test_paper_choice_v2_wins(self, db, rewritings):
+        model = RewritingCostModel(db)
+        best = cheapest_rewriting(rewritings, model)
+        assert any(atom.predicate == "V2" for atom in best.query.body)
+
+    def test_rank_orders_by_citation_size(self, db, rewritings):
+        ranked = RewritingCostModel(db).rank(rewritings)
+        sizes = [cost.citation_size for _rewriting, cost in ranked]
+        assert sizes == sorted(sizes)
+
+    def test_cheapest_of_empty_is_none(self, db):
+        assert cheapest_rewriting([], RewritingCostModel(db)) is None
+
+    def test_cost_table_fields(self, db, rewritings):
+        rows = cost_table(rewritings, RewritingCostModel(db))
+        assert len(rows) == len(rewritings)
+        assert {"rewriting", "views", "evaluation_cost", "citation_size"} <= set(rows[0])
+
+    def test_evaluation_cost_grows_with_views_used(self, db, views):
+        query = parse_query("Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)")
+        single = Rewriting(parse_query("Q(FID, FName, Desc) :- V2(FID, FName, Desc)"), views)
+        double = Rewriting(
+            parse_query("Q(FName) :- V2(FID, FName, Desc), V3(FID, Text)"), views
+        )
+        model = RewritingCostModel(db, join_selectivity=1.0)
+        assert model.evaluation_cost(double) > model.evaluation_cost(single)
+        assert query is not None  # silence unused warning
+
+    def test_total_combines_components(self, db, rewritings):
+        model = RewritingCostModel(db)
+        cost = model.cost(rewritings[0])
+        assert cost.total() == pytest.approx(cost.evaluation_cost + cost.citation_size)

@@ -1,0 +1,73 @@
+"""Tests for view definitions and materialisation."""
+
+import pytest
+
+from repro.errors import RewritingError
+from repro.query.parser import parse_query
+from repro.rewriting.view import View, materialize_views, views_by_name
+from repro.workloads import gtopdb
+
+
+@pytest.fixture
+def db():
+    return gtopdb.paper_instance()
+
+
+class TestView:
+    def test_name_and_arity(self):
+        view = View(parse_query("V1(FID, FName, Desc) :- Family(FID, FName, Desc)"))
+        assert view.name == "V1"
+        assert view.arity == 3
+
+    def test_parameters_exposed(self):
+        view = View(parse_query("lambda FID. V1(FID, FName) :- Family(FID, FName, D)"))
+        assert [p.name for p in view.parameters] == ["FID"]
+
+    def test_parameter_positions(self):
+        view = View(
+            parse_query("lambda FID. V1(FName, FID) :- Family(FID, FName, D)")
+        )
+        assert view.parameter_positions() == {"FID": 1}
+
+    def test_unparameterized_view_has_no_positions(self):
+        view = View(parse_query("V2(FID, FName) :- Family(FID, FName, D)"))
+        assert view.parameter_positions() == {}
+
+    def test_materialize_ignores_parameters(self, db):
+        view = View(parse_query("lambda FID. V1(FID, FName, Desc) :- Family(FID, FName, Desc)"))
+        assert len(view.materialize(db)) == 3
+
+    def test_materialize_join_view(self, db):
+        view = View(
+            parse_query("VJ(FName, Text) :- Family(FID, FName, D), FamilyIntro(FID, Text)")
+        )
+        result = view.materialize(db)
+        assert ("Calcitonin", "1st") in result
+
+    def test_equality_and_hash(self):
+        a = View(parse_query("V(X) :- R(X, Y)"))
+        b = View(parse_query("V(X) :- R(X, Y)"))
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestHelpers:
+    def test_materialize_views_keyed_by_name(self, db):
+        views = [
+            View(parse_query("V1(FID, FName, Desc) :- Family(FID, FName, Desc)")),
+            View(parse_query("V3(FID, Text) :- FamilyIntro(FID, Text)")),
+        ]
+        relations = materialize_views(views, db)
+        assert set(relations) == {"V1", "V3"}
+        assert relations["V1"].schema.name == "V1"
+        assert len(relations["V3"]) == 3
+
+    def test_duplicate_view_names_rejected(self, db):
+        views = [
+            View(parse_query("V(X) :- Family(X, Y, Z)")),
+            View(parse_query("V(A) :- FamilyIntro(A, B)")),
+        ]
+        with pytest.raises(RewritingError):
+            materialize_views(views, db)
+        with pytest.raises(RewritingError):
+            views_by_name(views)

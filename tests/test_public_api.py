@@ -1,0 +1,69 @@
+"""Tests for the top-level public API surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_version_is_exposed(self):
+        assert repro.__version__
+
+    def test_every_name_in_all_resolves(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ exports missing attribute {name}"
+
+    def test_core_all_resolves(self):
+        core = importlib.import_module("repro.core")
+        for name in core.__all__:
+            assert hasattr(core, name)
+
+    def test_query_all_resolves(self):
+        query = importlib.import_module("repro.query")
+        for name in query.__all__:
+            assert hasattr(query, name)
+
+    def test_rdf_all_resolves(self):
+        rdf = importlib.import_module("repro.rdf")
+        for name in rdf.__all__:
+            assert hasattr(rdf, name)
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.relational",
+            "repro.query",
+            "repro.rewriting",
+            "repro.provenance",
+            "repro.core",
+            "repro.versioning",
+            "repro.rdf",
+            "repro.workloads",
+            "repro.baselines",
+            "repro.cli",
+        ],
+    )
+    def test_subpackages_import_cleanly(self, module):
+        assert importlib.import_module(module) is not None
+
+    def test_every_public_symbol_has_a_docstring(self):
+        missing = []
+        for name in repro.__all__:
+            if name.startswith("__"):
+                continue
+            obj = getattr(repro, name)
+            if callable(obj) and not (obj.__doc__ or "").strip():
+                missing.append(name)
+        assert not missing, f"public symbols without docstrings: {missing}"
+
+    def test_quickstart_from_module_docstring_runs(self):
+        from repro import CitationEngine, parse_query
+        from repro.workloads import gtopdb
+
+        engine = CitationEngine(gtopdb.paper_instance(), gtopdb.citation_views())
+        result = engine.cite(
+            parse_query("Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)")
+        )
+        assert result.citation.to_text()

@@ -1,0 +1,120 @@
+"""Tests for persistent, resolvable citations (fixity)."""
+
+import json
+
+import pytest
+
+from repro.errors import VersionError
+from repro.versioning.persistent import CitationResolver, PersistentCitation
+from repro.versioning.version_store import VersionedDatabase
+from repro.workloads import gtopdb
+
+QUERY = "Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)"
+
+
+@pytest.fixture
+def vdb():
+    versioned = VersionedDatabase(gtopdb.schema())
+    source = gtopdb.paper_instance()
+    for relation in source.relations():
+        versioned.insert_many(relation.schema.name, relation.rows)
+    versioned.commit("initial")
+    return versioned
+
+
+@pytest.fixture
+def resolver(vdb):
+    return CitationResolver(vdb, gtopdb.citation_views())
+
+
+class TestCreation:
+    def test_cite_current_records_version_and_hash(self, vdb, resolver):
+        persistent = resolver.cite_current(QUERY)
+        assert persistent.version_id == 0
+        assert persistent.content_hash == vdb.version(0).content_hash
+        assert persistent.query_text == QUERY
+
+    def test_citation_snippets_included(self, resolver):
+        persistent = resolver.cite_current(QUERY)
+        citation = persistent.citation()
+        assert citation.record_count() >= 1
+        assert citation.version == "0"
+
+    def test_cite_at_specific_version(self, vdb, resolver):
+        vdb.insert("Family", (20, "Orexin", "O1"))
+        vdb.insert("FamilyIntro", (20, "orexin intro"))
+        vdb.commit("v1")
+        old = resolver.cite_at(QUERY, 0)
+        new = resolver.cite_at(QUERY, 1)
+        assert old.version_id == 0
+        assert new.version_id == 1
+        assert old.content_hash != new.content_hash
+
+    def test_json_round_trip(self, resolver):
+        persistent = resolver.cite_current(QUERY)
+        text = persistent.to_json()
+        parsed = PersistentCitation.from_json(text)
+        assert parsed.version_id == persistent.version_id
+        assert parsed.content_hash == persistent.content_hash
+        assert json.loads(text)["query"] == QUERY
+
+
+class TestResolution:
+    def test_resolve_returns_data_as_cited(self, vdb, resolver):
+        persistent = resolver.cite_current(QUERY)
+        # the database evolves after the citation is minted
+        vdb.insert("Family", (20, "Orexin", "O1"))
+        vdb.insert("FamilyIntro", (20, "orexin intro"))
+        vdb.commit("v1")
+        resolved = resolver.resolve(persistent)
+        assert resolved.result.rows == {("Calcitonin",), ("Adenosine",)}
+
+    def test_resolving_new_version_sees_new_data(self, vdb, resolver):
+        vdb.insert("Family", (20, "Orexin", "O1"))
+        vdb.insert("FamilyIntro", (20, "orexin intro"))
+        vdb.commit("v1")
+        persistent = resolver.cite_current(QUERY)
+        resolved = resolver.resolve(persistent)
+        assert ("Orexin",) in resolved.result.rows
+
+    def test_has_drifted(self, vdb, resolver):
+        persistent = resolver.cite_current(QUERY)
+        assert not resolver.has_drifted(persistent)
+        vdb.insert("Family", (21, "Ghrelin", "G1"))
+        assert resolver.has_drifted(persistent)
+
+    def test_fixity_violation_detected(self, vdb, resolver):
+        persistent = resolver.cite_current(QUERY)
+        tampered = PersistentCitation(
+            query_text=persistent.query_text,
+            version_id=persistent.version_id,
+            version_timestamp=persistent.version_timestamp,
+            content_hash="0" * 64,
+            citation_json=persistent.citation_json,
+        )
+        with pytest.raises(VersionError):
+            resolver.resolve(tampered)
+
+    def test_resolve_without_verification_skips_hash_check(self, resolver):
+        persistent = resolver.cite_current(QUERY)
+        tampered = PersistentCitation(
+            query_text=persistent.query_text,
+            version_id=persistent.version_id,
+            version_timestamp=persistent.version_timestamp,
+            content_hash="0" * 64,
+            citation_json=persistent.citation_json,
+        )
+        resolved = resolver.resolve(tampered, verify=False)
+        assert len(resolved.result) == 2
+
+    def test_unknown_version_rejected(self, resolver, vdb):
+        persistent = resolver.cite_current(QUERY)
+        bad = PersistentCitation(
+            query_text=persistent.query_text,
+            version_id=42,
+            version_timestamp=persistent.version_timestamp,
+            content_hash=persistent.content_hash,
+            citation_json=persistent.citation_json,
+        )
+        with pytest.raises(VersionError):
+            resolver.resolve(bad)

@@ -1,0 +1,141 @@
+"""Tests for the multi-version database."""
+
+import pytest
+
+from repro.errors import VersionError
+from repro.versioning.version_store import VersionedDatabase
+from repro.workloads import gtopdb
+
+
+def _counter_clock():
+    state = {"n": 0}
+
+    def clock():
+        state["n"] += 1
+        return f"2026-06-16T00:00:{state['n']:02d}+00:00"
+
+    return clock
+
+
+@pytest.fixture
+def vdb():
+    versioned = VersionedDatabase(gtopdb.schema(), clock=_counter_clock())
+    source = gtopdb.paper_instance()
+    for relation in source.relations():
+        versioned.insert_many(relation.schema.name, relation.rows)
+    versioned.commit("initial load")
+    return versioned
+
+
+class TestCommits:
+    def test_initial_commit_metadata(self, vdb):
+        version = vdb.current_version
+        assert version.version_id == 0
+        assert version.parent is None
+        assert version.message == "initial load"
+        assert version.content_hash == vdb.working.content_hash()
+
+    def test_subsequent_commits_chain(self, vdb):
+        vdb.insert("Family", (20, "Orexin", "O1"))
+        version = vdb.commit("add orexin")
+        assert version.version_id == 1
+        assert version.parent == 0
+        assert len(vdb.versions) == 2
+
+    def test_uncommitted_changes_flag(self, vdb):
+        assert not vdb.has_uncommitted_changes()
+        vdb.insert("Family", (20, "Orexin", "O1"))
+        assert vdb.has_uncommitted_changes()
+        vdb.commit("")
+        assert not vdb.has_uncommitted_changes()
+
+    def test_unknown_version_rejected(self, vdb):
+        with pytest.raises(VersionError):
+            vdb.version(99)
+        with pytest.raises(VersionError):
+            vdb.materialize(99)
+
+    def test_no_commit_yet(self):
+        empty = VersionedDatabase(gtopdb.schema())
+        with pytest.raises(VersionError):
+            empty.current_version
+
+    def test_insert_then_delete_within_a_version_cancels(self, vdb):
+        vdb.insert("Family", (20, "Orexin", "O1"))
+        vdb.delete("Family", (20, "Orexin", "O1"))
+        version = vdb.commit("net zero")
+        assert vdb.materialize(version.version_id).sizes()["Family"] == 3
+
+
+class TestMaterialization:
+    def test_old_version_is_reconstructed(self, vdb):
+        vdb.insert("Family", (20, "Orexin", "O1"))
+        vdb.commit("v1")
+        vdb.delete("Committee", (13, "E. Faccenda"))
+        vdb.commit("v2")
+        v0 = vdb.materialize(0)
+        assert v0.sizes()["Family"] == 3
+        assert (13, "E. Faccenda") in v0.relation("Committee")
+
+    def test_latest_version_matches_working_copy(self, vdb):
+        vdb.insert("Family", (20, "Orexin", "O1"))
+        version = vdb.commit("v1")
+        assert vdb.materialize(version.version_id) == vdb.working
+
+    def test_deletes_are_replayed(self, vdb):
+        vdb.delete("Committee", (13, "E. Faccenda"))
+        version = vdb.commit("drop one")
+        materialized = vdb.materialize(version.version_id)
+        assert (13, "E. Faccenda") not in materialized.relation("Committee")
+
+    def test_verify_content_hash(self, vdb):
+        for i in range(5):
+            vdb.insert("Family", (100 + i, f"F{i}", "d"))
+            vdb.commit(f"v{i + 1}")
+        assert all(vdb.verify(v.version_id) for v in vdb.versions)
+
+    def test_many_versions_with_sparse_snapshots(self):
+        versioned = VersionedDatabase(gtopdb.schema(), snapshot_interval=5, clock=_counter_clock())
+        source = gtopdb.paper_instance()
+        for relation in source.relations():
+            versioned.insert_many(relation.schema.name, relation.rows)
+        versioned.commit("v0")
+        for i in range(12):
+            versioned.insert("Family", (50 + i, f"Fam{i}", "d"))
+            versioned.commit(f"v{i + 1}")
+        middle = versioned.materialize(6)
+        assert middle.sizes()["Family"] == 3 + 6
+        assert versioned.verify(12)
+
+
+class TestStorageStrategies:
+    def _populated(self, storage, snapshot_interval=10):
+        versioned = VersionedDatabase(
+            gtopdb.schema(), storage=storage, snapshot_interval=snapshot_interval,
+            clock=_counter_clock(),
+        )
+        source = gtopdb.paper_instance()
+        for relation in source.relations():
+            versioned.insert_many(relation.schema.name, relation.rows)
+        versioned.commit("v0")
+        for i in range(8):
+            versioned.insert("Family", (70 + i, f"S{i}", "d"))
+            versioned.commit(f"v{i + 1}")
+        return versioned
+
+    def test_snapshot_storage_keeps_full_copies(self):
+        versioned = self._populated("snapshot")
+        assert versioned.storage_cost()["snapshots"] == 9
+
+    def test_delta_storage_is_smaller(self):
+        delta = self._populated("delta")
+        snapshot = self._populated("snapshot")
+        assert (
+            delta.storage_cost()["snapshot_rows"] < snapshot.storage_cost()["snapshot_rows"]
+        )
+
+    def test_both_strategies_reconstruct_identically(self):
+        delta = self._populated("delta")
+        snapshot = self._populated("snapshot")
+        for version_id in (0, 4, 8):
+            assert delta.materialize(version_id) == snapshot.materialize(version_id)

@@ -1,0 +1,87 @@
+"""Tests for the synthetic GtoPdb workload."""
+
+import pytest
+
+from repro import CitationEngine
+from repro.query.evaluator import evaluate
+from repro.workloads import gtopdb
+
+
+class TestPaperInstance:
+    def test_matches_the_paper_section_2_data(self, paper_db):
+        family = paper_db.relation("Family")
+        assert (11, "Calcitonin", "C1") in family
+        assert (12, "Calcitonin", "C2") in family
+        intro = paper_db.relation("FamilyIntro")
+        assert (11, "1st") in intro
+        assert (12, "2nd") in intro
+
+    def test_constraints_hold(self, paper_db):
+        assert paper_db.validate() == []
+
+    def test_two_families_share_the_calcitonin_name(self, paper_db):
+        names = [row[1] for row in paper_db.relation("Family")]
+        assert names.count("Calcitonin") == 2
+
+
+class TestGenerator:
+    def test_sizes_follow_parameters(self):
+        db = gtopdb.generate(families=25, targets_per_family=2, ligands=40)
+        assert db.sizes()["Family"] == 25
+        assert db.sizes()["Target"] == 50
+        assert db.sizes()["Ligand"] == 40
+        assert db.sizes()["FamilyIntro"] == 25
+
+    def test_reproducible_with_seed(self):
+        assert gtopdb.generate(families=10, seed=42) == gtopdb.generate(families=10, seed=42)
+
+    def test_different_seed_changes_content(self):
+        assert gtopdb.generate(families=10, seed=1) != gtopdb.generate(families=10, seed=2)
+
+    def test_referential_integrity(self):
+        db = gtopdb.generate(families=15, targets_per_family=3, ligands=20)
+        assert db.validate() == []
+
+    def test_duplicate_names_present(self):
+        db = gtopdb.generate(families=60, duplicate_name_fraction=0.3, seed=9)
+        names = [row[1] for row in db.relation("Family")]
+        assert len(set(names)) < len(names)
+
+    def test_no_duplicates_when_fraction_zero(self):
+        db = gtopdb.generate(families=30, duplicate_name_fraction=0.0)
+        names = [row[1] for row in db.relation("Family")]
+        assert len(set(names)) == len(names)
+
+    def test_intro_fraction(self):
+        db = gtopdb.generate(families=40, intro_fraction=0.5, seed=2)
+        assert 5 <= db.sizes()["FamilyIntro"] < 40
+
+
+class TestCitationViews:
+    def test_three_paper_views(self):
+        views = gtopdb.citation_views()
+        assert [v.name for v in views] == ["V1", "V2", "V3"]
+        assert views[0].is_parameterized
+        assert not views[1].is_parameterized
+
+    def test_extended_views(self):
+        views = gtopdb.citation_views(extended=True)
+        assert [v.name for v in views] == ["V1", "V2", "V3", "V4", "V5", "V6"]
+
+    def test_views_are_usable_by_an_engine_on_generated_data(self, small_gtopdb):
+        engine = CitationEngine(small_gtopdb, gtopdb.citation_views())
+        result = engine.cite(gtopdb.paper_query(), mode="economical")
+        assert len(result) > 0
+        assert result.citation.record_count() >= 1
+
+    def test_extended_views_cover_target_queries(self, small_gtopdb):
+        engine = CitationEngine(small_gtopdb, gtopdb.citation_views(extended=True))
+        result = engine.cite(
+            "Q(TName, FName) :- Target(TID, FID, TName, Type), Family(FID, FName, Desc)",
+            mode="economical",
+        )
+        assert len(result) > 0
+
+    def test_example_queries_evaluate(self, small_gtopdb):
+        for query in gtopdb.example_queries():
+            evaluate(query, small_gtopdb)

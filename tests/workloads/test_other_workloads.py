@@ -1,0 +1,127 @@
+"""Tests for the Reactome, DrugBank, eagle-i and synthetic query workloads."""
+
+import pytest
+
+from repro import CitationEngine
+from repro.query.evaluator import evaluate
+from repro.rdf.citation_rdf import RDFCitationEngine
+from repro.workloads import drugbank, eagle_i, reactome
+from repro.workloads.query_workload import (
+    WorkloadGenerator,
+    chain_database,
+    chain_query,
+    chain_schema,
+    chain_views,
+    star_database,
+    star_query,
+    star_views,
+)
+
+
+class TestReactome:
+    def test_generator_sizes(self, small_reactome):
+        sizes = small_reactome.sizes()
+        assert sizes["Pathway"] == 8
+        assert sizes["Reaction"] == 24
+        assert sizes["Curator"] == 16
+
+    def test_referential_integrity(self, small_reactome):
+        assert small_reactome.validate() == []
+
+    def test_citation_views_cover_example_queries(self, small_reactome):
+        engine = CitationEngine(small_reactome, reactome.citation_views())
+        for query in reactome.example_queries():
+            result = engine.cite(query, mode="economical")
+            assert result.citation.record_count() >= 1
+
+    def test_per_pathway_citation_contains_curators(self, small_reactome):
+        views = reactome.citation_views()
+        record = views[0].citation_for(small_reactome, {"PWID": 1})
+        assert "contributors" in record
+        assert record["version"] == 84
+
+
+class TestDrugBank:
+    def test_generator_sizes(self, small_drugbank):
+        sizes = small_drugbank.sizes()
+        assert sizes["Drug"] == 15
+        assert sizes["Protein"] == 10
+        assert sizes["DrugInteraction"] == 15
+        assert sizes["ReleaseInfo"] == 1
+
+    def test_referential_integrity(self, small_drugbank):
+        assert small_drugbank.validate() == []
+
+    def test_citation_views_cover_example_queries(self, small_drugbank):
+        engine = CitationEngine(small_drugbank, drugbank.citation_views())
+        for query in drugbank.example_queries():
+            result = engine.cite(query, mode="economical")
+            assert result.citation.record_count() >= 1
+
+    def test_per_drug_citation_contains_release(self, small_drugbank):
+        views = drugbank.citation_views()
+        record = views[0].citation_for(small_drugbank, {"DrugID": "DB00001"})
+        assert record["version"] == "5.1.12"
+        assert record["title"] == "Drug-1"
+
+
+class TestEagleI:
+    def test_generator_counts(self):
+        store, ontology, leaves = eagle_i.generate(resources=30)
+        assert len(store.subjects("rdf:type")) >= 30
+        assert len(leaves) == 7
+
+    def test_extra_depth_extends_hierarchy(self):
+        _store, ontology, leaves = eagle_i.generate(resources=5, extra_depth=2)
+        assert all(leaf.endswith("_L2") for leaf in leaves)
+        assert all(ontology.depth(leaf) >= 3 for leaf in leaves)
+
+    def test_reproducible(self):
+        store_a, _o, _l = eagle_i.generate(resources=10, seed=4)
+        store_b, _o2, _l2 = eagle_i.generate(resources=10, seed=4)
+        assert {tuple(t) for t in store_a} == {tuple(t) for t in store_b}
+
+    def test_citation_engine_over_dataset(self):
+        store, ontology, leaves = eagle_i.generate(resources=25)
+        engine = RDFCitationEngine(store, ontology, eagle_i.class_citation_views(leaves))
+        record = engine.cite_resource("ei:resource/7")
+        assert record["identifier"].startswith("EI-")
+
+
+class TestSyntheticQueryWorkloads:
+    def test_chain_database_and_query(self):
+        db = chain_database(3, rows_per_relation=50, seed=1)
+        result = evaluate(chain_query(3), db)
+        assert result.schema.arity == 2
+
+    def test_chain_views_cover_chain(self):
+        views = chain_views(4, window=2)
+        assert len(views) == 3
+        assert all(view.query.predicates() <= {"R1", "R2", "R3", "R4"} for view in views)
+
+    def test_parameterized_chain_views(self):
+        views = chain_views(3, window=1, parameterized=True)
+        assert all(view.is_parameterized for view in views)
+
+    def test_star_database_and_query(self):
+        db = star_database(3, rows_per_relation=40, seed=2)
+        result = evaluate(star_query(3), db)
+        assert result.schema.arity == 4
+
+    def test_star_views(self):
+        views = star_views(4, parameterized_fraction=0.5)
+        assert len(views) == 4
+        assert sum(1 for view in views if view.is_parameterized) == 2
+
+    def test_workload_generator_produces_valid_queries(self):
+        generator = WorkloadGenerator(chain_schema(4), seed=3)
+        workload = generator.workload(10, atoms=2)
+        assert len(workload) == 10
+        db = chain_database(4, rows_per_relation=30)
+        for query in workload:
+            evaluate(query, db)  # must not raise
+
+    def test_workload_generator_reproducible(self):
+        a = WorkloadGenerator(chain_schema(3), seed=5).workload(5)
+        b = WorkloadGenerator(chain_schema(3), seed=5).workload(5)
+        assert a == b
