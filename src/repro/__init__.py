@@ -77,6 +77,15 @@ from repro.core import (
     RewritingSelector,
 )
 from repro.versioning import CitationResolver, PersistentCitation, VersionedDatabase
+from repro.core.engine import CitationPlan
+from repro.service import (
+    CitationService,
+    PlanCache,
+    ServiceMetrics,
+    ServiceResponse,
+    canonical_key,
+    fingerprint,
+)
 
 __version__ = "1.0.0"
 
@@ -137,5 +146,13 @@ __all__ = [
     "VersionedDatabase",
     "PersistentCitation",
     "CitationResolver",
+    # serving layer
+    "CitationPlan",
+    "CitationService",
+    "ServiceResponse",
+    "ServiceMetrics",
+    "PlanCache",
+    "fingerprint",
+    "canonical_key",
     "__version__",
 ]

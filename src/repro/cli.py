@@ -3,10 +3,18 @@
 Subcommands
 -----------
 ``cite``      answer a query over a JSON database and print its citation
+``batch``     serve a file of queries through the caching citation service
+``serve``     line-oriented serving loop: queries on stdin, JSONL responses
 ``validate``  statically check a citation specification against a schema
 ``views``     list the citation views of a specification (or the defaults)
 ``explain``   show how the citation of a query is constructed
 ``demo``      run the paper's running example end to end
+
+``batch`` and ``serve`` run on :class:`repro.service.CitationService`:
+repeated query shapes hit the plan/result caches, batches are deduplicated
+and (for ``batch``) fanned out over a thread pool.  Both accept ``--stats``
+to dump the service's metrics snapshot to stderr on exit, and ``serve``
+understands the ``.stats`` / ``.quit`` directives on stdin.
 
 The database file is the JSON format written by
 :func:`repro.relational.csvio.dump_database_json`; the specification file is
@@ -24,6 +32,7 @@ from typing import Sequence
 
 from repro.core.engine import CitationEngine
 from repro.core.explain import explain_citation
+from repro.core.formatter.jsonfmt import citation_payload
 from repro.core.spec import (
     default_views_for_schema,
     dump_specification,
@@ -35,6 +44,7 @@ from repro.errors import ReproError
 from repro.query.parser import parse_query
 from repro.query.sql import parse_sql
 from repro.relational.csvio import load_database_json
+from repro.service import CitationService, ServiceResponse
 
 
 def _load_engine(args: argparse.Namespace) -> CitationEngine:
@@ -74,6 +84,94 @@ def _cmd_cite(args: argparse.Namespace) -> int:
         print(f"\n# {len(result)} answer tuple(s)", file=sys.stderr)
         for row in result.rows():
             print(f"#   {row}", file=sys.stderr)
+    return 0
+
+
+def _make_service(args: argparse.Namespace) -> CitationService:
+    engine = _load_engine(args)
+
+    def parse_user_query(query):
+        """Datalog or SQL, with each parser's own error surfacing."""
+        if isinstance(query, str):
+            return _parse_user_query(query, engine)
+        return query
+
+    return CitationService(
+        engine,
+        plan_cache_size=args.plan_cache,
+        result_cache_size=args.result_cache,
+        max_workers=args.workers,
+        query_parser=parse_user_query,
+    )
+
+
+def _response_line(response: ServiceResponse) -> str:
+    """One JSONL response for a served query."""
+    payload: dict[str, object] = {
+        "query": str(response.query).strip(),
+        "ok": response.ok,
+        "cached": response.cached,
+        "elapsed_ms": round(response.elapsed * 1000.0, 3),
+    }
+    if response.ok and response.result is not None:
+        payload["rows"] = len(response.result)
+        payload["citation"] = citation_payload(response.result.citation)
+    else:
+        payload["error"] = str(response.error)
+        payload["error_type"] = type(response.error).__name__
+    return json.dumps(payload, sort_keys=True)
+
+
+def _emit_stats(service: CitationService, enabled: bool) -> None:
+    if enabled:
+        print(json.dumps(service.stats(), indent=2, sort_keys=True), file=sys.stderr)
+
+
+def _read_query_lines(path: str) -> list[str]:
+    if path == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                lines = handle.read().splitlines()
+        except OSError as error:
+            raise ReproError(f"cannot read query file {path!r}: {error}") from error
+    return [
+        line.strip()
+        for line in lines
+        if line.strip() and not line.lstrip().startswith("#")
+    ]
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    service = _make_service(args)
+    queries = _read_query_lines(args.queries)
+    responses = service.cite_many(queries, mode=args.mode, timeout=args.timeout)
+    failed = 0
+    for response in responses:
+        print(_response_line(response))
+        failed += 0 if response.ok else 1
+    _emit_stats(service, args.stats)
+    service.close()
+    return 0 if failed == 0 else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    service = _make_service(args)
+    stream = sys.stdin
+    for line in stream:
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line == ".quit":
+            break
+        if line == ".stats":
+            print(json.dumps(service.stats(), sort_keys=True), flush=True)
+            continue
+        response = service.try_cite(line, mode=args.mode)
+        print(_response_line(response), flush=True)
+    _emit_stats(service, args.stats)
+    service.close()
     return 0
 
 
@@ -157,6 +255,45 @@ def build_parser() -> argparse.ArgumentParser:
     cite.add_argument("--abbreviate", type=int, default=None, help="'et al.' after N names")
     cite.add_argument("--show-answers", action="store_true", help="print answers to stderr")
     cite.set_defaults(func=_cmd_cite)
+
+    def positive_int(text: str) -> int:
+        value = int(text)
+        if value < 1:
+            raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+        return value
+
+    def add_service_options(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--mode", choices=["formal", "economical"], default="economical")
+        sub.add_argument("--workers", type=positive_int, default=4, help="thread-pool size")
+        sub.add_argument(
+            "--plan-cache", type=positive_int, default=256,
+            help="compiled-plan cache capacity",
+        )
+        sub.add_argument(
+            "--result-cache", type=positive_int, default=1024,
+            help="result cache capacity",
+        )
+        sub.add_argument(
+            "--stats", action="store_true", help="dump service metrics to stderr on exit"
+        )
+
+    batch = subparsers.add_parser(
+        "batch", help="serve a file of queries (one per line, '-' for stdin)"
+    )
+    add_common(batch)
+    add_service_options(batch)
+    batch.add_argument("queries", help="file with one query per line, or '-' for stdin")
+    batch.add_argument(
+        "--timeout", type=float, default=None, help="per-request timeout in seconds"
+    )
+    batch.set_defaults(func=_cmd_batch)
+
+    serve = subparsers.add_parser(
+        "serve", help="read queries from stdin, answer as JSONL (.stats/.quit directives)"
+    )
+    add_common(serve)
+    add_service_options(serve)
+    serve.set_defaults(func=_cmd_serve)
 
     validate = subparsers.add_parser("validate", help="validate a specification against a schema")
     add_common(validate, needs_spec=True)

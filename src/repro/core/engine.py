@@ -53,6 +53,44 @@ from repro.rewriting.view import materialize_views
 
 Mode = Literal["formal", "economical"]
 
+#: A cache-validity stamp: ``(database generation, engine cache epoch)``.
+#: Anything compiled from the engine (plans, materialised views, cached
+#: results) is valid exactly as long as the engine's current token equals the
+#: token it was stamped with.
+PlanToken = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class CitationPlan:
+    """A compiled citation plan: the reusable, data-dependent-free part of
+    :meth:`CitationEngine.cite`.
+
+    Compiling a plan runs the expensive view-rewriting search (Bucket /
+    MiniCon) and, in economical mode, the cost-based rewriting selection.
+    Executing a plan only evaluates the chosen rewritings and assembles the
+    citation expressions, so a cached plan lets structurally identical queries
+    skip the search entirely (the serving layer in :mod:`repro.service` builds
+    on this split).
+    """
+
+    query: ConjunctiveQuery
+    rewritings: tuple[Rewriting, ...]
+    mode: Mode
+    token: PlanToken
+    uses_fallback: bool = False
+
+    @property
+    def data_dependent(self) -> bool:
+        """Whether the plan's content depends on the database *instance*.
+
+        The rewriting search itself (Bucket/MiniCon) reads only the query and
+        the view definitions; the economical mode's cost-based selection also
+        reads the data.  Data-independent plans stay valid across ordinary
+        inserts/deletes — only a forced cache invalidation (epoch bump)
+        retires them.
+        """
+        return self.mode == "economical"
+
 
 @dataclass(frozen=True)
 class TupleCitation:
@@ -144,15 +182,57 @@ class CitationEngine:
         )
         self._view_relations: dict[str, Relation] | None = None
         self._record_cache: dict[tuple[str, tuple], CitationRecord] = {}
+        self._cache_generation = database.generation
+        self._cache_epoch = 0
 
     # -- caches ------------------------------------------------------------------
+    @property
+    def cache_epoch(self) -> int:
+        """Counter bumped by every forced :meth:`invalidate_caches` call."""
+        return self._cache_epoch
+
+    def plan_token(self) -> PlanToken:
+        """The current cache-validity stamp for compiled plans.
+
+        A plan (or any derived cache entry) stamped with an older token must
+        not be served: either the database content changed (generation) or the
+        caches were invalidated explicitly (epoch).
+        """
+        return (self.database.generation, self._cache_epoch)
+
+    def is_current(self, plan: CitationPlan) -> bool:
+        """``True`` when *plan* was compiled against the current database state."""
+        return plan.token == self.plan_token()
+
     def invalidate_caches(self) -> None:
-        """Drop materialised views and cached citation records (after updates)."""
+        """Force-drop materialised views and cached citation records.
+
+        Ordinary data updates do **not** require calling this: the caches are
+        keyed on :attr:`Database.generation` and refresh themselves.  It
+        remains for out-of-band changes (e.g. a citation function whose output
+        depends on external state) and bumps the cache epoch so that compiled
+        plans held elsewhere are invalidated too.
+        """
         self._view_relations = None
         self._record_cache.clear()
+        self._cache_epoch += 1
+
+    def _refresh_generation(self) -> None:
+        """Drop content-derived caches when the database has changed."""
+        generation = self.database.generation
+        if generation != self._cache_generation:
+            self._view_relations = None
+            self._record_cache.clear()
+            self._cache_generation = generation
 
     def view_relations(self) -> dict[str, Relation]:
-        """Materialisations of all citation views (cached)."""
+        """Materialisations of all citation views.
+
+        Computed once per database generation: repeated ``cite()`` calls
+        against an unchanged database reuse the same relations, and any
+        insert/delete automatically triggers re-materialisation on next use.
+        """
+        self._refresh_generation()
         if self._view_relations is None:
             self._view_relations = materialize_views(self._views, self.database)
         return self._view_relations
@@ -168,6 +248,7 @@ class CitationEngine:
         self, view_name: str, parameter_values: Mapping[str, object] | None = None
     ) -> CitationRecord:
         """``FV(CV(p̄))`` for one view and one parameter valuation (cached)."""
+        self._refresh_generation()
         parameter_values = dict(parameter_values or {})
         key = (view_name, tuple(sorted(parameter_values.items(), key=repr)))
         cached = self._record_cache.get(key)
@@ -241,24 +322,60 @@ class CitationEngine:
         )
 
     # -- main entry point -----------------------------------------------------------------
+    def compile_plan(
+        self,
+        query: ConjunctiveQuery | str,
+        mode: Mode | None = None,
+    ) -> CitationPlan:
+        """Run the rewriting search (and economical selection) for *query*.
+
+        The returned :class:`CitationPlan` can be executed any number of times
+        with :meth:`execute_plan` — the expensive part of citing a query is
+        done exactly once.  Raises :class:`NoRewritingError` when no rewriting
+        exists and the engine is configured with ``on_no_rewriting="error"``;
+        with ``"fallback"`` a fallback plan is returned instead.
+        """
+        query = self._as_query(query)
+        mode = mode or self.mode
+        token = self.plan_token()
+        rewritings = self.rewritings(query)
+        if not rewritings:
+            if self.on_no_rewriting == "error":
+                raise NoRewritingError(query.name)
+            return CitationPlan(query, (), mode, token, uses_fallback=True)
+        if mode == "economical":
+            rewritings = self.selector.select(rewritings)
+        return CitationPlan(query, tuple(rewritings), mode, token)
+
     def cite(
         self,
         query: ConjunctiveQuery | str,
         mode: Mode | None = None,
     ) -> CitedResult:
         """Answer *query* and construct per-tuple and aggregate citations."""
-        query = self._as_query(query)
-        mode = mode or self.mode
-        rewritings = self.rewritings(query)
-        if not rewritings:
-            return self._handle_no_rewriting(query, mode)
-        if mode == "economical":
-            rewritings = self.selector.select(rewritings)
+        return self.execute_plan(self.compile_plan(query, mode))
+
+    def execute_plan(
+        self,
+        plan: CitationPlan,
+        query: ConjunctiveQuery | str | None = None,
+    ) -> CitedResult:
+        """Evaluate a compiled plan and assemble the cited result.
+
+        *query* may override the plan's stored query with a structurally
+        identical (alpha-renamed / atom-reordered) variant: the answer rows
+        and citations are the same, only the result schema and the reported
+        query text differ.  This is what lets the plan cache serve every
+        member of an isomorphism class from one compilation.
+        """
+        query = plan.query if query is None else self._as_query(query)
+        if plan.uses_fallback:
+            return self._handle_no_rewriting(query, plan.mode)
 
         evaluator = QueryEvaluator(self.database, extra_relations=self.view_relations())
         per_rewriting: list[tuple[Rewriting, dict[tuple, list[Binding]]]] = []
         all_rows: set[tuple] = set()
-        for rewriting in rewritings:
+        for rewriting in plan.rewritings:
             bindings_by_row = evaluator.evaluate_with_bindings(rewriting.query)
             per_rewriting.append((rewriting, bindings_by_row))
             all_rows.update(bindings_by_row)
@@ -287,11 +404,11 @@ class CitationEngine:
         )
         return CitedResult(
             query=query,
-            rewritings=rewritings,
+            rewritings=list(plan.rewritings),
             tuple_citations=tuple_citations,
             citation=citation,
             policy=self.policy,
-            mode=mode,
+            mode=plan.mode,
             result=result_relation,
         )
 

@@ -20,7 +20,15 @@ benchmark measures the speed-up of the incremental path over it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from typing import Callable, Iterable, Mapping
+
+#: Signature of a maintenance listener: ``(relation, kind)`` where *kind* is
+#: one of ``"answer"`` (the cited result was patched), ``"records"`` (only
+#: snippet contents were refreshed) or ``"ignored"`` (the update did not
+#: affect the maintained result).  The serving layer registers one of these
+#: to observe maintenance activity; cache *correctness* does not depend on it
+#: (stale plans are already rejected via the database generation token).
+MaintenanceListener = Callable[[str, str], None]
 
 from repro.core.engine import CitationEngine, CitedResult, TupleCitation
 from repro.core.citation import Citation
@@ -52,6 +60,7 @@ class IncrementalCitationMaintainer:
         self.engine = engine
         self.query = engine._as_query(query)
         self.statistics = MaintenanceStatistics()
+        self._listeners: list[MaintenanceListener] = []
         self._result: CitedResult | None = None
         self._view_extents: dict[str, set[tuple]] = {}
         self._relations_of_interest: set[str] = set()
@@ -71,6 +80,22 @@ class IncrementalCitationMaintainer:
 
     def _rewritings(self) -> list[Rewriting]:
         return self.result.rewritings
+
+    # -- invalidation hooks -----------------------------------------------------
+    def add_change_listener(self, listener: MaintenanceListener) -> None:
+        """Register a callback invoked after every processed update."""
+        self._listeners.append(listener)
+
+    def remove_change_listener(self, listener: MaintenanceListener) -> None:
+        """Unregister a previously added listener (no-op if absent)."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _notify(self, relation: str, kind: str) -> None:
+        for listener in self._listeners:
+            listener(relation, kind)
 
     def _views_in_use(self) -> list[View]:
         views: list[View] = []
@@ -123,25 +148,36 @@ class IncrementalCitationMaintainer:
             return False
         if relation in self._relations_of_interest:
             self._apply_view_deltas()
+            self._notify(relation, "answer")
             return True
         if relation in self._citation_relations:
             # Only the snippet contents changed: the answer set and the
             # expressions' structure are unaffected, but every citation record
             # must be rebuilt from the updated snippets.
             self._refresh_citation_records()
+            self._notify(relation, "records")
             return True
         self.statistics.updates_ignored += 1
+        self._notify(relation, "ignored")
         return False
 
     def _refresh_citation_records(self) -> None:
-        """Rebuild the citation records of all tuples after a snippet update."""
-        self.engine.invalidate_caches()
+        """Rebuild the citation records of all tuples after a snippet update.
+
+        The engine's record cache is generation-aware, so the mutation that
+        triggered this call has already made it refresh on next access; only
+        the stored tuple citations need re-deriving.
+        """
         self._patch_rows({tc.row for tc in self.result.tuple_citations})
 
     # -- delta machinery -----------------------------------------------------------------
     def _apply_view_deltas(self) -> None:
-        """Refresh view extents, find added/removed view rows and patch the result."""
-        self.engine.invalidate_caches()
+        """Refresh view extents, find added/removed view rows and patch the result.
+
+        ``engine.view_relations()`` re-materialises by itself after the
+        mutation (generation-keyed cache), so no forced invalidation is
+        needed here.
+        """
         new_extents = {
             name: set(relation.rows)
             for name, relation in self.engine.view_relations().items()

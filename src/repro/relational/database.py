@@ -9,7 +9,11 @@ hash indexes and cheap content hashing, which the versioning layer
 from __future__ import annotations
 
 import hashlib
-from typing import Iterable, Iterator, Mapping
+from typing import Callable, Iterable, Iterator, Mapping
+
+#: Signature of a mutation listener: ``(kind, relation, row)`` with ``kind``
+#: one of ``"insert"`` / ``"delete"``, called after the change is applied.
+MutationListener = Callable[[str, str, tuple], None]
 
 from repro.errors import IntegrityError, UnknownRelationError
 from repro.relational.index import HashIndex
@@ -37,6 +41,35 @@ class Database:
             rs.name: Relation(rs) for rs in schema
         }
         self._indexes: dict[tuple[str, tuple[int, ...]], HashIndex] = {}
+        self._generation = 0
+        self._mutation_listeners: list[MutationListener] = []
+
+    # -- generations ---------------------------------------------------------
+    @property
+    def generation(self) -> int:
+        """A counter bumped on every applied insert/delete.
+
+        Caches derived from the database content (materialised views, citation
+        records, compiled citation plans) key their validity on this value: a
+        cache entry stamped with an older generation is stale.
+        """
+        return self._generation
+
+    def add_mutation_listener(self, listener: MutationListener) -> None:
+        """Register a callback invoked after every applied insert/delete."""
+        self._mutation_listeners.append(listener)
+
+    def remove_mutation_listener(self, listener: MutationListener) -> None:
+        """Unregister a previously added mutation listener (no-op if absent)."""
+        try:
+            self._mutation_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _notify_mutation(self, kind: str, relation: str, row: tuple) -> None:
+        self._generation += 1
+        for listener in self._mutation_listeners:
+            listener(kind, relation, row)
 
     # -- relation access ---------------------------------------------------
     def relation(self, name: str) -> Relation:
@@ -70,6 +103,7 @@ class Database:
         changed = target.insert(row)
         if changed:
             self._update_indexes_on_insert(relation, row)
+            self._notify_mutation("insert", relation, row)
         return changed
 
     def insert_many(self, relation: str, rows: Iterable[tuple | Mapping[str, object]]) -> int:
@@ -85,6 +119,7 @@ class Database:
         changed = target.delete(row)
         if changed:
             self._update_indexes_on_delete(relation, row)
+            self._notify_mutation("delete", relation, row)
         return changed
 
     # -- constraints ----------------------------------------------------------

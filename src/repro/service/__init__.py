@@ -1,0 +1,34 @@
+"""The citation serving layer: cached, batched, concurrent citation.
+
+This package turns the per-call :class:`~repro.core.engine.CitationEngine`
+into a request-serving subsystem, the "citation as a service" workload:
+
+* :mod:`repro.service.fingerprint` — structural query fingerprints, invariant
+  under variable renaming and body-atom reordering;
+* :mod:`repro.service.plan_cache` — generation-stamped LRU caches so repeated
+  query shapes skip the view-rewriting search;
+* :mod:`repro.service.service` — the :class:`CitationService` facade with
+  single, batched (deduplicating) and thread-pool-concurrent entry points;
+* :mod:`repro.service.metrics` — counters and latency histograms surfaced by
+  :meth:`CitationService.stats`.
+"""
+
+from repro.core.engine import CitationPlan
+from repro.service.fingerprint import are_isomorphic, canonical_key, fingerprint
+from repro.service.metrics import LatencyHistogram, ServiceMetrics
+from repro.service.plan_cache import CacheInfo, GenerationalLRU, PlanCache
+from repro.service.service import CitationService, ServiceResponse
+
+__all__ = [
+    "CitationPlan",
+    "CitationService",
+    "ServiceResponse",
+    "ServiceMetrics",
+    "LatencyHistogram",
+    "PlanCache",
+    "GenerationalLRU",
+    "CacheInfo",
+    "fingerprint",
+    "canonical_key",
+    "are_isomorphic",
+]

@@ -1,0 +1,209 @@
+"""Canonical fingerprints for conjunctive queries.
+
+The serving layer caches compiled citation plans keyed by query *structure*:
+two requests that differ only in variable names or in the order of their body
+atoms must map to the same cache slot, while queries with genuinely different
+shapes (different joins, predicates, head, equality constants or
+λ-parameters) must not collide.
+
+:func:`canonical_key` computes such a structural normal form.  It treats the
+query as a colored hypergraph over its variables — the same view of a query
+that :meth:`~repro.query.ast.ConjunctiveQuery.canonical_instance` takes for
+containment checking — and canonicalises it with color refinement plus
+individualization:
+
+1. every variable starts with an isomorphism-invariant color built from its
+   head positions, λ-parameter position, bound equality constants and its
+   occurrence pattern ``(predicate, position)`` across body atoms;
+2. colors are refined to a fixpoint: a variable's color absorbs the colors of
+   the variables it co-occurs with, per atom and per position (1-dimensional
+   Weisfeiler–Leman);
+3. if two variables still share a color, the smallest ambiguous class is
+   split by individualizing each member in turn and the lexicographically
+   smallest resulting encoding wins — this resolves automorphism-rich bodies
+   exactly, at a cost that is negligible for the small bodies of citation
+   queries.
+
+:func:`fingerprint` hashes the canonical key into a compact hex string used
+as the cache key by :mod:`repro.service.plan_cache`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Mapping
+
+from repro.query.ast import Atom, ConjunctiveQuery, Constant, Term, Variable
+
+__all__ = ["canonical_key", "fingerprint", "are_isomorphic"]
+
+
+# ---------------------------------------------------------------------------
+# Term / constant encodings
+# ---------------------------------------------------------------------------
+def _constant_token(value: object) -> tuple:
+    """A hashable, type-discriminating token for a constant value.
+
+    ``1`` and ``True`` and ``"1"`` must produce different tokens, so the type
+    name participates.
+    """
+    return ("c", type(value).__name__, repr(value))
+
+
+def _term_encoding(term: Term, rank: Mapping[Variable, int]) -> tuple:
+    if isinstance(term, Constant):
+        return _constant_token(term.value)
+    return ("v", rank[term])
+
+
+# ---------------------------------------------------------------------------
+# Color refinement
+# ---------------------------------------------------------------------------
+def _normalize(colors: dict[Variable, object]) -> dict[Variable, int]:
+    """Map arbitrary color values to dense integer ranks (order-preserving)."""
+    distinct = sorted(set(colors.values()), key=repr)
+    rank = {color: index for index, color in enumerate(distinct)}
+    return {variable: rank[color] for variable, color in colors.items()}
+
+
+def _initial_colors(query: ConjunctiveQuery) -> dict[Variable, int]:
+    head_positions: dict[Variable, list[int]] = {}
+    for index, term in enumerate(query.head.terms):
+        if isinstance(term, Variable):
+            head_positions.setdefault(term, []).append(index)
+    parameter_positions = {
+        parameter: index for index, parameter in enumerate(query.parameters)
+    }
+    equality_constants: dict[Variable, list[tuple]] = {}
+    for equality in query.equalities:
+        equality_constants.setdefault(equality.variable, []).append(
+            _constant_token(equality.constant.value)
+        )
+    occurrences: dict[Variable, list[tuple[str, int]]] = {}
+    for atom in query.body:
+        for index, term in enumerate(atom.terms):
+            if isinstance(term, Variable):
+                occurrences.setdefault(term, []).append((atom.predicate, index))
+    colors: dict[Variable, object] = {}
+    for variable in query.variables():
+        colors[variable] = (
+            tuple(head_positions.get(variable, ())),
+            parameter_positions.get(variable, -1),
+            tuple(sorted(equality_constants.get(variable, ()))),
+            tuple(sorted(occurrences.get(variable, ()))),
+        )
+    return _normalize(colors)
+
+
+def _atom_signature(
+    atom: Atom, variable: Variable, colors: Mapping[Variable, int]
+) -> tuple:
+    """How *atom* looks from the point of view of *variable*."""
+    positions = tuple(
+        index for index, term in enumerate(atom.terms) if term == variable
+    )
+    context = tuple(
+        _constant_token(term.value)
+        if isinstance(term, Constant)
+        else ("v", colors[term])
+        for term in atom.terms
+    )
+    return (atom.predicate, positions, context)
+
+
+def _refine(query: ConjunctiveQuery, colors: dict[Variable, int]) -> dict[Variable, int]:
+    """Refine variable colors to a fixpoint (1-WL on the query hypergraph)."""
+    while True:
+        updated: dict[Variable, object] = {}
+        for variable, color in colors.items():
+            signatures = sorted(
+                _atom_signature(atom, variable, colors)
+                for atom in query.body
+                if variable in atom.variables()
+            )
+            updated[variable] = (color, tuple(signatures))
+        normalized = _normalize(updated)
+        if normalized == colors:
+            return colors
+        colors = normalized
+
+
+# ---------------------------------------------------------------------------
+# Canonical encoding (with individualization for automorphism ties)
+# ---------------------------------------------------------------------------
+def _encode(query: ConjunctiveQuery, colors: Mapping[Variable, int]) -> tuple:
+    """Encode the query under a total variable order (all colors distinct)."""
+    ordered = sorted(colors, key=lambda variable: colors[variable])
+    rank = {variable: index for index, variable in enumerate(ordered)}
+    head = (
+        query.head.predicate,
+        tuple(_term_encoding(term, rank) for term in query.head.terms),
+    )
+    body = tuple(
+        sorted(
+            (atom.predicate, tuple(_term_encoding(term, rank) for term in atom.terms))
+            for atom in query.body
+        )
+    )
+    equalities = tuple(
+        sorted(
+            (rank[equality.variable], _constant_token(equality.constant.value))
+            for equality in query.equalities
+        )
+    )
+    parameters = tuple(rank[parameter] for parameter in query.parameters)
+    return ("cq1", head, body, equalities, parameters)
+
+
+def _canonicalize(query: ConjunctiveQuery, colors: dict[Variable, int]) -> tuple:
+    classes: dict[int, list[Variable]] = {}
+    for variable, color in colors.items():
+        classes.setdefault(color, []).append(variable)
+    ambiguous = {color: members for color, members in classes.items() if len(members) > 1}
+    if not ambiguous:
+        return _encode(query, colors)
+    # Individualize each member of the smallest-colored ambiguous class in
+    # turn; the minimal resulting encoding is the canonical one.  The choice
+    # of class (minimal color of the smallest class size) is itself
+    # isomorphism-invariant, so isomorphic queries branch identically.
+    target_color = min(
+        ambiguous, key=lambda color: (len(ambiguous[color]), color)
+    )
+    best: tuple | None = None
+    for chosen in ambiguous[target_color]:
+        branched: dict[Variable, object] = {
+            variable: (color, 1 if variable == chosen else 0)
+            for variable, color in colors.items()
+        }
+        refined = _refine(query, _normalize(branched))
+        encoding = _canonicalize(query, refined)
+        if best is None or encoding < best:
+            best = encoding
+    assert best is not None
+    return best
+
+
+# ---------------------------------------------------------------------------
+# Public API
+# ---------------------------------------------------------------------------
+def canonical_key(query: ConjunctiveQuery) -> tuple:
+    """A hashable normal form of *query*, identical for isomorphic queries.
+
+    Two queries get the same key iff they differ only by a bijective variable
+    renaming and/or a permutation of body atoms (and of equality atoms).
+    Head predicate, head arity and term order, body structure, equality
+    constants and λ-parameters all participate.
+    """
+    colors = _refine(query, _initial_colors(query))
+    return _canonicalize(query, colors)
+
+
+def fingerprint(query: ConjunctiveQuery) -> str:
+    """A compact structural hash of *query* (hex), used as plan-cache key."""
+    digest = hashlib.sha256(repr(canonical_key(query)).encode("utf-8"))
+    return digest.hexdigest()[:32]
+
+
+def are_isomorphic(left: ConjunctiveQuery, right: ConjunctiveQuery) -> bool:
+    """``True`` when the two queries are equal up to renaming/reordering."""
+    return canonical_key(left) == canonical_key(right)

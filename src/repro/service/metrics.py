@@ -1,0 +1,158 @@
+"""Counters and latency histograms for the citation service.
+
+The service records every request into a :class:`ServiceMetrics` instance:
+monotonic counters (requests, cache hits, compiles, errors, timeouts, ...)
+and fixed-bucket latency histograms for the compile (rewrite-search), execute
+(evaluation) and end-to-end phases.  :meth:`ServiceMetrics.stats` returns a
+plain-dict snapshot suitable for JSON output — the ``--stats`` flag of the
+CLI and the benchmarks print it verbatim.
+
+Histograms use exponential bucket boundaries in milliseconds; percentiles are
+estimated as the upper bound of the bucket containing the requested quantile
+(the usual Prometheus-style estimate), with the true maximum tracked exactly.
+Everything is thread-safe: ``cite_many`` observes from worker threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Iterable
+
+__all__ = ["LatencyHistogram", "ServiceMetrics", "DEFAULT_BUCKET_BOUNDS_MS"]
+
+#: Default histogram boundaries (milliseconds), roughly exponential.
+DEFAULT_BUCKET_BOUNDS_MS: tuple[float, ...] = (
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0,
+    50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0,
+)
+
+
+class LatencyHistogram:
+    """A fixed-bucket latency histogram (milliseconds)."""
+
+    __slots__ = ("bounds_ms", "bucket_counts", "count", "total_ms", "min_ms", "max_ms")
+
+    def __init__(self, bounds_ms: Iterable[float] = DEFAULT_BUCKET_BOUNDS_MS) -> None:
+        self.bounds_ms = tuple(sorted(bounds_ms))
+        if not self.bounds_ms:
+            raise ValueError("histogram needs at least one bucket boundary")
+        # One bucket per boundary (<= bound) plus one overflow bucket.
+        self.bucket_counts = [0] * (len(self.bounds_ms) + 1)
+        self.count = 0
+        self.total_ms = 0.0
+        self.min_ms = float("inf")
+        self.max_ms = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Record one observation given in seconds."""
+        ms = seconds * 1000.0
+        self.bucket_counts[bisect_left(self.bounds_ms, ms)] += 1
+        self.count += 1
+        self.total_ms += ms
+        if ms < self.min_ms:
+            self.min_ms = ms
+        if ms > self.max_ms:
+            self.max_ms = ms
+
+    def mean_ms(self) -> float:
+        return self.total_ms / self.count if self.count else 0.0
+
+    def percentile_ms(self, quantile: float) -> float:
+        """Upper-bound estimate of the given quantile (0 < quantile <= 1)."""
+        if self.count == 0:
+            return 0.0
+        threshold = quantile * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.bucket_counts):
+            cumulative += bucket_count
+            if cumulative >= threshold:
+                if index == len(self.bounds_ms):
+                    return self.max_ms
+                return min(self.bounds_ms[index], self.max_ms)
+        return self.max_ms
+
+    def snapshot(self) -> dict[str, float]:
+        """A JSON-friendly summary of the histogram."""
+        return {
+            "count": self.count,
+            "mean_ms": round(self.mean_ms(), 4),
+            "p50_ms": round(self.percentile_ms(0.50), 4),
+            "p95_ms": round(self.percentile_ms(0.95), 4),
+            "p99_ms": round(self.percentile_ms(0.99), 4),
+            "min_ms": round(self.min_ms, 4) if self.count else 0.0,
+            "max_ms": round(self.max_ms, 4),
+        }
+
+
+class ServiceMetrics:
+    """Thread-safe counters and histograms with a ``stats()`` snapshot."""
+
+    #: Counters that always appear in ``stats()`` (even when still zero), so
+    #: dashboards and tests can rely on the keys being present.
+    STANDARD_COUNTERS = (
+        "requests",
+        "batch_requests",
+        "result_cache_hits",
+        "plan_cache_hits",
+        "plan_compilations",
+        "executions",
+        "deduplicated",
+        "errors",
+        "timeouts",
+        "mutations_observed",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {name: 0 for name in self.STANDARD_COUNTERS}
+        self._histograms: dict[str, LatencyHistogram] = {}
+
+    # -- recording -----------------------------------------------------------
+    def increment(self, name: str, amount: int = 1) -> None:
+        """Add *amount* to counter *name* (creating it on first use)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record a latency observation into histogram *name*."""
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = LatencyHistogram()
+            histogram.observe(seconds)
+
+    # -- reading -------------------------------------------------------------
+    def counter(self, name: str) -> int:
+        """Current value of counter *name* (0 when never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def cache_hit_rate(self) -> float:
+        """Fraction of requests answered from the result or plan cache."""
+        with self._lock:
+            requests = self._counters.get("requests", 0)
+            hits = self._counters.get("result_cache_hits", 0) + self._counters.get(
+                "plan_cache_hits", 0
+            )
+        return hits / requests if requests else 0.0
+
+    def stats(self) -> dict:
+        """A snapshot of all counters and histogram summaries."""
+        with self._lock:
+            counters = dict(self._counters)
+            latencies = {
+                name: histogram.snapshot()
+                for name, histogram in sorted(self._histograms.items())
+            }
+        snapshot: dict = {"counters": counters, "latency_ms": latencies}
+        requests = counters.get("requests", 0)
+        hits = counters.get("result_cache_hits", 0) + counters.get("plan_cache_hits", 0)
+        snapshot["cache_hit_rate"] = round(hits / requests, 4) if requests else 0.0
+        return snapshot
+
+    def reset(self) -> None:
+        """Zero every counter and drop all histograms."""
+        with self._lock:
+            self._counters = {name: 0 for name in self.STANDARD_COUNTERS}
+            self._histograms.clear()

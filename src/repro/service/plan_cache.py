@@ -1,0 +1,158 @@
+"""A generation-stamped LRU cache for compiled citation plans.
+
+The cache never serves stale data: every entry is stamped with the engine's
+:meth:`~repro.core.engine.CitationEngine.plan_token` at insertion time — the
+pair ``(database generation, engine cache epoch)``.  Any insert/delete on the
+database bumps the generation, and any forced ``invalidate_caches()`` bumps
+the epoch, so a lookup whose current token differs from the stored stamp is a
+miss and evicts the entry.  There is deliberately no time-based expiry: plans
+only go stale when the data or the views change, and the token captures
+exactly that.
+
+:class:`GenerationalLRU` is the generic mechanism (also used for the
+result cache of :class:`~repro.service.service.CitationService`);
+:class:`PlanCache` is its plan-flavoured face.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Generic, Hashable, TypeVar
+
+from repro.core.engine import CitationPlan
+
+__all__ = ["CacheInfo", "GenerationalLRU", "PlanCache"]
+
+V = TypeVar("V")
+
+
+@dataclass
+class CacheInfo:
+    """Counters describing the behaviour of one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_rate": round(self.hit_rate(), 4),
+        }
+
+
+class GenerationalLRU(Generic[V]):
+    """A thread-safe LRU cache whose entries carry a validity token.
+
+    ``get`` returns ``None`` either when the key is absent (a miss) or when
+    the stored token no longer matches the caller's current token (an
+    invalidation: the entry is dropped and counted separately, so hit-rate
+    statistics distinguish capacity misses from staleness).
+    """
+
+    def __init__(self, maxsize: int = 256) -> None:
+        if maxsize < 1:
+            raise ValueError("cache maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[Hashable, tuple[Hashable, V]] = OrderedDict()
+        self._lock = threading.RLock()
+        self._info = CacheInfo()
+
+    def get(self, key: Hashable, token: Hashable) -> V | None:
+        """Return the cached value for *key* if present and still current."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._info.misses += 1
+                return None
+            stored_token, value = entry
+            if stored_token != token:
+                del self._entries[key]
+                self._info.invalidations += 1
+                self._info.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._info.hits += 1
+            return value
+
+    def put(self, key: Hashable, value: V, token: Hashable) -> None:
+        """Insert (or refresh) *key* with a validity stamp of *token*."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = (token, value)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self._info.evictions += 1
+
+    def invalidate(self) -> int:
+        """Drop every entry; return how many were removed."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self._info.invalidations += dropped
+            return dropped
+
+    def prune(self, token: Hashable) -> int:
+        """Drop entries whose stamp differs from *token*; return the count."""
+        with self._lock:
+            stale = [
+                key
+                for key, (stored_token, _value) in self._entries.items()
+                if stored_token != token
+            ]
+            for key in stale:
+                del self._entries[key]
+            self._info.invalidations += len(stale)
+            return len(stale)
+
+    def info(self) -> CacheInfo:
+        """A copy of the cache counters (safe to read without the lock)."""
+        with self._lock:
+            return CacheInfo(
+                hits=self._info.hits,
+                misses=self._info.misses,
+                evictions=self._info.evictions,
+                invalidations=self._info.invalidations,
+            )
+
+    def stats(self) -> dict[str, float]:
+        """Counters plus occupancy, as a plain dict (for ``stats()`` output)."""
+        with self._lock:
+            out = self._info.as_dict()
+            out["size"] = len(self._entries)
+            out["maxsize"] = self.maxsize
+            return out
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+
+class PlanCache(GenerationalLRU[CitationPlan]):
+    """LRU of :class:`~repro.core.engine.CitationPlan`, keyed by
+    ``(fingerprint, mode)``.
+
+    A hit means the whole rewriting search (and economical selection) is
+    skipped; the plan's own stamp (``plan.token``) is used at insertion so a
+    plan compiled against an older database state can never be returned.
+    """
+
+    def store(self, key: Hashable, plan: CitationPlan) -> None:
+        """Insert *plan* stamped with the token it was compiled under."""
+        self.put(key, plan, plan.token)

@@ -1,0 +1,459 @@
+"""The :class:`CitationService`: a high-throughput front end for citation.
+
+The paper's premise is that a live curated database must answer "cite this
+query result" for every reader — the same citation views are hit over and
+over by structurally identical queries.  The raw
+:class:`~repro.core.engine.CitationEngine` re-runs the full view-rewriting
+search per call; this facade adds the serving-layer machinery around it:
+
+* **plan caching** — queries are fingerprinted up to variable renaming and
+  atom order (:mod:`repro.service.fingerprint`); a hit skips the
+  Bucket/MiniCon search and economical selection entirely;
+* **result caching** — an exact structural repeat against an unchanged
+  database is answered from memory without any evaluation;
+* **generation-based invalidation** — both caches stamp entries with the
+  engine's ``(database generation, cache epoch)`` token, so any insert,
+  delete or forced invalidation makes stale entries unservable;
+* **batching** — :meth:`CitationService.cite_batch` deduplicates identical
+  queries inside one batch and answers every member of an isomorphism class
+  from a single execution;
+* **concurrency** — :meth:`CitationService.cite_many` fans requests out over
+  a thread pool with per-request timeout and error isolation: one failing or
+  slow query never poisons its batch;
+* **observability** — every phase is metered
+  (:mod:`repro.service.metrics`); :meth:`CitationService.stats` returns a
+  JSON-friendly snapshot.
+
+Mutations may arrive between requests (the caches notice via the generation
+token) but must not race a request mid-flight — the usual reader/writer
+discipline of an in-memory store applies.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.core.citation import Citation
+from repro.core.engine import CitationEngine, CitationPlan, CitedResult, Mode
+from repro.query.ast import ConjunctiveQuery
+from repro.query.evaluator import result_schema
+from repro.relational.relation import Relation
+from repro.service.fingerprint import fingerprint
+from repro.service.metrics import ServiceMetrics
+from repro.service.plan_cache import GenerationalLRU, PlanCache
+
+__all__ = ["CitationService", "ServiceResponse"]
+
+
+@dataclass
+class ServiceResponse:
+    """Outcome of one request served by :meth:`CitationService.cite_many`.
+
+    Exactly one of :attr:`result` / :attr:`error` is set.  ``cached`` is true
+    when no evaluation ran for this request (result-cache hit or within-batch
+    deduplication onto another request's execution).
+    """
+
+    query: ConjunctiveQuery | str
+    result: CitedResult | None = None
+    error: Exception | None = None
+    elapsed: float = 0.0
+    cached: bool = False
+    fingerprint: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def unwrap(self) -> CitedResult:
+        """Return the result, re-raising the stored error on failure."""
+        if self.error is not None:
+            raise self.error
+        assert self.result is not None
+        return self.result
+
+
+class CitationService:
+    """Caching, batching, concurrent serving over a :class:`CitationEngine`."""
+
+    def __init__(
+        self,
+        engine: CitationEngine,
+        plan_cache_size: int = 256,
+        result_cache_size: int = 1024,
+        max_workers: int = 4,
+        metrics: ServiceMetrics | None = None,
+        cache_results: bool = True,
+        query_parser: Callable[[ConjunctiveQuery | str], ConjunctiveQuery] | None = None,
+    ) -> None:
+        self.engine = engine
+        # Pluggable request parsing (the CLI injects a Datalog+SQL parser);
+        # parse errors surface per request with the parser's own message.
+        self._parse = query_parser or engine._as_query
+        self.metrics = metrics or ServiceMetrics()
+        self.plan_cache = PlanCache(maxsize=plan_cache_size)
+        self.result_cache: GenerationalLRU[CitedResult] = GenerationalLRU(
+            maxsize=result_cache_size
+        )
+        self.cache_results = cache_results
+        self.max_workers = max_workers
+        self._compile_lock = threading.Lock()
+        self._executor: ThreadPoolExecutor | None = None
+        self._executor_lock = threading.Lock()
+        self._count_mutation = lambda _kind, _relation, _row: self.metrics.increment(
+            "mutations_observed"
+        )
+        engine.database.add_mutation_listener(self._count_mutation)
+
+    # -- single requests ------------------------------------------------------
+    def cite(
+        self, query: ConjunctiveQuery | str, mode: Mode | None = None
+    ) -> CitedResult:
+        """Serve one citation request through the caches.
+
+        Same contract as :meth:`CitationEngine.cite`, including raised
+        errors; the first call for a query shape pays the full compile cost,
+        repeats skip the rewriting search (plan hit) or everything
+        (result hit).
+        """
+        return self._serve(query, mode).unwrap()
+
+    def try_cite(
+        self, query: ConjunctiveQuery | str, mode: Mode | None = None
+    ) -> ServiceResponse:
+        """Like :meth:`cite` but never raises: errors ride in the response."""
+        return self._serve(query, mode)
+
+    def plan_for(
+        self, query: ConjunctiveQuery | str, mode: Mode | None = None
+    ) -> tuple[CitationPlan, bool]:
+        """The cached-or-compiled plan for *query* and whether it was a hit."""
+        parsed = self._parse(query)
+        mode = mode or self.engine.mode
+        return self._plan(parsed, fingerprint(parsed), mode)
+
+    def warm(
+        self, queries: Iterable[ConjunctiveQuery | str], mode: Mode | None = None
+    ) -> int:
+        """Precompile plans for an expected workload; return the plan count."""
+        compiled = 0
+        for query in queries:
+            _plan, hit = self.plan_for(query, mode)
+            compiled += 0 if hit else 1
+        return compiled
+
+    # -- batched / concurrent requests ----------------------------------------
+    def cite_batch(
+        self, queries: Sequence[ConjunctiveQuery | str], mode: Mode | None = None
+    ) -> list[CitedResult]:
+        """Serve a batch sequentially, deduplicating identical queries.
+
+        Structurally identical queries inside the batch (same fingerprint and
+        mode) are executed once; the other members receive the same citations
+        rebound to their own query text.  Errors propagate — use
+        :meth:`cite_many` for error isolation.
+        """
+        self.metrics.increment("batch_requests")
+        responses = self._serve_deduplicated(queries, mode, executor=None, timeout=None)
+        return [response.unwrap() for response in responses]
+
+    def cite_many(
+        self,
+        queries: Sequence[ConjunctiveQuery | str],
+        mode: Mode | None = None,
+        timeout: float | None = None,
+        max_workers: int | None = None,
+    ) -> list[ServiceResponse]:
+        """Serve a batch concurrently with per-request isolation.
+
+        Distinct query shapes run in parallel on a thread pool; duplicates
+        within the batch share one execution.  A request that raises yields a
+        response carrying the error.  *timeout* is a **response deadline for
+        the batch**, measured from the call: any request (including queueing
+        time behind a full pool) not answered within *timeout* seconds yields
+        a response with a :class:`TimeoutError`; its worker finishes in the
+        background and may still populate the caches.  The response list is
+        positionally aligned with *queries*.
+        """
+        self.metrics.increment("batch_requests")
+        if max_workers is not None and max_workers != self.max_workers:
+            with ThreadPoolExecutor(max_workers=max_workers) as executor:
+                return self._serve_deduplicated(queries, mode, executor, timeout)
+        return self._serve_deduplicated(queries, mode, self._pool(), timeout)
+
+    # -- cache control ---------------------------------------------------------
+    def invalidate(self) -> None:
+        """Drop all cached plans and results (rarely needed: tokens already
+        invalidate stale entries lazily)."""
+        self.plan_cache.invalidate()
+        self.result_cache.invalidate()
+
+    def stats(self) -> dict:
+        """A JSON-friendly snapshot of metrics, caches and engine state."""
+        snapshot = self.metrics.stats()
+        snapshot["plan_cache"] = self.plan_cache.stats()
+        snapshot["result_cache"] = self.result_cache.stats()
+        generation, epoch = self.engine.plan_token()
+        snapshot["engine"] = {
+            "generation": generation,
+            "cache_epoch": epoch,
+            "mode": self.engine.mode,
+            "citation_views": len(self.engine.citation_views),
+        }
+        return snapshot
+
+    def close(self) -> None:
+        """Shut down the worker pool and detach from the database."""
+        with self._executor_lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+                self._executor = None
+        self.engine.database.remove_mutation_listener(self._count_mutation)
+
+    def __enter__(self) -> "CitationService":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()
+
+    # -- internals -------------------------------------------------------------
+    def _pool(self) -> ThreadPoolExecutor:
+        with self._executor_lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="citation-service",
+                )
+            return self._executor
+
+    def _serve(
+        self, query: ConjunctiveQuery | str, mode: Mode | None
+    ) -> ServiceResponse:
+        started = time.perf_counter()
+        self.metrics.increment("requests")
+        try:
+            parsed = self._parse(query)
+            key = fingerprint(parsed)
+        except Exception as error:  # error isolation: report, never crash the batch
+            self.metrics.increment("errors")
+            return ServiceResponse(
+                query=query, error=error, elapsed=time.perf_counter() - started
+            )
+        return self._serve_parsed(parsed, query, key, mode or self.engine.mode, started)
+
+    def _serve_parsed(
+        self,
+        parsed: ConjunctiveQuery,
+        original: ConjunctiveQuery | str,
+        key: str,
+        mode: Mode,
+        started: float | None = None,
+    ) -> ServiceResponse:
+        """Serve an already parsed and fingerprinted request."""
+        if started is None:
+            started = time.perf_counter()
+            self.metrics.increment("requests")
+        try:
+            result, cached = self._cite_through_caches(parsed, key, mode)
+        except Exception as error:
+            self.metrics.increment("errors")
+            return ServiceResponse(
+                query=original,
+                error=error,
+                elapsed=time.perf_counter() - started,
+                fingerprint=key,
+            )
+        elapsed = time.perf_counter() - started
+        self.metrics.observe("request", elapsed)
+        return ServiceResponse(
+            query=original,
+            result=result,
+            elapsed=elapsed,
+            cached=cached,
+            fingerprint=key,
+        )
+
+    def _cite_through_caches(
+        self, query: ConjunctiveQuery, key: str, mode: Mode
+    ) -> tuple[CitedResult, bool]:
+        token = self.engine.plan_token()
+        cache_key = (key, mode)
+        if self.cache_results:
+            hit = self.result_cache.get(cache_key, token)
+            if hit is not None:
+                self.metrics.increment("result_cache_hits")
+                return self._rebind(hit, query), True
+        plan, _hit = self._plan(query, key, mode)
+        execute_started = time.perf_counter()
+        result = self.engine.execute_plan(plan, query=query)
+        self.metrics.observe("execute", time.perf_counter() - execute_started)
+        self.metrics.increment("executions")
+        if self.cache_results:
+            # Results always reflect the data: stamp with the token read at
+            # request start, not the (possibly epoch-only) plan stamp.
+            self.result_cache.put(cache_key, result, token)
+        return result, False
+
+    def _plan_stamp(self, mode: Mode) -> tuple:
+        """The validity stamp for plans of *mode*.
+
+        Formal-mode (and fallback) plans hold only the rewriting search's
+        output, which reads the query and view definitions — not the data —
+        so they survive ordinary inserts/deletes and are only retired by a
+        forced invalidation (epoch bump).  Economical plans embed a
+        cost-based selection made against the data, so they are additionally
+        stamped with the database generation.
+        """
+        generation, epoch = self.engine.plan_token()
+        return (generation, epoch) if mode == "economical" else ("any", epoch)
+
+    def _plan(
+        self, query: ConjunctiveQuery, key: str, mode: Mode
+    ) -> tuple[CitationPlan, bool]:
+        stamp = self._plan_stamp(mode)
+        cache_key = (key, mode)
+        plan = self.plan_cache.get(cache_key, stamp)
+        if plan is not None:
+            self.metrics.increment("plan_cache_hits")
+            return plan, True
+        # Single-flight compilation: concurrent identical misses compile once.
+        with self._compile_lock:
+            plan = self.plan_cache.get(cache_key, stamp)
+            if plan is not None:
+                self.metrics.increment("plan_cache_hits")
+                return plan, True
+            compile_started = time.perf_counter()
+            plan = self.engine.compile_plan(query, mode)
+            self.metrics.observe("compile", time.perf_counter() - compile_started)
+            self.metrics.increment("plan_compilations")
+            generation, epoch = plan.token
+            self.plan_cache.put(
+                cache_key,
+                plan,
+                (generation, epoch) if plan.data_dependent else ("any", epoch),
+            )
+        return plan, False
+
+    def _serve_deduplicated(
+        self,
+        queries: Sequence[ConjunctiveQuery | str],
+        mode: Mode | None,
+        executor: ThreadPoolExecutor | None,
+        timeout: float | None,
+    ) -> list[ServiceResponse]:
+        mode = mode or self.engine.mode
+        batch_started = time.monotonic()
+        responses: list[ServiceResponse | None] = [None] * len(queries)
+        parsed: list[ConjunctiveQuery | None] = [None] * len(queries)
+        groups: dict[str, list[int]] = {}
+        for index, query in enumerate(queries):
+            try:
+                parsed_query = self._parse(query)
+                key = fingerprint(parsed_query)
+            except Exception as error:  # malformed request: isolate immediately
+                self.metrics.increment("requests")
+                self.metrics.increment("errors")
+                responses[index] = ServiceResponse(query=query, error=error)
+                continue
+            parsed[index] = parsed_query
+            groups.setdefault(key, []).append(index)
+
+        # Concurrent (or inline) execution of one representative per group,
+        # reusing the parse and fingerprint work done while grouping.
+        representatives = {key: members[0] for key, members in groups.items()}
+
+        def serve_representative(key: str, index: int) -> ServiceResponse:
+            representative = parsed[index]
+            assert representative is not None
+            return self._serve_parsed(representative, queries[index], key, mode)
+
+        if executor is None:
+            outcomes = {
+                key: serve_representative(key, index)
+                for key, index in representatives.items()
+            }
+        else:
+            deadline = None if timeout is None else batch_started + timeout
+            futures: dict[str, Future] = {
+                key: executor.submit(serve_representative, key, index)
+                for key, index in representatives.items()
+            }
+            outcomes = {}
+            for key, future in futures.items():
+                remaining = (
+                    None if deadline is None else max(0.0, deadline - time.monotonic())
+                )
+                try:
+                    outcomes[key] = future.result(timeout=remaining)
+                except TimeoutError:
+                    self.metrics.increment("timeouts")
+                    outcomes[key] = ServiceResponse(
+                        query=queries[representatives[key]],
+                        error=TimeoutError(
+                            f"citation request missed the batch deadline of "
+                            f"{timeout:.3f}s"
+                        ),
+                        elapsed=time.monotonic() - batch_started,
+                        fingerprint=key,
+                    )
+
+        for key, members in groups.items():
+            outcome = outcomes[key]
+            for position, index in enumerate(members):
+                if position == 0:
+                    responses[index] = outcome
+                    continue
+                # Deduplicated member: same citations, rebound to its query.
+                self.metrics.increment("requests")
+                self.metrics.increment("deduplicated")
+                if outcome.ok and outcome.result is not None:
+                    member_query = parsed[index]
+                    assert member_query is not None
+                    responses[index] = ServiceResponse(
+                        query=queries[index],
+                        result=self._rebind(outcome.result, member_query),
+                        elapsed=outcome.elapsed,
+                        cached=True,
+                        fingerprint=outcome.fingerprint,
+                    )
+                else:
+                    responses[index] = ServiceResponse(
+                        query=queries[index],
+                        error=outcome.error,
+                        elapsed=outcome.elapsed,
+                        fingerprint=outcome.fingerprint,
+                    )
+        return [response for response in responses if response is not None]
+
+    @staticmethod
+    def _rebind(result: CitedResult, query: ConjunctiveQuery) -> CitedResult:
+        """Re-attach a cached result to an isomorphic variant of its query.
+
+        Answer rows and citations are identical across an isomorphism class;
+        only the result schema (head variable names) and the reported query
+        text differ.
+        """
+        if query == result.query:
+            return result
+        relation = Relation(result_schema(query), result.result.rows)
+        citation = Citation(
+            result.citation.records,
+            expression=result.citation.expression,
+            query_text=str(query),
+            version=result.citation.version,
+            timestamp=result.citation.timestamp,
+        )
+        return CitedResult(
+            query=query,
+            rewritings=result.rewritings,
+            tuple_citations=result.tuple_citations,
+            citation=citation,
+            policy=result.policy,
+            mode=result.mode,
+            result=relation,
+            used_fallback=result.used_fallback,
+        )

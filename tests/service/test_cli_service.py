@@ -1,0 +1,133 @@
+"""Tests for the ``batch`` and ``serve`` CLI subcommands."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.relational.csvio import dump_database_json
+from repro.workloads import gtopdb
+
+QUERY = "Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)"
+QUERY_RENAMED = "Q(N) :- FamilyIntro(F, T), Family(F, N, D)"
+
+
+@pytest.fixture
+def database_file(tmp_path):
+    path = tmp_path / "gtopdb.json"
+    dump_database_json(gtopdb.paper_instance(), path)
+    return str(path)
+
+
+def _parse_jsonl(out: str) -> list[dict]:
+    return [json.loads(line) for line in out.strip().splitlines() if line.strip()]
+
+
+class TestBatch:
+    def test_batch_answers_every_query(self, database_file, tmp_path, capsys):
+        queries = tmp_path / "queries.txt"
+        queries.write_text(
+            f"# a comment line\n{QUERY}\n{QUERY_RENAMED}\n\n", encoding="utf-8"
+        )
+        code = main(["batch", "--database", database_file, str(queries)])
+        assert code == 0
+        lines = _parse_jsonl(capsys.readouterr().out)
+        assert len(lines) == 2
+        assert all(line["ok"] for line in lines)
+        assert lines[0]["rows"] == 2
+        # The alpha-renamed duplicate is deduplicated within the batch.
+        assert lines[1]["cached"] is True
+        assert lines[0]["citation"]["records"] == lines[1]["citation"]["records"]
+
+    def test_batch_reports_errors_and_exit_code(self, database_file, tmp_path, capsys):
+        queries = tmp_path / "queries.txt"
+        queries.write_text(f"{QUERY}\nnot a query ::\n", encoding="utf-8")
+        code = main(["batch", "--database", database_file, str(queries)])
+        assert code == 1
+        lines = _parse_jsonl(capsys.readouterr().out)
+        assert [line["ok"] for line in lines] == [True, False]
+        assert "error" in lines[1]
+
+    def test_batch_stats_to_stderr(self, database_file, tmp_path, capsys):
+        queries = tmp_path / "queries.txt"
+        queries.write_text(f"{QUERY}\n{QUERY}\n", encoding="utf-8")
+        code = main(["batch", "--database", database_file, "--stats", str(queries)])
+        assert code == 0
+        captured = capsys.readouterr()
+        stats = json.loads(captured.err)
+        assert stats["counters"]["requests"] == 2
+        assert stats["counters"]["deduplicated"] == 1
+
+    def test_batch_missing_query_file_is_a_clean_error(self, database_file, capsys):
+        code = main(["batch", "--database", database_file, "/nope/missing.txt"])
+        assert code == 2
+        assert "cannot read query file" in capsys.readouterr().err
+
+    def test_bad_cache_size_rejected_by_argparse(self, database_file):
+        with pytest.raises(SystemExit):
+            main(["serve", "--database", database_file, "--plan-cache", "0"])
+
+    def test_batch_accepts_sql(self, database_file, tmp_path, capsys):
+        queries = tmp_path / "queries.txt"
+        queries.write_text("SELECT FName FROM Family\n", encoding="utf-8")
+        code = main(["batch", "--database", database_file, str(queries)])
+        assert code == 0
+        lines = _parse_jsonl(capsys.readouterr().out)
+        assert lines[0]["ok"] and lines[0]["rows"] == 2
+
+    def test_batch_surfaces_the_sql_parsers_own_error(
+        self, database_file, tmp_path, capsys
+    ):
+        queries = tmp_path / "queries.txt"
+        queries.write_text("SELECT FName FROM NoSuchTable\n", encoding="utf-8")
+        code = main(["batch", "--database", database_file, str(queries)])
+        assert code == 1
+        lines = _parse_jsonl(capsys.readouterr().out)
+        assert not lines[0]["ok"]
+        # The SQL parser's message, not a misleading Datalog syntax error.
+        assert "NoSuchTable" in lines[0]["error"]
+
+
+class TestServe:
+    def _run(self, database_file, stdin_text, capsys, monkeypatch, extra_args=()):
+        monkeypatch.setattr("sys.stdin", io.StringIO(stdin_text))
+        code = main(["serve", "--database", database_file, *extra_args])
+        return code, capsys.readouterr()
+
+    def test_serve_loop_answers_and_quits(self, database_file, capsys, monkeypatch):
+        code, captured = self._run(
+            database_file, f"{QUERY}\n{QUERY}\n.quit\n", capsys, monkeypatch
+        )
+        assert code == 0
+        lines = _parse_jsonl(captured.out)
+        assert len(lines) == 2
+        assert lines[0]["ok"] and lines[1]["ok"]
+        assert lines[0]["cached"] is False and lines[1]["cached"] is True
+
+    def test_serve_stats_directive(self, database_file, capsys, monkeypatch):
+        code, captured = self._run(
+            database_file, f"{QUERY}\n.stats\n.quit\n", capsys, monkeypatch
+        )
+        assert code == 0
+        lines = _parse_jsonl(captured.out)
+        assert lines[0]["ok"]
+        assert lines[1]["counters"]["requests"] == 1
+
+    def test_serve_isolates_bad_queries(self, database_file, capsys, monkeypatch):
+        code, captured = self._run(
+            database_file, f"broken ::\n{QUERY}\n", capsys, monkeypatch
+        )
+        assert code == 0
+        lines = _parse_jsonl(captured.out)
+        assert [line["ok"] for line in lines] == [False, True]
+
+    def test_serve_final_stats_flag(self, database_file, capsys, monkeypatch):
+        code, captured = self._run(
+            database_file, f"{QUERY}\n", capsys, monkeypatch, extra_args=["--stats"]
+        )
+        assert code == 0
+        stats = json.loads(captured.err)
+        assert stats["counters"]["requests"] == 1

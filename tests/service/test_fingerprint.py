@@ -1,0 +1,211 @@
+"""Property-based tests for structural query fingerprints.
+
+The fingerprint must be *complete* for the isomorphism classes the serving
+layer cares about: equal exactly when two queries differ only by a bijective
+variable renaming and/or a permutation of body atoms.  The tests check both
+directions — invariance via random renamings/shuffles, distinctness against a
+brute-force isomorphism oracle over small random query pairs.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.query.ast import (
+    Atom,
+    ConjunctiveQuery,
+    Constant,
+    EqualityAtom,
+    Variable,
+)
+from repro.query.parser import parse_query
+from repro.service.fingerprint import are_isomorphic, canonical_key, fingerprint
+
+_VARIABLES = ["X", "Y", "Z", "W", "V"]
+_PREDICATES = ["R", "S"]
+
+
+# ---------------------------------------------------------------------------
+# Random queries and random isomorphisms
+# ---------------------------------------------------------------------------
+@st.composite
+def random_queries(draw) -> ConjunctiveQuery:
+    """Safe conjunctive queries over binary R/S with optional equalities."""
+    atom_count = draw(st.integers(min_value=1, max_value=4))
+    body = []
+    for _ in range(atom_count):
+        predicate = draw(st.sampled_from(_PREDICATES))
+        left = Variable(draw(st.sampled_from(_VARIABLES)))
+        if draw(st.booleans()):
+            right: object = Variable(draw(st.sampled_from(_VARIABLES)))
+        else:
+            right = Constant(draw(st.integers(0, 2)))
+        body.append(Atom(predicate, (left, right)))
+    body_vars = sorted({v.name for atom in body for v in atom.variables()})
+    head_size = draw(st.integers(min_value=0, max_value=len(body_vars)))
+    head_vars = tuple(Variable(name) for name in body_vars[:head_size])
+    equalities = ()
+    if body_vars and draw(st.booleans()):
+        equalities = (
+            EqualityAtom(
+                Variable(draw(st.sampled_from(body_vars))),
+                Constant(draw(st.integers(0, 2))),
+            ),
+        )
+    parameters = tuple(head_vars[:1]) if head_vars and draw(st.booleans()) else ()
+    return ConjunctiveQuery(Atom("Q", head_vars), body, equalities, parameters)
+
+
+def _renamed(query: ConjunctiveQuery, permutation_index: int) -> ConjunctiveQuery:
+    """Apply one of the bijective renamings of the query's variables."""
+    variables = sorted(query.variables(), key=lambda v: v.name)
+    permutations = list(itertools.permutations(range(len(variables))))
+    chosen = permutations[permutation_index % len(permutations)]
+    mapping = {
+        variables[source]: Variable(f"fresh_{target}")
+        for source, target in zip(range(len(variables)), chosen)
+    }
+    return query.substitute(mapping)
+
+
+def _reordered(query: ConjunctiveQuery, permutation_index: int) -> ConjunctiveQuery:
+    """Permute the body atoms of the query."""
+    permutations = list(itertools.permutations(range(len(query.body))))
+    chosen = permutations[permutation_index % len(permutations)]
+    return ConjunctiveQuery(
+        query.head,
+        tuple(query.body[index] for index in chosen),
+        query.equalities,
+        query.parameters,
+    )
+
+
+def _brute_force_isomorphic(left: ConjunctiveQuery, right: ConjunctiveQuery) -> bool:
+    """Oracle: try every variable bijection between the two queries."""
+    left_vars = sorted(left.variables(), key=lambda v: v.name)
+    right_vars = sorted(right.variables(), key=lambda v: v.name)
+    if len(left_vars) != len(right_vars):
+        return False
+    if len(left.body) != len(right.body):
+        return False
+    right_body = sorted(
+        ((a.predicate, a.terms) for a in right.body), key=repr
+    )
+    right_equalities = sorted(
+        ((e.variable, e.constant) for e in right.equalities), key=repr
+    )
+    for permutation in itertools.permutations(right_vars):
+        mapping = dict(zip(left_vars, permutation))
+
+        def rename(term):
+            return mapping[term] if isinstance(term, Variable) else term
+
+        if tuple(rename(t) for t in left.head.terms) != right.head.terms:
+            continue
+        if left.head.predicate != right.head.predicate:
+            continue
+        mapped_body = sorted(
+            (
+                (atom.predicate, tuple(rename(t) for t in atom.terms))
+                for atom in left.body
+            ),
+            key=repr,
+        )
+        if mapped_body != right_body:
+            continue
+        mapped_equalities = sorted(
+            ((mapping[e.variable], e.constant) for e in left.equalities), key=repr
+        )
+        if mapped_equalities != right_equalities:
+            continue
+        if tuple(mapping[p] for p in left.parameters) != right.parameters:
+            continue
+        return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Invariance
+# ---------------------------------------------------------------------------
+class TestInvariance:
+    @given(random_queries(), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=120, deadline=None)
+    def test_invariant_under_variable_renaming(self, query, permutation_index):
+        assert fingerprint(_renamed(query, permutation_index)) == fingerprint(query)
+
+    @given(random_queries(), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=120, deadline=None)
+    def test_invariant_under_atom_reordering(self, query, permutation_index):
+        assert fingerprint(_reordered(query, permutation_index)) == fingerprint(query)
+
+    @given(
+        random_queries(),
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_invariant_under_renaming_and_reordering(
+        self, query, rename_index, reorder_index
+    ):
+        variant = _reordered(_renamed(query, rename_index), reorder_index)
+        assert canonical_key(variant) == canonical_key(query)
+        assert are_isomorphic(variant, query)
+
+    def test_paper_query_variants(self):
+        original = parse_query(
+            "Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)"
+        )
+        renamed = parse_query("Q(N) :- FamilyIntro(F, T), Family(F, N, D)")
+        assert fingerprint(original) == fingerprint(renamed)
+
+    def test_automorphism_rich_bodies(self):
+        cyclic = parse_query("Q(X) :- R(X, Y), R(Y, Z), R(Z, X)")
+        rotated = parse_query("Q(B) :- R(A, B), R(B, C), R(C, A)")
+        assert fingerprint(cyclic) == fingerprint(rotated)
+
+
+# ---------------------------------------------------------------------------
+# Distinctness
+# ---------------------------------------------------------------------------
+class TestDistinctness:
+    @given(random_queries(), random_queries())
+    @settings(max_examples=150, deadline=None)
+    def test_fingerprint_matches_isomorphism_oracle(self, left, right):
+        assert (canonical_key(left) == canonical_key(right)) == _brute_force_isomorphic(
+            left, right
+        )
+
+    def test_distinct_shapes(self):
+        distinct = [
+            "Q(X) :- R(X, Y)",
+            "Q(X) :- S(X, Y)",
+            "Q(X) :- R(X, X)",
+            "Q(X) :- R(Y, X)",
+            "Q(X, Y) :- R(X, Y)",
+            "Q(X) :- R(X, Y), R(Y, X)",
+            "Q(X) :- R(X, Y), R(X, Z)",
+            "Q(X) :- R(X, Y), S(Y, X)",
+            "P(X) :- R(X, Y)",
+            "Q(X) :- R(X, 1)",
+            "Q(X) :- R(X, 2)",
+            'Q(X) :- R(X, Y), Y = "a"',
+            "lambda X. Q(X) :- R(X, Y)",
+        ]
+        prints = [fingerprint(parse_query(text)) for text in distinct]
+        assert len(set(prints)) == len(prints)
+
+    def test_constant_types_are_distinguished(self):
+        integer = parse_query("Q(X) :- R(X, 1)")
+        string = parse_query('Q(X) :- R(X, "1")')
+        assert fingerprint(integer) != fingerprint(string)
+
+    def test_duplicate_atoms_matter(self):
+        # Set-equivalent but not isomorphic as atom multisets: the cache key
+        # treats them as different plans (correct, merely conservative).
+        single = parse_query("Q(X) :- R(X, Y)")
+        doubled = ConjunctiveQuery(
+            single.head, single.body + single.body, (), ()
+        )
+        assert fingerprint(single) != fingerprint(doubled)
