@@ -1,0 +1,153 @@
+"""E15 — the unified API: cold vs warm latency across backend families.
+
+PR-1's serving layer only fronted conjunctive queries; the API redesign
+routes union, temporal, RDF and versioned traffic through the same
+fingerprint-keyed plan/result caches.  This experiment measures what that
+buys: for union and temporal requests served through
+``CitationService.submit``,
+
+* the cold path (per-disjunct/era rewriting search + evaluation) against the
+  fully warm path (result-cache hit) — acceptance bar: >= 3x;
+* the plan-only warm path (``cache_results=False``: the rewriting search is
+  skipped, evaluation still runs) — acceptance bar: compile counters flat on
+  the second call, correctness cross-checked against the direct engine calls.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import CitationEngine, CitationPolicy, CitationService
+from repro.api import CitationRequest, TemporalBackend
+from repro.core.temporal import TemporalCitationEngine, add_timestamps, timestamp_view
+from repro.core.union_engine import cite_union
+from repro.workloads import gtopdb
+from benchmarks.conftest import report
+
+WARM_ROUNDS = 15
+
+UNION_QUERY = (
+    "Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)\n"
+    "Q(FName) :- Family(FID, FName, Desc)"
+)
+TEMPORAL_QUERY = "Q(FName) :- Family(FID, FName, Desc, T), FamilyIntro(FID, Text, T2)"
+
+
+def _make_engine(families: int = 120) -> CitationEngine:
+    database = gtopdb.generate(families=families, targets_per_family=3, seed=11)
+    return CitationEngine(
+        database,
+        gtopdb.citation_views(extended=True),
+        policy=CitationPolicy.default(),
+    )
+
+
+def _make_temporal(families: int = 120) -> TemporalCitationEngine:
+    database = gtopdb.generate(families=families, targets_per_family=3, seed=11)
+    stamped = add_timestamps(database, "2016", relations=["Family", "FamilyIntro"])
+    # A second era so the per-era cache separation does real work.
+    stamped.insert("Family", (90001, "Era-2017 family", "d", "2017"))
+    stamped.insert("FamilyIntro", (90001, "intro", "2017"))
+    views = [
+        timestamp_view("Family", stamped.schema, extra_parameters=["FID"]),
+        timestamp_view("FamilyIntro", stamped.schema),
+    ]
+    return TemporalCitationEngine(stamped, views)
+
+
+def _timed(callable_):
+    started = time.perf_counter()
+    value = callable_()
+    return value, time.perf_counter() - started
+
+
+def _bench_cold_warm(service: CitationService, request: CitationRequest, label: str):
+    cold_response, cold = _timed(lambda: service.submit(request))
+    assert cold_response.ok and not cold_response.cached
+    warm_times = []
+    for _ in range(WARM_ROUNDS):
+        warm_response, elapsed = _timed(lambda: service.submit(request))
+        assert warm_response.ok and warm_response.cached
+        warm_times.append(elapsed)
+    warm = sum(warm_times) / len(warm_times)
+    speedup = cold / warm if warm > 0 else float("inf")
+    report(
+        f"E15 cold vs warm submit latency ({label})",
+        [
+            {"path": "cold (compile+eval)", "ms": round(cold * 1e3, 3)},
+            {"path": f"warm mean of {WARM_ROUNDS}", "ms": round(warm * 1e3, 3)},
+            {"path": "speedup (cold/warm)", "ms": round(speedup, 1)},
+        ],
+    )
+    return cold_response, speedup
+
+
+def test_e15_union_cold_vs_warm():
+    engine = _make_engine()
+    reference = cite_union(_make_engine(), UNION_QUERY)
+    with CitationService(engine) as service:
+        response, speedup = _bench_cold_warm(
+            service, CitationRequest(query=UNION_QUERY), "union"
+        )
+        result = response.unwrap()
+        assert result.citation.records == reference.citation.records
+        assert result.result.rows == reference.result.rows
+        assert speedup >= 3.0, f"warm union path only {speedup:.1f}x faster than cold"
+        stats = service.stats()
+        assert stats["backends"]["union"]["compilations"] == 1
+        assert stats["backends"]["union"]["result_hits"] == WARM_ROUNDS
+
+
+def test_e15_temporal_cold_vs_warm():
+    temporal = _make_temporal()
+    reference = temporal.cite_as_of(TEMPORAL_QUERY, "2016")
+    service = CitationService(backends=[TemporalBackend(temporal)])
+    try:
+        request = CitationRequest(query=TEMPORAL_QUERY, backend="temporal", as_of="2016")
+        response, speedup = _bench_cold_warm(service, request, "temporal as-of 2016")
+        result = response.unwrap()
+        assert result.citation.records == reference.citation.records
+        assert speedup >= 3.0, f"warm temporal path only {speedup:.1f}x faster than cold"
+        stats = service.stats()
+        assert stats["backends"]["temporal"]["compilations"] == 1
+    finally:
+        service.close()
+
+
+def test_e15_plan_cache_skips_recompilation_without_result_cache():
+    engine = _make_engine(families=60)
+    temporal = _make_temporal(families=60)
+    service = CitationService(
+        engine, backends=[TemporalBackend(temporal)], cache_results=False
+    )
+    try:
+        rows = []
+        for label, request in (
+            ("union", CitationRequest(query=UNION_QUERY)),
+            (
+                "temporal",
+                CitationRequest(query=TEMPORAL_QUERY, backend="temporal", as_of="2016"),
+            ),
+        ):
+            _response, first = _timed(lambda: service.submit(request))
+            _response, second = _timed(lambda: service.submit(request))
+            rows.append(
+                {
+                    "path": f"{label}: cold (compile+eval)",
+                    "ms": round(first * 1e3, 3),
+                }
+            )
+            rows.append(
+                {
+                    "path": f"{label}: plan-hit (eval only)",
+                    "ms": round(second * 1e3, 3),
+                }
+            )
+        report("E15 plan-only warm path (result cache disabled)", rows)
+        backends = service.metrics.backend_stats()
+        assert backends["union"]["compilations"] == 1
+        assert backends["union"]["plan_hits"] == 1
+        assert backends["temporal"]["compilations"] == 1
+        assert backends["temporal"]["plan_hits"] == 1
+    finally:
+        service.close()

@@ -86,8 +86,25 @@ from repro.service import (
     canonical_key,
     fingerprint,
 )
+from repro.api import (
+    BackendCapabilities,
+    BackendRegistry,
+    CitationBackend,
+    CitationRequest,
+    CitationResponse,
+    RDFBackend,
+    RelationalBackend,
+    TemporalBackend,
+    UnionBackend,
+    VersionedBackend,
+)
 
-__version__ = "1.0.0"
+try:  # single-source the version from the installed package metadata
+    from importlib.metadata import PackageNotFoundError, version as _dist_version
+
+    __version__ = _dist_version("repro-data-citation")
+except PackageNotFoundError:  # running from a source checkout (PYTHONPATH=src)
+    __version__ = "1.1.0"
 
 __all__ = [
     # errors
@@ -154,5 +171,16 @@ __all__ = [
     "PlanCache",
     "fingerprint",
     "canonical_key",
+    # unified citation API
+    "CitationRequest",
+    "CitationResponse",
+    "CitationBackend",
+    "BackendCapabilities",
+    "BackendRegistry",
+    "RelationalBackend",
+    "UnionBackend",
+    "TemporalBackend",
+    "RDFBackend",
+    "VersionedBackend",
     "__version__",
 ]

@@ -1,0 +1,50 @@
+"""One citation API over every query model the paper spans.
+
+The repo grew one engine per query model — conjunctive queries
+(:class:`~repro.core.engine.CitationEngine`), unions
+(:func:`~repro.core.union_engine.cite_union`), timestamped evolution
+(:class:`~repro.core.temporal.TemporalCitationEngine`), RDF/ontology citation
+(:class:`~repro.rdf.citation_rdf.RDFCitationEngine`) and versioned data
+(:class:`~repro.versioning.persistent.CitationResolver`) — each with a
+differently-shaped entry point.  This package is the single front door:
+
+* :mod:`repro.api.envelope` — the :class:`CitationRequest` /
+  :class:`CitationResponse` request/response envelope (query payload, dialect,
+  mode, as-of version or era, policy override, request id);
+* :mod:`repro.api.backend` — the :class:`CitationBackend` protocol
+  (``capabilities`` / ``parse`` / ``fingerprint`` / ``compile`` / ``execute``)
+  and the :class:`BackendRegistry` that routes requests;
+* :mod:`repro.api.backends` — the five shipped adapters: relational CQ,
+  UCQ/union, temporal, RDF/BGP and versioned-store.
+
+:class:`~repro.service.service.CitationService` routes every request through
+one ``submit()`` / ``submit_batch()`` path over registered backends, so
+fingerprint-keyed plan/result caching, within-batch deduplication, thread-pool
+concurrency and metrics apply to *all* workloads, not just conjunctive
+queries.
+"""
+
+from repro.api.backend import BackendCapabilities, BackendRegistry, CitationBackend
+from repro.api.backends import (
+    RDFBackend,
+    RDFCitedResult,
+    RelationalBackend,
+    TemporalBackend,
+    UnionBackend,
+    VersionedBackend,
+)
+from repro.api.envelope import CitationRequest, CitationResponse
+
+__all__ = [
+    "CitationRequest",
+    "CitationResponse",
+    "CitationBackend",
+    "BackendCapabilities",
+    "BackendRegistry",
+    "RelationalBackend",
+    "UnionBackend",
+    "TemporalBackend",
+    "RDFBackend",
+    "RDFCitedResult",
+    "VersionedBackend",
+]

@@ -1,0 +1,30 @@
+"""The shipped :class:`~repro.api.backend.CitationBackend` adapters.
+
+One adapter per query model the paper spans:
+
+* :mod:`repro.api.backends.relational` — conjunctive queries over the
+  :class:`~repro.core.engine.CitationEngine` (Datalog and SQL dialects);
+* :mod:`repro.api.backends.union` — unions of conjunctive queries, with
+  per-disjunct plan compilation;
+* :mod:`repro.api.backends.temporal` — timestamped "citation evolution"
+  with ``as_of`` era pinning;
+* :mod:`repro.api.backends.rdf` — basic-graph-pattern queries with
+  ontology-resolved class citations;
+* :mod:`repro.api.backends.versioned` — time-travel citation against a
+  versioned store, producing persistent (fixity-checked) citations.
+"""
+
+from repro.api.backends.rdf import RDFBackend, RDFCitedResult
+from repro.api.backends.relational import RelationalBackend
+from repro.api.backends.temporal import TemporalBackend
+from repro.api.backends.union import UnionBackend
+from repro.api.backends.versioned import VersionedBackend
+
+__all__ = [
+    "RelationalBackend",
+    "UnionBackend",
+    "TemporalBackend",
+    "RDFBackend",
+    "RDFCitedResult",
+    "VersionedBackend",
+]

@@ -1,0 +1,107 @@
+"""The RDF backend: basic-graph-pattern citation behind the API.
+
+Adapts :class:`~repro.rdf.citation_rdf.RDFCitationEngine`.  There is no
+rewriting search to compile away, so the backend opts out of plan caching;
+result caching still applies, keyed by a structural fingerprint of the BGP
+(via its conjunctive-query translation) plus the projection names, and
+stamped with the triple store's generation so mutations invalidate it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.api.backend import BackendCapabilities, CitationBackend
+from repro.api.envelope import CitationRequest
+from repro.core.citation import Citation
+from repro.errors import CitationError
+from repro.rdf.bgp import BGPQuery, bgp_to_conjunctive_query
+from repro.rdf.citation_rdf import RDFCitationEngine
+from repro.service.fingerprint import fingerprint
+
+__all__ = ["RDFBackend", "RDFCitedResult"]
+
+
+@dataclass
+class RDFCitedResult:
+    """The answer of a BGP query with its aggregate citation."""
+
+    query: BGPQuery
+    solutions: list[dict[str, object]]
+    citation: Citation
+
+    def rows(self) -> list[dict[str, object]]:
+        """The projected solution bindings."""
+        return self.solutions
+
+    def __len__(self) -> int:
+        return len(self.solutions)
+
+
+class RDFBackend(CitationBackend):
+    """Serve BGP citation requests over an :class:`RDFCitationEngine`."""
+
+    name = "rdf"
+
+    def __init__(self, engine: RDFCitationEngine, name: str | None = None) -> None:
+        self.engine = engine
+        if name is not None:
+            self.name = name
+        self._capabilities = BackendCapabilities(
+            name=self.name,
+            description=(
+                "basic graph patterns with ontology-resolved class citations"
+            ),
+            dialects=("bgp",),
+            payload_types=(BGPQuery,),
+            modes=(),
+            supports_plan_cache=False,
+            supports_result_cache=True,
+            supports_as_of=False,
+            supports_policy_override=False,
+        )
+
+    def capabilities(self) -> BackendCapabilities:
+        return self._capabilities
+
+    # -- the five phases -------------------------------------------------------
+    def parse(self, request: CitationRequest) -> BGPQuery:
+        if isinstance(request.query, BGPQuery):
+            return request.query
+        raise CitationError(
+            f"the {self.name!r} backend takes a BGPQuery payload, "
+            f"not {type(request.query).__name__}"
+        )
+
+    def fingerprint(self, parsed: BGPQuery, request: CitationRequest) -> str:
+        """Structural fingerprint of the BGP plus its projection names.
+
+        The conjunctive-query translation normalises variable names away, but
+        RDF solutions are dicts keyed by the projected names — two BGPs that
+        differ only in projection naming must therefore *not* share a result
+        cache slot.
+        """
+        structural = fingerprint(bgp_to_conjunctive_query(parsed))
+        digest = hashlib.sha256(
+            ("bgp1|" + structural + "|" + "|".join(parsed.projection)).encode("utf-8")
+        )
+        return digest.hexdigest()[:32]
+
+    def compile(self, parsed: BGPQuery, request: CitationRequest) -> BGPQuery:
+        return parsed
+
+    def execute(
+        self, plan: BGPQuery, parsed: BGPQuery, request: CitationRequest
+    ) -> RDFCitedResult:
+        solutions, citation = self.engine.cite_query(parsed)
+        return RDFCitedResult(query=parsed, solutions=solutions, citation=citation)
+
+    # -- cache integration -----------------------------------------------------
+    def result_token(self, request: CitationRequest) -> Hashable:
+        return ("rdf", self.engine.store.generation)
+
+    # -- response helpers ------------------------------------------------------
+    def citation_of(self, result: RDFCitedResult) -> Citation:
+        return result.citation

@@ -1,0 +1,130 @@
+"""The versioned backend: time-travel citation behind the API.
+
+Adapts :class:`~repro.versioning.persistent.CitationResolver`.  ``as_of``
+names a committed version id (``None`` pins the latest committed version at
+request time); the response's native result is a
+:class:`~repro.versioning.persistent.PersistentCitation` — the fixity
+artifact a reader can later re-resolve and hash-verify.
+
+Committed versions are immutable, so cache entries for a pinned version
+never go stale: the validity token is the version id itself, and the
+resolver memoizes one engine per version so repeated time-travel requests
+skip re-materialisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Hashable
+
+from repro.api.backend import BackendCapabilities, CitationBackend
+from repro.api.envelope import CitationRequest
+from repro.core.citation import Citation
+from repro.core.engine import CitationPlan
+from repro.errors import CitationError
+from repro.query.ast import ConjunctiveQuery
+from repro.query.parser import parse_query
+from repro.service.fingerprint import fingerprint
+from repro.versioning.persistent import CitationResolver, PersistentCitation
+
+__all__ = ["VersionedBackend"]
+
+
+class VersionedBackend(CitationBackend):
+    """Serve version-pinned citation requests over a :class:`CitationResolver`."""
+
+    name = "versioned"
+
+    def __init__(self, resolver: CitationResolver, name: str | None = None) -> None:
+        self.resolver = resolver
+        if name is not None:
+            self.name = name
+        self._capabilities = BackendCapabilities(
+            name=self.name,
+            description=(
+                "persistent, fixity-checked citations against committed versions"
+            ),
+            dialects=("datalog",),
+            payload_types=(str, ConjunctiveQuery),
+            modes=("formal", "economical"),
+            supports_plan_cache=True,
+            supports_result_cache=True,
+            supports_as_of=True,
+            supports_policy_override=False,
+        )
+
+    def capabilities(self) -> BackendCapabilities:
+        return self._capabilities
+
+    def _version_id(self, request: CitationRequest) -> int:
+        if request.as_of is not None:
+            if not isinstance(request.as_of, int):
+                raise CitationError(
+                    f"the {self.name!r} backend expects an integer version id as "
+                    f"as_of, got {request.as_of!r}"
+                )
+            return request.as_of
+        return self.resolver.versioned.current_version.version_id
+
+    # -- the five phases -------------------------------------------------------
+    def parse(self, request: CitationRequest) -> ConjunctiveQuery:
+        query = request.query
+        if isinstance(query, str):
+            return parse_query(query.strip())
+        if isinstance(query, ConjunctiveQuery):
+            return query
+        raise CitationError(
+            f"the {self.name!r} backend takes a ConjunctiveQuery or a Datalog "
+            f"string, not {type(query).__name__}"
+        )
+
+    def fingerprint(self, parsed: ConjunctiveQuery, request: CitationRequest) -> str:
+        return fingerprint(parsed)
+
+    def compile(self, parsed: ConjunctiveQuery, request: CitationRequest) -> CitationPlan:
+        engine = self.resolver.engine_for(self._version_id(request))
+        return engine.compile_plan(parsed, request.mode or engine.mode)
+
+    def execute(
+        self, plan: CitationPlan, parsed: ConjunctiveQuery, request: CitationRequest
+    ) -> PersistentCitation:
+        version_id = self._version_id(request)
+        engine = self.resolver.engine_for(version_id)
+        result = engine.execute_plan(plan, query=parsed)
+        query_text = (
+            request.query.strip() if isinstance(request.query, str) else str(parsed)
+        )
+        return self.resolver.persistent_from_result(query_text, version_id, result)
+
+    # -- cache integration -----------------------------------------------------
+    def cache_variant(self, request: CitationRequest) -> Hashable:
+        # Resolver engines are built with the CitationEngine default mode;
+        # avoid materialising a version just to read it.
+        return ("version", self._version_id(request), request.mode or "formal")
+
+    def result_token(self, request: CitationRequest) -> Hashable:
+        # Committed versions are immutable: entries for a pinned version are
+        # valid forever.  The version id in the cache *variant* separates
+        # versions; the token never changes.
+        return ("version", self._version_id(request))
+
+    def rebind(
+        self,
+        result: PersistentCitation,
+        parsed: ConjunctiveQuery,
+        request: CitationRequest,
+    ) -> PersistentCitation:
+        """Serve a cached persistent citation under the variant's query text."""
+        query_text = (
+            request.query.strip() if isinstance(request.query, str) else str(parsed)
+        )
+        if query_text == result.query_text:
+            return result
+        return replace(result, query_text=query_text)
+
+    # -- response helpers ------------------------------------------------------
+    def citation_of(self, result: PersistentCitation) -> Citation:
+        return result.citation()
+
+    def row_count(self, result: PersistentCitation) -> int | None:
+        return None

@@ -1,0 +1,147 @@
+"""The request/response envelope of the unified citation API.
+
+Every citation workload — conjunctive query, union, temporal "as of era",
+RDF basic graph pattern, versioned time travel — is expressed as one
+:class:`CitationRequest` and answered with one :class:`CitationResponse`.
+The envelope is deliberately backend-agnostic: the ``query`` payload may be a
+string in any supported dialect or an already-constructed query object, and
+the optional fields (``mode``, ``as_of``, ``policy``) are interpreted by the
+backend the request is routed to.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+from repro.core.citation import Citation
+
+__all__ = ["CitationRequest", "CitationResponse"]
+
+_request_ids = itertools.count(1)
+_request_id_lock = threading.Lock()
+
+
+def next_request_id() -> str:
+    """A process-unique request id (assigned when the caller supplies none)."""
+    with _request_id_lock:
+        return f"req-{next(_request_ids)}"
+
+
+@dataclass(frozen=True)
+class CitationRequest:
+    """One citation request, routable to any registered backend.
+
+    Parameters
+    ----------
+    query:
+        The query payload.  A string (Datalog rule, SQL ``SELECT``, or a
+        multi-rule union program, depending on *dialect*) or a query object
+        (:class:`~repro.query.ast.ConjunctiveQuery`,
+        :class:`~repro.query.ucq.UnionQuery`,
+        :class:`~repro.rdf.bgp.BGPQuery`).
+    backend:
+        Explicit backend name (``"relational"``, ``"union"``, ``"temporal"``,
+        ``"rdf"``, ``"versioned"``, or any registered name).  ``None`` lets
+        the registry route by payload type and dialect.
+    dialect:
+        How to read a string payload: ``"auto"`` (default), ``"datalog"``,
+        ``"sql"``, ``"program"`` (multi-rule union) or ``"bgp"``.
+    mode:
+        ``"formal"`` or ``"economical"`` for the CQ-family backends;
+        ``None`` uses the backend engine's default.
+    as_of:
+        A point in data history: a timestamp *era* for the temporal backend,
+        a committed *version id* for the versioned backend.  Backends that do
+        not support time travel reject requests carrying it.
+    policy:
+        A :class:`~repro.core.policy.CitationPolicy` override applied to this
+        request only.  Plan caching still applies (plans are
+        policy-independent) but the result cache is bypassed, since cached
+        results embed the policy they were evaluated under.
+    request_id:
+        Caller-supplied correlation id; the service assigns ``req-N`` when
+        omitted.
+    metadata:
+        Free-form annotations carried through to the response, ignored by the
+        service itself.
+    """
+
+    query: Any
+    backend: str | None = None
+    dialect: str = "auto"
+    mode: str | None = None
+    as_of: Any = None
+    policy: Any = None
+    request_id: str | None = None
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+
+    def with_id(self) -> "CitationRequest":
+        """This request, with a generated id when none was supplied."""
+        if self.request_id is not None:
+            return self
+        return replace(self, request_id=next_request_id())
+
+
+@dataclass
+class CitationResponse:
+    """The outcome of one request served by ``CitationService.submit``.
+
+    Exactly one of :attr:`result` / :attr:`error` is set.  :attr:`result` is
+    the backend-native cited result (:class:`~repro.core.engine.CitedResult`,
+    :class:`~repro.core.union_engine.UnionCitedResult`,
+    :class:`~repro.api.backends.rdf.RDFCitedResult` or
+    :class:`~repro.versioning.persistent.PersistentCitation`);
+    :attr:`citation` is the backend-independent view of its citation.
+    ``cached`` is true when no evaluation ran for this request (result-cache
+    hit or within-batch deduplication onto another request's execution).
+    """
+
+    request: CitationRequest
+    backend: str | None = None
+    result: Any = None
+    citation: Citation | None = None
+    error: Exception | None = None
+    elapsed: float = 0.0
+    cached: bool = False
+    fingerprint: str | None = None
+    row_count: int | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def request_id(self) -> str | None:
+        return self.request.request_id
+
+    def unwrap(self) -> Any:
+        """Return the backend-native result, re-raising the stored error."""
+        if self.error is not None:
+            raise self.error
+        return self.result
+
+    def to_payload(self) -> dict[str, Any]:
+        """A JSON-friendly summary (the CLI's JSONL line format)."""
+        from repro.core.formatter.jsonfmt import citation_payload
+
+        payload: dict[str, Any] = {
+            "query": str(self.request.query).strip(),
+            "backend": self.backend,
+            "ok": self.ok,
+            "cached": self.cached,
+            "elapsed_ms": round(self.elapsed * 1000.0, 3),
+        }
+        if self.request.request_id is not None:
+            payload["request_id"] = self.request.request_id
+        if self.ok:
+            if self.row_count is not None:
+                payload["rows"] = self.row_count
+            if self.citation is not None:
+                payload["citation"] = citation_payload(self.citation)
+        else:
+            payload["error"] = str(self.error)
+            payload["error_type"] = type(self.error).__name__
+        return payload

@@ -10,11 +10,24 @@ Subcommands
 ``explain``   show how the citation of a query is constructed
 ``demo``      run the paper's running example end to end
 
-``batch`` and ``serve`` run on :class:`repro.service.CitationService`:
-repeated query shapes hit the plan/result caches, batches are deduplicated
-and (for ``batch``) fanned out over a thread pool.  Both accept ``--stats``
-to dump the service's metrics snapshot to stderr on exit, and ``serve``
-understands the ``.stats`` / ``.quit`` directives on stdin.
+``cite``, ``batch``, ``serve`` and ``explain`` all run on the unified
+request/response API (:mod:`repro.api`): every query becomes a
+:class:`~repro.api.envelope.CitationRequest` routed through
+:meth:`repro.service.CitationService.submit` to a registered backend, so
+plan/result caching, within-batch deduplication and per-backend metrics apply
+uniformly.  ``--backend`` selects the backend explicitly:
+
+* ``auto`` (default) — single-rule Datalog and SQL ``SELECT`` go to the
+  relational CQ backend; a multi-rule program (``;``-separated rules) goes to
+  the union backend;
+* ``relational`` / ``union`` — force the choice;
+* ``temporal`` — cite over timestamp-parameterized views; ``--as-of ERA``
+  restricts the citation to one era (requires relations carrying the
+  timestamp attribute, see ``--timestamp-attribute``).
+
+``batch`` and ``serve`` accept ``--stats`` to dump the service's metrics
+snapshot (including per-backend counters) to stderr on exit, and ``serve``
+understands the ``.stats`` / ``.backends`` / ``.quit`` directives on stdin.
 
 The database file is the JSON format written by
 :func:`repro.relational.csvio.dump_database_json`; the specification file is
@@ -30,9 +43,10 @@ import json
 import sys
 from typing import Sequence
 
+from repro import __version__
+from repro.api import CitationRequest, CitationResponse, TemporalBackend
 from repro.core.engine import CitationEngine
 from repro.core.explain import explain_citation
-from repro.core.formatter.jsonfmt import citation_payload
 from repro.core.spec import (
     default_views_for_schema,
     dump_specification,
@@ -40,11 +54,14 @@ from repro.core.spec import (
     validate_views_against_schema,
 )
 from repro.core.policy import CitationPolicy
+from repro.core.temporal import TIMESTAMP_ATTRIBUTE, TemporalCitationEngine, timestamp_view
 from repro.errors import ReproError
 from repro.query.parser import parse_query
 from repro.query.sql import parse_sql
 from repro.relational.csvio import load_database_json
-from repro.service import CitationService, ServiceResponse
+from repro.service import CitationService
+
+BACKEND_CHOICES = ("auto", "relational", "union", "temporal")
 
 
 def _load_engine(args: argparse.Namespace) -> CitationEngine:
@@ -66,25 +83,26 @@ def _parse_user_query(text: str, engine: CitationEngine):
     return parse_query(stripped)
 
 
-def _cmd_cite(args: argparse.Namespace) -> int:
-    engine = _load_engine(args)
-    query = _parse_user_query(args.query, engine)
-    result = engine.cite(query, mode=args.mode)
-    if args.format == "text":
-        print(result.citation.to_text(abbreviate_after=args.abbreviate))
-    elif args.format == "bibtex":
-        print(result.citation.to_bibtex())
-    elif args.format == "ris":
-        print(result.citation.to_ris())
-    elif args.format == "xml":
-        print(result.citation.to_xml())
-    else:
-        print(result.citation.to_json())
-    if args.show_answers:
-        print(f"\n# {len(result)} answer tuple(s)", file=sys.stderr)
-        for row in result.rows():
-            print(f"#   {row}", file=sys.stderr)
-    return 0
+def _temporal_engine(
+    engine: CitationEngine, attribute: str
+) -> TemporalCitationEngine:
+    """A temporal engine over every relation carrying the timestamp attribute."""
+    schema = engine.database.schema
+    timestamped = [r.name for r in schema if r.has_attribute(attribute)]
+    if not timestamped:
+        raise ReproError(
+            f"no relation carries the timestamp attribute {attribute!r}; "
+            "the temporal backend needs a timestamped database "
+            "(see repro.core.temporal.add_timestamps)"
+        )
+    views = [timestamp_view(name, schema, attribute=attribute) for name in timestamped]
+    return TemporalCitationEngine(
+        engine.database, views, policy=engine.policy, attribute=attribute
+    )
+
+
+def _wants_temporal(args: argparse.Namespace) -> bool:
+    return args.backend == "temporal" or getattr(args, "as_of", None) is not None
 
 
 def _make_service(args: argparse.Namespace) -> CitationService:
@@ -96,30 +114,38 @@ def _make_service(args: argparse.Namespace) -> CitationService:
             return _parse_user_query(query, engine)
         return query
 
+    backends = []
+    if _wants_temporal(args):
+        backends.append(
+            TemporalBackend(_temporal_engine(engine, args.timestamp_attribute))
+        )
     return CitationService(
         engine,
-        plan_cache_size=args.plan_cache,
-        result_cache_size=args.result_cache,
-        max_workers=args.workers,
+        plan_cache_size=getattr(args, "plan_cache", 256),
+        result_cache_size=getattr(args, "result_cache", 1024),
+        max_workers=getattr(args, "workers", 4),
         query_parser=parse_user_query,
+        backends=backends,
     )
 
 
-def _response_line(response: ServiceResponse) -> str:
-    """One JSONL response for a served query."""
-    payload: dict[str, object] = {
-        "query": str(response.query).strip(),
-        "ok": response.ok,
-        "cached": response.cached,
-        "elapsed_ms": round(response.elapsed * 1000.0, 3),
-    }
-    if response.ok and response.result is not None:
-        payload["rows"] = len(response.result)
-        payload["citation"] = citation_payload(response.result.citation)
-    else:
-        payload["error"] = str(response.error)
-        payload["error_type"] = type(response.error).__name__
-    return json.dumps(payload, sort_keys=True)
+def _request_for(args: argparse.Namespace, text: str) -> CitationRequest:
+    """Build the request envelope for one user query."""
+    backend = None if args.backend == "auto" else args.backend
+    as_of = getattr(args, "as_of", None)
+    if as_of is not None and backend is None:
+        backend = "temporal"
+    return CitationRequest(
+        query=text.strip(),
+        backend=backend,
+        mode=getattr(args, "mode", None),
+        as_of=as_of,
+    )
+
+
+def _response_line(response: CitationResponse) -> str:
+    """One JSONL response for a served request."""
+    return json.dumps(response.to_payload(), sort_keys=True)
 
 
 def _emit_stats(service: CitationService, enabled: bool) -> None:
@@ -143,10 +169,38 @@ def _read_query_lines(path: str) -> list[str]:
     ]
 
 
+def _cmd_cite(args: argparse.Namespace) -> int:
+    service = _make_service(args)
+    try:
+        response = service.submit(_request_for(args, args.query))
+        result = response.unwrap()
+        citation = response.citation
+        assert citation is not None
+        if args.format == "text":
+            print(citation.to_text(abbreviate_after=args.abbreviate))
+        elif args.format == "bibtex":
+            print(citation.to_bibtex())
+        elif args.format == "ris":
+            print(citation.to_ris())
+        elif args.format == "xml":
+            print(citation.to_xml())
+        else:
+            print(citation.to_json())
+        if args.show_answers:
+            rows = result.rows() if hasattr(result, "rows") else []
+            print(f"\n# {len(rows)} answer tuple(s)", file=sys.stderr)
+            for row in rows:
+                print(f"#   {row}", file=sys.stderr)
+        return 0
+    finally:
+        service.close()
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     service = _make_service(args)
     queries = _read_query_lines(args.queries)
-    responses = service.cite_many(queries, mode=args.mode, timeout=args.timeout)
+    requests = [_request_for(args, query) for query in queries]
+    responses = service.submit_batch(requests, timeout=args.timeout)
     failed = 0
     for response in responses:
         print(_response_line(response))
@@ -168,7 +222,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if line == ".stats":
             print(json.dumps(service.stats(), sort_keys=True), flush=True)
             continue
-        response = service.try_cite(line, mode=args.mode)
+        if line == ".backends":
+            print(json.dumps(service.capabilities(), sort_keys=True), flush=True)
+            continue
+        response = service.submit(_request_for(args, line))
         print(_response_line(response), flush=True)
     _emit_stats(service, args.stats)
     service.close()
@@ -206,11 +263,23 @@ def _cmd_views(args: argparse.Namespace) -> int:
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
-    engine = _load_engine(args)
-    query = _parse_user_query(args.query, engine)
-    explanation = explain_citation(engine, query)
-    print(explanation.to_text())
-    return 0
+    service = _make_service(args)
+    try:
+        request = _request_for(args, args.query)
+        backend = service.registry.route(request)
+        parsed = backend.parse(request)
+        key = backend.fingerprint(parsed, request)
+        print(f"# backend: {backend.name}")
+        print(f"# fingerprint: {key}")
+        if backend.name == "union":
+            for index, disjunct in enumerate(parsed.disjuncts):
+                print(f"\n# disjunct {index}: {disjunct}")
+                print(explain_citation(backend.engine, disjunct).to_text())
+        else:
+            print(explain_citation(backend.engine, parsed).to_text())
+        return 0
+    finally:
+        service.close()
 
 
 def _cmd_demo(_args: argparse.Namespace) -> int:
@@ -230,8 +299,11 @@ def _cmd_demo(_args: argparse.Namespace) -> int:
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
-        prog="repro-cite",
+        prog="repro",  # matches the [project.scripts] console-script name
         description="Fine-grained, view-based data citation (PODS 2017 reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -245,9 +317,24 @@ def build_parser() -> argparse.ArgumentParser:
             "--title", default="Cited database", help="database title used by default views"
         )
 
+    def add_backend_options(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--backend", choices=BACKEND_CHOICES, default="auto",
+            help="citation backend (auto routes by query shape)",
+        )
+        sub.add_argument(
+            "--as-of", dest="as_of", default=None,
+            help="era value for the temporal backend (implies --backend temporal)",
+        )
+        sub.add_argument(
+            "--timestamp-attribute", default=TIMESTAMP_ATTRIBUTE,
+            help="timestamp attribute of temporal relations",
+        )
+
     cite = subparsers.add_parser("cite", help="cite a query result")
     add_common(cite)
-    cite.add_argument("query", help="Datalog-style query or SELECT statement")
+    add_backend_options(cite)
+    cite.add_argument("query", help="Datalog-style query, multi-rule union program, or SELECT statement")
     cite.add_argument("--mode", choices=["formal", "economical"], default="economical")
     cite.add_argument(
         "--format", choices=["text", "bibtex", "ris", "xml", "json"], default="text"
@@ -281,6 +368,7 @@ def build_parser() -> argparse.ArgumentParser:
         "batch", help="serve a file of queries (one per line, '-' for stdin)"
     )
     add_common(batch)
+    add_backend_options(batch)
     add_service_options(batch)
     batch.add_argument("queries", help="file with one query per line, or '-' for stdin")
     batch.add_argument(
@@ -289,9 +377,11 @@ def build_parser() -> argparse.ArgumentParser:
     batch.set_defaults(func=_cmd_batch)
 
     serve = subparsers.add_parser(
-        "serve", help="read queries from stdin, answer as JSONL (.stats/.quit directives)"
+        "serve",
+        help="read queries from stdin, answer as JSONL (.stats/.backends/.quit directives)",
     )
     add_common(serve)
+    add_backend_options(serve)
     add_service_options(serve)
     serve.set_defaults(func=_cmd_serve)
 
@@ -306,7 +396,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     explain = subparsers.add_parser("explain", help="explain how a citation is constructed")
     add_common(explain)
-    explain.add_argument("query", help="Datalog-style query or SELECT statement")
+    add_backend_options(explain)
+    explain.add_argument("query", help="Datalog-style query, multi-rule union program, or SELECT statement")
     explain.set_defaults(func=_cmd_explain)
 
     demo = subparsers.add_parser("demo", help="run the paper's running example")

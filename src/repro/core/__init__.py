@@ -43,7 +43,13 @@ from repro.core.rewriting_selector import RewritingSelector
 from repro.core.size import abbreviate_record, estimate_citation_size
 from repro.core.view_selection import ViewSelectionProblem, select_views_greedy
 from repro.core.incremental import IncrementalCitationMaintainer
-from repro.core.union_engine import UnionCitedResult, cite_union
+from repro.core.union_engine import (
+    UnionCitationPlan,
+    UnionCitedResult,
+    cite_union,
+    compile_union_plan,
+    execute_union_plan,
+)
 from repro.core.temporal import TemporalCitationEngine, timestamp_view
 from repro.core.spec import default_views_for_schema, load_specification
 from repro.core.explain import CitationExplanation, explain_citation
@@ -72,6 +78,9 @@ __all__ = [
     "select_views_greedy",
     "IncrementalCitationMaintainer",
     "cite_union",
+    "compile_union_plan",
+    "execute_union_plan",
+    "UnionCitationPlan",
     "UnionCitedResult",
     "TemporalCitationEngine",
     "timestamp_view",

@@ -359,6 +359,7 @@ class CitationEngine:
         self,
         plan: CitationPlan,
         query: ConjunctiveQuery | str | None = None,
+        policy: CitationPolicy | None = None,
     ) -> CitedResult:
         """Evaluate a compiled plan and assemble the cited result.
 
@@ -366,11 +367,15 @@ class CitationEngine:
         identical (alpha-renamed / atom-reordered) variant: the answer rows
         and citations are the same, only the result schema and the reported
         query text differ.  This is what lets the plan cache serve every
-        member of an isomorphism class from one compilation.
+        member of an isomorphism class from one compilation.  *policy*
+        overrides the engine's citation policy for this execution only —
+        plans are policy-independent, so the same compiled plan serves every
+        policy.
         """
+        policy = policy or self.policy
         query = plan.query if query is None else self._as_query(query)
         if plan.uses_fallback:
-            return self._handle_no_rewriting(query, plan.mode)
+            return self._handle_no_rewriting(query, plan.mode, policy)
 
         evaluator = QueryEvaluator(self.database, extra_relations=self.view_relations())
         per_rewriting: list[tuple[Rewriting, dict[tuple, list[Binding]]]] = []
@@ -391,11 +396,11 @@ class CitationEngine:
                     self.citation_for_tuple_in_rewriting(rewriting, bindings)
                 )
             expression = rewrite_alternative(alternatives)
-            records = self.policy.evaluate(expression)
+            records = policy.evaluate(expression)
             tuple_citations.append(TupleCitation(row, expression, records))
 
         aggregate_expression = Aggregate([tc.expression for tc in tuple_citations])
-        aggregate_records = self.policy.aggregate([tc.records for tc in tuple_citations])
+        aggregate_records = policy.aggregate([tc.records for tc in tuple_citations])
         result_relation = self._result_relation(query, all_rows)
         citation = Citation(
             aggregate_records,
@@ -407,13 +412,19 @@ class CitationEngine:
             rewritings=list(plan.rewritings),
             tuple_citations=tuple_citations,
             citation=citation,
-            policy=self.policy,
+            policy=policy,
             mode=plan.mode,
             result=result_relation,
         )
 
     # -- helpers -------------------------------------------------------------------------
-    def _handle_no_rewriting(self, query: ConjunctiveQuery, mode: Mode) -> CitedResult:
+    def _handle_no_rewriting(
+        self,
+        query: ConjunctiveQuery,
+        mode: Mode,
+        policy: CitationPolicy | None = None,
+    ) -> CitedResult:
+        policy = policy or self.policy
         if self.on_no_rewriting == "error":
             raise NoRewritingError(query.name)
         fallback = self.fallback_citation or CitationRecord(
@@ -435,7 +446,7 @@ class CitationEngine:
             rewritings=[],
             tuple_citations=tuple_citations,
             citation=citation,
-            policy=self.policy,
+            policy=policy,
             mode=mode,
             result=result_relation,
             used_fallback=True,

@@ -171,12 +171,17 @@ class TemporalCitationEngine:
                 eras.add(parameters[self.attribute])
         return eras
 
-    def cite_as_of(self, query: ConjunctiveQuery | str, era: object) -> CitedResult:
-        """Cite only the data stamped with *era* (adds the timestamp constant).
+    def restrict_to_era(
+        self, query: ConjunctiveQuery | str, era: object
+    ) -> ConjunctiveQuery:
+        """*query* with every timestamped atom's timestamp bound to *era*.
 
         The query must mention the timestamped base relations directly; each
         atom over a relation that carries the timestamp attribute gets that
-        position bound to *era*.
+        position bound to *era*.  The restricted query is an ordinary
+        conjunctive query, so it flows through the plan/result caches of the
+        serving layer like any other (the era constant participates in the
+        structural fingerprint).
         """
         from repro.query.ast import Constant
         from repro.query.parser import parse_query
@@ -194,5 +199,13 @@ class TemporalCitationEngine:
                     new_body.append(Atom(atom.predicate, tuple(terms)))
                     continue
             new_body.append(atom)
-        restricted = ConjunctiveQuery(query.head, tuple(new_body), query.equalities)
-        return self.engine.cite(restricted)
+        return ConjunctiveQuery(query.head, tuple(new_body), query.equalities)
+
+    def cite_as_of(self, query: ConjunctiveQuery | str, era: object) -> CitedResult:
+        """Cite only the data stamped with *era* (adds the timestamp constant).
+
+        One-shot convenience over :meth:`restrict_to_era` — prefer
+        :meth:`repro.service.CitationService.submit` with the ``"temporal"``
+        backend for serving workloads, which caches the compiled plans.
+        """
+        return self.engine.cite(self.restrict_to_era(query, era))

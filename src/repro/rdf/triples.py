@@ -37,8 +37,20 @@ class TripleStore:
         self._by_subject: dict[str, set[Triple]] = defaultdict(set)
         self._by_predicate: dict[str, set[Triple]] = defaultdict(set)
         self._by_object: dict[object, set[Triple]] = defaultdict(set)
+        self._generation = 0
         for triple in triples:
             self.add(triple)
+
+    @property
+    def generation(self) -> int:
+        """Counter bumped by every applied add/remove.
+
+        Caches keyed on the store (e.g. the serving layer's result cache for
+        the RDF backend) stamp entries with this value, so any mutation makes
+        stale entries unservable — the RDF analogue of
+        :attr:`~repro.relational.database.Database.generation`.
+        """
+        return self._generation
 
     # -- mutation ----------------------------------------------------------------
     def add(self, triple: Triple | tuple) -> bool:
@@ -52,6 +64,7 @@ class TripleStore:
         self._by_subject[triple.subject].add(triple)
         self._by_predicate[triple.predicate].add(triple)
         self._by_object[triple.object].add(triple)
+        self._generation += 1
         return True
 
     def add_many(self, triples: Iterable[Triple | tuple]) -> int:
@@ -69,6 +82,7 @@ class TripleStore:
         self._by_subject[triple.subject].discard(triple)
         self._by_predicate[triple.predicate].discard(triple)
         self._by_object[triple.object].discard(triple)
+        self._generation += 1
         return True
 
     # -- lookup --------------------------------------------------------------------

@@ -108,11 +108,21 @@ class ServiceMetrics:
         self._counters: dict[str, int] = {name: 0 for name in self.STANDARD_COUNTERS}
         self._histograms: dict[str, LatencyHistogram] = {}
 
+    #: Prefix of per-backend counters (``backend.<name>.<event>``); they are
+    #: grouped under the ``"backends"`` key of :meth:`stats` instead of being
+    #: mixed into the flat counter dict.
+    BACKEND_PREFIX = "backend."
+
     # -- recording -----------------------------------------------------------
     def increment(self, name: str, amount: int = 1) -> None:
         """Add *amount* to counter *name* (creating it on first use)."""
         with self._lock:
             self._counters[name] = self._counters.get(name, 0) + amount
+
+    def increment_backend(self, backend: str, event: str, amount: int = 1) -> None:
+        """Count *event* (requests, plan_hits, result_hits, executions,
+        compilations, deduplicated, errors, ...) against one backend."""
+        self.increment(f"{self.BACKEND_PREFIX}{backend}.{event}", amount)
 
     def observe(self, name: str, seconds: float) -> None:
         """Record a latency observation into histogram *name*."""
@@ -137,15 +147,33 @@ class ServiceMetrics:
             )
         return hits / requests if requests else 0.0
 
-    def stats(self) -> dict:
-        """A snapshot of all counters and histogram summaries."""
+    def backend_stats(self) -> dict[str, dict[str, int]]:
+        """Per-backend event counts: ``{backend: {event: count}}``."""
         with self._lock:
-            counters = dict(self._counters)
+            items = list(self._counters.items())
+        backends: dict[str, dict[str, int]] = {}
+        for name, value in items:
+            if not name.startswith(self.BACKEND_PREFIX):
+                continue
+            backend, _, event = name[len(self.BACKEND_PREFIX):].partition(".")
+            backends.setdefault(backend, {})[event] = value
+        return backends
+
+    def stats(self) -> dict:
+        """A snapshot of all counters, per-backend counts and histograms."""
+        with self._lock:
+            all_counters = dict(self._counters)
             latencies = {
                 name: histogram.snapshot()
                 for name, histogram in sorted(self._histograms.items())
             }
+        counters = {
+            name: value
+            for name, value in all_counters.items()
+            if not name.startswith(self.BACKEND_PREFIX)
+        }
         snapshot: dict = {"counters": counters, "latency_ms": latencies}
+        snapshot["backends"] = self.backend_stats()
         requests = counters.get("requests", 0)
         hits = counters.get("result_cache_hits", 0) + counters.get("plan_cache_hits", 0)
         snapshot["cache_hit_rate"] = round(hits / requests, 4) if requests else 0.0

@@ -1,31 +1,39 @@
-"""The :class:`CitationService`: a high-throughput front end for citation.
+"""The :class:`CitationService`: one request/response front end for citation.
 
 The paper's premise is that a live curated database must answer "cite this
-query result" for every reader — the same citation views are hit over and
-over by structurally identical queries.  The raw
-:class:`~repro.core.engine.CitationEngine` re-runs the full view-rewriting
-search per call; this facade adds the serving-layer machinery around it:
+query result" for every reader — and the paper deliberately spans query
+models: conjunctive queries, unions, timestamped "citation evolution",
+RDF/ontology citation and versioned data.  The service fronts all of them
+through one path: every request is a
+:class:`~repro.api.envelope.CitationRequest` routed to a registered
+:class:`~repro.api.backend.CitationBackend`, and every backend gets the same
+serving-layer machinery:
 
-* **plan caching** — queries are fingerprinted up to variable renaming and
-  atom order (:mod:`repro.service.fingerprint`); a hit skips the
-  Bucket/MiniCon search and economical selection entirely;
-* **result caching** — an exact structural repeat against an unchanged
-  database is answered from memory without any evaluation;
-* **generation-based invalidation** — both caches stamp entries with the
-  engine's ``(database generation, cache epoch)`` token, so any insert,
-  delete or forced invalidation makes stale entries unservable;
-* **batching** — :meth:`CitationService.cite_batch` deduplicates identical
-  queries inside one batch and answers every member of an isomorphism class
-  from a single execution;
-* **concurrency** — :meth:`CitationService.cite_many` fans requests out over
-  a thread pool with per-request timeout and error isolation: one failing or
-  slow query never poisons its batch;
-* **observability** — every phase is metered
+* **plan caching** — requests are fingerprinted structurally (invariant
+  under variable renaming, atom and disjunct reordering); a hit skips the
+  backend's compile phase (the Bucket/MiniCon search for the CQ-family
+  backends) entirely;
+* **result caching** — an exact structural repeat against unchanged data is
+  answered from memory without any evaluation;
+* **token-based invalidation** — cache entries are stamped with the
+  backend's validity token (database generation / triple-store generation /
+  pinned version id), so any mutation makes stale entries unservable;
+* **batching** — :meth:`CitationService.submit_batch` deduplicates
+  structurally identical requests inside one batch and answers every member
+  of an isomorphism class from a single execution;
+* **concurrency** — batches fan out over a thread pool with a batch deadline
+  and error isolation: one failing or slow request never poisons its batch;
+* **observability** — every phase is metered globally and per backend
   (:mod:`repro.service.metrics`); :meth:`CitationService.stats` returns a
   JSON-friendly snapshot.
 
-Mutations may arrive between requests (the caches notice via the generation
-token) but must not race a request mid-flight — the usual reader/writer
+The pre-redesign conjunctive-query methods (:meth:`cite`, :meth:`try_cite`,
+:meth:`cite_batch`, :meth:`cite_many`, :meth:`plan_for`, :meth:`warm`) remain
+as thin wrappers that build a relational-backend request and go through the
+same ``submit`` path.
+
+Mutations may arrive between requests (the caches notice via the validity
+tokens) but must not race a request mid-flight — the usual reader/writer
 discipline of an in-memory store applies.
 """
 
@@ -35,14 +43,15 @@ import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence
+from typing import Any, Callable, Hashable, Iterable, Sequence
 
-from repro.core.citation import Citation
+from repro.api.backend import BackendRegistry, CitationBackend
+from repro.api.backends.relational import RelationalBackend
+from repro.api.backends.union import UnionBackend
+from repro.api.envelope import CitationRequest, CitationResponse
 from repro.core.engine import CitationEngine, CitationPlan, CitedResult, Mode
+from repro.errors import CitationError
 from repro.query.ast import ConjunctiveQuery
-from repro.query.evaluator import result_schema
-from repro.relational.relation import Relation
-from repro.service.fingerprint import fingerprint
 from repro.service.metrics import ServiceMetrics
 from repro.service.plan_cache import GenerationalLRU, PlanCache
 
@@ -51,7 +60,7 @@ __all__ = ["CitationService", "ServiceResponse"]
 
 @dataclass
 class ServiceResponse:
-    """Outcome of one request served by :meth:`CitationService.cite_many`.
+    """Outcome of one request served by the legacy conjunctive-query methods.
 
     Exactly one of :attr:`result` / :attr:`error` is set.  ``cached`` is true
     when no evaluation ran for this request (result-cache hit or within-batch
@@ -78,25 +87,27 @@ class ServiceResponse:
 
 
 class CitationService:
-    """Caching, batching, concurrent serving over a :class:`CitationEngine`."""
+    """Caching, batching, concurrent serving over pluggable citation backends."""
 
     def __init__(
         self,
-        engine: CitationEngine,
+        engine: CitationEngine | None = None,
         plan_cache_size: int = 256,
         result_cache_size: int = 1024,
         max_workers: int = 4,
         metrics: ServiceMetrics | None = None,
         cache_results: bool = True,
         query_parser: Callable[[ConjunctiveQuery | str], ConjunctiveQuery] | None = None,
+        backends: Sequence[CitationBackend] | None = None,
     ) -> None:
+        if engine is None and not backends:
+            raise CitationError(
+                "a citation service needs an engine and/or explicit backends"
+            )
         self.engine = engine
-        # Pluggable request parsing (the CLI injects a Datalog+SQL parser);
-        # parse errors surface per request with the parser's own message.
-        self._parse = query_parser or engine._as_query
         self.metrics = metrics or ServiceMetrics()
         self.plan_cache = PlanCache(maxsize=plan_cache_size)
-        self.result_cache: GenerationalLRU[CitedResult] = GenerationalLRU(
+        self.result_cache: GenerationalLRU[Any] = GenerationalLRU(
             maxsize=result_cache_size
         )
         self.cache_results = cache_results
@@ -104,37 +115,139 @@ class CitationService:
         self._compile_lock = threading.Lock()
         self._executor: ThreadPoolExecutor | None = None
         self._executor_lock = threading.Lock()
+        self.registry = BackendRegistry()
+        if engine is not None:
+            # Pluggable request parsing (the CLI injects a Datalog+SQL
+            # parser); parse errors surface per request with the parser's own
+            # message.
+            self.registry.register(RelationalBackend(engine, parser=query_parser))
+            self.registry.register(UnionBackend(engine))
+        for backend in backends or ():
+            self.registry.register(backend)
         self._count_mutation = lambda _kind, _relation, _row: self.metrics.increment(
             "mutations_observed"
         )
-        engine.database.add_mutation_listener(self._count_mutation)
+        if engine is not None:
+            engine.database.add_mutation_listener(self._count_mutation)
 
-    # -- single requests ------------------------------------------------------
+    # -- backend management ----------------------------------------------------
+    def register_backend(
+        self, backend: CitationBackend, replace: bool = False
+    ) -> CitationBackend:
+        """Make *backend* routable by name (and by auto-routing)."""
+        return self.registry.register(backend, replace=replace)
+
+    def backend(self, name: str) -> CitationBackend:
+        """The backend registered under *name*."""
+        return self.registry.get(name)
+
+    def capabilities(self) -> dict[str, dict]:
+        """Capability summaries of every registered backend."""
+        return self.registry.capabilities()
+
+    # -- the unified request path ----------------------------------------------
+    def submit(self, request: CitationRequest) -> CitationResponse:
+        """Serve one citation request through routing and the caches.
+
+        Never raises: errors (routing, parsing, compilation, execution) ride
+        in the response.  Call :meth:`CitationResponse.unwrap` to re-raise.
+        """
+        started = time.perf_counter()
+        self.metrics.increment("requests")
+        request = request.with_id()
+        try:
+            backend = self.registry.route(request)
+        except Exception as error:
+            self.metrics.increment("errors")
+            return CitationResponse(
+                request=request, error=error, elapsed=time.perf_counter() - started
+            )
+        self.metrics.increment_backend(backend.name, "requests")
+        try:
+            parsed = backend.parse(request)
+            key = backend.fingerprint(parsed, request)
+        except Exception as error:  # error isolation: report, never crash a batch
+            self.metrics.increment("errors")
+            self.metrics.increment_backend(backend.name, "errors")
+            return CitationResponse(
+                request=request,
+                backend=backend.name,
+                error=error,
+                elapsed=time.perf_counter() - started,
+            )
+        return self._serve_routed(backend, request, parsed, key, started)
+
+    def submit_batch(
+        self,
+        requests: Sequence[CitationRequest],
+        timeout: float | None = None,
+        max_workers: int | None = None,
+    ) -> list[CitationResponse]:
+        """Serve a batch concurrently with deduplication and error isolation.
+
+        Requests that are structurally identical (same backend, fingerprint
+        and cache variant) are executed once; the other members receive the
+        same citations rebound to their own query.  *timeout* is a **response
+        deadline for the batch**, measured from the call: any request not
+        answered within *timeout* seconds yields a response carrying a
+        :class:`TimeoutError`; its worker finishes in the background and may
+        still populate the caches.  The response list is positionally aligned
+        with *requests*.
+        """
+        self.metrics.increment("batch_requests")
+        if max_workers is not None and max_workers != self.max_workers:
+            with ThreadPoolExecutor(max_workers=max_workers) as executor:
+                return self._submit_deduplicated(requests, executor, timeout)
+        return self._submit_deduplicated(requests, self._pool(), timeout)
+
+    # -- legacy conjunctive-query entry points ---------------------------------
+    def _cq_request(
+        self, query: ConjunctiveQuery | str, mode: Mode | None
+    ) -> CitationRequest:
+        return CitationRequest(query=query, backend="relational", mode=mode)
+
+    @staticmethod
+    def _to_service_response(
+        response: CitationResponse, query: ConjunctiveQuery | str
+    ) -> ServiceResponse:
+        return ServiceResponse(
+            query=query,
+            result=response.result,
+            error=response.error,
+            elapsed=response.elapsed,
+            cached=response.cached,
+            fingerprint=response.fingerprint,
+        )
+
     def cite(
         self, query: ConjunctiveQuery | str, mode: Mode | None = None
     ) -> CitedResult:
-        """Serve one citation request through the caches.
+        """Serve one conjunctive-query citation request through the caches.
 
         Same contract as :meth:`CitationEngine.cite`, including raised
         errors; the first call for a query shape pays the full compile cost,
         repeats skip the rewriting search (plan hit) or everything
         (result hit).
         """
-        return self._serve(query, mode).unwrap()
+        return self.submit(self._cq_request(query, mode)).unwrap()
 
     def try_cite(
         self, query: ConjunctiveQuery | str, mode: Mode | None = None
     ) -> ServiceResponse:
         """Like :meth:`cite` but never raises: errors ride in the response."""
-        return self._serve(query, mode)
+        return self._to_service_response(
+            self.submit(self._cq_request(query, mode)), query
+        )
 
     def plan_for(
         self, query: ConjunctiveQuery | str, mode: Mode | None = None
     ) -> tuple[CitationPlan, bool]:
         """The cached-or-compiled plan for *query* and whether it was a hit."""
-        parsed = self._parse(query)
-        mode = mode or self.engine.mode
-        return self._plan(parsed, fingerprint(parsed), mode)
+        request = self._cq_request(query, mode)
+        backend = self.registry.get("relational")
+        parsed = backend.parse(request)
+        key = backend.fingerprint(parsed, request)
+        return self._plan(backend, request, parsed, key)
 
     def warm(
         self, queries: Iterable[ConjunctiveQuery | str], mode: Mode | None = None
@@ -146,7 +259,6 @@ class CitationService:
             compiled += 0 if hit else 1
         return compiled
 
-    # -- batched / concurrent requests ----------------------------------------
     def cite_batch(
         self, queries: Sequence[ConjunctiveQuery | str], mode: Mode | None = None
     ) -> list[CitedResult]:
@@ -158,7 +270,8 @@ class CitationService:
         :meth:`cite_many` for error isolation.
         """
         self.metrics.increment("batch_requests")
-        responses = self._serve_deduplicated(queries, mode, executor=None, timeout=None)
+        requests = [self._cq_request(query, mode) for query in queries]
+        responses = self._submit_deduplicated(requests, executor=None, timeout=None)
         return [response.unwrap() for response in responses]
 
     def cite_many(
@@ -170,20 +283,23 @@ class CitationService:
     ) -> list[ServiceResponse]:
         """Serve a batch concurrently with per-request isolation.
 
-        Distinct query shapes run in parallel on a thread pool; duplicates
-        within the batch share one execution.  A request that raises yields a
-        response carrying the error.  *timeout* is a **response deadline for
-        the batch**, measured from the call: any request (including queueing
-        time behind a full pool) not answered within *timeout* seconds yields
-        a response with a :class:`TimeoutError`; its worker finishes in the
-        background and may still populate the caches.  The response list is
-        positionally aligned with *queries*.
+        The conjunctive-query face of :meth:`submit_batch`: distinct query
+        shapes run in parallel on a thread pool, duplicates within the batch
+        share one execution, and a request that raises yields a response
+        carrying the error.  The response list is positionally aligned with
+        *queries*.
         """
         self.metrics.increment("batch_requests")
+        requests = [self._cq_request(query, mode) for query in queries]
         if max_workers is not None and max_workers != self.max_workers:
             with ThreadPoolExecutor(max_workers=max_workers) as executor:
-                return self._serve_deduplicated(queries, mode, executor, timeout)
-        return self._serve_deduplicated(queries, mode, self._pool(), timeout)
+                responses = self._submit_deduplicated(requests, executor, timeout)
+        else:
+            responses = self._submit_deduplicated(requests, self._pool(), timeout)
+        return [
+            self._to_service_response(response, query)
+            for response, query in zip(responses, queries)
+        ]
 
     # -- cache control ---------------------------------------------------------
     def invalidate(self) -> None:
@@ -197,13 +313,15 @@ class CitationService:
         snapshot = self.metrics.stats()
         snapshot["plan_cache"] = self.plan_cache.stats()
         snapshot["result_cache"] = self.result_cache.stats()
-        generation, epoch = self.engine.plan_token()
-        snapshot["engine"] = {
-            "generation": generation,
-            "cache_epoch": epoch,
-            "mode": self.engine.mode,
-            "citation_views": len(self.engine.citation_views),
-        }
+        snapshot["registered_backends"] = self.registry.names()
+        if self.engine is not None:
+            generation, epoch = self.engine.plan_token()
+            snapshot["engine"] = {
+                "generation": generation,
+                "cache_epoch": epoch,
+                "mode": self.engine.mode,
+                "citation_views": len(self.engine.citation_views),
+            }
         return snapshot
 
     def close(self) -> None:
@@ -212,7 +330,8 @@ class CitationService:
             if self._executor is not None:
                 self._executor.shutdown(wait=True)
                 self._executor = None
-        self.engine.database.remove_mutation_listener(self._count_mutation)
+        if self.engine is not None:
+            self.engine.database.remove_mutation_listener(self._count_mutation)
 
     def __enter__(self) -> "CitationService":
         return self
@@ -230,230 +349,236 @@ class CitationService:
                 )
             return self._executor
 
-    def _serve(
-        self, query: ConjunctiveQuery | str, mode: Mode | None
-    ) -> ServiceResponse:
-        started = time.perf_counter()
-        self.metrics.increment("requests")
-        try:
-            parsed = self._parse(query)
-            key = fingerprint(parsed)
-        except Exception as error:  # error isolation: report, never crash the batch
-            self.metrics.increment("errors")
-            return ServiceResponse(
-                query=query, error=error, elapsed=time.perf_counter() - started
-            )
-        return self._serve_parsed(parsed, query, key, mode or self.engine.mode, started)
+    def _cache_key(
+        self, backend: CitationBackend, key: str, request: CitationRequest
+    ) -> Hashable:
+        return (backend.name, key, backend.cache_variant(request))
 
-    def _serve_parsed(
+    def _serve_routed(
         self,
-        parsed: ConjunctiveQuery,
-        original: ConjunctiveQuery | str,
+        backend: CitationBackend,
+        request: CitationRequest,
+        parsed: Any,
         key: str,
-        mode: Mode,
         started: float | None = None,
-    ) -> ServiceResponse:
-        """Serve an already parsed and fingerprinted request."""
+    ) -> CitationResponse:
+        """Serve an already routed, parsed and fingerprinted request."""
         if started is None:
             started = time.perf_counter()
             self.metrics.increment("requests")
+            self.metrics.increment_backend(backend.name, "requests")
         try:
-            result, cached = self._cite_through_caches(parsed, key, mode)
+            result, cached = self._through_caches(backend, request, parsed, key)
         except Exception as error:
             self.metrics.increment("errors")
-            return ServiceResponse(
-                query=original,
+            self.metrics.increment_backend(backend.name, "errors")
+            return CitationResponse(
+                request=request,
+                backend=backend.name,
                 error=error,
                 elapsed=time.perf_counter() - started,
                 fingerprint=key,
             )
         elapsed = time.perf_counter() - started
         self.metrics.observe("request", elapsed)
-        return ServiceResponse(
-            query=original,
+        return CitationResponse(
+            request=request,
+            backend=backend.name,
             result=result,
+            citation=backend.citation_of(result),
             elapsed=elapsed,
             cached=cached,
             fingerprint=key,
+            row_count=backend.row_count(result),
         )
 
-    def _cite_through_caches(
-        self, query: ConjunctiveQuery, key: str, mode: Mode
-    ) -> tuple[CitedResult, bool]:
-        token = self.engine.plan_token()
-        cache_key = (key, mode)
-        if self.cache_results:
+    def _through_caches(
+        self,
+        backend: CitationBackend,
+        request: CitationRequest,
+        parsed: Any,
+        key: str,
+    ) -> tuple[Any, bool]:
+        capabilities = backend.capabilities()
+        if request.policy is not None and not capabilities.supports_policy_override:
+            raise CitationError(
+                f"backend {backend.name!r} does not support per-request policy "
+                "overrides"
+            )
+        cache_key = self._cache_key(backend, key, request)
+        token = backend.result_token(request)
+        # A policy override bypasses the result cache (cached results embed
+        # the policy they were evaluated under); plans are policy-free.
+        use_result_cache = (
+            self.cache_results
+            and capabilities.supports_result_cache
+            and request.policy is None
+        )
+        if use_result_cache:
             hit = self.result_cache.get(cache_key, token)
             if hit is not None:
                 self.metrics.increment("result_cache_hits")
-                return self._rebind(hit, query), True
-        plan, _hit = self._plan(query, key, mode)
+                self.metrics.increment_backend(backend.name, "result_hits")
+                return backend.rebind(hit, parsed, request), True
+        if capabilities.supports_plan_cache:
+            plan, _hit = self._plan(backend, request, parsed, key)
+        else:
+            plan = backend.compile(parsed, request)
         execute_started = time.perf_counter()
-        result = self.engine.execute_plan(plan, query=query)
+        result = backend.execute(plan, parsed, request)
         self.metrics.observe("execute", time.perf_counter() - execute_started)
         self.metrics.increment("executions")
-        if self.cache_results:
+        self.metrics.increment_backend(backend.name, "executions")
+        if use_result_cache:
             # Results always reflect the data: stamp with the token read at
-            # request start, not the (possibly epoch-only) plan stamp.
+            # request start, not the (possibly data-independent) plan stamp.
             self.result_cache.put(cache_key, result, token)
         return result, False
 
-    def _plan_stamp(self, mode: Mode) -> tuple:
-        """The validity stamp for plans of *mode*.
-
-        Formal-mode (and fallback) plans hold only the rewriting search's
-        output, which reads the query and view definitions — not the data —
-        so they survive ordinary inserts/deletes and are only retired by a
-        forced invalidation (epoch bump).  Economical plans embed a
-        cost-based selection made against the data, so they are additionally
-        stamped with the database generation.
-        """
-        generation, epoch = self.engine.plan_token()
-        return (generation, epoch) if mode == "economical" else ("any", epoch)
-
     def _plan(
-        self, query: ConjunctiveQuery, key: str, mode: Mode
-    ) -> tuple[CitationPlan, bool]:
-        stamp = self._plan_stamp(mode)
-        cache_key = (key, mode)
+        self,
+        backend: CitationBackend,
+        request: CitationRequest,
+        parsed: Any,
+        key: str,
+    ) -> tuple[Any, bool]:
+        stamp = backend.plan_token(request)
+        cache_key = self._cache_key(backend, key, request)
         plan = self.plan_cache.get(cache_key, stamp)
         if plan is not None:
             self.metrics.increment("plan_cache_hits")
+            self.metrics.increment_backend(backend.name, "plan_hits")
             return plan, True
         # Single-flight compilation: concurrent identical misses compile once.
         with self._compile_lock:
             plan = self.plan_cache.get(cache_key, stamp)
             if plan is not None:
                 self.metrics.increment("plan_cache_hits")
+                self.metrics.increment_backend(backend.name, "plan_hits")
                 return plan, True
             compile_started = time.perf_counter()
-            plan = self.engine.compile_plan(query, mode)
+            plan = backend.compile(parsed, request)
             self.metrics.observe("compile", time.perf_counter() - compile_started)
             self.metrics.increment("plan_compilations")
-            generation, epoch = plan.token
-            self.plan_cache.put(
-                cache_key,
-                plan,
-                (generation, epoch) if plan.data_dependent else ("any", epoch),
-            )
+            self.metrics.increment_backend(backend.name, "compilations")
+            self.plan_cache.put(cache_key, plan, stamp)
         return plan, False
 
-    def _serve_deduplicated(
+    def _submit_deduplicated(
         self,
-        queries: Sequence[ConjunctiveQuery | str],
-        mode: Mode | None,
+        requests: Sequence[CitationRequest],
         executor: ThreadPoolExecutor | None,
         timeout: float | None,
-    ) -> list[ServiceResponse]:
-        mode = mode or self.engine.mode
+    ) -> list[CitationResponse]:
         batch_started = time.monotonic()
-        responses: list[ServiceResponse | None] = [None] * len(queries)
-        parsed: list[ConjunctiveQuery | None] = [None] * len(queries)
-        groups: dict[str, list[int]] = {}
-        for index, query in enumerate(queries):
+        responses: list[CitationResponse | None] = [None] * len(requests)
+        prepared: list[tuple[CitationBackend, Any] | None] = [None] * len(requests)
+        stamped = [request.with_id() for request in requests]
+        groups: dict[Hashable, list[int]] = {}
+        group_keys: dict[Hashable, str] = {}
+        for index, request in enumerate(stamped):
+            self.metrics.increment("requests")
             try:
-                parsed_query = self._parse(query)
-                key = fingerprint(parsed_query)
-            except Exception as error:  # malformed request: isolate immediately
-                self.metrics.increment("requests")
+                backend = self.registry.route(request)
+            except Exception as error:  # unroutable request: isolate immediately
                 self.metrics.increment("errors")
-                responses[index] = ServiceResponse(query=query, error=error)
+                responses[index] = CitationResponse(request=request, error=error)
                 continue
-            parsed[index] = parsed_query
-            groups.setdefault(key, []).append(index)
+            self.metrics.increment_backend(backend.name, "requests")
+            try:
+                parsed = backend.parse(request)
+                key = backend.fingerprint(parsed, request)
+            except Exception as error:  # malformed request: isolate immediately
+                self.metrics.increment("errors")
+                self.metrics.increment_backend(backend.name, "errors")
+                responses[index] = CitationResponse(
+                    request=request, backend=backend.name, error=error
+                )
+                continue
+            prepared[index] = (backend, parsed)
+            cache_key = self._cache_key(backend, key, request)
+            if request.policy is not None:
+                # A policy override produces citations other requests must
+                # not share: never deduplicate it onto (or under) another
+                # request's execution.
+                cache_key = (cache_key, "policy", index)
+            groups.setdefault(cache_key, []).append(index)
+            group_keys[cache_key] = key
 
         # Concurrent (or inline) execution of one representative per group,
-        # reusing the parse and fingerprint work done while grouping.
-        representatives = {key: members[0] for key, members in groups.items()}
+        # reusing the routing, parse and fingerprint work done while grouping.
+        representatives = {
+            cache_key: members[0] for cache_key, members in groups.items()
+        }
 
-        def serve_representative(key: str, index: int) -> ServiceResponse:
-            representative = parsed[index]
-            assert representative is not None
-            return self._serve_parsed(representative, queries[index], key, mode)
+        def serve_representative(cache_key: Hashable, index: int) -> CitationResponse:
+            backend, parsed = prepared[index]  # type: ignore[misc]
+            # The representative's "requests" counter was already bumped in
+            # the grouping loop; _serve_routed must not double-count it.
+            started = time.perf_counter()
+            return self._serve_routed(
+                backend, stamped[index], parsed, group_keys[cache_key], started
+            )
 
         if executor is None:
             outcomes = {
-                key: serve_representative(key, index)
-                for key, index in representatives.items()
+                cache_key: serve_representative(cache_key, index)
+                for cache_key, index in representatives.items()
             }
         else:
             deadline = None if timeout is None else batch_started + timeout
-            futures: dict[str, Future] = {
-                key: executor.submit(serve_representative, key, index)
-                for key, index in representatives.items()
+            futures: dict[Hashable, Future] = {
+                cache_key: executor.submit(serve_representative, cache_key, index)
+                for cache_key, index in representatives.items()
             }
             outcomes = {}
-            for key, future in futures.items():
+            for cache_key, future in futures.items():
                 remaining = (
                     None if deadline is None else max(0.0, deadline - time.monotonic())
                 )
                 try:
-                    outcomes[key] = future.result(timeout=remaining)
+                    outcomes[cache_key] = future.result(timeout=remaining)
                 except TimeoutError:
                     self.metrics.increment("timeouts")
-                    outcomes[key] = ServiceResponse(
-                        query=queries[representatives[key]],
+                    index = representatives[cache_key]
+                    outcomes[cache_key] = CitationResponse(
+                        request=stamped[index],
                         error=TimeoutError(
                             f"citation request missed the batch deadline of "
                             f"{timeout:.3f}s"
                         ),
                         elapsed=time.monotonic() - batch_started,
-                        fingerprint=key,
+                        fingerprint=group_keys[cache_key],
                     )
 
-        for key, members in groups.items():
-            outcome = outcomes[key]
+        for cache_key, members in groups.items():
+            outcome = outcomes[cache_key]
             for position, index in enumerate(members):
                 if position == 0:
                     responses[index] = outcome
                     continue
                 # Deduplicated member: same citations, rebound to its query.
-                self.metrics.increment("requests")
                 self.metrics.increment("deduplicated")
+                backend, parsed = prepared[index]  # type: ignore[misc]
+                self.metrics.increment_backend(backend.name, "deduplicated")
                 if outcome.ok and outcome.result is not None:
-                    member_query = parsed[index]
-                    assert member_query is not None
-                    responses[index] = ServiceResponse(
-                        query=queries[index],
-                        result=self._rebind(outcome.result, member_query),
+                    result = backend.rebind(outcome.result, parsed, stamped[index])
+                    responses[index] = CitationResponse(
+                        request=stamped[index],
+                        backend=outcome.backend,
+                        result=result,
+                        citation=backend.citation_of(result),
                         elapsed=outcome.elapsed,
                         cached=True,
                         fingerprint=outcome.fingerprint,
+                        row_count=backend.row_count(result),
                     )
                 else:
-                    responses[index] = ServiceResponse(
-                        query=queries[index],
+                    responses[index] = CitationResponse(
+                        request=stamped[index],
+                        backend=outcome.backend,
                         error=outcome.error,
                         elapsed=outcome.elapsed,
                         fingerprint=outcome.fingerprint,
                     )
         return [response for response in responses if response is not None]
-
-    @staticmethod
-    def _rebind(result: CitedResult, query: ConjunctiveQuery) -> CitedResult:
-        """Re-attach a cached result to an isomorphic variant of its query.
-
-        Answer rows and citations are identical across an isomorphism class;
-        only the result schema (head variable names) and the reported query
-        text differ.
-        """
-        if query == result.query:
-            return result
-        relation = Relation(result_schema(query), result.result.rows)
-        citation = Citation(
-            result.citation.records,
-            expression=result.citation.expression,
-            query_text=str(query),
-            version=result.citation.version,
-            timestamp=result.citation.timestamp,
-        )
-        return CitedResult(
-            query=query,
-            rewritings=result.rewritings,
-            tuple_citations=result.tuple_citations,
-            citation=citation,
-            policy=result.policy,
-            mode=result.mode,
-            result=relation,
-            used_fallback=result.used_fallback,
-        )

@@ -11,6 +11,7 @@ matches the citation even though the live database has moved on.
 from __future__ import annotations
 
 import json
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -81,28 +82,45 @@ class CitationResolver:
         versioned: VersionedDatabase,
         citation_views: Sequence[CitationView],
         policy: CitationPolicy | None = None,
+        max_cached_engines: int = 8,
     ) -> None:
         self.versioned = versioned
         self.citation_views = list(citation_views)
         self.policy = policy or CitationPolicy.default()
+        # Committed versions are immutable, so the materialised database and
+        # the engine built over it stay valid forever — memoize them to make
+        # repeated time-travel requests against one version cheap.  Each
+        # entry holds a full materialised copy of the data, so the cache is
+        # LRU-bounded (unlike the cheap plan/result caches of the service).
+        self.max_cached_engines = max(1, max_cached_engines)
+        self._engines: OrderedDict[int, CitationEngine] = OrderedDict()
 
-    def _engine_for(self, version_id: int) -> CitationEngine:
-        database = self.versioned.materialize(version_id)
-        return CitationEngine(
-            database, self.citation_views, policy=self.policy, on_no_rewriting="fallback"
-        )
+    def engine_for(self, version_id: int) -> CitationEngine:
+        """The (memoized) citation engine pinned to one committed version."""
+        engine = self._engines.get(version_id)
+        if engine is None:
+            database = self.versioned.materialize(version_id)
+            engine = CitationEngine(
+                database,
+                self.citation_views,
+                policy=self.policy,
+                on_no_rewriting="fallback",
+            )
+            self._engines[version_id] = engine
+            while len(self._engines) > self.max_cached_engines:
+                self._engines.popitem(last=False)
+        else:
+            self._engines.move_to_end(version_id)
+        return engine
 
-    # -- creating persistent citations -------------------------------------------------
-    def cite_current(self, query_text: str) -> PersistentCitation:
-        """Cite *query_text* against the latest committed version."""
-        version = self.versioned.current_version
-        return self.cite_at(query_text, version.version_id)
+    # Backwards-compatible alias (pre-API-redesign name).
+    _engine_for = engine_for
 
-    def cite_at(self, query_text: str, version_id: int) -> PersistentCitation:
-        """Cite *query_text* against a specific committed version."""
+    def persistent_from_result(
+        self, query_text: str, version_id: int, result: CitedResult
+    ) -> PersistentCitation:
+        """Package an already-computed cited result as a persistent citation."""
         version = self.versioned.version(version_id)
-        engine = self._engine_for(version_id)
-        result = engine.cite(parse_query(query_text))
         payload = {
             "records": [record.as_dict() for record in result.citation.sorted_records()]
         }
@@ -113,6 +131,23 @@ class CitationResolver:
             content_hash=version.content_hash,
             citation_json=json.dumps(payload, default=_jsonable, sort_keys=True),
         )
+
+    # -- creating persistent citations -------------------------------------------------
+    def cite_current(self, query_text: str) -> PersistentCitation:
+        """Cite *query_text* against the latest committed version."""
+        version = self.versioned.current_version
+        return self.cite_at(query_text, version.version_id)
+
+    def cite_at(self, query_text: str, version_id: int) -> PersistentCitation:
+        """Cite *query_text* against a specific committed version.
+
+        One-shot convenience — prefer
+        :meth:`repro.service.CitationService.submit` with the ``"versioned"``
+        backend for serving workloads, which caches plans and results per
+        pinned version.
+        """
+        result = self.engine_for(version_id).cite(parse_query(query_text))
+        return self.persistent_from_result(query_text, version_id, result)
 
     # -- resolving ----------------------------------------------------------------------
     def resolve(self, persistent: PersistentCitation, verify: bool = True) -> CitedResult:

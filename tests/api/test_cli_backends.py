@@ -1,0 +1,145 @@
+"""Tests for the CLI on the unified API: --backend, --as-of, --version."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro
+from repro.cli import main
+from repro.core.temporal import add_timestamps
+from repro.relational.csvio import dump_database_json
+from repro.workloads import gtopdb
+
+CQ = "Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)"
+UCQ_LINE = "Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text); Q(FName) :- Family(FID, FName, Desc)"
+
+
+@pytest.fixture
+def database_file(tmp_path):
+    path = tmp_path / "gtopdb.json"
+    dump_database_json(gtopdb.paper_instance(), path)
+    return str(path)
+
+
+@pytest.fixture
+def temporal_database_file(tmp_path):
+    base = gtopdb.paper_instance()
+    db = add_timestamps(base, "2016", relations=["Family", "FamilyIntro"])
+    db.insert("Family", (20, "Orexin", "O1", "2017"))
+    db.insert("FamilyIntro", (20, "orexin intro", "2017"))
+    path = tmp_path / "gtopdb_temporal.json"
+    dump_database_json(db, path)
+    return str(path)
+
+
+def _parse_jsonl(out: str) -> list[dict]:
+    return [json.loads(line) for line in out.strip().splitlines() if line.strip()]
+
+
+class TestVersionFlag:
+    def test_version_prints_and_exits(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+
+class TestBackendSelector:
+    def test_cite_union_program(self, database_file, capsys):
+        code = main(
+            ["cite", "--database", database_file, "--backend", "union", UCQ_LINE]
+        )
+        assert code == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_cite_auto_routes_multi_rule_to_union(self, database_file, capsys):
+        code = main(["cite", "--database", database_file, "--show-answers", UCQ_LINE])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "answer tuple" in captured.err
+
+    def test_batch_mixed_backends_reports_backend(self, database_file, tmp_path, capsys):
+        queries = tmp_path / "queries.txt"
+        queries.write_text(f"{CQ}\n{UCQ_LINE}\n", encoding="utf-8")
+        code = main(["batch", "--database", database_file, str(queries)])
+        assert code == 0
+        lines = _parse_jsonl(capsys.readouterr().out)
+        assert [line["backend"] for line in lines] == ["relational", "union"]
+        assert all(line["ok"] for line in lines)
+
+    def test_batch_stats_include_backend_counters(
+        self, database_file, tmp_path, capsys
+    ):
+        queries = tmp_path / "queries.txt"
+        queries.write_text(f"{CQ}\n{CQ}\n{UCQ_LINE}\n", encoding="utf-8")
+        code = main(
+            ["batch", "--database", database_file, "--stats", str(queries)]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        stats = json.loads(captured.err)
+        assert stats["backends"]["relational"]["requests"] == 2
+        assert stats["backends"]["union"]["requests"] == 1
+        assert stats["registered_backends"] == ["relational", "union"]
+
+    def test_cite_as_of_uses_temporal_backend(self, temporal_database_file, capsys):
+        query = "Q(FName) :- Family(FID, FName, Desc, T), FamilyIntro(FID, Text, T2)"
+        code = main(
+            [
+                "cite",
+                "--database",
+                temporal_database_file,
+                "--as-of",
+                "2017",
+                "--show-answers",
+                query,
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "Orexin" in captured.err
+        assert "Calcitonin" not in captured.err
+
+    def test_temporal_backend_requires_timestamped_relations(
+        self, database_file, capsys
+    ):
+        code = main(
+            ["cite", "--database", database_file, "--backend", "temporal", CQ]
+        )
+        assert code == 2
+        assert "timestamp attribute" in capsys.readouterr().err
+
+
+class TestServeDirectives:
+    def test_backends_directive_lists_capabilities(
+        self, database_file, capsys, monkeypatch
+    ):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(".backends\n.quit\n"))
+        code = main(["serve", "--database", database_file])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out.strip().splitlines()[0])
+        assert set(payload) == {"relational", "union"}
+        assert payload["union"]["dialects"] == ["program"]
+
+
+class TestExplainBackends:
+    def test_explain_reports_backend_and_fingerprint(self, database_file, capsys):
+        code = main(["explain", "--database", database_file, CQ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# backend: relational" in out
+        assert "# fingerprint:" in out
+        assert "Rewritings considered" in out
+
+    def test_explain_union_per_disjunct(self, database_file, capsys):
+        code = main(
+            ["explain", "--database", database_file, "--backend", "union", UCQ_LINE]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# backend: union" in out
+        assert "# disjunct 0" in out and "# disjunct 1" in out

@@ -1,0 +1,200 @@
+"""Tests for the request/response envelope, backend protocol and registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CitationEngine, CitationPolicy
+from repro.api import (
+    BackendRegistry,
+    CitationRequest,
+    RDFBackend,
+    RelationalBackend,
+    TemporalBackend,
+    UnionBackend,
+)
+from repro.core.temporal import TemporalCitationEngine, add_timestamps, timestamp_view
+from repro.errors import CitationError
+from repro.query.parser import parse_query
+from repro.query.ucq import UnionQuery
+from repro.rdf.bgp import BGPQuery, TriplePattern
+from repro.rdf.citation_rdf import ClassCitationView, RDFCitationEngine
+from repro.rdf.ontology import Ontology
+from repro.rdf.triples import RDF_TYPE, TripleStore
+from repro.service import CitationService
+from repro.workloads import gtopdb
+
+CQ = "Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)"
+UCQ = (
+    "Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)\n"
+    "Q(FName) :- Family(FID, FName, Desc)"
+)
+
+
+@pytest.fixture
+def engine():
+    return CitationEngine(
+        gtopdb.paper_instance(),
+        gtopdb.citation_views(extended=True),
+        policy=CitationPolicy.default(),
+    )
+
+
+class TestEnvelope:
+    def test_request_defaults(self):
+        request = CitationRequest(query=CQ)
+        assert request.backend is None
+        assert request.dialect == "auto"
+        assert request.mode is None and request.as_of is None
+        assert request.request_id is None
+
+    def test_with_id_assigns_once(self):
+        request = CitationRequest(query=CQ).with_id()
+        assert request.request_id.startswith("req-")
+        assert request.with_id() is request
+
+    def test_explicit_request_id_is_kept(self, engine):
+        with CitationService(engine) as service:
+            response = service.submit(
+                CitationRequest(query=CQ, request_id="my-correlation-id")
+            )
+        assert response.request_id == "my-correlation-id"
+        assert response.to_payload()["request_id"] == "my-correlation-id"
+
+    def test_response_payload_shape(self, engine):
+        with CitationService(engine) as service:
+            payload = service.submit(CitationRequest(query=CQ)).to_payload()
+        assert payload["ok"] is True
+        assert payload["backend"] == "relational"
+        assert payload["rows"] == 2
+        assert payload["citation"]["records"]
+        bad = service.submit(CitationRequest(query="nope ::")).to_payload()
+        assert bad["ok"] is False and "error" in bad and "error_type" in bad
+
+    def test_unwrap_reraises(self, engine):
+        with CitationService(engine) as service:
+            response = service.submit(CitationRequest(query="nope ::"))
+        assert not response.ok
+        with pytest.raises(Exception):
+            response.unwrap()
+
+
+class TestRegistry:
+    def test_duplicate_name_rejected(self, engine):
+        registry = BackendRegistry()
+        registry.register(RelationalBackend(engine))
+        with pytest.raises(CitationError):
+            registry.register(RelationalBackend(engine))
+        registry.register(RelationalBackend(engine), replace=True)
+        assert registry.names() == ["relational"]
+
+    def test_unknown_backend_error_names_known_ones(self, engine):
+        registry = BackendRegistry()
+        registry.register(RelationalBackend(engine))
+        with pytest.raises(CitationError, match="relational"):
+            registry.get("nope")
+
+    def test_unregister(self, engine):
+        registry = BackendRegistry()
+        registry.register(RelationalBackend(engine))
+        registry.unregister("relational")
+        assert len(registry) == 0
+        with pytest.raises(CitationError):
+            registry.unregister("relational")
+
+    def test_capabilities_summary(self, engine):
+        registry = BackendRegistry()
+        registry.register(RelationalBackend(engine))
+        registry.register(UnionBackend(engine))
+        capabilities = registry.capabilities()
+        assert set(capabilities) == {"relational", "union"}
+        assert capabilities["relational"]["supports_plan_cache"] is True
+        assert "datalog" in capabilities["relational"]["dialects"]
+
+
+class TestRouting:
+    def test_single_rule_string_routes_relational(self, engine):
+        registry = BackendRegistry()
+        registry.register(RelationalBackend(engine))
+        registry.register(UnionBackend(engine))
+        assert registry.route(CitationRequest(query=CQ)).name == "relational"
+        assert (
+            registry.route(CitationRequest(query=parse_query(CQ))).name == "relational"
+        )
+
+    def test_program_string_and_union_query_route_union(self, engine):
+        registry = BackendRegistry()
+        registry.register(RelationalBackend(engine))
+        registry.register(UnionBackend(engine))
+        assert registry.route(CitationRequest(query=UCQ)).name == "union"
+        union_query = UnionQuery.parse(UCQ)
+        assert registry.route(CitationRequest(query=union_query)).name == "union"
+        assert (
+            registry.route(CitationRequest(query=UCQ, dialect="program")).name
+            == "union"
+        )
+
+    def test_bgp_routes_rdf(self, engine):
+        store = TripleStore([("r1", RDF_TYPE, "CellLine")])
+        ontology = Ontology()
+        rdf_engine = RDFCitationEngine(
+            store, ontology, [ClassCitationView("CellLine")]
+        )
+        registry = BackendRegistry()
+        registry.register(RelationalBackend(engine))
+        registry.register(RDFBackend(rdf_engine))
+        bgp = BGPQuery(("s",), (TriplePattern("?s", RDF_TYPE, "CellLine"),))
+        assert registry.route(CitationRequest(query=bgp)).name == "rdf"
+
+    def test_as_of_only_goes_to_time_travel_backends(self, engine):
+        db = add_timestamps(gtopdb.paper_instance(), "2016", relations=["Family"])
+        temporal = TemporalCitationEngine(
+            db, [timestamp_view("Family", db.schema)]
+        )
+        registry = BackendRegistry()
+        registry.register(RelationalBackend(engine))
+        with pytest.raises(CitationError):
+            registry.route(CitationRequest(query=CQ, as_of="2016"))
+        registry.register(TemporalBackend(temporal))
+        assert registry.route(CitationRequest(query=CQ, as_of="2016")).name == "temporal"
+
+    def test_explicit_backend_name_wins(self, engine):
+        registry = BackendRegistry()
+        registry.register(RelationalBackend(engine))
+        registry.register(UnionBackend(engine))
+        assert registry.route(CitationRequest(query=CQ, backend="union")).name == "union"
+
+    def test_unroutable_payload(self, engine):
+        registry = BackendRegistry()
+        registry.register(RelationalBackend(engine))
+        with pytest.raises(CitationError, match="no registered backend"):
+            registry.route(CitationRequest(query=12345))
+
+
+class TestServiceBackendManagement:
+    def test_service_auto_registers_relational_and_union(self, engine):
+        with CitationService(engine) as service:
+            assert service.registry.names() == ["relational", "union"]
+            assert set(service.capabilities()) == {"relational", "union"}
+
+    def test_service_requires_engine_or_backends(self):
+        with pytest.raises(CitationError):
+            CitationService()
+
+    def test_service_without_engine_uses_explicit_backends(self, engine):
+        service = CitationService(backends=[RelationalBackend(engine)])
+        response = service.submit(CitationRequest(query=CQ))
+        assert response.ok and response.backend == "relational"
+        assert "engine" not in service.stats()
+        service.close()
+
+    def test_register_backend_after_construction(self, engine):
+        with CitationService(engine) as service:
+            service.register_backend(
+                RelationalBackend(engine, name="relational-2")
+            )
+            response = service.submit(
+                CitationRequest(query=CQ, backend="relational-2")
+            )
+            assert response.ok
+            assert service.stats()["backends"]["relational-2"]["requests"] == 1
