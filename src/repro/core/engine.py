@@ -42,9 +42,11 @@ from repro.core.record import CitationRecord, CitationSet
 from repro.core.rewriting_selector import RewritingSelector
 from repro.errors import CitationError, NoRewritingError
 from repro.query.ast import ConjunctiveQuery, Constant, Term, Variable
+from repro.query.compiler import JoinProgram
 from repro.query.evaluator import Binding, QueryEvaluator
 from repro.query.parser import parse_query
 from repro.relational.database import Database
+from repro.relational.index import IndexManager
 from repro.relational.relation import Relation
 from repro.rewriting.bucket import BucketRewriter
 from repro.rewriting.minicon import MiniConRewriter
@@ -78,6 +80,25 @@ class CitationPlan:
     mode: Mode
     token: PlanToken
     uses_fallback: bool = False
+    #: Compiled join programs per rewriting position, filled lazily on first
+    #: execution.  A program is pure description (atom order, slot layout,
+    #: bound-position accessors) and independent of the data, so it rides
+    #: along with the plan through the serving layer's plan cache and is
+    #: compiled once per plan rather than once per request.  Excluded from
+    #: equality/hash; concurrent fills race benignly (both compute the same
+    #: program).
+    _programs: dict[int, JoinProgram] = field(
+        default_factory=dict, compare=False, repr=False
+    )
+
+    def compiled_program(self, position: int) -> JoinProgram | None:
+        """The cached join program of rewriting *position* (``None`` before
+        first execution)."""
+        return self._programs.get(position)
+
+    def cache_program(self, position: int, program: JoinProgram) -> None:
+        """Attach the compiled join program of rewriting *position*."""
+        self._programs[position] = program
 
     @property
     def data_dependent(self) -> bool:
@@ -184,6 +205,10 @@ class CitationEngine:
         self._record_cache: dict[tuple[str, tuple], CitationRecord] = {}
         self._cache_generation = database.generation
         self._cache_epoch = 0
+        # Shared across executions so that hash indexes built over
+        # materialised views survive from one request to the next (they are
+        # re-validated against the views' identity and version on every probe).
+        self._index_manager = IndexManager(database)
 
     # -- caches ------------------------------------------------------------------
     @property
@@ -215,6 +240,7 @@ class CitationEngine:
         """
         self._view_relations = None
         self._record_cache.clear()
+        self._index_manager.invalidate()
         self._cache_epoch += 1
 
     def _refresh_generation(self) -> None:
@@ -377,11 +403,21 @@ class CitationEngine:
         if plan.uses_fallback:
             return self._handle_no_rewriting(query, plan.mode, policy)
 
-        evaluator = QueryEvaluator(self.database, extra_relations=self.view_relations())
+        evaluator = QueryEvaluator(
+            self.database,
+            extra_relations=self.view_relations(),
+            index_manager=self._index_manager,
+        )
         per_rewriting: list[tuple[Rewriting, dict[tuple, list[Binding]]]] = []
         all_rows: set[tuple] = set()
-        for rewriting in plan.rewritings:
-            bindings_by_row = evaluator.evaluate_with_bindings(rewriting.query)
+        for position, rewriting in enumerate(plan.rewritings):
+            program = plan.compiled_program(position)
+            if program is None:
+                program = evaluator.compile(rewriting.query)
+                plan.cache_program(position, program)
+            bindings_by_row = evaluator.evaluate_with_bindings(
+                rewriting.query, program=program
+            )
             per_rewriting.append((rewriting, bindings_by_row))
             all_rows.update(bindings_by_row)
 

@@ -11,6 +11,10 @@ full CQ toolchain the model needs:
 * :mod:`repro.query.evaluator` — evaluation over a
   :class:`~repro.relational.database.Database`, including enumeration of all
   bindings per output tuple (needed by Definition 2.2),
+* :mod:`repro.query.compiler` — compilation of a CQ into a static
+  :class:`~repro.query.compiler.JoinProgram` (fixed atom order, variable→slot
+  frames, per-atom bound-position accessors) that the evaluator executes and
+  the serving layer caches on compiled citation plans,
 * :mod:`repro.query.containment` — homomorphism-based containment and
   equivalence,
 * :mod:`repro.query.minimization` — core computation / minimization,
@@ -26,6 +30,7 @@ from repro.query.ast import (
     Variable,
 )
 from repro.query.parser import parse_query, parse_program
+from repro.query.compiler import JoinProgram, compile_query
 from repro.query.evaluator import QueryEvaluator, evaluate, evaluate_with_bindings
 from repro.query.containment import (
     containment_mapping,
@@ -54,6 +59,8 @@ __all__ = [
     "parse_query",
     "parse_program",
     "parse_sql",
+    "JoinProgram",
+    "compile_query",
     "QueryEvaluator",
     "evaluate",
     "evaluate_with_bindings",

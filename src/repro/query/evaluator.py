@@ -9,18 +9,26 @@ Two entry points matter for the citation model:
   Definition 2.2 of the paper combines one citation per binding with the
   alternative-use operator ``+``, so the engine needs the full binding set.
 
-The evaluator performs a greedy bound-first join: atoms with the most bound
-positions (constants or already-bound join variables) are evaluated first,
-using hash indexes built on demand.
+Evaluation runs a compiled join program (:mod:`repro.query.compiler`): the
+atom order, variable→slot assignment and per-atom bound-position accessors
+are fixed once at compile time, relations are resolved once per evaluation,
+and bound-position probes use hash indexes — over database relations *and*
+over ``extra_relations`` such as materialised views, via an
+:class:`~repro.relational.index.IndexManager`.  Programs are cached per
+query on the evaluator (callers that hold a compiled plan can also pass a
+program in explicitly, which is how the serving layer amortises compilation
+across requests).
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import Iterator, Mapping
 
 from repro.errors import QueryError, UnknownRelationError
-from repro.query.ast import Atom, ConjunctiveQuery, Constant, Term, Variable
+from repro.query.ast import ConjunctiveQuery, Constant, Term, Variable
+from repro.query.compiler import JoinProgram, compile_query
 from repro.relational.database import Database
+from repro.relational.index import IndexManager
 from repro.relational.relation import Relation
 from repro.relational.schema import Attribute, RelationSchema
 
@@ -32,7 +40,10 @@ class QueryEvaluator:
 
     The evaluator may also be given *extra relations* (e.g. materialised
     views) that are not part of the database schema; atoms whose predicate
-    matches an extra relation are evaluated against it.
+    matches an extra relation are evaluated against it.  An external
+    :class:`~repro.relational.index.IndexManager` may be supplied to share
+    view indexes across evaluator instances (the citation engine does this);
+    otherwise the evaluator owns a private one.
     """
 
     def __init__(
@@ -40,10 +51,16 @@ class QueryEvaluator:
         database: Database,
         extra_relations: Mapping[str, Relation] | None = None,
         use_indexes: bool = True,
+        index_manager: IndexManager | None = None,
     ) -> None:
         self.database = database
         self.extra_relations = dict(extra_relations or {})
         self.use_indexes = use_indexes
+        # Not `or`: an IndexManager with no entries yet is len() == 0, falsy.
+        self.index_manager = (
+            index_manager if index_manager is not None else IndexManager(database)
+        )
+        self._programs: dict[ConjunctiveQuery, JoinProgram] = {}
 
     # -- relation resolution ------------------------------------------------
     def _relation_for(self, predicate: str) -> Relation:
@@ -53,91 +70,46 @@ class QueryEvaluator:
             return self.database.relation(predicate)
         raise UnknownRelationError(predicate)
 
-    def _check_arity(self, atom: Atom) -> None:
-        relation = self._relation_for(atom.predicate)
-        if relation.schema.arity != atom.arity:
-            raise QueryError(
-                f"atom {atom} has arity {atom.arity} but relation "
-                f"{atom.predicate!r} has arity {relation.schema.arity}"
-            )
+    def _resolve_relations(self, query: ConjunctiveQuery) -> dict[str, Relation]:
+        """Resolve every body predicate exactly once, checking arities."""
+        relations: dict[str, Relation] = {}
+        for atom in query.body:
+            relation = relations.get(atom.predicate)
+            if relation is None:
+                relation = self._relation_for(atom.predicate)
+                relations[atom.predicate] = relation
+            if relation.schema.arity != atom.arity:
+                raise QueryError(
+                    f"atom {atom} has arity {atom.arity} but relation "
+                    f"{atom.predicate!r} has arity {relation.schema.arity}"
+                )
+        return relations
+
+    # -- compilation --------------------------------------------------------
+    def compile(self, query: ConjunctiveQuery) -> JoinProgram:
+        """The compiled join program for *query* (cached per evaluator)."""
+        return self._program_for(query, self._resolve_relations(query))
+
+    def _program_for(
+        self, query: ConjunctiveQuery, relations: Mapping[str, Relation]
+    ) -> JoinProgram:
+        program = self._programs.get(query)
+        if program is None:
+            program = compile_query(query, relations)
+            self._programs[query] = program
+        return program
 
     # -- core join ------------------------------------------------------------
-    def bindings(self, query: ConjunctiveQuery) -> Iterator[Binding]:
+    def bindings(
+        self, query: ConjunctiveQuery, program: JoinProgram | None = None
+    ) -> Iterator[Binding]:
         """Yield every satisfying assignment of the query's variables."""
-        for atom in query.body:
-            self._check_arity(atom)
-        seed: Binding = {}
-        for eq in query.equalities:
-            seed[eq.variable] = eq.constant.value
-        yield from self._join(list(query.body), seed)
-
-    def _join(self, atoms: list[Atom], binding: Binding) -> Iterator[Binding]:
-        if not atoms:
-            yield dict(binding)
-            return
-        index = self._pick_next_atom(atoms, binding)
-        atom = atoms[index]
-        rest = atoms[:index] + atoms[index + 1 :]
-        for extended in self._match_atom(atom, binding):
-            yield from self._join(rest, extended)
-
-    def _pick_next_atom(self, atoms: Sequence[Atom], binding: Binding) -> int:
-        def boundness(atom: Atom) -> tuple[int, int]:
-            bound = 0
-            for term in atom.terms:
-                if isinstance(term, Constant) or (
-                    isinstance(term, Variable) and term in binding
-                ):
-                    bound += 1
-            relation = self._relation_for(atom.predicate)
-            return (-bound, len(relation))
-
-        best = min(range(len(atoms)), key=lambda i: boundness(atoms[i]))
-        return best
-
-    def _match_atom(self, atom: Atom, binding: Binding) -> Iterator[Binding]:
-        relation = self._relation_for(atom.predicate)
-        bound_positions: dict[int, object] = {}
-        for position, term in enumerate(atom.terms):
-            if isinstance(term, Constant):
-                bound_positions[position] = term.value
-            elif isinstance(term, Variable) and term in binding:
-                bound_positions[position] = binding[term]
-
-        rows: Iterable[tuple]
-        backed_by_database = (
-            atom.predicate not in self.extra_relations and atom.predicate in self.database
+        relations = self._resolve_relations(query)
+        if program is None:
+            program = self._program_for(query, relations)
+        yield from program.run_bindings(
+            relations, self.index_manager, self.use_indexes
         )
-        if bound_positions and self.use_indexes and backed_by_database:
-            positions = tuple(sorted(bound_positions))
-            attributes = [relation.schema.attribute_names[i] for i in positions]
-            index = self.database.index_on(atom.predicate, attributes)
-            rows = index.lookup(tuple(bound_positions[i] for i in positions))
-        elif bound_positions:
-            rows = relation.rows_matching(bound_positions)
-        else:
-            rows = relation
-
-        for row in rows:
-            extended = self._unify_row(atom, row, binding)
-            if extended is not None:
-                yield extended
-
-    @staticmethod
-    def _unify_row(atom: Atom, row: tuple, binding: Binding) -> Binding | None:
-        extended = dict(binding)
-        for term, value in zip(atom.terms, row):
-            if isinstance(term, Constant):
-                if term.value != value:
-                    return None
-            else:
-                assert isinstance(term, Variable)
-                existing = extended.get(term, _MISSING)
-                if existing is _MISSING:
-                    extended[term] = value
-                elif existing != value:
-                    return None
-        return extended
 
     # -- public API -------------------------------------------------------------
     def output_tuple(self, query: ConjunctiveQuery, binding: Binding) -> tuple:
@@ -157,17 +129,35 @@ class QueryEvaluator:
 
     def evaluate(self, query: ConjunctiveQuery) -> Relation:
         """Evaluate *query* and return its answer relation (set semantics)."""
+        return self._evaluate(query, cache_program=True)
+
+    def _evaluate(self, query: ConjunctiveQuery, cache_program: bool) -> Relation:
         schema = result_schema(query)
-        answers = {self.output_tuple(query, b) for b in self.bindings(query)}
+        relations = self._resolve_relations(query)
+        if cache_program:
+            program = self._program_for(query, relations)
+        else:
+            program = compile_query(query, relations)
+        answers = set(
+            program.run_rows(relations, self.index_manager, self.use_indexes)
+        )
         return Relation(schema, answers)
 
     def evaluate_with_bindings(
-        self, query: ConjunctiveQuery
+        self, query: ConjunctiveQuery, program: JoinProgram | None = None
     ) -> dict[tuple, list[Binding]]:
         """Map every output tuple to the list of bindings producing it."""
+        relations = self._resolve_relations(query)
+        if program is None:
+            program = self._program_for(query, relations)
+        variables = program.variables
         out: dict[tuple, list[Binding]] = {}
-        for binding in self.bindings(query):
-            out.setdefault(self.output_tuple(query, binding), []).append(binding)
+        for frame in program.run_frames(
+            relations, self.index_manager, self.use_indexes
+        ):
+            out.setdefault(program.output_row(frame), []).append(
+                dict(zip(variables, frame))
+            )
         return out
 
     def evaluate_parameterized(
@@ -189,10 +179,10 @@ class QueryEvaluator:
                     f"missing value for parameter {param.name!r} of query {query.name!r}"
                 )
             substitution[param] = Constant(value)
-        return self.evaluate(query.substitute(substitution))
-
-
-_MISSING = object()
+        # Substituted queries embed the per-call constants, so caching their
+        # programs would retain one entry per distinct parameter valuation on
+        # a long-lived evaluator — compile without caching instead.
+        return self._evaluate(query.substitute(substitution), cache_program=False)
 
 
 def result_schema(query: ConjunctiveQuery) -> RelationSchema:

@@ -13,7 +13,7 @@ engine.
 from repro.relational.schema import Attribute, DatabaseSchema, ForeignKey, RelationSchema
 from repro.relational.relation import Relation
 from repro.relational.database import Database
-from repro.relational.index import HashIndex
+from repro.relational.index import HashIndex, IndexManager
 from repro.relational import algebra
 from repro.relational.csvio import (
     database_from_dicts,
@@ -32,6 +32,7 @@ __all__ = [
     "Relation",
     "Database",
     "HashIndex",
+    "IndexManager",
     "algebra",
     "relation_from_csv",
     "relation_to_csv",

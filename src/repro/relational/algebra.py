@@ -19,6 +19,30 @@ def _derived_schema(name: str, attributes: Sequence[Attribute]) -> RelationSchem
     return RelationSchema(name, attributes, key=None)
 
 
+def _prefixed_attributes(left: RelationSchema, right: RelationSchema) -> list[Attribute]:
+    """Concatenated, schema-prefixed attributes of a binary join output.
+
+    Prefixing alone is not enough for self-joins: ``R ⋈ R`` would produce
+    ``R.a`` twice.  Duplicates on the right operand get a deterministic
+    positional suffix (``R.a_2``, ``R.a_3``, ...), so any relation can be
+    joined with itself.
+    """
+    attributes = [
+        Attribute(f"{left.name}.{a.name}", a.dtype) for a in left.attributes
+    ]
+    seen = {a.name for a in attributes}
+    for attribute in right.attributes:
+        base = f"{right.name}.{attribute.name}"
+        name = base
+        counter = 1
+        while name in seen:
+            counter += 1
+            name = f"{base}_{counter}"
+        seen.add(name)
+        attributes.append(Attribute(name, attribute.dtype))
+    return attributes
+
+
 def select(relation: Relation, predicate: Callable[[Mapping[str, object]], bool]) -> Relation:
     """Selection: keep rows whose attribute-dict satisfies *predicate*."""
     schema = relation.schema
@@ -92,16 +116,12 @@ def intersection(left: Relation, right: Relation, name: str | None = None) -> Re
 
 
 def cartesian_product(left: Relation, right: Relation, name: str | None = None) -> Relation:
-    """Cartesian product; attribute names are prefixed to stay unique."""
-    left_attrs = [
-        Attribute(f"{left.schema.name}.{a.name}", a.dtype) for a in left.schema.attributes
-    ]
-    right_attrs = [
-        Attribute(f"{right.schema.name}.{a.name}", a.dtype) for a in right.schema.attributes
-    ]
+    """Cartesian product; attribute names are prefixed (and suffixed on
+    self-joins) to stay unique."""
+    attributes = _prefixed_attributes(left.schema, right.schema)
     rows = (l + r for l in left for r in right)
     return Relation(
-        _derived_schema(name or f"{left.schema.name}_x_{right.schema.name}", left_attrs + right_attrs),
+        _derived_schema(name or f"{left.schema.name}_x_{right.schema.name}", attributes),
         rows,
     )
 
@@ -141,11 +161,7 @@ def equi_join(
     pairs = list(pairs)
     left_pos = [left.schema.position(l) for l, _r in pairs]
     right_pos = [right.schema.position(r) for _l, r in pairs]
-    out_attrs = [
-        Attribute(f"{left.schema.name}.{a.name}", a.dtype) for a in left.schema.attributes
-    ] + [
-        Attribute(f"{right.schema.name}.{a.name}", a.dtype) for a in right.schema.attributes
-    ]
+    out_attrs = _prefixed_attributes(left.schema, right.schema)
     buckets: dict[tuple, list[tuple]] = defaultdict(list)
     for row in right:
         buckets[tuple(row[i] for i in right_pos)].append(row)

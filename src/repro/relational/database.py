@@ -9,6 +9,7 @@ hash indexes and cheap content hashing, which the versioning layer
 from __future__ import annotations
 
 import hashlib
+import threading
 from typing import Callable, Iterable, Iterator, Mapping
 
 #: Signature of a mutation listener: ``(kind, relation, row)`` with ``kind``
@@ -43,6 +44,16 @@ class Database:
         self._indexes: dict[tuple[str, tuple[int, ...]], HashIndex] = {}
         self._generation = 0
         self._mutation_listeners: list[MutationListener] = []
+        self._relation_versions: dict[str, int] = {
+            name: rel.version for name, rel in self._relations.items()
+        }
+        # Drift detection runs on the concurrent *read* path (generation
+        # reads, index probes), so drift folding and index build/store must
+        # be serialized: without the lock two readers could bump the
+        # generation twice for one drift, or one reader's index store could
+        # land while another iterates ``_indexes`` dropping stale entries.
+        # Re-entrant because index_on_positions syncs while holding it.
+        self._sync_lock = threading.RLock()
 
     # -- generations ---------------------------------------------------------
     @property
@@ -52,8 +63,54 @@ class Database:
         Caches derived from the database content (materialised views, citation
         records, compiled citation plans) key their validity on this value: a
         cache entry stamped with an older generation is stale.
+
+        Reading the generation also detects *out-of-band* mutations: rows
+        changed directly on a database-owned :class:`Relation` (bypassing
+        :meth:`insert` / :meth:`delete`) are noticed via the relation's own
+        :attr:`~repro.relational.relation.Relation.version` counter, the
+        generation is bumped and the relation's indexes are dropped, so such
+        changes can no longer yield silently stale index lookups or cache
+        hits.
         """
+        self._sync_out_of_band()
         return self._generation
+
+    def _sync_out_of_band(self) -> None:
+        """Fold mutations applied directly to owned relations into the generation."""
+        # Lock-free fast path: generation is read on every request, drift is
+        # the exception.  The int compares are GIL-atomic; only actual drift
+        # pays for the lock.
+        versions = self._relation_versions
+        if all(
+            versions[name] == relation.version
+            for name, relation in self._relations.items()
+        ):
+            return
+        with self._sync_lock:
+            for name, relation in self._relations.items():
+                if self._relation_versions[name] != relation.version:
+                    self._relation_versions[name] = relation.version
+                    self._generation += 1
+                    self._drop_indexes_for(name)
+
+    def _drop_indexes_for(self, relation: str) -> None:
+        for key in [key for key in self._indexes if key[0] == relation]:
+            self._indexes.pop(key, None)
+
+    def _sync_relation(self, relation: str, target: Relation) -> None:
+        """Fold unobserved out-of-band drift on one relation into the generation.
+
+        Must run before an in-band mutation records the relation's new
+        version, otherwise the recorded version would silently absorb drift
+        that never bumped the generation or dropped the stale indexes.
+        """
+        if self._relation_versions[relation] == target.version:
+            return
+        with self._sync_lock:
+            if self._relation_versions[relation] != target.version:
+                self._relation_versions[relation] = target.version
+                self._generation += 1
+                self._drop_indexes_for(relation)
 
     def add_mutation_listener(self, listener: MutationListener) -> None:
         """Register a callback invoked after every applied insert/delete."""
@@ -94,6 +151,7 @@ class Database:
     def insert(self, relation: str, row: tuple | Mapping[str, object]) -> bool:
         """Insert *row* into *relation*; return ``True`` when the DB changed."""
         target = self.relation(relation)
+        self._sync_relation(relation, target)
         if isinstance(row, Mapping):
             row = target.schema.row_from_mapping(row)
         else:
@@ -102,6 +160,7 @@ class Database:
             self._check_foreign_keys_on_insert(relation, row)
         changed = target.insert(row)
         if changed:
+            self._relation_versions[relation] = target.version
             self._update_indexes_on_insert(relation, row)
             self._notify_mutation("insert", relation, row)
         return changed
@@ -113,11 +172,13 @@ class Database:
     def delete(self, relation: str, row: tuple) -> bool:
         """Delete *row* from *relation*; return ``True`` when it was present."""
         target = self.relation(relation)
+        self._sync_relation(relation, target)
         row = tuple(row)
         if self.enforce_foreign_keys and row in target:
             self._check_foreign_keys_on_delete(relation, row)
         changed = target.delete(row)
         if changed:
+            self._relation_versions[relation] = target.version
             self._update_indexes_on_delete(relation, row)
             self._notify_mutation("delete", relation, row)
         return changed
@@ -182,11 +243,19 @@ class Database:
         """Return (building if necessary) a hash index on *attributes* of *relation*."""
         schema = self.relation_schema(relation)
         positions = tuple(schema.position(a) for a in attributes)
-        key = (relation, positions)
-        index = self._indexes.get(key)
-        if index is None:
-            index = HashIndex(self.relation(relation), positions)
-            self._indexes[key] = index
+        return self.index_on_positions(relation, positions)
+
+    def index_on_positions(self, relation: str, positions: Iterable[int]) -> HashIndex:
+        """Return (building if necessary) a hash index on column *positions*."""
+        key = (relation, tuple(positions))
+        # Build and store under the sync lock so a store never lands while a
+        # concurrent reader's drift fold iterates the index table.
+        with self._sync_lock:
+            self._sync_out_of_band()
+            index = self._indexes.get(key)
+            if index is None:
+                index = HashIndex(self.relation(relation), key[1])
+                self._indexes[key] = index
         return index
 
     def _update_indexes_on_insert(self, relation: str, row: tuple) -> None:
@@ -225,6 +294,9 @@ class Database:
         clone = Database(self.schema, enforce_foreign_keys=False)
         for name, rel in self._relations.items():
             clone._relations[name] = rel.copy()
+        clone._relation_versions = {
+            name: rel.version for name, rel in clone._relations.items()
+        }
         clone.enforce_foreign_keys = self.enforce_foreign_keys
         return clone
 

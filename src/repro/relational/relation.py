@@ -16,7 +16,7 @@ from repro.relational.schema import RelationSchema
 class Relation:
     """A named set of tuples conforming to a :class:`RelationSchema`."""
 
-    __slots__ = ("schema", "_rows", "_key_index")
+    __slots__ = ("schema", "_rows", "_key_index", "_version")
 
     def __init__(self, schema: RelationSchema, rows: Iterable[tuple] = ()) -> None:
         self.schema = schema
@@ -24,8 +24,22 @@ class Relation:
         self._key_index: dict[tuple, tuple] | None = (
             {} if schema.key is not None else None
         )
+        self._version = 0
         for row in rows:
             self.insert(row)
+
+    @property
+    def version(self) -> int:
+        """A counter bumped on every applied mutation of this instance.
+
+        Index structures built over the relation (:class:`HashIndex` via
+        :class:`~repro.relational.index.IndexManager`) and the owning
+        :class:`~repro.relational.database.Database` compare this counter
+        against the value recorded at build time to detect staleness —
+        including mutations applied directly to the relation, bypassing the
+        database's update path.
+        """
+        return self._version
 
     # -- basic mutation ---------------------------------------------------
     def insert(self, row: tuple | Mapping[str, object]) -> bool:
@@ -50,6 +64,7 @@ class Relation:
                 )
             self._key_index[key] = row
         self._rows.add(row)
+        self._version += 1
         return True
 
     def insert_many(self, rows: Iterable[tuple | Mapping[str, object]]) -> int:
@@ -64,6 +79,7 @@ class Relation:
         self._rows.discard(row)
         if self._key_index is not None:
             self._key_index.pop(self.schema.key_of(row), None)
+        self._version += 1
         return True
 
     def delete_where(self, predicate: Callable[[tuple], bool]) -> int:
@@ -75,6 +91,8 @@ class Relation:
 
     def clear(self) -> None:
         """Remove all rows."""
+        if self._rows:
+            self._version += 1
         self._rows.clear()
         if self._key_index is not None:
             self._key_index.clear()

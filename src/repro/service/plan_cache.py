@@ -42,7 +42,7 @@ class CacheInfo:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
-    def as_dict(self) -> dict[str, float]:
+    def as_dict(self) -> dict[str, int | float]:
         return {
             "hits": self.hits,
             "misses": self.misses,
@@ -118,7 +118,7 @@ class GenerationalLRU(Generic[V]):
             return len(stale)
 
     def info(self) -> CacheInfo:
-        """A copy of the cache counters (safe to read without the lock)."""
+        """A consistent copy of the cache counters, taken under the lock."""
         with self._lock:
             return CacheInfo(
                 hits=self._info.hits,
@@ -127,7 +127,7 @@ class GenerationalLRU(Generic[V]):
                 invalidations=self._info.invalidations,
             )
 
-    def stats(self) -> dict[str, float]:
+    def stats(self) -> dict[str, int | float]:
         """Counters plus occupancy, as a plain dict (for ``stats()`` output)."""
         with self._lock:
             out = self._info.as_dict()

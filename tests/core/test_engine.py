@@ -167,3 +167,61 @@ class TestValidation:
         rewriting = Rewriting(parse_query("Q(FID, Text) :- VX(FID, Text)"), [stray_view])
         with pytest.raises(CitationError):
             paper_engine.citation_for_binding(rewriting, {})
+
+
+class TestCompiledJoinPrograms:
+    def test_execute_attaches_programs_to_the_plan(self, paper_engine, paper_query):
+        plan = paper_engine.compile_plan(paper_query)
+        assert all(
+            plan.compiled_program(i) is None for i in range(len(plan.rewritings))
+        )
+        paper_engine.execute_plan(plan)
+        assert all(
+            plan.compiled_program(i) is not None for i in range(len(plan.rewritings))
+        )
+
+    def test_repeated_execution_reuses_the_programs(self, paper_engine, paper_query):
+        plan = paper_engine.compile_plan(paper_query)
+        first = paper_engine.execute_plan(plan)
+        programs = [plan.compiled_program(i) for i in range(len(plan.rewritings))]
+        second = paper_engine.execute_plan(plan)
+        assert [
+            plan.compiled_program(i) for i in range(len(plan.rewritings))
+        ] == programs
+        assert first.result.rows == second.result.rows
+
+    def test_programs_survive_data_changes(self, paper_engine, paper_query, paper_db):
+        plan = paper_engine.compile_plan(paper_query)
+        paper_engine.execute_plan(plan)
+        programs = [plan.compiled_program(i) for i in range(len(plan.rewritings))]
+        paper_db.insert("Family", (60, "Fresh", "d"))
+        paper_db.insert("FamilyIntro", (60, "fresh intro"))
+        result = paper_engine.execute_plan(plan)
+        # Same program objects, fresh data.
+        assert [
+            plan.compiled_program(i) for i in range(len(plan.rewritings))
+        ] == programs
+        assert ("Fresh",) in result.result.rows
+
+    def test_plans_with_programs_stay_equal_and_hashable(self, paper_engine, paper_query):
+        plan = paper_engine.compile_plan(paper_query)
+        twin = paper_engine.compile_plan(paper_query)
+        assert plan == twin
+        paper_engine.execute_plan(plan)
+        assert plan == twin  # cached programs are not part of plan identity
+        assert hash(plan) == hash(twin)
+
+    def test_view_indexes_are_shared_across_executions(self, paper_engine, paper_query):
+        paper_engine.cite(paper_query)
+        manager = paper_engine._index_manager
+        built = len(manager)
+        if built:
+            view_name, positions = next(iter(manager._extra))
+            index = manager._extra[(view_name, positions)][0]
+            paper_engine.cite(paper_query)
+            assert manager._extra[(view_name, positions)][0] is index
+
+    def test_invalidate_caches_drops_view_indexes(self, paper_engine, paper_query):
+        paper_engine.cite(paper_query)
+        paper_engine.invalidate_caches()
+        assert len(paper_engine._index_manager) == 0

@@ -89,6 +89,43 @@ class TestJoins:
         assert {row[1] for row in result} == {"Ada", "Grace"}
 
 
+class TestSelfJoins:
+    """Regression: R ⋈ R used to emit duplicate prefixed attributes (``R.a``
+    twice) and die with SchemaError in the output-schema constructor."""
+
+    def test_cartesian_product_with_itself(self, employees):
+        product = algebra.cartesian_product(employees, employees)
+        assert len(product) == len(employees) ** 2
+        names = product.schema.attribute_names
+        assert len(set(names)) == len(names)
+        assert names == (
+            "Employee.id",
+            "Employee.name",
+            "Employee.dept",
+            "Employee.id_2",
+            "Employee.name_2",
+            "Employee.dept_2",
+        )
+
+    def test_equi_join_with_itself(self, employees):
+        joined = algebra.equi_join(employees, employees, [("dept", "dept")])
+        # eng×eng gives 4 pairs, math×math gives 1.
+        assert len(joined) == 5
+        names = joined.schema.attribute_names
+        assert len(set(names)) == len(names)
+        assert (1, "Ada", "eng", 2, "Grace", "eng") in joined
+
+    def test_self_equi_join_on_key_is_identity_pairing(self, employees):
+        joined = algebra.equi_join(employees, employees, [("id", "id")])
+        assert len(joined) == len(employees)
+        assert all(row[:3] == row[3:] for row in joined)
+
+    def test_right_suffix_is_deterministic(self, employees):
+        first = algebra.cartesian_product(employees, employees)
+        second = algebra.cartesian_product(employees, employees)
+        assert first.schema.attribute_names == second.schema.attribute_names
+
+
 class TestAggregation:
     def test_group_count(self, employees):
         counts = algebra.group_count(employees, ["dept"])

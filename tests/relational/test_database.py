@@ -81,6 +81,100 @@ class TestIndexes:
     def test_index_is_cached(self, db):
         assert db.index_on("Family", ["FName"]) is db.index_on("Family", ["FName"])
 
+    def test_index_on_positions_matches_index_on(self, db):
+        assert db.index_on_positions("Family", (1,)) is db.index_on("Family", ["FName"])
+
+
+class TestOutOfBandMutations:
+    """Mutations applied directly to a database-owned Relation (bypassing
+    Database.insert/delete) used to leave indexes stale and the generation
+    unchanged, so index lookups silently missed rows and generation-keyed
+    caches kept serving stale data.  The database now detects the drift via
+    Relation.version."""
+
+    def test_direct_insert_used_to_miss_in_index_now_visible(self, db):
+        index = db.index_on("Family", ["FName"])
+        assert list(index.lookup(("Rogue",))) == []
+        # Bypass the database update path entirely.
+        db.relation("Family").insert((42, "Rogue"))
+        # The stale index object no longer sees the row (that was the silent
+        # wrong-answer path)...
+        assert list(index.lookup(("Rogue",))) == []
+        # ...but the database notices the drift: a fresh index_on call
+        # returns a rebuilt index that does.
+        rebuilt = db.index_on("Family", ["FName"])
+        assert rebuilt is not index
+        assert list(rebuilt.lookup(("Rogue",))) == [(42, "Rogue")]
+
+    def test_direct_mutation_bumps_generation(self, db):
+        before = db.generation
+        db.relation("Family").insert((43, "OutOfBand"))
+        assert db.generation > before
+        # Reading the generation folds the drift in exactly once.
+        assert db.generation == before + 1
+
+    def test_direct_delete_detected(self, db):
+        index = db.index_on("Committee", ["PName"])
+        assert list(index.lookup(("D. Hoyer",)))
+        before = db.generation
+        db.relation("Committee").delete((1, "D. Hoyer"))
+        assert db.generation == before + 1
+        assert list(db.index_on("Committee", ["PName"]).lookup(("D. Hoyer",))) == []
+
+    def test_drift_not_swallowed_by_subsequent_applied_insert(self, db):
+        # Regression: an in-band insert on the same relation used to record
+        # the post-mutation version unconditionally, silently absorbing
+        # out-of-band drift that never bumped the generation or dropped the
+        # stale indexes.
+        index = db.index_on("Family", ["FName"])
+        before = db.generation
+        db.relation("Family").insert((42, "Rogue"))  # out of band, unobserved
+        db.insert("Family", (43, "Next"))  # in band, before any generation read
+        assert db.generation == before + 2  # drift + applied insert
+        rebuilt = db.index_on("Family", ["FName"])
+        assert rebuilt is not index
+        assert list(rebuilt.lookup(("Rogue",))) == [(42, "Rogue")]
+
+    def test_drift_not_swallowed_by_subsequent_applied_delete(self, db):
+        before = db.generation
+        db.relation("Family").insert((42, "Rogue"))  # out of band, unobserved
+        db.delete("Family", (42, "Rogue"))  # in band, same relation
+        assert db.generation == before + 2
+
+    def test_concurrent_readers_fold_one_drift_exactly_once(self, db):
+        # generation reads and index probes run on the serving layer's thread
+        # pool; one out-of-band drift must bump the generation once and never
+        # crash a reader mid-drop.
+        from concurrent.futures import ThreadPoolExecutor
+
+        db.index_on("Family", ["FName"])
+        before = db.generation
+        db.relation("Family").insert((42, "Rogue"))
+
+        def read(_i):
+            db.index_on("Family", ["FName"])
+            return db.generation
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            generations = list(pool.map(read, range(64)))
+        assert set(generations) == {before + 1}
+
+    def test_applied_updates_do_not_double_count(self, db):
+        before = db.generation
+        db.insert("Family", (44, "Applied"))
+        assert db.generation == before + 1
+        assert db.generation == before + 1  # repeated reads are stable
+
+    def test_evaluator_sees_out_of_band_rows(self, db):
+        from repro.query.evaluator import QueryEvaluator
+        from repro.query.parser import parse_query
+
+        evaluator = QueryEvaluator(db)
+        query = parse_query('Q(FID) :- Family(FID, "Calcitonin")')
+        assert evaluator.evaluate(query).rows == {(1,)}
+        db.relation("Family").insert((77, "Calcitonin"))
+        assert evaluator.evaluate(query).rows == {(1,), (77,)}
+
 
 class TestInspection:
     def test_total_rows_and_sizes(self, db):

@@ -304,3 +304,19 @@ class TestIncrementalHooks:
         maintainer.insert("FamilyIntro", (60, "intro"))
         maintainer.delete("FamilyIntro", (11, "1st"))
         maintainer.check_consistency()
+
+
+class TestCompiledProgramsThroughThePlanCache:
+    def test_plan_hit_carries_compiled_programs(self, service):
+        query = "Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)"
+        service.cite(query)  # cold: compiles the plan and, on execute, the programs
+        plan, hit = service.plan_for(query)
+        assert hit
+        assert plan.rewritings  # a real plan, not a fallback
+        programs = [plan.compiled_program(i) for i in range(len(plan.rewritings))]
+        assert all(program is not None for program in programs)
+        # A structurally identical (renamed) query hits the same plan, so it
+        # reuses the same compiled join programs.
+        renamed = "Q(N) :- FamilyIntro(F, T), Family(F, N, D)"
+        twin, twin_hit = service.plan_for(renamed)
+        assert twin_hit and twin is plan
