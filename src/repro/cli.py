@@ -56,12 +56,14 @@ from repro.core.spec import (
 from repro.core.policy import CitationPolicy
 from repro.core.temporal import TIMESTAMP_ATTRIBUTE, TemporalCitationEngine, timestamp_view
 from repro.errors import ReproError
+from repro.query.evaluator import STRATEGIES
 from repro.query.parser import parse_query
 from repro.query.sql import parse_sql
 from repro.relational.csvio import load_database_json
 from repro.service import CitationService
 
 BACKEND_CHOICES = ("auto", "relational", "union", "temporal")
+STRATEGY_CHOICES = STRATEGIES
 
 
 def _load_engine(args: argparse.Namespace) -> CitationEngine:
@@ -72,7 +74,11 @@ def _load_engine(args: argparse.Namespace) -> CitationEngine:
         views = default_views_for_schema(database.schema, database_title=args.title)
         policy = CitationPolicy.default()
     return CitationEngine(
-        database, views, policy=policy, on_no_rewriting="fallback"
+        database,
+        views,
+        policy=policy,
+        on_no_rewriting="fallback",
+        strategy=getattr(args, "strategy", "auto"),
     )
 
 
@@ -315,6 +321,11 @@ def build_parser() -> argparse.ArgumentParser:
             sub.add_argument("--spec", help="citation specification JSON file (optional)")
         sub.add_argument(
             "--title", default="Cited database", help="database title used by default views"
+        )
+        sub.add_argument(
+            "--strategy", choices=STRATEGY_CHOICES, default="auto",
+            help="join execution strategy: auto picks the semi-join-reduced "
+            "program for large acyclic queries, program/reduced force one",
         )
 
     def add_backend_options(sub: argparse.ArgumentParser) -> None:

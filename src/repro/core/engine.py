@@ -42,8 +42,8 @@ from repro.core.record import CitationRecord, CitationSet
 from repro.core.rewriting_selector import RewritingSelector
 from repro.errors import CitationError, NoRewritingError
 from repro.query.ast import ConjunctiveQuery, Constant, Term, Variable
-from repro.query.compiler import JoinProgram
-from repro.query.evaluator import Binding, QueryEvaluator
+from repro.query.compiler import JoinProgram, ReducedProgram, reduce_program
+from repro.query.evaluator import Binding, QueryEvaluator, Strategy
 from repro.query.parser import parse_query
 from repro.relational.database import Database
 from repro.relational.index import IndexManager
@@ -90,6 +90,14 @@ class CitationPlan:
     _programs: dict[int, JoinProgram] = field(
         default_factory=dict, compare=False, repr=False
     )
+    #: Semi-join-reduced programs per rewriting position, filled alongside
+    #: :attr:`_programs` — the acyclicity analysis and reduction prelude are
+    #: likewise pure description, so a plan cached by the serving layer
+    #: carries both executors and serving traffic never re-analyses a query
+    #: shape it has seen.
+    _reduced: dict[int, ReducedProgram] = field(
+        default_factory=dict, compare=False, repr=False
+    )
 
     def compiled_program(self, position: int) -> JoinProgram | None:
         """The cached join program of rewriting *position* (``None`` before
@@ -99,6 +107,15 @@ class CitationPlan:
     def cache_program(self, position: int, program: JoinProgram) -> None:
         """Attach the compiled join program of rewriting *position*."""
         self._programs[position] = program
+
+    def compiled_reduced(self, position: int) -> ReducedProgram | None:
+        """The cached reduced program of rewriting *position* (``None`` before
+        first execution)."""
+        return self._reduced.get(position)
+
+    def cache_reduced(self, position: int, reduced: ReducedProgram) -> None:
+        """Attach the semi-join-reduced program of rewriting *position*."""
+        self._reduced[position] = reduced
 
     @property
     def data_dependent(self) -> bool:
@@ -179,8 +196,10 @@ class CitationEngine:
         selector: RewritingSelector | None = None,
         on_no_rewriting: Literal["error", "fallback"] = "error",
         fallback_citation: CitationRecord | None = None,
+        strategy: Strategy = "auto",
     ) -> None:
         self.database = database
+        self.strategy: Strategy = strategy
         self.citation_views = list(citation_views)
         if not self.citation_views:
             raise CitationError("a citation engine needs at least one citation view")
@@ -407,6 +426,7 @@ class CitationEngine:
             self.database,
             extra_relations=self.view_relations(),
             index_manager=self._index_manager,
+            strategy=self.strategy,
         )
         per_rewriting: list[tuple[Rewriting, dict[tuple, list[Binding]]]] = []
         all_rows: set[tuple] = set()
@@ -415,8 +435,12 @@ class CitationEngine:
             if program is None:
                 program = evaluator.compile(rewriting.query)
                 plan.cache_program(position, program)
+            reduced = plan.compiled_reduced(position)
+            if reduced is None and self.strategy != "program":
+                reduced = reduce_program(program)
+                plan.cache_reduced(position, reduced)
             bindings_by_row = evaluator.evaluate_with_bindings(
-                rewriting.query, program=program
+                rewriting.query, program=program, reduced=reduced
             )
             per_rewriting.append((rewriting, bindings_by_row))
             all_rows.update(bindings_by_row)
@@ -466,7 +490,9 @@ class CitationEngine:
         fallback = self.fallback_citation or CitationRecord(
             {"title": "Cited database", "note": "no citation view covers this query"}
         )
-        result_relation = QueryEvaluator(self.database).evaluate(query.without_parameters())
+        result_relation = QueryEvaluator(self.database, strategy=self.strategy).evaluate(
+            query.without_parameters()
+        )
         rows = result_relation.rows
         atom = CitationAtom("__database__", {}, fallback)
         tuple_citations = [

@@ -14,7 +14,10 @@ full CQ toolchain the model needs:
 * :mod:`repro.query.compiler` — compilation of a CQ into a static
   :class:`~repro.query.compiler.JoinProgram` (fixed atom order, variable→slot
   frames, per-atom bound-position accessors) that the evaluator executes and
-  the serving layer caches on compiled citation plans,
+  the serving layer caches on compiled citation plans; plus the GYO
+  acyclicity analysis and the Yannakakis-style
+  :class:`~repro.query.compiler.ReducedProgram` (semi-join prelude +
+  sideways information passing) behind the evaluator's strategy knob,
 * :mod:`repro.query.containment` — homomorphism-based containment and
   equivalence,
 * :mod:`repro.query.minimization` — core computation / minimization,
@@ -30,8 +33,20 @@ from repro.query.ast import (
     Variable,
 )
 from repro.query.parser import parse_query, parse_program
-from repro.query.compiler import JoinProgram, compile_query
-from repro.query.evaluator import QueryEvaluator, evaluate, evaluate_with_bindings
+from repro.query.compiler import (
+    JoinProgram,
+    ReducedProgram,
+    compile_query,
+    is_acyclic,
+    join_forest,
+    reduce_program,
+)
+from repro.query.evaluator import (
+    QueryEvaluator,
+    Strategy,
+    evaluate,
+    evaluate_with_bindings,
+)
 from repro.query.containment import (
     containment_mapping,
     find_homomorphism,
@@ -60,8 +75,13 @@ __all__ = [
     "parse_program",
     "parse_sql",
     "JoinProgram",
+    "ReducedProgram",
     "compile_query",
+    "reduce_program",
+    "join_forest",
+    "is_acyclic",
     "QueryEvaluator",
+    "Strategy",
     "evaluate",
     "evaluate_with_bindings",
     "is_contained_in",

@@ -26,19 +26,52 @@ resolved once per evaluation, and optionally an
 :class:`~repro.relational.index.IndexManager` so that bound-position probes
 become hash-index lookups — including probes into materialised views and
 other ``extra_relations``, which the interpreted evaluator always scanned.
+
+On top of the plain program, :func:`reduce_program` performs a join-tree /
+GYO analysis and produces a :class:`ReducedProgram` — a Yannakakis-style
+reduction prelude plus sideways information passing:
+
+* when the query is **α-acyclic** (GYO ear removal succeeds), the prelude
+  runs a bottom-up and a top-down semi-join pass over the join tree before
+  the nested-loop join, so every atom's extension is pruned to the rows that
+  participate in at least one answer (the dangling tuples that make the
+  plain program enumerate doomed partial bindings never enter the join);
+* independently of acyclicity, each step **exports the bound-value sets** of
+  the variables it writes, and every downstream step whose probe key reads
+  one of those variables pre-filters its relation by them (sideways
+  information passing, magic-sets style) — sound for cyclic queries too.
+  Value sets only flow from steps an earlier pass has already shrunk
+  (constants, equality seeds, semi-joins or an upstream SIP filter): an
+  untouched step's sets are full columns, which prune nothing and cost a
+  scan, so a constant-free cyclic query deliberately degenerates to the
+  plain program (plus the cheap analysis).
+
+Both passes are pure semi-joins: they only ever *remove* rows that cannot
+contribute to any satisfying frame, so a reduced program yields exactly the
+frames of its plain program (possibly in a different order).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Mapping
+from typing import AbstractSet, Iterator, Mapping, Sequence
 
 from repro.errors import QueryError
 from repro.query.ast import Atom, ConjunctiveQuery, Constant, Variable
 from repro.relational.index import IndexManager
 from repro.relational.relation import Relation
 
-__all__ = ["JoinStep", "JoinProgram", "compile_query"]
+__all__ = [
+    "JoinStep",
+    "JoinProgram",
+    "SemiJoinEdge",
+    "StepReduction",
+    "ReducedProgram",
+    "compile_query",
+    "reduce_program",
+    "join_forest",
+    "is_acyclic",
+]
 
 
 @dataclass(frozen=True)
@@ -92,6 +125,9 @@ class JoinProgram:
         # front, the (current) index lazily on first entry at that depth —
         # a join that short-circuits early never pays for deeper indexes —
         # so the per-row loop touches neither the resolver nor the manager.
+        # The writes/post_checks inner loop is mirrored (with a different
+        # row-source dispatch) in ReducedProgram.run_frames; the plain path
+        # keeps its own tight copy, so fix both when touching either.
         plan = [
             [step, relations[step.predicate], None, tuple(zip(step.key_slots, step.key_values))]
             for step in self.steps
@@ -265,4 +301,430 @@ def compile_query(
         steps=tuple(steps),
         head_slots=tuple(head_slots),
         head_values=tuple(head_values),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Acyclicity analysis (GYO ear removal) and the Yannakakis-style reduction
+# ---------------------------------------------------------------------------
+def join_forest(
+    varsets: Sequence[set],
+) -> list[tuple[int, int]] | None:
+    """GYO ear removal over a hypergraph given as per-edge vertex sets.
+
+    Returns the ``(ear, witness)`` pairs in removal order when the hypergraph
+    is α-acyclic, and ``None`` when it is cyclic.  An ear is an edge whose
+    vertices shared with any *other* remaining edge are all contained in one
+    witness edge; edges sharing no vertex with the rest (disconnected
+    components, cartesian products) are ears with an arbitrary witness, so an
+    acyclic hypergraph always reduces to a single root and the pairs form a
+    tree.  Ears and witnesses are picked lowest-index-first, so the tree is
+    deterministic.
+    """
+    alive = list(range(len(varsets)))
+    edges: list[tuple[int, int]] = []
+    while len(alive) > 1:
+        ear = None
+        for i in alive:
+            others = [j for j in alive if j != i]
+            shared = varsets[i] & set().union(*(varsets[j] for j in others))
+            witness = next((j for j in others if shared <= varsets[j]), None)
+            if witness is not None:
+                ear = (i, witness)
+                break
+        if ear is None:
+            return None
+        edges.append(ear)
+        alive.remove(ear[0])
+    return edges
+
+
+def is_acyclic(query: ConjunctiveQuery) -> bool:
+    """Whether *query*'s body hypergraph is α-acyclic (GYO-reducible).
+
+    Variables bound to a constant by an equality atom are effectively
+    constants and do not connect atoms, so they are excluded — the same
+    structure :func:`reduce_program` builds its join tree over.
+    """
+    bound = {eq.variable for eq in query.equalities}
+    varsets = [
+        {v for v in atom.variables() if v not in bound} for atom in query.body
+    ]
+    return join_forest(varsets) is not None
+
+
+@dataclass(frozen=True)
+class SemiJoinEdge:
+    """One join-tree edge, with the shared variables' positions in each atom.
+
+    ``child`` and ``parent`` are step indices; the aligned position tuples
+    project both atoms onto the same (sorted) shared-variable sequence.  The
+    bottom-up pass filters the parent by the child's key projection; the
+    top-down pass (the edges reversed) filters the child by the parent's.
+    """
+
+    child: int
+    parent: int
+    child_positions: tuple[int, ...]
+    parent_positions: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class StepReduction:
+    """Per-step pre-filters feeding the reduction prelude.
+
+    ``prefilters`` are positions that must equal a compile-time constant (atom
+    constants and equality-seeded variables); ``repeat_pairs`` are within-atom
+    variable repeats (both positions must agree); ``sip_filters`` are
+    positions whose variable is written by an earlier step — the row value
+    must be in that variable's exported bound-value set; ``exports`` are the
+    writes whose bound-value sets some later step consumes.
+    """
+
+    prefilters: tuple[tuple[int, object], ...]
+    repeat_pairs: tuple[tuple[int, int], ...]
+    sip_filters: tuple[tuple[int, int], ...]
+    exports: tuple[tuple[int, int], ...]
+
+
+@dataclass(frozen=True)
+class ReducedProgram:
+    """A join program plus its semi-join reduction prelude.
+
+    Execution runs up to three pruning passes over the per-step extensions
+    before the nested-loop join of the underlying :class:`JoinProgram`:
+    constant pre-filters (served by hash indexes when available), the
+    Yannakakis bottom-up/top-down semi-joins over the join tree (acyclic
+    programs only), and the sideways-information-passing forward pass.  A
+    step left untouched by every pass joins exactly like the plain program —
+    including probing the shared, persistently cached hash indexes — so the
+    reduction never rebuilds an index it did not shrink.
+    """
+
+    program: JoinProgram
+    acyclic: bool
+    semi_joins: tuple[SemiJoinEdge, ...]
+    reductions: tuple[StepReduction, ...]
+
+    # -- the reduction prelude ---------------------------------------------
+    def reduce_relations(
+        self,
+        relations: Mapping[str, Relation],
+        index_manager: IndexManager | None = None,
+        use_indexes: bool = True,
+    ) -> list[list[tuple] | None] | None:
+        """Run every pruning pass; return per-step surviving rows.
+
+        A ``None`` entry means the step's full extension survived untouched.
+        Returns ``None`` (no list at all) as soon as any step's extension is
+        empty — the query has no answers.
+        """
+        steps = self.program.steps
+        probe = use_indexes and index_manager is not None
+        candidates: list[list[tuple] | None] = []
+        for step, reduction in zip(steps, self.reductions):
+            relation = relations[step.predicate]
+            rows: list[tuple] | None = None
+            if reduction.prefilters:
+                if probe:
+                    positions = tuple(p for p, _ in reduction.prefilters)
+                    index = index_manager.index_for(step.predicate, relation, positions)
+                    rows = list(index.get(tuple(v for _, v in reduction.prefilters)))
+                else:
+                    rows = [
+                        row
+                        for row in relation
+                        if all(row[p] == v for p, v in reduction.prefilters)
+                    ]
+            if reduction.repeat_pairs:
+                base: Iterator[tuple] | list[tuple] = (
+                    rows if rows is not None else iter(relation)
+                )
+                rows = [
+                    row
+                    for row in base
+                    if all(row[a] == row[b] for a, b in reduction.repeat_pairs)
+                ]
+            if (rows is not None and not rows) or (rows is None and not len(relation)):
+                return None
+            candidates.append(rows)
+
+        if self.semi_joins:
+            for edge in self.semi_joins:  # bottom-up: children filter parents
+                keys = self._projection(
+                    edge.child, edge.child_positions, candidates, relations,
+                    index_manager, probe,
+                )
+                if not self._restrict(
+                    edge.parent, edge.parent_positions, keys, candidates, relations
+                ):
+                    return None
+            for edge in reversed(self.semi_joins):  # top-down: parents filter children
+                keys = self._projection(
+                    edge.parent, edge.parent_positions, candidates, relations,
+                    index_manager, probe,
+                )
+                if not self._restrict(
+                    edge.child, edge.child_positions, keys, candidates, relations
+                ):
+                    return None
+
+        # Sideways information passing: steps export the value sets of the
+        # variables they write (once shrunk below their full extension), and
+        # downstream steps drop rows probing values outside those sets.
+        value_sets: dict[int, set] = {}
+        for position, (step, reduction) in enumerate(zip(steps, self.reductions)):
+            filters = [
+                (p, value_sets[s])
+                for p, s in reduction.sip_filters
+                if s in value_sets
+            ]
+            if filters:
+                rows = candidates[position]
+                source = rows if rows is not None else relations[step.predicate]
+                rows = [
+                    row
+                    for row in source
+                    if all(row[p] in values for p, values in filters)
+                ]
+                if not rows:
+                    return None
+                candidates[position] = rows
+            surviving = candidates[position]
+            if reduction.exports and surviving is not None:
+                for p, slot in reduction.exports:
+                    value_sets[slot] = {row[p] for row in surviving}
+        return candidates
+
+    def _projection(
+        self,
+        position: int,
+        positions: tuple[int, ...],
+        candidates: list[list[tuple] | None],
+        relations: Mapping[str, Relation],
+        index_manager: IndexManager | None,
+        probe: bool,
+    ) -> AbstractSet[tuple]:
+        """The distinct key projection of a step's surviving rows."""
+        rows = candidates[position]
+        if rows is None:
+            relation = relations[self.program.steps[position].predicate]
+            if not positions:
+                return {()} if len(relation) else set()
+            if probe:
+                # An untouched step's projection is exactly the key set of a
+                # hash index on those positions — served from (and cached in)
+                # the shared manager instead of re-scanning the relation.
+                index = index_manager.index_for(
+                    self.program.steps[position].predicate, relation, positions
+                )
+                return index.key_set()
+            rows = relation
+        return {tuple(row[p] for p in positions) for row in rows}
+
+    def _restrict(
+        self,
+        position: int,
+        positions: tuple[int, ...],
+        keys,
+        candidates: list[list[tuple] | None],
+        relations: Mapping[str, Relation],
+    ) -> bool:
+        """Semi-join one step's rows by *keys*; return whether any survive."""
+        rows = candidates[position]
+        source = (
+            rows
+            if rows is not None
+            else relations[self.program.steps[position].predicate]
+        )
+        surviving = [
+            row for row in source if tuple(row[p] for p in positions) in keys
+        ]
+        candidates[position] = surviving
+        return bool(surviving)
+
+    # -- execution ----------------------------------------------------------
+    def run_frames(
+        self,
+        relations: Mapping[str, Relation],
+        index_manager: IndexManager | None = None,
+        use_indexes: bool = True,
+    ) -> Iterator[tuple]:
+        """Yield every satisfying frame (same frames as the plain program)."""
+        candidates = self.reduce_relations(relations, index_manager, use_indexes)
+        if candidates is None:
+            return
+        program = self.program
+        frame: list = [None] * program.slot_count
+        for slot, value in program.seed:
+            frame[slot] = value
+        probe = use_indexes and index_manager is not None
+        # Per-step row sources: "all" iterates the source directly, "map"
+        # probes a keyed mapping (an ephemeral dict over reduced rows, or the
+        # shared hash index for steps the reduction left untouched), "scan"
+        # falls back to a filtering scan when indexing is disabled.  The
+        # descend loop mirrors JoinProgram.run_frames — fix both together.
+        plan = []
+        for position, step in enumerate(program.steps):
+            rows = candidates[position]
+            relation = relations[step.predicate]
+            key_pairs = tuple(zip(step.key_slots, step.key_values))
+            if not step.key_positions:
+                plan.append((step, "all", rows if rows is not None else relation, key_pairs))
+            elif rows is None and probe:
+                index = index_manager.index_for(
+                    step.predicate, relation, step.key_positions
+                )
+                plan.append((step, "map", index, key_pairs))
+            elif rows is None:
+                plan.append((step, "scan", relation, key_pairs))
+            else:
+                buckets: dict[tuple, list[tuple]] = {}
+                key_positions = step.key_positions
+                for row in rows:
+                    buckets.setdefault(
+                        tuple(row[p] for p in key_positions), []
+                    ).append(row)
+                plan.append((step, "map", buckets, key_pairs))
+        depth_count = len(plan)
+
+        def descend(depth: int) -> Iterator[tuple]:
+            if depth == depth_count:
+                yield tuple(frame)
+                return
+            step, kind, source, key_pairs = plan[depth]
+            if kind == "all":
+                rows = source
+            else:
+                key = tuple(
+                    value if slot is None else frame[slot]
+                    for slot, value in key_pairs
+                )
+                if kind == "map":
+                    rows = source.get(key, ())
+                else:
+                    rows = source.rows_matching(dict(zip(step.key_positions, key)))
+            writes = step.writes
+            post_checks = step.post_checks
+            for row in rows:
+                for position, slot in writes:
+                    frame[slot] = row[position]
+                for position, slot in post_checks:
+                    if row[position] != frame[slot]:
+                        break
+                else:
+                    yield from descend(depth + 1)
+
+        yield from descend(0)
+
+    def output_row(self, frame: tuple) -> tuple:
+        """Project one frame onto the query's head terms."""
+        return self.program.output_row(frame)
+
+    def run_rows(
+        self,
+        relations: Mapping[str, Relation],
+        index_manager: IndexManager | None = None,
+        use_indexes: bool = True,
+    ) -> Iterator[tuple]:
+        """Yield the head projection of every satisfying frame (with repeats)."""
+        output_row = self.program.output_row
+        for frame in self.run_frames(relations, index_manager, use_indexes):
+            yield output_row(frame)
+
+    def run_bindings(
+        self,
+        relations: Mapping[str, Relation],
+        index_manager: IndexManager | None = None,
+        use_indexes: bool = True,
+    ) -> Iterator[dict[Variable, object]]:
+        """Yield every satisfying assignment as a variable→value dict."""
+        variables = self.program.variables
+        for frame in self.run_frames(relations, index_manager, use_indexes):
+            yield dict(zip(variables, frame))
+
+
+def reduce_program(program: JoinProgram) -> ReducedProgram:
+    """Analyse *program* and attach its semi-join reduction prelude.
+
+    Pure description, like the program itself: the analysis reads only the
+    compiled steps (never the data), so a reduced program stays valid across
+    database mutations and rides along with cached plans.  The join tree is
+    built over variable slots, with equality-seeded slots treated as
+    constants — they pre-filter extensions instead of connecting atoms.
+    """
+    seed_values = dict(program.seed)
+    prefilters_per_step: list[tuple[tuple[int, object], ...]] = []
+    sip_per_step: list[tuple[tuple[int, int], ...]] = []
+    repeats_per_step: list[tuple[tuple[int, int], ...]] = []
+    varsets: list[set[int]] = []
+    slot_positions: list[dict[int, int]] = []
+    for step in program.steps:
+        prefilters: list[tuple[int, object]] = []
+        sip_filters: list[tuple[int, int]] = []
+        positions: dict[int, int] = {}
+        for position, slot, value in zip(
+            step.key_positions, step.key_slots, step.key_values
+        ):
+            if slot is None:
+                prefilters.append((position, value))
+            elif slot in seed_values:
+                prefilters.append((position, seed_values[slot]))
+            else:
+                sip_filters.append((position, slot))
+                positions.setdefault(slot, position)
+        write_positions: dict[int, int] = {}
+        for position, slot in step.writes:
+            write_positions[slot] = position
+            positions.setdefault(slot, position)
+        repeats = tuple(
+            (write_positions[slot], position) for position, slot in step.post_checks
+        )
+        prefilters_per_step.append(tuple(prefilters))
+        sip_per_step.append(tuple(sip_filters))
+        repeats_per_step.append(repeats)
+        varsets.append(set(positions))
+        slot_positions.append(positions)
+
+    consumed = {slot for sip in sip_per_step for _position, slot in sip}
+    reductions = tuple(
+        StepReduction(
+            prefilters=prefilters_per_step[i],
+            repeat_pairs=repeats_per_step[i],
+            sip_filters=sip_per_step[i],
+            exports=tuple(
+                (position, slot)
+                for position, slot in step.writes
+                if slot in consumed
+            ),
+        )
+        for i, step in enumerate(program.steps)
+    )
+
+    forest = join_forest(varsets)
+    semi_joins: tuple[SemiJoinEdge, ...] = ()
+    if forest:
+        edges = []
+        for child, parent in forest:
+            shared = sorted(varsets[child] & varsets[parent])
+            # Edges linking disconnected components share no variables: a
+            # semi-join over them keeps every row (emptiness already
+            # short-circuits in the prelude) while forcing full-relation
+            # copies and ephemeral bucket builds — skip them.
+            if not shared:
+                continue
+            edges.append(
+                SemiJoinEdge(
+                    child=child,
+                    parent=parent,
+                    child_positions=tuple(slot_positions[child][s] for s in shared),
+                    parent_positions=tuple(slot_positions[parent][s] for s in shared),
+                )
+            )
+        semi_joins = tuple(edges)
+    return ReducedProgram(
+        program=program,
+        acyclic=forest is not None,
+        semi_joins=semi_joins,
+        reductions=reductions,
     )

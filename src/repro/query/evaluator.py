@@ -18,21 +18,57 @@ over ``extra_relations`` such as materialised views, via an
 query on the evaluator (callers that hold a compiled plan can also pass a
 program in explicitly, which is how the serving layer amortises compilation
 across requests).
+
+The evaluator has a **strategy knob** for how a program is executed:
+
+* ``"program"`` — the plain nested-loop join program;
+* ``"reduced"`` — the program behind its semi-join reduction prelude
+  (:func:`~repro.query.compiler.reduce_program`): a Yannakakis bottom-up /
+  top-down pass over the join tree for acyclic queries, plus sideways
+  information passing for every query;
+* ``"auto"`` (the default) — ``"reduced"`` exactly when the query is
+  α-acyclic, joins at least two atoms, and the body extensions are large
+  enough (their total cardinality reaches ``reduction_threshold``) for the
+  prelude's linear passes to plausibly pay for themselves; everything else
+  runs the plain program.
+
+All strategies produce identical answers and binding sets — the reduction
+only removes rows that cannot contribute — which the differential property
+suite (``tests/property/test_strategy_equivalence.py``) locks down.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Mapping
+from typing import Iterator, Literal, Mapping
 
 from repro.errors import QueryError, UnknownRelationError
 from repro.query.ast import ConjunctiveQuery, Constant, Term, Variable
-from repro.query.compiler import JoinProgram, compile_query
+from repro.query.compiler import (
+    JoinProgram,
+    ReducedProgram,
+    compile_query,
+    reduce_program,
+)
 from repro.relational.database import Database
 from repro.relational.index import IndexManager
 from repro.relational.relation import Relation
 from repro.relational.schema import Attribute, RelationSchema
 
 Binding = dict[Variable, object]
+
+Strategy = Literal["auto", "program", "reduced"]
+
+STRATEGIES: tuple[Strategy, ...] = ("auto", "program", "reduced")
+
+#: Under ``strategy="auto"``, the smallest total body-extension cardinality
+#: for which the reduction prelude is worth its linear passes.  Small or
+#: densely joining instances join fast either way, and the prelude's
+#: per-evaluation passes (plus the ephemeral bucket builds over reduced
+#: rows) are pure overhead when nothing dangles — so the gate errs high;
+#: callers that know their data is sparse can lower it or force
+#: ``strategy="reduced"``.  Replacing the gate with a proper cost model is a
+#: recorded follow-on.
+DEFAULT_REDUCTION_THRESHOLD = 4096
 
 
 class QueryEvaluator:
@@ -52,15 +88,24 @@ class QueryEvaluator:
         extra_relations: Mapping[str, Relation] | None = None,
         use_indexes: bool = True,
         index_manager: IndexManager | None = None,
+        strategy: Strategy = "auto",
+        reduction_threshold: int = DEFAULT_REDUCTION_THRESHOLD,
     ) -> None:
+        if strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown evaluation strategy {strategy!r}; expected one of {STRATEGIES}"
+            )
         self.database = database
         self.extra_relations = dict(extra_relations or {})
         self.use_indexes = use_indexes
+        self.strategy: Strategy = strategy
+        self.reduction_threshold = reduction_threshold
         # Not `or`: an IndexManager with no entries yet is len() == 0, falsy.
         self.index_manager = (
             index_manager if index_manager is not None else IndexManager(database)
         )
         self._programs: dict[ConjunctiveQuery, JoinProgram] = {}
+        self._reduced: dict[ConjunctiveQuery, ReducedProgram] = {}
 
     # -- relation resolution ------------------------------------------------
     def _relation_for(self, predicate: str) -> Relation:
@@ -90,6 +135,14 @@ class QueryEvaluator:
         """The compiled join program for *query* (cached per evaluator)."""
         return self._program_for(query, self._resolve_relations(query))
 
+    def reduce(self, query: ConjunctiveQuery) -> ReducedProgram:
+        """The semi-join-reduced program for *query* (cached per evaluator)."""
+        reduced = self._reduced.get(query)
+        if reduced is None:
+            reduced = reduce_program(self.compile(query))
+            self._reduced[query] = reduced
+        return reduced
+
     def _program_for(
         self, query: ConjunctiveQuery, relations: Mapping[str, Relation]
     ) -> JoinProgram:
@@ -99,15 +152,87 @@ class QueryEvaluator:
             self._programs[query] = program
         return program
 
+    # -- strategy selection --------------------------------------------------
+    def select_strategy(
+        self, query: ConjunctiveQuery
+    ) -> Literal["program", "reduced"]:
+        """The executor this evaluator would run *query* with right now.
+
+        ``"program"`` and ``"reduced"`` are themselves; ``"auto"`` resolves by
+        acyclicity and the current body-extension cardinalities, so the answer
+        can change as the data grows or shrinks.
+        """
+        if self.strategy != "auto":
+            return self.strategy
+        relations = self._resolve_relations(query)
+        return (
+            "reduced"
+            if self._auto_reduces(self.reduce(query), relations)
+            else "program"
+        )
+
+    def _auto_reduces(
+        self, reduced: ReducedProgram, relations: Mapping[str, Relation]
+    ) -> bool:
+        program = reduced.program
+        if not reduced.acyclic or len(program.steps) < 2:
+            return False
+        total = sum(len(relations[step.predicate]) for step in program.steps)
+        return total >= self.reduction_threshold
+
+    def _executor(
+        self,
+        query: ConjunctiveQuery,
+        relations: Mapping[str, Relation],
+        program: JoinProgram,
+        reduced: ReducedProgram | None,
+        strategy: Strategy | None,
+        cache: bool = True,
+    ) -> JoinProgram | ReducedProgram:
+        """Resolve the strategy for one evaluation to a runnable program."""
+        strategy = strategy or self.strategy
+        if strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown evaluation strategy {strategy!r}; expected one of {STRATEGIES}"
+            )
+        if strategy == "program":
+            return program
+        if strategy == "auto":
+            # The cheap gates come before the analysis: a small or
+            # single-atom query never pays for join_forest (this matters for
+            # evaluate_parameterized, which cannot cache the analysis).
+            if len(program.steps) < 2:
+                return program
+            total = sum(len(relations[step.predicate]) for step in program.steps)
+            if total < self.reduction_threshold:
+                return program
+        # The reduction must wrap exactly the program whose slot layout the
+        # caller will project frames with — a cached analysis of an older
+        # (differently ordered) compile of the same query must not be served.
+        if reduced is None or reduced.program is not program:
+            reduced = self._reduced.get(query) if cache else None
+            if reduced is None or reduced.program is not program:
+                reduced = reduce_program(program)
+                if cache and self._programs.get(query) is program:
+                    self._reduced[query] = reduced
+        if strategy == "auto" and not reduced.acyclic:
+            return program
+        return reduced
+
     # -- core join ------------------------------------------------------------
     def bindings(
-        self, query: ConjunctiveQuery, program: JoinProgram | None = None
+        self,
+        query: ConjunctiveQuery,
+        program: JoinProgram | None = None,
+        reduced: ReducedProgram | None = None,
+        strategy: Strategy | None = None,
     ) -> Iterator[Binding]:
         """Yield every satisfying assignment of the query's variables."""
         relations = self._resolve_relations(query)
         if program is None:
             program = self._program_for(query, relations)
-        yield from program.run_bindings(
+        executor = self._executor(query, relations, program, reduced, strategy)
+        yield from executor.run_bindings(
             relations, self.index_manager, self.use_indexes
         )
 
@@ -127,32 +252,47 @@ class QueryEvaluator:
                 out.append(binding[term])
         return tuple(out)
 
-    def evaluate(self, query: ConjunctiveQuery) -> Relation:
+    def evaluate(
+        self, query: ConjunctiveQuery, strategy: Strategy | None = None
+    ) -> Relation:
         """Evaluate *query* and return its answer relation (set semantics)."""
-        return self._evaluate(query, cache_program=True)
+        return self._evaluate(query, cache_program=True, strategy=strategy)
 
-    def _evaluate(self, query: ConjunctiveQuery, cache_program: bool) -> Relation:
+    def _evaluate(
+        self,
+        query: ConjunctiveQuery,
+        cache_program: bool,
+        strategy: Strategy | None = None,
+    ) -> Relation:
         schema = result_schema(query)
         relations = self._resolve_relations(query)
         if cache_program:
             program = self._program_for(query, relations)
         else:
             program = compile_query(query, relations)
+        executor = self._executor(
+            query, relations, program, None, strategy, cache=cache_program
+        )
         answers = set(
-            program.run_rows(relations, self.index_manager, self.use_indexes)
+            executor.run_rows(relations, self.index_manager, self.use_indexes)
         )
         return Relation(schema, answers)
 
     def evaluate_with_bindings(
-        self, query: ConjunctiveQuery, program: JoinProgram | None = None
+        self,
+        query: ConjunctiveQuery,
+        program: JoinProgram | None = None,
+        reduced: ReducedProgram | None = None,
+        strategy: Strategy | None = None,
     ) -> dict[tuple, list[Binding]]:
         """Map every output tuple to the list of bindings producing it."""
         relations = self._resolve_relations(query)
         if program is None:
             program = self._program_for(query, relations)
+        executor = self._executor(query, relations, program, reduced, strategy)
         variables = program.variables
         out: dict[tuple, list[Binding]] = {}
-        for frame in program.run_frames(
+        for frame in executor.run_frames(
             relations, self.index_manager, self.use_indexes
         ):
             out.setdefault(program.output_row(frame), []).append(
@@ -161,12 +301,17 @@ class QueryEvaluator:
         return out
 
     def evaluate_parameterized(
-        self, query: ConjunctiveQuery, parameter_values: Mapping[str | Variable, object]
+        self,
+        query: ConjunctiveQuery,
+        parameter_values: Mapping[str | Variable, object],
+        strategy: Strategy | None = None,
     ) -> Relation:
         """Evaluate a parameterized query with its parameters instantiated.
 
         ``parameter_values`` maps parameter names (or variables) to constants;
-        every parameter of the query must be covered.
+        every parameter of the query must be covered.  The substituted
+        constants become reduction pre-filters, so parameterized citation
+        queries are where the ``"reduced"`` strategy shines.
         """
         substitution: dict[Variable, Term] = {}
         for param in query.parameters:
@@ -182,7 +327,9 @@ class QueryEvaluator:
         # Substituted queries embed the per-call constants, so caching their
         # programs would retain one entry per distinct parameter valuation on
         # a long-lived evaluator — compile without caching instead.
-        return self._evaluate(query.substitute(substitution), cache_program=False)
+        return self._evaluate(
+            query.substitute(substitution), cache_program=False, strategy=strategy
+        )
 
 
 def result_schema(query: ConjunctiveQuery) -> RelationSchema:

@@ -13,7 +13,7 @@ staleness detection via :attr:`Relation.version`.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import TYPE_CHECKING, Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator, KeysView
 
 from repro.relational.relation import Relation
 
@@ -60,18 +60,30 @@ class HashIndex:
         """Yield all indexed rows whose projection equals *key*."""
         yield from self._buckets.get(tuple(key), ())
 
-    def get(self, key: tuple) -> list[tuple] | tuple:
-        """The rows whose projection equals *key* (``()`` when absent).
+    def get(self, key: tuple, default: list[tuple] | tuple = ()) -> list[tuple] | tuple:
+        """The rows whose projection equals *key* (*default* when absent).
 
         Like :meth:`lookup` but returns the bucket itself instead of a
         generator — the join hot path iterates it directly.  Callers must not
-        mutate the returned list.
+        mutate the returned list.  The optional *default* mirrors
+        ``dict.get`` so a :class:`HashIndex` and a plain bucket dict are
+        interchangeable row sources (the reduced join program exploits this).
         """
-        return self._buckets.get(key, ())
+        return self._buckets.get(key, default)
 
     def keys(self) -> Iterator[tuple]:
         """Yield the distinct keys present in the index."""
         return iter(self._buckets)
+
+    def key_set(self) -> KeysView[tuple]:
+        """The distinct keys as a set-like view (no copy).
+
+        This is exactly the projection of the indexed relation onto the index
+        positions — the semi-join passes of
+        :class:`~repro.query.compiler.ReducedProgram` read it instead of
+        re-scanning relations whose extension the reduction has not shrunk.
+        """
+        return self._buckets.keys()
 
     def __len__(self) -> int:
         return self._size

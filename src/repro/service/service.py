@@ -320,6 +320,7 @@ class CitationService:
                 "generation": generation,
                 "cache_epoch": epoch,
                 "mode": self.engine.mode,
+                "strategy": self.engine.strategy,
                 "citation_views": len(self.engine.citation_views),
             }
         return snapshot

@@ -1,8 +1,28 @@
-"""Shared fixtures: the paper's running example and small synthetic instances."""
+"""Shared fixtures: the paper's running example and small synthetic instances.
+
+This conftest also makes ``tests/strategies.py`` — the shared hypothesis
+generators — importable as ``strategies`` from every test package, and
+registers pinned hypothesis profiles:
+
+* ``dev`` (default): no deadline (CI machines and laptops differ too much
+  for per-example deadlines to be signal), random seeding;
+* ``ci`` (selected via ``HYPOTHESIS_PROFILE=ci``): additionally
+  derandomized, so CI failures reproduce deterministically.
+"""
 
 from __future__ import annotations
 
+import os
+import sys
+
 import pytest
+from hypothesis import settings
+
+sys.path.insert(0, os.path.dirname(__file__))  # `import strategies` everywhere
+
+settings.register_profile("dev", deadline=None)
+settings.register_profile("ci", deadline=None, derandomize=True)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 from repro import CitationEngine, parse_query
 from repro.workloads import drugbank, gtopdb, reactome

@@ -225,3 +225,33 @@ class TestCompiledJoinPrograms:
         paper_engine.cite(paper_query)
         paper_engine.invalidate_caches()
         assert len(paper_engine._index_manager) == 0
+
+
+class TestReducedProgramsOnPlans:
+    def test_execute_attaches_reduced_programs(self, paper_engine, paper_query):
+        plan = paper_engine.compile_plan(paper_query)
+        assert all(
+            plan.compiled_reduced(i) is None for i in range(len(plan.rewritings))
+        )
+        paper_engine.execute_plan(plan)
+        reduced = [plan.compiled_reduced(i) for i in range(len(plan.rewritings))]
+        assert all(r is not None for r in reduced)
+        # Rewritings over the citation views are acyclic conjunctive queries.
+        assert all(r.acyclic for r in reduced)
+        paper_engine.execute_plan(plan)
+        assert [
+            plan.compiled_reduced(i) for i in range(len(plan.rewritings))
+        ] == reduced
+
+    @pytest.mark.parametrize("strategy", ["program", "reduced", "auto"])
+    def test_every_strategy_produces_the_same_citations(
+        self, paper_db, paper_views, paper_query, strategy
+    ):
+        baseline = CitationEngine(paper_db, paper_views).cite(paper_query)
+        engine = CitationEngine(paper_db, paper_views, strategy=strategy)
+        result = engine.cite(paper_query)
+        assert result.result.rows == baseline.result.rows
+        assert result.citation.records == baseline.citation.records
+        by_row = {tc.row: tc.records for tc in result.tuple_citations}
+        baseline_by_row = {tc.row: tc.records for tc in baseline.tuple_citations}
+        assert by_row == baseline_by_row

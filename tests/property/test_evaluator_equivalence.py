@@ -1,111 +1,24 @@
 """Property: all evaluation strategies agree on random conjunctive queries.
 
 Three independent answers are compared on randomly generated queries and
-instances, including self-joins (the same predicate twice) and view-backed
-``extra_relations``:
+instances (generators shared via :mod:`strategies`), including self-joins
+(the same predicate twice) and view-backed ``extra_relations``:
 
 * the compiled evaluator probing hash indexes,
 * the compiled evaluator restricted to scans (``use_indexes=False``),
 * a brute-force reference that enumerates the full cartesian product of the
   body atoms' relations and filters by the term constraints — no join
   ordering, no slots, no indexes, just the textbook semantics.
+
+The semi-join-reduction strategies get the same treatment in
+``test_strategy_equivalence.py``.
 """
 
-import itertools
+from hypothesis import given, settings
 
-from hypothesis import given, settings, strategies as st
+from strategies import brute_force, random_instances, random_queries, self_join_queries
 
-from repro.query.ast import Atom, ConjunctiveQuery, Constant, Variable
 from repro.query.evaluator import QueryEvaluator
-from repro.relational.database import Database
-from repro.relational.relation import Relation
-from repro.relational.schema import Attribute, DatabaseSchema, RelationSchema
-
-_SCHEMA = DatabaseSchema(
-    [
-        RelationSchema("R", [Attribute("a", int), Attribute("b", int)]),
-        RelationSchema("S", [Attribute("a", int), Attribute("b", int)]),
-    ]
-)
-
-_VIEW_SCHEMA = RelationSchema("V", [Attribute("a", int), Attribute("b", int)])
-
-_VARIABLES = ["X", "Y", "Z", "W"]
-
-
-@st.composite
-def random_queries(draw):
-    """Safe conjunctive queries over R, S and the view V, with constants."""
-    atom_count = draw(st.integers(min_value=1, max_value=3))
-    body = []
-    for _ in range(atom_count):
-        predicate = draw(st.sampled_from(["R", "S", "V"]))
-        terms = []
-        for _position in range(2):
-            if draw(st.booleans()):
-                terms.append(Variable(draw(st.sampled_from(_VARIABLES))))
-            else:
-                terms.append(Constant(draw(st.integers(0, 3))))
-        body.append(Atom(predicate, tuple(terms)))
-    body_vars = sorted({v.name for atom in body for v in atom.variables()})
-    if not body_vars:
-        body.append(Atom("R", (Variable("X"), Variable("Y"))))
-        body_vars = ["X", "Y"]
-    head_size = draw(st.integers(min_value=1, max_value=len(body_vars)))
-    head_vars = tuple(Variable(name) for name in body_vars[:head_size])
-    return ConjunctiveQuery(Atom("Q", head_vars), body)
-
-
-def _rows():
-    return st.lists(
-        st.tuples(st.integers(0, 3), st.integers(0, 3)), min_size=0, max_size=8
-    )
-
-
-@st.composite
-def random_instances(draw):
-    """A small R/S database plus a view-like extra relation V."""
-    database = Database(_SCHEMA)
-    for relation in ("R", "S"):
-        database.insert_many(relation, draw(_rows()))
-    view = Relation(_VIEW_SCHEMA, draw(_rows()))
-    return database, {"V": view}
-
-
-def brute_force(query: ConjunctiveQuery, database, extra) -> set[tuple]:
-    """Reference semantics: filter the cartesian product of the body relations."""
-
-    def relation_rows(predicate):
-        if predicate in extra:
-            return list(extra[predicate])
-        return list(database.relation(predicate))
-
-    answers = set()
-    pools = [relation_rows(atom.predicate) for atom in query.body]
-    seed = {eq.variable: eq.constant.value for eq in query.equalities}
-    for combination in itertools.product(*pools):
-        binding = dict(seed)
-        consistent = True
-        for atom, row in zip(query.body, combination):
-            for term, value in zip(atom.terms, row):
-                if isinstance(term, Constant):
-                    if term.value != value:
-                        consistent = False
-                elif term in binding:
-                    if binding[term] != value:
-                        consistent = False
-                else:
-                    binding[term] = value
-            if not consistent:
-                break
-        if consistent:
-            answers.add(
-                tuple(
-                    term.value if isinstance(term, Constant) else binding[term]
-                    for term in query.head_terms
-                )
-            )
-    return answers
 
 
 class TestEvaluatorEquivalence:
@@ -134,9 +47,18 @@ class TestEvaluatorEquivalence:
             }
             assert as_sets(left[row]) == as_sets(right[row])
 
+    @given(self_join_queries(), random_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_generated_self_joins(self, query, instance):
+        database, extra = instance
+        evaluator = QueryEvaluator(database, extra_relations=extra)
+        assert evaluator.evaluate(query).rows == brute_force(query, database, extra)
+
     @given(random_instances())
     @settings(max_examples=30, deadline=None)
     def test_explicit_self_join(self, instance):
+        from repro.query.ast import Atom, ConjunctiveQuery, Variable
+
         database, extra = instance
         query = ConjunctiveQuery(
             Atom("Q", (Variable("X"), Variable("Z"))),

@@ -2,56 +2,23 @@
 
 from hypothesis import given, settings, strategies as st
 
-from repro import CitationEngine, CitationPolicy, parse_query
-from repro.query.ast import Atom, ConjunctiveQuery, Variable
+from strategies import random_queries as shared_random_queries, small_databases
+
+from repro import CitationEngine, CitationPolicy
 from repro.query.containment import is_contained_in, is_equivalent_to
 from repro.query.evaluator import QueryEvaluator, evaluate
 from repro.query.minimization import minimize
-from repro.relational.database import Database
-from repro.relational.schema import Attribute, DatabaseSchema, RelationSchema
 from repro.workloads import gtopdb
 
-# ---------------------------------------------------------------------------
-# A tiny binary-relation schema for random-query generation
-# ---------------------------------------------------------------------------
-_SCHEMA = DatabaseSchema(
-    [
-        RelationSchema("R", [Attribute("a", int), Attribute("b", int)]),
-        RelationSchema("S", [Attribute("a", int), Attribute("b", int)]),
-    ]
-)
 
-_VARIABLES = ["X", "Y", "Z", "W"]
+def random_queries():
+    """Constant-free CQs over the base relations only (shared generators).
 
-
-@st.composite
-def random_queries(draw):
-    """Safe conjunctive queries over R and S with up to three atoms."""
-    atom_count = draw(st.integers(min_value=1, max_value=3))
-    body = []
-    for _ in range(atom_count):
-        predicate = draw(st.sampled_from(["R", "S"]))
-        left = Variable(draw(st.sampled_from(_VARIABLES)))
-        right = Variable(draw(st.sampled_from(_VARIABLES)))
-        body.append(Atom(predicate, (left, right)))
-    body_vars = sorted({v.name for atom in body for v in atom.variables()})
-    head_size = draw(st.integers(min_value=1, max_value=len(body_vars)))
-    head_vars = tuple(Variable(name) for name in body_vars[:head_size])
-    return ConjunctiveQuery(Atom("Q", head_vars), body)
-
-
-@st.composite
-def small_databases(draw):
-    """Small instances of the R/S schema."""
-    database = Database(_SCHEMA)
-    for relation in ("R", "S"):
-        rows = draw(
-            st.lists(
-                st.tuples(st.integers(0, 3), st.integers(0, 3)), min_size=0, max_size=8
-            )
-        )
-        database.insert_many(relation, rows)
-    return database
+    The containment / minimization properties below reason over variable
+    homomorphisms, so the view predicate and constants are left out — the
+    historical shape of this file's local generator.
+    """
+    return shared_random_queries(predicates=("R", "S"), allow_constants=False)
 
 
 class TestEvaluationProperties:

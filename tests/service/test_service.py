@@ -320,3 +320,21 @@ class TestCompiledProgramsThroughThePlanCache:
         renamed = "Q(N) :- FamilyIntro(F, T), Family(F, N, D)"
         twin, twin_hit = service.plan_for(renamed)
         assert twin_hit and twin is plan
+
+    def test_plan_hit_carries_reduced_programs(self, service):
+        """Serving traffic amortizes the semi-join analysis: one execution
+        attaches the reduced programs, every later hit reuses them."""
+        query = "Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)"
+        service.cite(query)
+        plan, hit = service.plan_for(query)
+        assert hit
+        reduced = [plan.compiled_reduced(i) for i in range(len(plan.rewritings))]
+        assert all(r is not None for r in reduced)
+        assert all(r.acyclic for r in reduced)  # citation views are acyclic CQs
+        service.cite(query)  # warm: must reuse, not re-analyse
+        assert [
+            plan.compiled_reduced(i) for i in range(len(plan.rewritings))
+        ] == reduced
+
+    def test_stats_expose_the_engine_strategy(self, service):
+        assert service.stats()["engine"]["strategy"] == "auto"
