@@ -6,14 +6,31 @@ the benchmarks measure the quantities its arguments rely on — citation sizes,
 rewriting-search effort, incremental-maintenance speed-ups — and print the
 rows that EXPERIMENTS.md records.  Assertions check the qualitative *shape*
 (who wins, how things scale), never absolute timings.
+
+Besides the human-readable tables (:func:`report`), experiments can record
+**machine-readable** results with :func:`record_json`: at session end every
+recorded experiment is written to ``BENCH_<id>.json`` (in
+``$REPRO_BENCH_JSON_DIR`` or the working directory).  CI uploads these files
+as artifacts, so the perf trajectory — cold/warm timings, speed-ups,
+strategy picks — is tracked across PRs instead of scrolling away in logs.
 """
 
 from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
 
 import pytest
 
 from repro import CitationEngine, CitationPolicy
 from repro.workloads import gtopdb
+
+#: Experiments this process has already (re)started a JSON file for, so a
+#: session's first record truncates any stale file from an earlier run while
+#: later records within the session append.
+_WRITTEN_EXPERIMENTS: set[str] = set()
 
 
 def report(title: str, rows: list[dict]) -> None:
@@ -26,6 +43,43 @@ def report(title: str, rows: list[dict]) -> None:
     print(" | ".join(f"{c:>24}" for c in columns))
     for row in rows:
         print(" | ".join(f"{str(row[c]):>24}" for c in columns))
+
+
+def record_json(experiment: str, rows: list[dict], **extra) -> None:
+    """Write machine-readable rows through to ``BENCH_<experiment>.json``.
+
+    *rows* are JSON-friendly dicts (op, cold/warm timings, speedups, picks,
+    ...); *extra* key/values land at the payload's top level (e.g. gate
+    thresholds).  Repeated calls for one experiment within a session append
+    rows; the file lands in ``$REPRO_BENCH_JSON_DIR`` (default: the working
+    directory) and is written immediately, so results survive even when a
+    later gate in the same run fails.
+    """
+    out_dir = os.environ.get("REPRO_BENCH_JSON_DIR", ".")
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"BENCH_{experiment}.json")
+    payload: dict | None = None
+    if experiment in _WRITTEN_EXPERIMENTS and os.path.exists(path):
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            payload = None
+    if payload is None:
+        payload = {
+            "experiment": experiment,
+            "rows": [],
+            "smoke": os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0"),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        }
+    payload["rows"].extend(rows)
+    payload.update(extra)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    _WRITTEN_EXPERIMENTS.add(experiment)
+    print(f"[bench] recorded {len(rows)} row(s) -> {path}", file=sys.stderr)
 
 
 @pytest.fixture(scope="session")

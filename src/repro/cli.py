@@ -25,9 +25,13 @@ uniformly.  ``--backend`` selects the backend explicitly:
   restricts the citation to one era (requires relations carrying the
   timestamp attribute, see ``--timestamp-attribute``).
 
-``batch`` and ``serve`` accept ``--stats`` to dump the service's metrics
-snapshot (including per-backend counters) to stderr on exit, and ``serve``
+``cite``, ``batch`` and ``serve`` accept ``--stats`` to dump the service's
+metrics snapshot (per-backend counters, evaluator strategy picks, cost-model
+estimates and prelude-cache hit rates) to stderr on exit, and ``serve``
 understands the ``.stats`` / ``.backends`` / ``.quit`` directives on stdin.
+``--strategy`` selects the join executor on every data command; the default
+``auto`` prices the semi-join reduction with the statistics-driven cost
+model per query and data version.
 
 The database file is the JSON format written by
 :func:`repro.relational.csvio.dump_database_json`; the specification file is
@@ -197,6 +201,7 @@ def _cmd_cite(args: argparse.Namespace) -> int:
             print(f"\n# {len(rows)} answer tuple(s)", file=sys.stderr)
             for row in rows:
                 print(f"#   {row}", file=sys.stderr)
+        _emit_stats(service, args.stats)
         return 0
     finally:
         service.close()
@@ -324,8 +329,9 @@ def build_parser() -> argparse.ArgumentParser:
         )
         sub.add_argument(
             "--strategy", choices=STRATEGY_CHOICES, default="auto",
-            help="join execution strategy: auto picks the semi-join-reduced "
-            "program for large acyclic queries, program/reduced force one",
+            help="join execution strategy: auto/cost price the semi-join "
+            "reduction with the statistics-driven cost model (and always "
+            "reuse a warm prelude), program/reduced force one executor",
         )
 
     def add_backend_options(sub: argparse.ArgumentParser) -> None:
@@ -352,6 +358,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cite.add_argument("--abbreviate", type=int, default=None, help="'et al.' after N names")
     cite.add_argument("--show-answers", action="store_true", help="print answers to stderr")
+    cite.add_argument(
+        "--stats", action="store_true",
+        help="dump service metrics (incl. strategy picks, cost-model "
+        "estimates and prelude-cache rates) to stderr on exit",
+    )
     cite.set_defaults(func=_cmd_cite)
 
     def positive_int(text: str) -> int:

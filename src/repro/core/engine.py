@@ -42,8 +42,9 @@ from repro.core.record import CitationRecord, CitationSet
 from repro.core.rewriting_selector import RewritingSelector
 from repro.errors import CitationError, NoRewritingError
 from repro.query.ast import ConjunctiveQuery, Constant, Term, Variable
-from repro.query.compiler import JoinProgram, ReducedProgram, reduce_program
+from repro.query.compiler import JoinProgram, PreludeCache, ReducedProgram
 from repro.query.evaluator import Binding, QueryEvaluator, Strategy
+from repro.query.stats import CostModel, EvaluationMetrics, StatisticsCatalog
 from repro.query.parser import parse_query
 from repro.relational.database import Database
 from repro.relational.index import IndexManager
@@ -98,6 +99,21 @@ class CitationPlan:
     _reduced: dict[int, ReducedProgram] = field(
         default_factory=dict, compare=False, repr=False
     )
+    #: Warm-prelude caches per rewriting position — unlike the programs these
+    #: carry *data-derived* state (per-step candidate lists keyed by relation
+    #: versions), so a plan held by the serving layer's plan cache serves
+    #: warm traffic without re-running the semi-join passes at all.  The
+    #: state self-invalidates on data drift via its version stamps; a forced
+    #: engine invalidation drops it wholesale (see
+    #: :meth:`CitationEngine.execute_plan`).
+    _preludes: dict[int, PreludeCache] = field(
+        default_factory=dict, compare=False, repr=False
+    )
+    #: Engine cache epoch the preludes were warmed under (mutable cell so a
+    #: frozen plan can track it); ``-1`` = never executed.
+    _prelude_epoch: list[int] = field(
+        default_factory=lambda: [-1], compare=False, repr=False
+    )
 
     def compiled_program(self, position: int) -> JoinProgram | None:
         """The cached join program of rewriting *position* (``None`` before
@@ -116,6 +132,18 @@ class CitationPlan:
     def cache_reduced(self, position: int, reduced: ReducedProgram) -> None:
         """Attach the semi-join-reduced program of rewriting *position*."""
         self._reduced[position] = reduced
+
+    def compiled_prelude(self, position: int) -> PreludeCache | None:
+        """The warm-prelude cache of rewriting *position* (``None`` when cold)."""
+        return self._preludes.get(position)
+
+    def cache_prelude(self, position: int, prelude: PreludeCache) -> None:
+        """Attach the warm-prelude cache of rewriting *position*."""
+        self._preludes[position] = prelude
+
+    def drop_preludes(self) -> None:
+        """Discard every warmed prelude (the next execution runs cold)."""
+        self._preludes.clear()
 
     @property
     def data_dependent(self) -> bool:
@@ -228,6 +256,19 @@ class CitationEngine:
         # materialised views survive from one request to the next (they are
         # re-validated against the views' identity and version on every probe).
         self._index_manager = IndexManager(database)
+        # Statistics and cost model feeding strategy="auto"/"cost" — reading
+        # off the shared index manager, so pricing a query warms the very
+        # indexes its execution probes.  Evaluation metrics aggregate every
+        # strategy decision, cost estimate and prelude-cache outcome; the
+        # serving layer exposes them through CitationService.stats().
+        self._statistics = StatisticsCatalog(self._index_manager)
+        self._cost_model = CostModel(self._statistics)
+        self.evaluation_metrics = EvaluationMetrics()
+        # One persistent evaluator per engine: its program/reduction/prelude
+        # caches then persist across cite() calls and serving requests (the
+        # views it reads are re-pointed per execution, see
+        # _execution_evaluator).
+        self._evaluator: QueryEvaluator | None = None
 
     # -- caches ------------------------------------------------------------------
     @property
@@ -249,17 +290,26 @@ class CitationEngine:
         return plan.token == self.plan_token()
 
     def invalidate_caches(self) -> None:
-        """Force-drop materialised views and cached citation records.
+        """Force-drop materialised views and every derived cache.
 
         Ordinary data updates do **not** require calling this: the caches are
         keyed on :attr:`Database.generation` and refresh themselves.  It
         remains for out-of-band changes (e.g. a citation function whose output
         depends on external state) and bumps the cache epoch so that compiled
         plans held elsewhere are invalidated too.
+
+        Besides the views, citation records and view indexes, this clears the
+        statistics catalog and the evaluator's compiled-program, reduction
+        and warm-prelude caches — warmed prelude state attached to plans held
+        elsewhere is dropped lazily the next time the engine executes them
+        (their recorded epoch no longer matches).
         """
         self._view_relations = None
         self._record_cache.clear()
         self._index_manager.invalidate()
+        self._statistics.invalidate()
+        if self._evaluator is not None:
+            self._evaluator.invalidate_caches()
         self._cache_epoch += 1
 
     def _refresh_generation(self) -> None:
@@ -422,12 +472,14 @@ class CitationEngine:
         if plan.uses_fallback:
             return self._handle_no_rewriting(query, plan.mode, policy)
 
-        evaluator = QueryEvaluator(
-            self.database,
-            extra_relations=self.view_relations(),
-            index_manager=self._index_manager,
-            strategy=self.strategy,
-        )
+        evaluator = self._execution_evaluator()
+        # Warmed prelude state is version-stamped and survives ordinary data
+        # drift (only drifted steps recompute), but a forced invalidation
+        # must also retire state warmed before the epoch bump — even on plans
+        # the engine cannot reach at invalidation time.
+        if plan._prelude_epoch[0] != self._cache_epoch:
+            plan.drop_preludes()
+            plan._prelude_epoch[0] = self._cache_epoch
         per_rewriting: list[tuple[Rewriting, dict[tuple, list[Binding]]]] = []
         all_rows: set[tuple] = set()
         for position, rewriting in enumerate(plan.rewritings):
@@ -435,12 +487,20 @@ class CitationEngine:
             if program is None:
                 program = evaluator.compile(rewriting.query)
                 plan.cache_program(position, program)
+            prelude = None
             reduced = plan.compiled_reduced(position)
-            if reduced is None and self.strategy != "program":
-                reduced = reduce_program(program)
-                plan.cache_reduced(position, reduced)
+            if self.strategy != "program":
+                if reduced is None:
+                    reduced = evaluator.reduction_of(rewriting.query, program)
+                    plan.cache_reduced(position, reduced)
+                prelude = plan.compiled_prelude(position)
+                if prelude is None or prelude.reduced is not reduced:
+                    # Shared with the evaluator's per-query cache, so direct
+                    # cite() calls and plan-cache hits warm the same state.
+                    prelude = evaluator.prelude_for(rewriting.query, reduced)
+                    plan.cache_prelude(position, prelude)
             bindings_by_row = evaluator.evaluate_with_bindings(
-                rewriting.query, program=program, reduced=reduced
+                rewriting.query, program=program, reduced=reduced, prelude=prelude
             )
             per_rewriting.append((rewriting, bindings_by_row))
             all_rows.update(bindings_by_row)
@@ -478,6 +538,36 @@ class CitationEngine:
         )
 
     # -- helpers -------------------------------------------------------------------------
+    def _execution_evaluator(self) -> QueryEvaluator:
+        """The engine's persistent evaluator, pointed at the current views.
+
+        Built once and reused so its compiled-program, reduction and
+        warm-prelude caches persist across executions.  The view relations it
+        resolves against are re-bound per call: within one database
+        generation they are the same objects, and after a mutation the fresh
+        materialisations replace them (the prelude caches notice via their
+        identity stamps).  Mutations must not race in-flight executions —
+        the usual reader/writer discipline of the in-memory store.
+        """
+        views = self.view_relations()
+        evaluator = self._evaluator
+        if evaluator is None:
+            evaluator = QueryEvaluator(
+                self.database,
+                extra_relations=views,
+                index_manager=self._index_manager,
+                strategy=self.strategy,
+                statistics=self._statistics,
+                cost_model=self._cost_model,
+                metrics=self.evaluation_metrics,
+            )
+            self._evaluator = evaluator
+        else:
+            if evaluator.extra_relations is not views:
+                evaluator.extra_relations = views
+            evaluator.strategy = self.strategy
+        return evaluator
+
     def _handle_no_rewriting(
         self,
         query: ConjunctiveQuery,

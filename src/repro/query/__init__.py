@@ -17,7 +17,12 @@ full CQ toolchain the model needs:
   the serving layer caches on compiled citation plans; plus the GYO
   acyclicity analysis and the Yannakakis-style
   :class:`~repro.query.compiler.ReducedProgram` (semi-join prelude +
-  sideways information passing) behind the evaluator's strategy knob,
+  sideways information passing) behind the evaluator's strategy knob, and
+  the version-keyed :class:`~repro.query.compiler.PreludeCache` that lets
+  warm serving traffic skip the reduction entirely,
+* :mod:`repro.query.stats` — per-relation statistics (read off the shared
+  hash indexes) and the cost model that prices the reduction for
+  ``strategy="auto"``, plus the evaluator's strategy/prelude metrics,
 * :mod:`repro.query.containment` — homomorphism-based containment and
   equivalence,
 * :mod:`repro.query.minimization` — core computation / minimization,
@@ -35,6 +40,7 @@ from repro.query.ast import (
 from repro.query.parser import parse_query, parse_program
 from repro.query.compiler import (
     JoinProgram,
+    PreludeCache,
     ReducedProgram,
     compile_query,
     is_acyclic,
@@ -46,6 +52,13 @@ from repro.query.evaluator import (
     Strategy,
     evaluate,
     evaluate_with_bindings,
+)
+from repro.query.stats import (
+    CostEstimate,
+    CostModel,
+    EvaluationMetrics,
+    RelationStatistics,
+    StatisticsCatalog,
 )
 from repro.query.containment import (
     containment_mapping,
@@ -76,6 +89,7 @@ __all__ = [
     "parse_sql",
     "JoinProgram",
     "ReducedProgram",
+    "PreludeCache",
     "compile_query",
     "reduce_program",
     "join_forest",
@@ -84,6 +98,11 @@ __all__ = [
     "Strategy",
     "evaluate",
     "evaluate_with_bindings",
+    "RelationStatistics",
+    "StatisticsCatalog",
+    "CostEstimate",
+    "CostModel",
+    "EvaluationMetrics",
     "is_contained_in",
     "is_equivalent_to",
     "containment_mapping",

@@ -49,6 +49,16 @@ reduction prelude plus sideways information passing:
 Both passes are pure semi-joins: they only ever *remove* rows that cannot
 contribute to any satisfying frame, so a reduced program yields exactly the
 frames of its plain program (possibly in a different order).
+
+The prelude's per-step candidate lists are pure functions of ``(relation
+version, prefilters, join tree)``, so repeated evaluations against unchanged
+data redo identical work.  :class:`PreludeCache` memoizes them: a snapshot of
+the candidates (plus the prepared execution plan with its ephemeral buckets)
+is stamped with every participating relation's identity and
+:attr:`~repro.relational.relation.Relation.version`, so a warm evaluation
+skips the reduction entirely, and a drifted one recomputes **only** the
+prefilters of the drifted steps and the bottom-up projections of subtrees
+containing them — untouched subtrees' semi-joined key sets are reused.
 """
 
 from __future__ import annotations
@@ -67,6 +77,7 @@ __all__ = [
     "SemiJoinEdge",
     "StepReduction",
     "ReducedProgram",
+    "PreludeCache",
     "compile_query",
     "reduce_program",
     "join_forest",
@@ -405,56 +416,100 @@ class ReducedProgram:
     acyclic: bool
     semi_joins: tuple[SemiJoinEdge, ...]
     reductions: tuple[StepReduction, ...]
+    #: Aligned with :attr:`semi_joins`: for each edge, the (sorted) step
+    #: indices of the child-side subtree.  The bottom-up key projection of an
+    #: edge is a pure function of the candidates of exactly these steps, which
+    #: is what lets :class:`PreludeCache` reuse an untouched subtree's
+    #: semi-joined key set when only other relations drifted.
+    subtrees: tuple[tuple[int, ...], ...] = ()
 
     # -- the reduction prelude ---------------------------------------------
+    def _prefilter_step(
+        self,
+        position: int,
+        relation: Relation,
+        index_manager: IndexManager | None,
+        probe: bool,
+    ) -> list[tuple] | None:
+        """Constant pre-filter + within-atom repeat filter for one step.
+
+        Returns the surviving rows, or ``None`` when the step's full extension
+        survives untouched (no prefilters or repeats).  A pure function of the
+        step's relation content — the unit :class:`PreludeCache` memoizes per
+        relation version.
+        """
+        reduction = self.reductions[position]
+        rows: list[tuple] | None = None
+        if reduction.prefilters:
+            if probe:
+                positions = tuple(p for p, _ in reduction.prefilters)
+                index = index_manager.index_for(
+                    self.program.steps[position].predicate, relation, positions
+                )
+                rows = list(index.get(tuple(v for _, v in reduction.prefilters)))
+            else:
+                rows = [
+                    row
+                    for row in relation
+                    if all(row[p] == v for p, v in reduction.prefilters)
+                ]
+        if reduction.repeat_pairs:
+            base: Iterator[tuple] | list[tuple] = (
+                rows if rows is not None else iter(relation)
+            )
+            rows = [
+                row
+                for row in base
+                if all(row[a] == row[b] for a, b in reduction.repeat_pairs)
+            ]
+        return rows
+
     def reduce_relations(
         self,
         relations: Mapping[str, Relation],
         index_manager: IndexManager | None = None,
         use_indexes: bool = True,
+        _step_rows: Sequence[list[tuple] | None] | None = None,
+        _edge_keys: dict[int, AbstractSet[tuple]] | None = None,
     ) -> list[list[tuple] | None] | None:
         """Run every pruning pass; return per-step surviving rows.
 
         A ``None`` entry means the step's full extension survived untouched.
         Returns ``None`` (no list at all) as soon as any step's extension is
         empty — the query has no answers.
+
+        The underscore parameters are the :class:`PreludeCache` seam:
+        *_step_rows* supplies already-memoized prefilter results (one entry
+        per step, same convention as the return value), and *_edge_keys* maps
+        semi-join edge indices to memoized bottom-up key projections — edges
+        found in the dict skip their projection, edges absent from it have
+        their freshly computed projection stored back into it.  Neither the
+        supplied row lists nor the key sets are ever mutated.
         """
         steps = self.program.steps
         probe = use_indexes and index_manager is not None
         candidates: list[list[tuple] | None] = []
-        for step, reduction in zip(steps, self.reductions):
+        for position, step in enumerate(steps):
             relation = relations[step.predicate]
-            rows: list[tuple] | None = None
-            if reduction.prefilters:
-                if probe:
-                    positions = tuple(p for p, _ in reduction.prefilters)
-                    index = index_manager.index_for(step.predicate, relation, positions)
-                    rows = list(index.get(tuple(v for _, v in reduction.prefilters)))
-                else:
-                    rows = [
-                        row
-                        for row in relation
-                        if all(row[p] == v for p, v in reduction.prefilters)
-                    ]
-            if reduction.repeat_pairs:
-                base: Iterator[tuple] | list[tuple] = (
-                    rows if rows is not None else iter(relation)
-                )
-                rows = [
-                    row
-                    for row in base
-                    if all(row[a] == row[b] for a, b in reduction.repeat_pairs)
-                ]
+            if _step_rows is not None:
+                rows = _step_rows[position]
+            else:
+                rows = self._prefilter_step(position, relation, index_manager, probe)
             if (rows is not None and not rows) or (rows is None and not len(relation)):
                 return None
             candidates.append(rows)
 
         if self.semi_joins:
-            for edge in self.semi_joins:  # bottom-up: children filter parents
-                keys = self._projection(
-                    edge.child, edge.child_positions, candidates, relations,
-                    index_manager, probe,
-                )
+            for index, edge in enumerate(self.semi_joins):
+                # Bottom-up: children filter parents.
+                keys = _edge_keys.get(index) if _edge_keys is not None else None
+                if keys is None:
+                    keys = self._projection(
+                        edge.child, edge.child_positions, candidates, relations,
+                        index_manager, probe,
+                    )
+                    if _edge_keys is not None:
+                        _edge_keys[index] = keys
                 if not self._restrict(
                     edge.parent, edge.parent_positions, keys, candidates, relations
                 ):
@@ -544,28 +599,25 @@ class ReducedProgram:
         return bool(surviving)
 
     # -- execution ----------------------------------------------------------
-    def run_frames(
+    def _execution_plan(
         self,
+        candidates: list[list[tuple] | None],
         relations: Mapping[str, Relation],
-        index_manager: IndexManager | None = None,
-        use_indexes: bool = True,
-    ) -> Iterator[tuple]:
-        """Yield every satisfying frame (same frames as the plain program)."""
-        candidates = self.reduce_relations(relations, index_manager, use_indexes)
-        if candidates is None:
-            return
-        program = self.program
-        frame: list = [None] * program.slot_count
-        for slot, value in program.seed:
-            frame[slot] = value
-        probe = use_indexes and index_manager is not None
-        # Per-step row sources: "all" iterates the source directly, "map"
-        # probes a keyed mapping (an ephemeral dict over reduced rows, or the
-        # shared hash index for steps the reduction left untouched), "scan"
-        # falls back to a filtering scan when indexing is disabled.  The
-        # descend loop mirrors JoinProgram.run_frames — fix both together.
+        index_manager: IndexManager | None,
+        probe: bool,
+    ) -> list[tuple]:
+        """Prepare the per-step row sources for the nested-loop join.
+
+        "all" iterates the source directly, "map" probes a keyed mapping (an
+        ephemeral dict over reduced rows, or the shared hash index for steps
+        the reduction left untouched), "scan" falls back to a filtering scan
+        when indexing is disabled.  The plan only references the candidates,
+        the current relations and their (version-checked) indexes, so a
+        :class:`PreludeCache` snapshot can carry it across evaluations: as
+        long as no participating relation drifted, every source stays valid.
+        """
         plan = []
-        for position, step in enumerate(program.steps):
+        for position, step in enumerate(self.program.steps):
             rows = candidates[position]
             relation = relations[step.predicate]
             key_pairs = tuple(zip(step.key_slots, step.key_values))
@@ -586,6 +638,17 @@ class ReducedProgram:
                         tuple(row[p] for p in key_positions), []
                     ).append(row)
                 plan.append((step, "map", buckets, key_pairs))
+        return plan
+
+    def _frames(self, plan: list[tuple]) -> Iterator[tuple]:
+        """Run the nested-loop join over prepared row sources.
+
+        The descend loop mirrors JoinProgram.run_frames — fix both together.
+        """
+        program = self.program
+        frame: list = [None] * program.slot_count
+        for slot, value in program.seed:
+            frame[slot] = value
         depth_count = len(plan)
 
         def descend(depth: int) -> Iterator[tuple]:
@@ -617,6 +680,42 @@ class ReducedProgram:
 
         yield from descend(0)
 
+    def run_frames(
+        self,
+        relations: Mapping[str, Relation],
+        index_manager: IndexManager | None = None,
+        use_indexes: bool = True,
+        prelude: "PreludeCache | None" = None,
+    ) -> Iterator[tuple]:
+        """Yield every satisfying frame (same frames as the plain program).
+
+        With a *prelude* cache (built for this very reduced program), the
+        reduction prelude is served from — and memoized into — the cache: a
+        warm evaluation against unchanged relations skips the passes *and*
+        the bucket builds entirely, and a drifted one recomputes only what
+        the drift invalidated.
+        """
+        probe = use_indexes and index_manager is not None
+        if prelude is not None and prelude.reduced is self:
+            snapshot = prelude.refresh(relations, index_manager, use_indexes)
+            if snapshot.empty:
+                return
+            plan = snapshot.plan if snapshot.plan_probe == probe else None
+            if plan is None:
+                plan = self._execution_plan(
+                    snapshot.candidates, relations, index_manager, probe
+                )
+                snapshot.plan = plan
+                snapshot.plan_probe = probe
+            yield from self._frames(plan)
+            return
+        candidates = self.reduce_relations(relations, index_manager, use_indexes)
+        if candidates is None:
+            return
+        yield from self._frames(
+            self._execution_plan(candidates, relations, index_manager, probe)
+        )
+
     def output_row(self, frame: tuple) -> tuple:
         """Project one frame onto the query's head terms."""
         return self.program.output_row(frame)
@@ -626,10 +725,11 @@ class ReducedProgram:
         relations: Mapping[str, Relation],
         index_manager: IndexManager | None = None,
         use_indexes: bool = True,
+        prelude: "PreludeCache | None" = None,
     ) -> Iterator[tuple]:
         """Yield the head projection of every satisfying frame (with repeats)."""
         output_row = self.program.output_row
-        for frame in self.run_frames(relations, index_manager, use_indexes):
+        for frame in self.run_frames(relations, index_manager, use_indexes, prelude):
             yield output_row(frame)
 
     def run_bindings(
@@ -637,10 +737,11 @@ class ReducedProgram:
         relations: Mapping[str, Relation],
         index_manager: IndexManager | None = None,
         use_indexes: bool = True,
+        prelude: "PreludeCache | None" = None,
     ) -> Iterator[dict[Variable, object]]:
         """Yield every satisfying assignment as a variable→value dict."""
         variables = self.program.variables
-        for frame in self.run_frames(relations, index_manager, use_indexes):
+        for frame in self.run_frames(relations, index_manager, use_indexes, prelude):
             yield dict(zip(variables, frame))
 
 
@@ -703,28 +804,252 @@ def reduce_program(program: JoinProgram) -> ReducedProgram:
 
     forest = join_forest(varsets)
     semi_joins: tuple[SemiJoinEdge, ...] = ()
+    subtrees: tuple[tuple[int, ...], ...] = ()
     if forest:
         edges = []
+        edge_subtrees: list[tuple[int, ...]] = []
+        # Removal order visits every child after its whole subtree, so
+        # accumulating each ear into its witness yields, per edge, exactly
+        # the step set whose candidates the bottom-up projection reads.
+        accumulated = {i: {i} for i in range(len(varsets))}
         for child, parent in forest:
             shared = sorted(varsets[child] & varsets[parent])
             # Edges linking disconnected components share no variables: a
             # semi-join over them keeps every row (emptiness already
             # short-circuits in the prelude) while forcing full-relation
             # copies and ephemeral bucket builds — skip them.
-            if not shared:
-                continue
-            edges.append(
-                SemiJoinEdge(
-                    child=child,
-                    parent=parent,
-                    child_positions=tuple(slot_positions[child][s] for s in shared),
-                    parent_positions=tuple(slot_positions[parent][s] for s in shared),
+            if shared:
+                edges.append(
+                    SemiJoinEdge(
+                        child=child,
+                        parent=parent,
+                        child_positions=tuple(slot_positions[child][s] for s in shared),
+                        parent_positions=tuple(slot_positions[parent][s] for s in shared),
+                    )
                 )
-            )
+                edge_subtrees.append(tuple(sorted(accumulated[child])))
+            accumulated[parent] |= accumulated[child]
         semi_joins = tuple(edges)
+        subtrees = tuple(edge_subtrees)
     return ReducedProgram(
         program=program,
         acyclic=forest is not None,
         semi_joins=semi_joins,
         reductions=reductions,
+        subtrees=subtrees,
     )
+
+
+# ---------------------------------------------------------------------------
+# Warm-prelude caching across evaluations
+# ---------------------------------------------------------------------------
+class _PreludeSnapshot:
+    """One materialised prelude outcome, valid for one version vector.
+
+    ``stamps`` pairs every step's relation object with the version it had
+    when the candidates were computed; ``candidates`` is the
+    :meth:`ReducedProgram.reduce_relations` result (``None`` = no answers).
+    ``plan`` caches the prepared execution plan (including the ephemeral
+    buckets over reduced rows) lazily, per probe flavour, so warm traffic
+    skips the bucket builds too.
+    """
+
+    __slots__ = ("stamps", "candidates", "plan", "plan_probe")
+
+    def __init__(
+        self,
+        stamps: tuple[tuple[Relation, int], ...],
+        candidates: list[list[tuple] | None] | None,
+    ) -> None:
+        self.stamps = stamps
+        self.candidates = candidates
+        self.plan: list[tuple] | None = None
+        self.plan_probe: bool | None = None
+
+    @property
+    def empty(self) -> bool:
+        """Whether the prelude proved the query has no answers."""
+        return self.candidates is None
+
+
+class PreludeCache:
+    """Version-keyed warm state for one :class:`ReducedProgram`.
+
+    The prelude's candidate lists are pure functions of ``(relation
+    versions, prefilters, join tree)``, so the cache stamps its snapshot
+    with every participating relation's **identity and version** — identity
+    because serving-layer relations (materialised views) are replaced
+    wholesale on refresh, version because in-place mutations bump
+    :attr:`~repro.relational.relation.Relation.version`.  A lookup whose
+    stamps all match is a **hit**: the evaluation reuses the candidates and
+    the prepared execution plan, paying nothing for the reduction.  A
+    drifted lookup is a **miss**, but refreshes precisely:
+
+    * per-step prefilter results are memoized per ``(relation, version)``
+      — only steps whose relation drifted recompute their scan;
+    * per-edge bottom-up key projections are memoized per child-subtree
+      version vector (:attr:`ReducedProgram.subtrees`) — a subtree with no
+      drifted relation contributes its previous semi-joined key set.
+
+    The cache rides along with its reduced program: on the evaluator
+    (per-query) and on a :class:`~repro.core.engine.CitationPlan`
+    (per-rewriting), so the serving layer's plan cache carries warmed state
+    across requests.  Concurrent refreshes race benignly (both compute
+    equivalent snapshots; counters may undercount); the usual
+    reader/writer discipline of the in-memory store applies to mutations.
+    """
+
+    __slots__ = (
+        "reduced",
+        "metrics",
+        "hits",
+        "misses",
+        "steps_recomputed",
+        "steps_reused",
+        "_step_memo",
+        "_edge_memo",
+        "_snapshot",
+    )
+
+    def __init__(self, reduced: ReducedProgram, metrics=None) -> None:
+        self.reduced = reduced
+        #: Optional :class:`repro.query.stats.EvaluationMetrics` sink.
+        self.metrics = metrics
+        self.hits = 0
+        self.misses = 0
+        self.steps_recomputed = 0
+        self.steps_reused = 0
+        self._step_memo: list[tuple[Relation, int, list[tuple] | None] | None] = [
+            None
+        ] * len(reduced.program.steps)
+        self._edge_memo: dict[
+            int, tuple[tuple[tuple[Relation, int], ...], AbstractSet[tuple]]
+        ] = {}
+        self._snapshot: _PreludeSnapshot | None = None
+
+    # -- stamping -----------------------------------------------------------
+    def _stamps(
+        self, relations: Mapping[str, Relation]
+    ) -> tuple[tuple[Relation, int], ...]:
+        return tuple(
+            (relations[step.predicate], relations[step.predicate].version)
+            for step in self.reduced.program.steps
+        )
+
+    @staticmethod
+    def _current(
+        recorded: tuple[tuple[Relation, int], ...],
+        stamps: tuple[tuple[Relation, int], ...],
+    ) -> bool:
+        # Identity compare: tuple == would fall through to Relation.__eq__,
+        # a full content comparison.
+        return len(recorded) == len(stamps) and all(
+            cached is current and cached_version == current_version
+            for (cached, cached_version), (current, current_version) in zip(
+                recorded, stamps
+            )
+        )
+
+    def is_warm(self, relations: Mapping[str, Relation]) -> bool:
+        """Whether a snapshot for exactly these relation versions is held."""
+        snapshot = self._snapshot
+        return snapshot is not None and self._current(
+            snapshot.stamps, self._stamps(relations)
+        )
+
+    # -- the cached prelude -------------------------------------------------
+    def refresh(
+        self,
+        relations: Mapping[str, Relation],
+        index_manager: IndexManager | None,
+        use_indexes: bool,
+    ) -> _PreludeSnapshot:
+        """Return a current snapshot, recomputing only what drift invalidated.
+
+        Deliberately re-validates even when the caller just checked
+        :meth:`is_warm` (the strategy resolver does): refresh must stay
+        self-validating for callers that reach it directly, and the repeated
+        stamp comparison is a handful of identity checks.
+        """
+        stamps = self._stamps(relations)
+        snapshot = self._snapshot
+        if snapshot is not None and self._current(snapshot.stamps, stamps):
+            self.hits += 1
+            if self.metrics is not None:
+                self.metrics.record_prelude(hit=True)
+            return snapshot
+        self.misses += 1
+        reduced = self.reduced
+        probe = use_indexes and index_manager is not None
+
+        step_rows: list[list[tuple] | None] = []
+        recomputed = reused = 0
+        for position, (relation, version) in enumerate(stamps):
+            memo = self._step_memo[position]
+            if memo is not None and memo[0] is relation and memo[1] == version:
+                rows = memo[2]
+                reused += 1
+            else:
+                rows = reduced._prefilter_step(position, relation, index_manager, probe)
+                self._step_memo[position] = (relation, version, rows)
+                recomputed += 1
+            step_rows.append(rows)
+        self.steps_recomputed += recomputed
+        self.steps_reused += reused
+
+        # Seed the bottom-up pass with every edge whose child subtree is
+        # undrifted; reduce_relations fills the rest back into the dict.
+        edge_keys: dict[int, AbstractSet[tuple]] = {}
+        edge_stamps: list[tuple[tuple[Relation, int], ...]] = []
+        subtrees = reduced.subtrees
+        aligned = len(subtrees) == len(reduced.semi_joins)
+        for index in range(len(reduced.semi_joins)):
+            sub = (
+                tuple(stamps[j] for j in subtrees[index]) if aligned else stamps
+            )
+            edge_stamps.append(sub)
+            memo = self._edge_memo.get(index)
+            if memo is not None and self._current(memo[0], sub):
+                edge_keys[index] = memo[1]
+
+        candidates = reduced.reduce_relations(
+            relations,
+            index_manager,
+            use_indexes,
+            _step_rows=step_rows,
+            _edge_keys=edge_keys,
+        )
+        for index, keys in edge_keys.items():
+            self._edge_memo[index] = (edge_stamps[index], keys)
+
+        if self.metrics is not None:
+            self.metrics.record_prelude(
+                hit=False, steps_recomputed=recomputed, steps_reused=reused
+            )
+        snapshot = _PreludeSnapshot(stamps, candidates)
+        self._snapshot = snapshot
+        return snapshot
+
+    def invalidate(self) -> None:
+        """Drop every memo and snapshot (the next evaluation runs cold)."""
+        self._snapshot = None
+        self._edge_memo.clear()
+        for position in range(len(self._step_memo)):
+            self._step_memo[position] = None
+
+    def stats(self) -> dict[str, int | float]:
+        """Counters as a plain dict (mirrors the shape of the service caches)."""
+        lookups = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "steps_recomputed": self.steps_recomputed,
+            "steps_reused": self.steps_reused,
+            "hit_rate": round(self.hits / lookups, 4) if lookups else 0.0,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"PreludeCache({self.reduced.program.query.name!r}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

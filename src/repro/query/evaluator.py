@@ -26,29 +26,39 @@ The evaluator has a **strategy knob** for how a program is executed:
   (:func:`~repro.query.compiler.reduce_program`): a Yannakakis bottom-up /
   top-down pass over the join tree for acyclic queries, plus sideways
   information passing for every query;
-* ``"auto"`` (the default) — ``"reduced"`` exactly when the query is
-  α-acyclic, joins at least two atoms, and the body extensions are large
-  enough (their total cardinality reaches ``reduction_threshold``) for the
-  prelude's linear passes to plausibly pay for themselves; everything else
-  runs the plain program.
+* ``"cost"`` — for α-acyclic multi-atom queries, ask the statistics-driven
+  :class:`~repro.query.stats.CostModel` whether the prelude's expected
+  dangling-tuple savings beat its linear passes; run whatever it picks;
+* ``"auto"`` (the default) — same as ``"cost"``, unless the evaluator was
+  constructed with an explicit ``reduction_threshold`` (deprecated), in
+  which case the legacy total-cardinality gate applies instead.
+
+Under ``"auto"``/``"cost"`` a query whose warm
+:class:`~repro.query.compiler.PreludeCache` is current always runs reduced —
+the prelude costs nothing, so the cost model is only consulted cold.
 
 All strategies produce identical answers and binding sets — the reduction
 only removes rows that cannot contribute — which the differential property
-suite (``tests/property/test_strategy_equivalence.py``) locks down.
+suites (``tests/property/test_strategy_equivalence.py`` and
+``tests/property/test_prelude_equivalence.py``) lock down.
 """
 
 from __future__ import annotations
 
+import time
+import warnings
 from typing import Iterator, Literal, Mapping
 
 from repro.errors import QueryError, UnknownRelationError
 from repro.query.ast import ConjunctiveQuery, Constant, Term, Variable
 from repro.query.compiler import (
     JoinProgram,
+    PreludeCache,
     ReducedProgram,
     compile_query,
     reduce_program,
 )
+from repro.query.stats import CostModel, EvaluationMetrics, StatisticsCatalog
 from repro.relational.database import Database
 from repro.relational.index import IndexManager
 from repro.relational.relation import Relation
@@ -56,18 +66,17 @@ from repro.relational.schema import Attribute, RelationSchema
 
 Binding = dict[Variable, object]
 
-Strategy = Literal["auto", "program", "reduced"]
+Strategy = Literal["auto", "program", "reduced", "cost"]
 
-STRATEGIES: tuple[Strategy, ...] = ("auto", "program", "reduced")
+STRATEGIES: tuple[Strategy, ...] = ("auto", "program", "reduced", "cost")
 
-#: Under ``strategy="auto"``, the smallest total body-extension cardinality
-#: for which the reduction prelude is worth its linear passes.  Small or
-#: densely joining instances join fast either way, and the prelude's
-#: per-evaluation passes (plus the ephemeral bucket builds over reduced
-#: rows) are pure overhead when nothing dangles — so the gate errs high;
-#: callers that know their data is sparse can lower it or force
-#: ``strategy="reduced"``.  Replacing the gate with a proper cost model is a
-#: recorded follow-on.
+#: The legacy ``strategy="auto"`` gate: the smallest total body-extension
+#: cardinality for which the reduction prelude was presumed worth its linear
+#: passes.  **Deprecated** — a fixed row count is wrong in both directions
+#: (densely joining large instances pay the prelude for nothing; sparse
+#: small ones are denied a win) — and kept only so callers that pass an
+#: explicit ``reduction_threshold`` keep their old behaviour.  The default
+#: path prices the decision with :class:`~repro.query.stats.CostModel`.
 DEFAULT_REDUCTION_THRESHOLD = 4096
 
 
@@ -79,8 +88,23 @@ class QueryEvaluator:
     matches an extra relation are evaluated against it.  An external
     :class:`~repro.relational.index.IndexManager` may be supplied to share
     view indexes across evaluator instances (the citation engine does this);
-    otherwise the evaluator owns a private one.
+    otherwise the evaluator owns a private one.  Likewise *statistics* /
+    *cost_model* / *metrics* default to private instances but can be shared
+    (the engine threads one :class:`~repro.query.stats.StatisticsCatalog`
+    and one :class:`~repro.query.stats.EvaluationMetrics` through every
+    evaluator it builds).
+
+    Passing *reduction_threshold* is **deprecated**: it re-enables the old
+    blunt cardinality gate for ``strategy="auto"`` instead of the cost model.
     """
+
+    #: Default soft cap on cached query entries (programs, reductions,
+    #: preludes).  The evaluator outlives requests on the citation engine, so
+    #: without a bound a long-lived service answering diverse ad-hoc queries
+    #: would pin one prelude snapshot (materialised candidate rows + bucket
+    #: plans) per distinct query forever; beyond the cap the oldest entries
+    #: are evicted FIFO and simply recompute on next use.
+    DEFAULT_MAX_CACHED_QUERIES = 512
 
     def __init__(
         self,
@@ -89,11 +113,23 @@ class QueryEvaluator:
         use_indexes: bool = True,
         index_manager: IndexManager | None = None,
         strategy: Strategy = "auto",
-        reduction_threshold: int = DEFAULT_REDUCTION_THRESHOLD,
+        reduction_threshold: int | None = None,
+        statistics: StatisticsCatalog | None = None,
+        cost_model: CostModel | None = None,
+        metrics: EvaluationMetrics | None = None,
+        max_cached_queries: int = DEFAULT_MAX_CACHED_QUERIES,
     ) -> None:
         if strategy not in STRATEGIES:
             raise ValueError(
                 f"unknown evaluation strategy {strategy!r}; expected one of {STRATEGIES}"
+            )
+        if reduction_threshold is not None:
+            warnings.warn(
+                "reduction_threshold is deprecated: strategy='auto' now consults "
+                "the statistics-driven cost model (repro.query.stats.CostModel); "
+                "drop the argument, or force a strategy explicitly",
+                DeprecationWarning,
+                stacklevel=2,
             )
         self.database = database
         self.extra_relations = dict(extra_relations or {})
@@ -104,8 +140,20 @@ class QueryEvaluator:
         self.index_manager = (
             index_manager if index_manager is not None else IndexManager(database)
         )
+        self.statistics = (
+            statistics if statistics is not None else StatisticsCatalog(self.index_manager)
+        )
+        self.cost_model = cost_model if cost_model is not None else CostModel(self.statistics)
+        self.metrics = metrics
+        self.max_cached_queries = max_cached_queries
         self._programs: dict[ConjunctiveQuery, JoinProgram] = {}
         self._reduced: dict[ConjunctiveQuery, ReducedProgram] = {}
+        self._preludes: dict[ConjunctiveQuery, PreludeCache] = {}
+
+    def _bound(self, cache: dict) -> None:
+        """Evict oldest entries beyond :attr:`max_cached_queries` (FIFO)."""
+        while len(cache) > self.max_cached_queries:
+            cache.pop(next(iter(cache)))
 
     # -- relation resolution ------------------------------------------------
     def _relation_for(self, predicate: str) -> Relation:
@@ -137,11 +185,46 @@ class QueryEvaluator:
 
     def reduce(self, query: ConjunctiveQuery) -> ReducedProgram:
         """The semi-join-reduced program for *query* (cached per evaluator)."""
-        reduced = self._reduced.get(query)
-        if reduced is None:
-            reduced = reduce_program(self.compile(query))
+        return self.reduction_of(query, self.compile(query))
+
+    def reduction_of(
+        self, query: ConjunctiveQuery, program: JoinProgram
+    ) -> ReducedProgram:
+        """The reduction wrapping exactly *program*.
+
+        Served from (and stored in) the per-evaluator cache when *program* is
+        the evaluator's own compile of *query* — a reduction of a different
+        (e.g. caller-recompiled) program is built fresh and never cached, so
+        a cached analysis of an older compile, whose variable→slot layout may
+        differ, can never be paired with the wrong program.
+        """
+        cached = self._reduced.get(query)
+        if cached is not None and cached.program is program:
+            return cached
+        reduced = reduce_program(program)
+        if self._programs.get(query) is program:
             self._reduced[query] = reduced
+            self._bound(self._reduced)
         return reduced
+
+    def prelude_for(
+        self, query: ConjunctiveQuery, reduced: ReducedProgram
+    ) -> PreludeCache:
+        """The warm-prelude cache for *query*'s reduction.
+
+        Cached per evaluator while *reduced* is the evaluator's own cached
+        reduction (the citation engine shares the returned object with its
+        compiled plans, so serving traffic and direct ``cite()`` calls warm
+        the same state).
+        """
+        prelude = self._preludes.get(query)
+        if prelude is not None and prelude.reduced is reduced:
+            return prelude
+        prelude = PreludeCache(reduced, metrics=self.metrics)
+        if self._reduced.get(query) is reduced:
+            self._preludes[query] = prelude
+            self._bound(self._preludes)
+        return prelude
 
     def _program_for(
         self, query: ConjunctiveQuery, relations: Mapping[str, Relation]
@@ -150,7 +233,26 @@ class QueryEvaluator:
         if program is None:
             program = compile_query(query, relations)
             self._programs[query] = program
+            self._bound(self._programs)
         return program
+
+    # -- cache control -------------------------------------------------------
+    def invalidate_caches(self) -> None:
+        """Drop compiled programs, reductions, warm preludes and statistics.
+
+        Programs and reductions are pure description and never go stale —
+        this exists for forced invalidation
+        (:meth:`~repro.core.engine.CitationEngine.invalidate_caches`) and for
+        benchmarks that want a guaranteed cold run.
+        """
+        self._programs.clear()
+        self._reduced.clear()
+        self._preludes.clear()
+        self.statistics.invalidate()
+
+    def invalidate_preludes(self) -> None:
+        """Drop only the warm-prelude state (next evaluations run cold)."""
+        self._preludes.clear()
 
     # -- strategy selection --------------------------------------------------
     def select_strategy(
@@ -158,27 +260,16 @@ class QueryEvaluator:
     ) -> Literal["program", "reduced"]:
         """The executor this evaluator would run *query* with right now.
 
-        ``"program"`` and ``"reduced"`` are themselves; ``"auto"`` resolves by
-        acyclicity and the current body-extension cardinalities, so the answer
-        can change as the data grows or shrinks.
+        ``"program"`` and ``"reduced"`` are themselves; ``"auto"`` / ``"cost"``
+        resolve through the cost model (or the deprecated cardinality gate),
+        so the answer can change as the data drifts.
         """
-        if self.strategy != "auto":
-            return self.strategy
         relations = self._resolve_relations(query)
-        return (
-            "reduced"
-            if self._auto_reduces(self.reduce(query), relations)
-            else "program"
-        )
-
-    def _auto_reduces(
-        self, reduced: ReducedProgram, relations: Mapping[str, Relation]
-    ) -> bool:
-        program = reduced.program
-        if not reduced.acyclic or len(program.steps) < 2:
-            return False
-        total = sum(len(relations[step.predicate]) for step in program.steps)
-        return total >= self.reduction_threshold
+        program = self._program_for(query, relations)
+        # Pure introspection: resolve without recording picks or estimates,
+        # so polling this for monitoring never skews the serving metrics.
+        executor = self._executor(query, relations, program, None, None, record=False)
+        return "reduced" if isinstance(executor, ReducedProgram) else "program"
 
     def _executor(
         self,
@@ -188,24 +279,35 @@ class QueryEvaluator:
         reduced: ReducedProgram | None,
         strategy: Strategy | None,
         cache: bool = True,
+        prelude: PreludeCache | None = None,
+        record: bool = True,
     ) -> JoinProgram | ReducedProgram:
-        """Resolve the strategy for one evaluation to a runnable program."""
+        """Resolve the strategy for one evaluation to a runnable program.
+
+        With ``record=False`` the resolution leaves no trace in
+        :attr:`metrics` (introspection via :meth:`select_strategy`).
+        """
         strategy = strategy or self.strategy
         if strategy not in STRATEGIES:
             raise ValueError(
                 f"unknown evaluation strategy {strategy!r}; expected one of {STRATEGIES}"
             )
         if strategy == "program":
-            return program
-        if strategy == "auto":
-            # The cheap gates come before the analysis: a small or
-            # single-atom query never pays for join_forest (this matters for
-            # evaluate_parameterized, which cannot cache the analysis).
+            return self._picked(program, "forced", record)
+        legacy = strategy == "auto" and self.reduction_threshold is not None
+        if strategy != "reduced":
+            # Single-atom queries never pay for the analysis.  Multi-atom
+            # ones do run join_forest + a cost estimate per resolution; both
+            # are O(atoms²)/O(atoms) over the tiny compiled description, and
+            # the estimate's statistics are version-cached in the catalog —
+            # this is what keeps the non-caching evaluate_parameterized path
+            # affordable (measured low-microseconds per call).
             if len(program.steps) < 2:
-                return program
-            total = sum(len(relations[step.predicate]) for step in program.steps)
-            if total < self.reduction_threshold:
-                return program
+                return self._picked(program, "single_atom", record)
+            if legacy:
+                total = sum(len(relations[step.predicate]) for step in program.steps)
+                if total < self.reduction_threshold:
+                    return self._picked(program, "threshold", record)
         # The reduction must wrap exactly the program whose slot layout the
         # caller will project frames with — a cached analysis of an older
         # (differently ordered) compile of the same query must not be served.
@@ -215,26 +317,75 @@ class QueryEvaluator:
                 reduced = reduce_program(program)
                 if cache and self._programs.get(query) is program:
                     self._reduced[query] = reduced
-        if strategy == "auto" and not reduced.acyclic:
-            return program
-        return reduced
+                    self._bound(self._reduced)
+        if strategy == "reduced":
+            return self._picked(reduced, "forced", record)
+        if not reduced.acyclic:
+            return self._picked(program, "cyclic", record)
+        if legacy:
+            return self._picked(reduced, "threshold", record)
+        # Warm state makes the prelude free: always run reduced on a hit.
+        warm = prelude if prelude is not None and prelude.reduced is reduced else None
+        if warm is None and cache:
+            cached_prelude = self._preludes.get(query)
+            if cached_prelude is not None and cached_prelude.reduced is reduced:
+                warm = cached_prelude
+        if warm is not None and warm.is_warm(relations):
+            return self._picked(reduced, "warm_prelude", record)
+        estimate = self.cost_model.estimate(reduced, relations)
+        if record and self.metrics is not None:
+            self.metrics.record_estimate(estimate)
+        if estimate.prefers_reduction:
+            return self._picked(reduced, "cost_model", record)
+        return self._picked(program, "cost_model", record)
+
+    def _picked(
+        self,
+        executor: JoinProgram | ReducedProgram,
+        reason: str,
+        record: bool = True,
+    ) -> JoinProgram | ReducedProgram:
+        if record and self.metrics is not None:
+            kind = "reduced" if isinstance(executor, ReducedProgram) else "program"
+            self.metrics.record_pick(kind, reason)
+        return executor
 
     # -- core join ------------------------------------------------------------
+    def _frames_for(
+        self,
+        executor: JoinProgram | ReducedProgram,
+        relations: Mapping[str, Relation],
+        query: ConjunctiveQuery,
+        prelude: PreludeCache | None,
+        cache: bool = True,
+    ) -> Iterator[tuple]:
+        """Run *executor*, threading warm-prelude state into reduced runs."""
+        if isinstance(executor, ReducedProgram):
+            if prelude is None or prelude.reduced is not executor:
+                prelude = self.prelude_for(query, executor) if cache else None
+            return executor.run_frames(
+                relations, self.index_manager, self.use_indexes, prelude
+            )
+        return executor.run_frames(relations, self.index_manager, self.use_indexes)
+
     def bindings(
         self,
         query: ConjunctiveQuery,
         program: JoinProgram | None = None,
         reduced: ReducedProgram | None = None,
         strategy: Strategy | None = None,
+        prelude: PreludeCache | None = None,
     ) -> Iterator[Binding]:
         """Yield every satisfying assignment of the query's variables."""
         relations = self._resolve_relations(query)
         if program is None:
             program = self._program_for(query, relations)
-        executor = self._executor(query, relations, program, reduced, strategy)
-        yield from executor.run_bindings(
-            relations, self.index_manager, self.use_indexes
+        executor = self._executor(
+            query, relations, program, reduced, strategy, prelude=prelude
         )
+        variables = program.variables
+        for frame in self._frames_for(executor, relations, query, prelude):
+            yield dict(zip(variables, frame))
 
     # -- public API -------------------------------------------------------------
     def output_tuple(self, query: ConjunctiveQuery, binding: Binding) -> tuple:
@@ -273,9 +424,19 @@ class QueryEvaluator:
         executor = self._executor(
             query, relations, program, None, strategy, cache=cache_program
         )
-        answers = set(
-            executor.run_rows(relations, self.index_manager, self.use_indexes)
-        )
+        started = time.perf_counter() if self.metrics is not None else 0.0
+        output_row = program.output_row
+        answers = {
+            output_row(frame)
+            for frame in self._frames_for(
+                executor, relations, query, None, cache=cache_program
+            )
+        }
+        if self.metrics is not None:
+            self.metrics.record_actual(
+                "reduced" if isinstance(executor, ReducedProgram) else "program",
+                time.perf_counter() - started,
+            )
         return Relation(schema, answers)
 
     def evaluate_with_bindings(
@@ -284,19 +445,26 @@ class QueryEvaluator:
         program: JoinProgram | None = None,
         reduced: ReducedProgram | None = None,
         strategy: Strategy | None = None,
+        prelude: PreludeCache | None = None,
     ) -> dict[tuple, list[Binding]]:
         """Map every output tuple to the list of bindings producing it."""
         relations = self._resolve_relations(query)
         if program is None:
             program = self._program_for(query, relations)
-        executor = self._executor(query, relations, program, reduced, strategy)
+        executor = self._executor(
+            query, relations, program, reduced, strategy, prelude=prelude
+        )
         variables = program.variables
+        started = time.perf_counter() if self.metrics is not None else 0.0
         out: dict[tuple, list[Binding]] = {}
-        for frame in executor.run_frames(
-            relations, self.index_manager, self.use_indexes
-        ):
+        for frame in self._frames_for(executor, relations, query, prelude):
             out.setdefault(program.output_row(frame), []).append(
                 dict(zip(variables, frame))
+            )
+        if self.metrics is not None:
+            self.metrics.record_actual(
+                "reduced" if isinstance(executor, ReducedProgram) else "program",
+                time.perf_counter() - started,
             )
         return out
 

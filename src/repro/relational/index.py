@@ -85,6 +85,19 @@ class HashIndex:
         """
         return self._buckets.keys()
 
+    def distinct_count(self) -> int:
+        """Number of distinct keys — the projection's cardinality.
+
+        The statistics catalog (:mod:`repro.query.stats`) reads this (and
+        :meth:`max_bucket_size`) instead of scanning the relation: the index
+        already groups the rows by exactly the projection it needs.
+        """
+        return len(self._buckets)
+
+    def max_bucket_size(self) -> int:
+        """Size of the largest bucket (0 when empty) — the key-skew cap."""
+        return max(map(len, self._buckets.values()), default=0)
+
     def __len__(self) -> int:
         return self._size
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import threading
 from bisect import bisect_left
-from typing import Iterable
+from typing import Callable, Iterable
 
 __all__ = ["LatencyHistogram", "ServiceMetrics", "DEFAULT_BUCKET_BOUNDS_MS"]
 
@@ -107,6 +107,7 @@ class ServiceMetrics:
         self._lock = threading.Lock()
         self._counters: dict[str, int] = {name: 0 for name in self.STANDARD_COUNTERS}
         self._histograms: dict[str, LatencyHistogram] = {}
+        self._gauge_sources: dict[str, Callable[[], dict]] = {}
 
     #: Prefix of per-backend counters (``backend.<name>.<event>``); they are
     #: grouped under the ``"backends"`` key of :meth:`stats` instead of being
@@ -131,6 +132,20 @@ class ServiceMetrics:
             if histogram is None:
                 histogram = self._histograms[name] = LatencyHistogram()
             histogram.observe(seconds)
+
+    def register_gauge_source(self, name: str, source: Callable[[], dict]) -> None:
+        """Attach a callable polled at :meth:`stats` time.
+
+        The callable's dict snapshot appears under key *name* in the stats
+        output.  This is how subsystems that keep their own thread-safe
+        counters (e.g. the evaluator's strategy/prelude metrics,
+        :class:`repro.query.stats.EvaluationMetrics`) surface through the
+        service's one-stop ``stats()`` without double-counting into the flat
+        counter namespace.  Re-registering a name replaces the source;
+        :meth:`reset` leaves sources attached.
+        """
+        with self._lock:
+            self._gauge_sources[name] = source
 
     # -- reading -------------------------------------------------------------
     def counter(self, name: str) -> int:
@@ -160,13 +175,15 @@ class ServiceMetrics:
         return backends
 
     def stats(self) -> dict:
-        """A snapshot of all counters, per-backend counts and histograms."""
+        """A snapshot of all counters, per-backend counts, histograms and
+        registered gauge sources."""
         with self._lock:
             all_counters = dict(self._counters)
             latencies = {
                 name: histogram.snapshot()
                 for name, histogram in sorted(self._histograms.items())
             }
+            gauge_sources = dict(self._gauge_sources)
         counters = {
             name: value
             for name, value in all_counters.items()
@@ -177,6 +194,9 @@ class ServiceMetrics:
         requests = counters.get("requests", 0)
         hits = counters.get("result_cache_hits", 0) + counters.get("plan_cache_hits", 0)
         snapshot["cache_hit_rate"] = round(hits / requests, 4) if requests else 0.0
+        # Polled outside the lock: a source may take its own lock.
+        for name, source in gauge_sources.items():
+            snapshot[name] = source()
         return snapshot
 
     def reset(self) -> None:

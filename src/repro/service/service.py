@@ -129,6 +129,11 @@ class CitationService:
         )
         if engine is not None:
             engine.database.add_mutation_listener(self._count_mutation)
+            # Strategy picks, cost-model estimates vs. actuals and prelude
+            # cache hit/miss rates, polled live at stats() time.
+            self.metrics.register_gauge_source(
+                "evaluation", engine.evaluation_metrics.snapshot
+            )
 
     # -- backend management ----------------------------------------------------
     def register_backend(

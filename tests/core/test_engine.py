@@ -255,3 +255,122 @@ class TestReducedProgramsOnPlans:
         by_row = {tc.row: tc.records for tc in result.tuple_citations}
         baseline_by_row = {tc.row: tc.records for tc in baseline.tuple_citations}
         assert by_row == baseline_by_row
+
+
+class TestPreludesOnPlans:
+    """Warm-prelude state rides compiled plans through the serving layer.
+
+    The paper micro-instance is densely joining, so ``strategy="auto"``
+    correctly refuses the prelude there — the warm-path tests force
+    ``"reduced"`` to exercise the cache itself.
+    """
+
+    @pytest.fixture
+    def reduced_engine(self, paper_db, paper_views):
+        return CitationEngine(paper_db, paper_views, strategy="reduced")
+
+    def test_execute_attaches_and_warms_preludes(self, reduced_engine, paper_query):
+        paper_engine = reduced_engine
+        plan = paper_engine.compile_plan(paper_query)
+        assert all(
+            plan.compiled_prelude(i) is None for i in range(len(plan.rewritings))
+        )
+        paper_engine.execute_plan(plan)
+        preludes = [
+            plan.compiled_prelude(i) for i in range(len(plan.rewritings))
+        ]
+        assert all(p is not None for p in preludes)
+        paper_engine.execute_plan(plan)
+        assert [
+            plan.compiled_prelude(i) for i in range(len(plan.rewritings))
+        ] == preludes
+        assert all(p.hits >= 1 for p in preludes)
+
+    def test_plan_preludes_are_shared_with_plain_cite(self, reduced_engine, paper_query):
+        # cite() compiles a fresh plan per call, but the warmed prelude is
+        # the evaluator's canonical one, so repeated cite() calls hit too.
+        paper_engine = reduced_engine
+        paper_engine.cite(paper_query)
+        plan = paper_engine.compile_plan(paper_query)
+        paper_engine.execute_plan(plan)
+        assert any(
+            plan.compiled_prelude(i).hits >= 1
+            for i in range(len(plan.rewritings))
+        )
+
+    def test_data_drift_partially_refreshes_instead_of_recomputing(
+        self, reduced_engine, paper_query, paper_db
+    ):
+        paper_engine = reduced_engine
+        plan = paper_engine.compile_plan(paper_query)
+        baseline = paper_engine.execute_plan(plan)
+        paper_db.insert("Family", (99, "Novel family", "d"))
+        paper_db.insert("FamilyIntro", (99, "intro"))
+        drifted = paper_engine.execute_plan(plan)
+        assert ("Novel family",) in drifted.result.rows
+        assert baseline.result.rows <= drifted.result.rows
+        preludes = [
+            plan.compiled_prelude(i) for i in range(len(plan.rewritings))
+        ]
+        # The views re-materialise wholesale (new Relation objects), so the
+        # refresh is a miss — but it reuses whatever did not change.
+        assert all(p.misses >= 1 for p in preludes if p is not None)
+
+    def test_strategy_metrics_surface_on_the_engine(self, paper_engine, paper_query):
+        paper_engine.cite(paper_query)
+        paper_engine.cite(paper_query)
+        snapshot = paper_engine.evaluation_metrics.snapshot()
+        picks = snapshot["picks"]
+        assert picks["program"] + picks["reduced"] >= 2
+        lookups = (
+            snapshot["prelude_cache"]["hits"] + snapshot["prelude_cache"]["misses"]
+        )
+        assert lookups >= 0  # shape is present even when auto picked program
+
+
+class TestInvalidationClearsWarmState:
+    """Regression: invalidate_caches() must retire every evaluator cache."""
+
+    def test_invalidate_clears_the_evaluator_caches(self, paper_engine, paper_query):
+        paper_engine.cite(paper_query)
+        evaluator = paper_engine._evaluator
+        assert evaluator is not None and evaluator._programs
+        paper_engine.invalidate_caches()
+        assert evaluator._programs == {}
+        assert evaluator._reduced == {}
+        assert evaluator._preludes == {}
+        assert len(paper_engine._statistics) == 0
+
+    def test_stale_epoch_plans_drop_their_preludes(self, paper_engine, paper_query):
+        plan = paper_engine.compile_plan(paper_query)
+        paper_engine.execute_plan(plan)
+        warmed = [
+            plan.compiled_prelude(i) for i in range(len(plan.rewritings))
+        ]
+        assert any(p is not None for p in warmed)
+        paper_engine.invalidate_caches()
+        # The engine cannot reach the plan at invalidation time; the next
+        # execution notices the epoch bump and rebuilds the state cold.
+        result = paper_engine.execute_plan(plan)
+        rebuilt = [
+            plan.compiled_prelude(i) for i in range(len(plan.rewritings))
+        ]
+        assert all(
+            p is None or p is not w for p, w in zip(rebuilt, warmed)
+        )
+        assert result.result.rows == paper_engine.cite(paper_query).result.rows
+
+    def test_results_stay_exact_across_invalidation_and_drift(
+        self, paper_engine, paper_query, paper_db
+    ):
+        plan = paper_engine.compile_plan(paper_query)
+        paper_engine.execute_plan(plan)
+        paper_engine.invalidate_caches()
+        paper_db.insert("Family", (98, "Post-invalidation family", "d"))
+        paper_db.insert("FamilyIntro", (98, "intro"))
+        served = paper_engine.execute_plan(plan)
+        fresh = CitationEngine(
+            paper_db, paper_engine.citation_views, policy=paper_engine.policy
+        ).cite(paper_query)
+        assert served.result.rows == fresh.result.rows
+        assert ("Post-invalidation family",) in served.result.rows

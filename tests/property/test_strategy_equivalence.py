@@ -29,7 +29,7 @@ from repro.query.ast import Constant
 from repro.query.compiler import is_acyclic
 from repro.query.evaluator import QueryEvaluator
 
-STRATEGY_KNOBS = ("program", "reduced", "auto")
+STRATEGY_KNOBS = ("program", "reduced", "auto", "cost")
 
 
 def _answers(database, extra, query, strategy, use_indexes=True):
@@ -38,7 +38,6 @@ def _answers(database, extra, query, strategy, use_indexes=True):
         extra_relations=extra,
         use_indexes=use_indexes,
         strategy=strategy,
-        reduction_threshold=0,  # tiny instances: make "auto" actually reduce
     )
     return evaluator.evaluate(query).rows
 
@@ -113,7 +112,6 @@ class TestStrategyEquivalence:
                 database,
                 extra_relations=extra,
                 strategy=strategy,
-                reduction_threshold=0,
             )
             assert (
                 evaluator.evaluate_parameterized(query, valuation).rows == reference
@@ -137,7 +135,6 @@ class TestStrategyEquivalence:
                 database,
                 extra_relations=extra,
                 strategy=strategy,
-                reduction_threshold=0,
             )
             for strategy in STRATEGY_KNOBS
         }

@@ -90,27 +90,88 @@ class TestReduceProgramStructure:
         assert evaluator.reduce(PATH) is evaluator.reduce(PATH)
 
 
-class TestAutoSelection:
-    def test_auto_picks_reduced_for_large_acyclic_queries(self, db):
-        evaluator = QueryEvaluator(db, reduction_threshold=0)
+def _legacy_evaluator(db, **kwargs):
+    """An evaluator on the deprecated cardinality-threshold gate."""
+    with pytest.warns(DeprecationWarning):
+        return QueryEvaluator(db, **kwargs)
+
+
+class TestLegacyThresholdSelection:
+    """The deprecated ``reduction_threshold`` escape hatch keeps its gate."""
+
+    def test_threshold_zero_reduces_every_acyclic_query(self, db):
+        evaluator = _legacy_evaluator(db, reduction_threshold=0)
         for query in (PATH, STAR, SELF_JOIN_PATH):
             assert evaluator.select_strategy(query) == "reduced"
 
-    def test_auto_falls_back_to_program_for_cyclic_queries(self, db):
-        evaluator = QueryEvaluator(db, reduction_threshold=0)
+    def test_threshold_gate_falls_back_to_program_for_cyclic_queries(self, db):
+        evaluator = _legacy_evaluator(db, reduction_threshold=0)
         for query in (TRIANGLE, SQUARE):
             assert evaluator.select_strategy(query) == "program"
 
-    def test_auto_respects_the_cardinality_threshold(self, db):
+    def test_the_cardinality_threshold_is_respected(self, db):
         # 8 + 8 + 8 body rows: below a threshold of 100, above one of 10.
-        small = QueryEvaluator(db, reduction_threshold=100)
-        large = QueryEvaluator(db, reduction_threshold=10)
+        small = _legacy_evaluator(db, reduction_threshold=100)
+        large = _legacy_evaluator(db, reduction_threshold=10)
         assert small.select_strategy(PATH) == "program"
         assert large.select_strategy(PATH) == "reduced"
 
-    def test_auto_picks_program_for_single_atoms(self, db):
-        evaluator = QueryEvaluator(db, reduction_threshold=0)
+    def test_threshold_gate_skips_single_atoms(self, db):
+        evaluator = _legacy_evaluator(db, reduction_threshold=0)
         assert evaluator.select_strategy(SINGLE) == "program"
+
+
+class TestAutoSelection:
+    def test_auto_falls_back_to_program_for_cyclic_queries(self, db):
+        evaluator = QueryEvaluator(db)
+        for query in (TRIANGLE, SQUARE):
+            assert evaluator.select_strategy(query) == "program"
+
+    def test_auto_picks_program_for_single_atoms(self, db):
+        evaluator = QueryEvaluator(db)
+        assert evaluator.select_strategy(SINGLE) == "program"
+
+    def test_auto_picks_program_when_nothing_dangles(self, db):
+        # Every key of every relation joins through its neighbours, so the
+        # prelude cannot prune anything: the cost model must refuse to pay
+        # for it — regardless of how large the instance grows.
+        for name in ("R", "S", "T"):
+            db.insert_many(name, [(i % 4, (i + 1) % 4) for i in range(256)])
+        evaluator = QueryEvaluator(db)
+        assert evaluator.select_strategy(PATH) == "program"
+
+    def test_auto_picks_reduced_on_dangling_heavy_data(self):
+        # A chain with fan-out 15 per probe whose last relation is almost
+        # disjoint: the plain program enumerates thousands of doomed partial
+        # bindings before the final probe kills them, so the prelude's
+        # pruning dwarfs its linear passes — even though the instance is far
+        # below the old 4096-row threshold.
+        database = Database(SCHEMA)
+        database.insert_many("R", [(i, i % 20) for i in range(300)])
+        database.insert_many("S", [(i % 20, i) for i in range(300)])
+        database.insert_many(
+            "T", [(i, i) for i in range(6)] + [(300 + i, i) for i in range(294)]
+        )
+        evaluator = QueryEvaluator(database)
+        assert evaluator.select_strategy(PATH) == "reduced"
+
+    def test_cost_strategy_matches_auto_by_default(self, db):
+        assert QueryEvaluator(db, strategy="cost").select_strategy(
+            PATH
+        ) == QueryEvaluator(db).select_strategy(PATH)
+
+    def test_warm_prelude_overrides_the_cost_model(self, db):
+        # Dense data: cold, the cost model refuses the prelude ...
+        for name in ("R", "S", "T"):
+            db.insert_many(name, [(i % 4, (i + 1) % 4) for i in range(64)])
+        evaluator = QueryEvaluator(db)
+        assert evaluator.select_strategy(PATH) == "program"
+        # ... but once a forced run warmed the prelude, re-running it is
+        # free, so auto switches to the reduction until the data drifts.
+        evaluator.evaluate(PATH, strategy="reduced")
+        assert evaluator.select_strategy(PATH) == "reduced"
+        db.insert("R", (77, 78))
+        assert evaluator.select_strategy(PATH) == "program"
 
     def test_forced_strategies_ignore_the_analysis(self, db):
         assert (
@@ -118,7 +179,7 @@ class TestAutoSelection:
             == "reduced"
         )
         assert (
-            QueryEvaluator(db, strategy="program", reduction_threshold=0)
+            _legacy_evaluator(db, strategy="program", reduction_threshold=0)
             .select_strategy(PATH)
             == "program"
         )
@@ -137,8 +198,8 @@ class TestCorrectnessOfFallbacks:
     )
     def test_every_strategy_matches_brute_force(self, db, query):
         reference = brute_force(query, db)
-        for strategy in ("program", "reduced", "auto"):
-            evaluator = QueryEvaluator(db, strategy=strategy, reduction_threshold=0)
+        for strategy in ("program", "reduced", "auto", "cost"):
+            evaluator = QueryEvaluator(db, strategy=strategy)
             assert evaluator.evaluate(query).rows == reference, strategy
 
     def test_reduction_prunes_dangling_tuples(self, db):

@@ -338,3 +338,51 @@ class TestCompiledProgramsThroughThePlanCache:
 
     def test_stats_expose_the_engine_strategy(self, service):
         assert service.stats()["engine"]["strategy"] == "auto"
+
+
+class TestEvaluationMetricsExposure:
+    def test_stats_expose_strategy_and_prelude_metrics(self, service):
+        service.cite(QUERY)
+        service.cite(QUERY)
+        stats = service.stats()
+        evaluation = stats["evaluation"]
+        assert set(evaluation) == {
+            "picks",
+            "pick_reasons",
+            "cost_model",
+            "prelude_cache",
+        }
+        picks = evaluation["picks"]
+        # First call executes, the repeat is a result-cache hit: at least
+        # one strategy decision was recorded (one per rewriting).
+        assert picks["program"] + picks["reduced"] >= 1
+        assert "estimates" in evaluation["cost_model"]
+        assert "hit_rate" in evaluation["prelude_cache"]
+
+    def test_stats_are_json_serialisable_with_evaluation_block(self, service):
+        import json
+
+        service.cite(QUERY)
+        payload = json.dumps(service.stats(), sort_keys=True)
+        assert "prelude_cache" in payload
+
+    def test_warm_plan_hits_surface_as_prelude_hits(self, db):
+        engine = CitationEngine(
+            db, gtopdb.citation_views(extended=True), strategy="reduced"
+        )
+        with CitationService(engine, cache_results=False) as svc:
+            svc.cite(QUERY)
+            svc.cite(QUERY)  # plan hit + warm prelude: no reduction runs
+            prelude = svc.stats()["evaluation"]["prelude_cache"]
+            assert prelude["hits"] >= 1
+            assert prelude["misses"] >= 1
+
+    def test_isomorphic_requests_share_the_warm_prelude(self, db):
+        engine = CitationEngine(
+            db, gtopdb.citation_views(extended=True), strategy="reduced"
+        )
+        with CitationService(engine, cache_results=False) as svc:
+            svc.cite(QUERY)
+            svc.cite(QUERY_RENAMED)  # same fingerprint: same plan, same state
+            prelude = svc.stats()["evaluation"]["prelude_cache"]
+            assert prelude["hits"] >= 1

@@ -14,7 +14,12 @@ strategies must agree on:
   (guaranteed cyclic for binary atoms), optionally with extra chords;
 * :func:`self_join_queries` — the same predicate several times in one body;
 * :func:`parameterized_queries` — a λ-parameterized query plus a valuation;
-* :func:`random_instances` / :func:`small_databases` — matching data.
+* :func:`random_instances` / :func:`small_databases` — matching data;
+* :func:`drift_sequences` / :func:`apply_drift` — interleaved insert/delete
+  sequences against both the database relations (through the
+  :class:`~repro.relational.database.Database` update path) and the
+  view-like extra relation (mutated directly, bypassing the database), for
+  properties about caches that must survive data drift.
 
 :func:`brute_force` is the shared reference semantics: filter the full
 cartesian product of the body extensions, no join order, no indexes — the
@@ -45,6 +50,8 @@ __all__ = [
     "parameterized_queries",
     "small_databases",
     "random_instances",
+    "drift_sequences",
+    "apply_drift",
     "brute_force",
 ]
 
@@ -234,6 +241,47 @@ def random_instances(draw, max_rows: int = 8):
     database = draw(small_databases(max_rows))
     view = Relation(VIEW_SCHEMA, draw(rows(max_rows)))
     return database, {"V": view}
+
+
+@st.composite
+def drift_sequences(
+    draw,
+    relations: tuple[str, ...] = ("R", "S", "V"),
+    max_ops: int = 5,
+):
+    """Interleaved insert/delete operations against the R/S/V world.
+
+    Each op is ``(kind, relation, row)`` with ``kind`` in
+    ``{"insert", "delete"}``; deletes of absent rows are legal no-ops, so
+    sequences compose freely.  Apply with :func:`apply_drift`.
+    """
+    return [
+        (
+            draw(st.sampled_from(["insert", "delete"])),
+            draw(st.sampled_from(relations)),
+            (draw(values()), draw(values())),
+        )
+        for _ in range(draw(st.integers(min_value=1, max_value=max_ops)))
+    ]
+
+
+def apply_drift(database, extra, ops) -> None:
+    """Apply a :func:`drift_sequences` op list to one instance.
+
+    Database relations mutate through the :class:`Database` update path
+    (bumping its generation); extra relations mutate directly on the
+    :class:`Relation` (bumping only its version) — the two invalidation
+    channels version-stamped caches must both notice.
+    """
+    extra = extra or {}
+    for kind, name, row in ops:
+        if name in extra:
+            target = extra[name]
+            target.insert(row) if kind == "insert" else target.delete(row)
+        elif kind == "insert":
+            database.insert(name, row)
+        else:
+            database.delete(name, row)
 
 
 def brute_force(query: ConjunctiveQuery, database, extra=None) -> set[tuple]:
