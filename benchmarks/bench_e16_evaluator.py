@@ -24,9 +24,9 @@ from __future__ import annotations
 
 import os
 import time
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import Iterable, Iterator
 
-from repro.query.ast import Atom, ConjunctiveQuery, Constant, Variable
+from repro.query.ast import Constant, Variable
 from repro.query.evaluator import QueryEvaluator
 from repro.query.parser import parse_query
 from repro.relational import algebra

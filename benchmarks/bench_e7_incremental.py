@@ -7,8 +7,6 @@ maintainer should beat recompute-from-scratch, and by a wide margin when most
 updates are irrelevant.
 """
 
-import pytest
-
 from repro import CitationEngine, CitationPolicy, IncrementalCitationMaintainer
 from repro.workloads import gtopdb
 from benchmarks.conftest import report

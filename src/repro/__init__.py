@@ -78,8 +78,20 @@ from repro.core import (
 )
 from repro.versioning import CitationResolver, PersistentCitation, VersionedDatabase
 from repro.core.engine import CitationPlan
+from repro.observability import (
+    JsonlSink,
+    RingBufferSink,
+    SlowQueryLog,
+    Tracer,
+    TraceSpan,
+    get_tracer,
+    render_trace,
+    set_tracer,
+    use_tracer,
+)
 from repro.service import (
     CitationService,
+    ExplainReport,
     PlanCache,
     ServiceMetrics,
     ServiceResponse,
@@ -171,6 +183,17 @@ __all__ = [
     "PlanCache",
     "fingerprint",
     "canonical_key",
+    # observability
+    "Tracer",
+    "TraceSpan",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "JsonlSink",
+    "RingBufferSink",
+    "SlowQueryLog",
+    "render_trace",
+    "ExplainReport",
     # unified citation API
     "CitationRequest",
     "CitationResponse",

@@ -24,7 +24,7 @@ in the README.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Hashable, Iterator
 
 from repro.api.envelope import CitationRequest

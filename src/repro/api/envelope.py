@@ -65,8 +65,10 @@ class CitationRequest:
         Caller-supplied correlation id; the service assigns ``req-N`` when
         omitted.
     metadata:
-        Free-form annotations carried through to the response, ignored by the
-        service itself.
+        Free-form annotations carried through to the response.  The service
+        honours one key — ``no_result_cache: True`` skips the result cache
+        for this request (``CitationService.explain`` sets it so an explained
+        request actually executes) — and ignores the rest.
     """
 
     query: Any

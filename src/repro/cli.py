@@ -27,11 +27,21 @@ uniformly.  ``--backend`` selects the backend explicitly:
 
 ``cite``, ``batch`` and ``serve`` accept ``--stats`` to dump the service's
 metrics snapshot (per-backend counters, evaluator strategy picks, cost-model
-estimates and prelude-cache hit rates) to stderr on exit, and ``serve``
-understands the ``.stats`` / ``.backends`` / ``.quit`` directives on stdin.
-``--strategy`` selects the join executor on every data command; the default
-``auto`` prices the semi-join reduction with the statistics-driven cost
-model per query and data version.
+estimates and prelude-cache hit rates) to stderr on exit —
+``--stats-format prometheus`` switches that dump to Prometheus text
+exposition — and ``serve`` understands the ``.stats`` / ``.backends`` /
+``.slowlog`` / ``.quit`` directives on stdin.  ``--trace-jsonl PATH``
+enables request-scoped tracing and appends one JSON trace tree per request
+to *PATH*; ``--slow-log N`` retains the N slowest request traces (surfaced
+by ``--stats`` and the ``.slowlog`` directive).  ``explain`` prints the
+static citation explanation followed by an EXPLAIN ANALYZE section: the
+request is actually served with tracing forced on and the resulting span
+tree — cache outcomes, strategy pick with cost estimate, per-join-step
+estimated vs. measured cardinalities — is rendered; ``--warm`` serves the
+request once beforehand so the explained run shows the warm-path behaviour
+(plan-cache and semi-join prelude hits).  ``--strategy`` selects the join
+executor on every data command; the default ``auto`` prices the semi-join
+reduction with the statistics-driven cost model per query and data version.
 
 The database file is the JSON format written by
 :func:`repro.relational.csvio.dump_database_json`; the specification file is
@@ -60,6 +70,7 @@ from repro.core.spec import (
 from repro.core.policy import CitationPolicy
 from repro.core.temporal import TIMESTAMP_ATTRIBUTE, TemporalCitationEngine, timestamp_view
 from repro.errors import ReproError
+from repro.observability import JsonlSink, SlowQueryLog, Tracer
 from repro.query.evaluator import STRATEGIES
 from repro.query.parser import parse_query
 from repro.query.sql import parse_sql
@@ -115,6 +126,17 @@ def _wants_temporal(args: argparse.Namespace) -> bool:
     return args.backend == "temporal" or getattr(args, "as_of", None) is not None
 
 
+def _make_tracer(args: argparse.Namespace) -> Tracer | None:
+    """A tracer from the observability flags, or ``None`` (tracing off)."""
+    trace_jsonl = getattr(args, "trace_jsonl", None)
+    slow_log_size = getattr(args, "slow_log", None)
+    if trace_jsonl is None and slow_log_size is None:
+        return None
+    sinks = [] if trace_jsonl is None else [JsonlSink(trace_jsonl)]
+    slow_log = None if slow_log_size is None else SlowQueryLog(capacity=slow_log_size)
+    return Tracer(sinks=sinks, slow_log=slow_log)
+
+
 def _make_service(args: argparse.Namespace) -> CitationService:
     engine = _load_engine(args)
 
@@ -136,7 +158,16 @@ def _make_service(args: argparse.Namespace) -> CitationService:
         max_workers=getattr(args, "workers", 4),
         query_parser=parse_user_query,
         backends=backends,
+        tracer=_make_tracer(args),
     )
+
+
+def _close_service(service: CitationService) -> None:
+    service.close()
+    for sink in service.tracer().sinks:
+        close = getattr(sink, "close", None)
+        if close is not None:
+            close()
 
 
 def _request_for(args: argparse.Namespace, text: str) -> CitationRequest:
@@ -158,8 +189,12 @@ def _response_line(response: CitationResponse) -> str:
     return json.dumps(response.to_payload(), sort_keys=True)
 
 
-def _emit_stats(service: CitationService, enabled: bool) -> None:
-    if enabled:
+def _emit_stats(service: CitationService, enabled: bool, fmt: str = "json") -> None:
+    if not enabled:
+        return
+    if fmt == "prometheus":
+        print(service.to_prometheus(), file=sys.stderr)
+    else:
         print(json.dumps(service.stats(), indent=2, sort_keys=True), file=sys.stderr)
 
 
@@ -201,10 +236,10 @@ def _cmd_cite(args: argparse.Namespace) -> int:
             print(f"\n# {len(rows)} answer tuple(s)", file=sys.stderr)
             for row in rows:
                 print(f"#   {row}", file=sys.stderr)
-        _emit_stats(service, args.stats)
+        _emit_stats(service, args.stats, args.stats_format)
         return 0
     finally:
-        service.close()
+        _close_service(service)
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
@@ -216,8 +251,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     for response in responses:
         print(_response_line(response))
         failed += 0 if response.ok else 1
-    _emit_stats(service, args.stats)
-    service.close()
+    _emit_stats(service, args.stats, args.stats_format)
+    _close_service(service)
     return 0 if failed == 0 else 1
 
 
@@ -236,10 +271,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if line == ".backends":
             print(json.dumps(service.capabilities(), sort_keys=True), flush=True)
             continue
+        if line == ".slowlog":
+            slow_log = service.tracer().slow_log
+            entries = slow_log.snapshot() if slow_log is not None else []
+            print(json.dumps(entries, sort_keys=True), flush=True)
+            continue
         response = service.submit(_request_for(args, line))
         print(_response_line(response), flush=True)
-    _emit_stats(service, args.stats)
-    service.close()
+    _emit_stats(service, args.stats, args.stats_format)
+    _close_service(service)
     return 0
 
 
@@ -288,9 +328,15 @@ def _cmd_explain(args: argparse.Namespace) -> int:
                 print(explain_citation(backend.engine, disjunct).to_text())
         else:
             print(explain_citation(backend.engine, parsed).to_text())
-        return 0
+        if args.warm:
+            service.submit(_request_for(args, args.query))
+        report = service.explain(_request_for(args, args.query))
+        print()
+        print("# EXPLAIN ANALYZE" + (" (warmed)" if args.warm else ""))
+        print(report.to_text())
+        return 0 if report.ok else 1
     finally:
-        service.close()
+        _close_service(service)
 
 
 def _cmd_demo(_args: argparse.Namespace) -> int:
@@ -318,6 +364,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    def positive_int(text: str) -> int:
+        value = int(text)
+        if value < 1:
+            raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+        return value
+
     def add_common(sub: argparse.ArgumentParser, needs_spec: bool = False) -> None:
         sub.add_argument("--database", required=True, help="database JSON file")
         if needs_spec:
@@ -332,6 +384,18 @@ def build_parser() -> argparse.ArgumentParser:
             help="join execution strategy: auto/cost price the semi-join "
             "reduction with the statistics-driven cost model (and always "
             "reuse a warm prelude), program/reduced force one executor",
+        )
+
+    def add_observability_options(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--trace-jsonl", metavar="PATH", default=None,
+            help="enable request tracing and append one JSON trace tree "
+            "per request to this file",
+        )
+        sub.add_argument(
+            "--slow-log", type=positive_int, metavar="N", default=None,
+            help="enable request tracing and retain the N slowest request "
+            "traces (shown by --stats and the serve .slowlog directive)",
         )
 
     def add_backend_options(sub: argparse.ArgumentParser) -> None:
@@ -363,13 +427,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="dump service metrics (incl. strategy picks, cost-model "
         "estimates and prelude-cache rates) to stderr on exit",
     )
+    cite.add_argument(
+        "--stats-format", choices=["json", "prometheus"], default="json",
+        help="--stats output format: a JSON snapshot or Prometheus text exposition",
+    )
+    add_observability_options(cite)
     cite.set_defaults(func=_cmd_cite)
-
-    def positive_int(text: str) -> int:
-        value = int(text)
-        if value < 1:
-            raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
-        return value
 
     def add_service_options(sub: argparse.ArgumentParser) -> None:
         sub.add_argument("--mode", choices=["formal", "economical"], default="economical")
@@ -385,6 +448,11 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument(
             "--stats", action="store_true", help="dump service metrics to stderr on exit"
         )
+        sub.add_argument(
+            "--stats-format", choices=["json", "prometheus"], default="json",
+            help="--stats output format: a JSON snapshot or Prometheus text exposition",
+        )
+        add_observability_options(sub)
 
     batch = subparsers.add_parser(
         "batch", help="serve a file of queries (one per line, '-' for stdin)"
@@ -400,7 +468,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = subparsers.add_parser(
         "serve",
-        help="read queries from stdin, answer as JSONL (.stats/.backends/.quit directives)",
+        help="read queries from stdin, answer as JSONL "
+        "(.stats/.backends/.slowlog/.quit directives)",
     )
     add_common(serve)
     add_backend_options(serve)
@@ -416,10 +485,18 @@ def build_parser() -> argparse.ArgumentParser:
     views.add_argument("--as-json", action="store_true", help="dump as a specification JSON")
     views.set_defaults(func=_cmd_views)
 
-    explain = subparsers.add_parser("explain", help="explain how a citation is constructed")
+    explain = subparsers.add_parser(
+        "explain",
+        help="explain how a citation is constructed (incl. EXPLAIN ANALYZE trace)",
+    )
     add_common(explain)
     add_backend_options(explain)
     explain.add_argument("query", help="Datalog-style query, multi-rule union program, or SELECT statement")
+    explain.add_argument(
+        "--warm", action="store_true",
+        help="serve the request once before explaining, so the trace shows "
+        "the warm path (plan-cache and semi-join prelude hits)",
+    )
     explain.set_defaults(func=_cmd_explain)
 
     demo = subparsers.add_parser("demo", help="run the paper's running example")

@@ -41,6 +41,7 @@ from repro.core.policy import CitationPolicy
 from repro.core.record import CitationRecord, CitationSet
 from repro.core.rewriting_selector import RewritingSelector
 from repro.errors import CitationError, NoRewritingError
+from repro.observability import NULL_SPAN, get_tracer
 from repro.query.ast import ConjunctiveQuery, Constant, Term, Variable
 from repro.query.compiler import JoinProgram, PreludeCache, ReducedProgram
 from repro.query.evaluator import Binding, QueryEvaluator, Strategy
@@ -329,7 +330,17 @@ class CitationEngine:
         """
         self._refresh_generation()
         if self._view_relations is None:
-            self._view_relations = materialize_views(self._views, self.database)
+            tracer = get_tracer()
+            span = (
+                tracer.span("engine.materialize_views", views=len(self._views))
+                if tracer.enabled
+                else NULL_SPAN
+            )
+            with span:
+                self._view_relations = materialize_views(self._views, self.database)
+                span.set_attribute(
+                    "rows", sum(len(r) for r in self._view_relations.values())
+                )
         return self._view_relations
 
     # -- rewriting ----------------------------------------------------------------
@@ -432,15 +443,25 @@ class CitationEngine:
         """
         query = self._as_query(query)
         mode = mode or self.mode
-        token = self.plan_token()
-        rewritings = self.rewritings(query)
-        if not rewritings:
-            if self.on_no_rewriting == "error":
-                raise NoRewritingError(query.name)
-            return CitationPlan(query, (), mode, token, uses_fallback=True)
-        if mode == "economical":
-            rewritings = self.selector.select(rewritings)
-        return CitationPlan(query, tuple(rewritings), mode, token)
+        tracer = get_tracer()
+        span = (
+            tracer.span("engine.compile_plan", query=query.name, mode=mode)
+            if tracer.enabled
+            else NULL_SPAN
+        )
+        with span:
+            token = self.plan_token()
+            rewritings = self.rewritings(query)
+            span.set_attribute("rewritings_found", len(rewritings))
+            if not rewritings:
+                if self.on_no_rewriting == "error":
+                    raise NoRewritingError(query.name)
+                span.set_attribute("fallback", True)
+                return CitationPlan(query, (), mode, token, uses_fallback=True)
+            if mode == "economical":
+                rewritings = self.selector.select(rewritings)
+                span.set_attribute("rewritings_selected", len(rewritings))
+            return CitationPlan(query, tuple(rewritings), mode, token)
 
     def cite(
         self,
@@ -467,11 +488,32 @@ class CitationEngine:
         plans are policy-independent, so the same compiled plan serves every
         policy.
         """
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self._execute_plan(plan, query, policy)
+        with tracer.span(
+            "engine.execute_plan",
+            query=plan.query.name,
+            mode=plan.mode,
+            rewritings=len(plan.rewritings),
+            fallback=plan.uses_fallback,
+        ) as span:
+            result = self._execute_plan(plan, query, policy)
+            span.set_attribute("rows", len(result))
+            return result
+
+    def _execute_plan(
+        self,
+        plan: CitationPlan,
+        query: ConjunctiveQuery | str | None = None,
+        policy: CitationPolicy | None = None,
+    ) -> CitedResult:
         policy = policy or self.policy
         query = plan.query if query is None else self._as_query(query)
         if plan.uses_fallback:
             return self._handle_no_rewriting(query, plan.mode, policy)
 
+        tracer = get_tracer()
         evaluator = self._execution_evaluator()
         # Warmed prelude state is version-stamped and survives ordinary data
         # drift (only drifted steps recompute), but a forced invalidation
@@ -499,25 +541,42 @@ class CitationEngine:
                     # cite() calls and plan-cache hits warm the same state.
                     prelude = evaluator.prelude_for(rewriting.query, reduced)
                     plan.cache_prelude(position, prelude)
-            bindings_by_row = evaluator.evaluate_with_bindings(
-                rewriting.query, program=program, reduced=reduced, prelude=prelude
+            rewriting_span = (
+                tracer.span(
+                    "engine.rewriting",
+                    index=position,
+                    rewriting=str(rewriting.query),
+                )
+                if tracer.enabled
+                else NULL_SPAN
             )
+            with rewriting_span:
+                bindings_by_row = evaluator.evaluate_with_bindings(
+                    rewriting.query, program=program, reduced=reduced, prelude=prelude
+                )
+                rewriting_span.set_attribute("rows", len(bindings_by_row))
             per_rewriting.append((rewriting, bindings_by_row))
             all_rows.update(bindings_by_row)
 
+        assemble_span = (
+            tracer.span("engine.assemble_citations", rows=len(all_rows))
+            if tracer.enabled
+            else NULL_SPAN
+        )
         tuple_citations: list[TupleCitation] = []
-        for row in sorted(all_rows, key=repr):
-            alternatives: list[CitationExpression] = []
-            for rewriting, bindings_by_row in per_rewriting:
-                bindings = bindings_by_row.get(row)
-                if not bindings:
-                    continue
-                alternatives.append(
-                    self.citation_for_tuple_in_rewriting(rewriting, bindings)
-                )
-            expression = rewrite_alternative(alternatives)
-            records = policy.evaluate(expression)
-            tuple_citations.append(TupleCitation(row, expression, records))
+        with assemble_span:
+            for row in sorted(all_rows, key=repr):
+                alternatives: list[CitationExpression] = []
+                for rewriting, bindings_by_row in per_rewriting:
+                    bindings = bindings_by_row.get(row)
+                    if not bindings:
+                        continue
+                    alternatives.append(
+                        self.citation_for_tuple_in_rewriting(rewriting, bindings)
+                    )
+                expression = rewrite_alternative(alternatives)
+                records = policy.evaluate(expression)
+                tuple_citations.append(TupleCitation(row, expression, records))
 
         aggregate_expression = Aggregate([tc.expression for tc in tuple_citations])
         aggregate_records = policy.aggregate([tc.records for tc in tuple_citations])

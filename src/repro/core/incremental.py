@@ -22,14 +22,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterable, Mapping
 
-#: Signature of a maintenance listener: ``(relation, kind)`` where *kind* is
-#: one of ``"answer"`` (the cited result was patched), ``"records"`` (only
-#: snippet contents were refreshed) or ``"ignored"`` (the update did not
-#: affect the maintained result).  The serving layer registers one of these
-#: to observe maintenance activity; cache *correctness* does not depend on it
-#: (stale plans are already rejected via the database generation token).
-MaintenanceListener = Callable[[str, str], None]
-
 from repro.core.engine import CitationEngine, CitedResult, TupleCitation
 from repro.core.citation import Citation
 from repro.core.expression import Aggregate, alternative, rewrite_alternative
@@ -39,6 +31,14 @@ from repro.query.evaluator import Binding, QueryEvaluator
 from repro.relational.relation import Relation
 from repro.rewriting.rewriting import Rewriting
 from repro.rewriting.view import View
+
+#: Signature of a maintenance listener: ``(relation, kind)`` where *kind* is
+#: one of ``"answer"`` (the cited result was patched), ``"records"`` (only
+#: snippet contents were refreshed) or ``"ignored"`` (the update did not
+#: affect the maintained result).  The serving layer registers one of these
+#: to observe maintenance activity; cache *correctness* does not depend on it
+#: (stale plans are already rejected via the database generation token).
+MaintenanceListener = Callable[[str, str], None]
 
 
 @dataclass

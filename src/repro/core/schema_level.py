@@ -25,7 +25,7 @@ from dataclasses import dataclass
 
 from repro.core.citation import Citation
 from repro.core.engine import CitationEngine
-from repro.core.expression import Aggregate, CitationAtom, alternative, joint
+from repro.core.expression import Aggregate, alternative, joint
 from repro.errors import NoRewritingError
 from repro.query.ast import ConjunctiveQuery, Constant
 from repro.query.evaluator import QueryEvaluator

@@ -1,0 +1,57 @@
+"""Observability for the citation service: tracing, EXPLAIN ANALYZE, metrics.
+
+This package is a **dependency leaf** — it imports nothing from the query,
+engine or service layers, so any of them can use it without import cycles:
+
+* :mod:`repro.observability.tracer` — contextvar-scoped :class:`TraceSpan`
+  trees with a zero-cost-ish disabled path (:data:`NULL_TRACER` /
+  :data:`NULL_SPAN`);
+* :mod:`repro.observability.sinks` — pluggable trace sinks
+  (:class:`RingBufferSink`, :class:`JsonlSink`);
+* :mod:`repro.observability.slowlog` — :class:`SlowQueryLog`, retaining the
+  N slowest request traces;
+* :mod:`repro.observability.context` — request-scoped fingerprint
+  propagation for per-query estimate-vs-actual attribution;
+* :mod:`repro.observability.render` — EXPLAIN ANALYZE text rendering of a
+  trace tree;
+* :mod:`repro.observability.prometheus` — text-exposition formatting used by
+  ``ServiceMetrics.to_prometheus``.
+"""
+
+from repro.observability.context import current_fingerprint, fingerprint_scope
+from repro.observability.prometheus import PrometheusRenderer, flatten_numeric
+from repro.observability.render import render_trace
+from repro.observability.sinks import JsonlSink, RingBufferSink, TraceSink
+from repro.observability.slowlog import SlowQueryLog
+from repro.observability.tracer import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    TraceSpan,
+    current_span,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "TraceSpan",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "NULL_SPAN",
+    "current_span",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "TraceSink",
+    "RingBufferSink",
+    "JsonlSink",
+    "SlowQueryLog",
+    "current_fingerprint",
+    "fingerprint_scope",
+    "render_trace",
+    "PrometheusRenderer",
+    "flatten_numeric",
+]

@@ -1,0 +1,162 @@
+"""Prometheus text-exposition rendering (format version 0.0.4).
+
+Stdlib-only formatting of counters, gauges and histograms into the plain
+text format Prometheus scrapes: ``# TYPE`` comments, ``name{label="v"} 1``
+samples, and the ``_bucket``/``_sum``/``_count`` triplet for histograms with
+cumulative ``le`` buckets ending in ``+Inf``.  The renderer keeps insertion
+order but emits each family's ``# HELP``/``# TYPE`` header exactly once, so
+one histogram family can carry many label sets (the service's per-phase
+latency histograms all share ``repro_latency_seconds``).
+
+Only the small corner of the exposition format the service needs is
+implemented; values are formatted with ``repr``-free plain formatting and
+label values are escaped per the spec (backslash, double-quote, newline).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Iterable, Mapping
+
+__all__ = ["PrometheusRenderer", "flatten_numeric"]
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_name(name: str) -> str:
+    """Coerce *name* into a legal metric name (invalid chars become ``_``)."""
+    if _NAME_OK.match(name):
+        return name
+    cleaned = _NAME_BAD_CHARS.sub("_", name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def escape_label_value(value: object) -> str:
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace('"', r"\"")
+        .replace("\n", r"\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def _labels_text(labels: Mapping[str, object] | None) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{sanitize_name(str(key))}="{escape_label_value(value)}"'
+        for key, value in labels.items()
+    )
+    return "{" + inner + "}"
+
+
+class PrometheusRenderer:
+    """Accumulates metric families and renders the exposition text."""
+
+    def __init__(self) -> None:
+        self._lines: list[str] = []
+        self._declared: dict[str, str] = {}
+
+    def _declare(self, name: str, kind: str, help_text: str | None) -> None:
+        declared = self._declared.get(name)
+        if declared is not None:
+            if declared != kind:
+                raise ValueError(
+                    f"metric family {name!r} declared as both {declared} and {kind}"
+                )
+            return
+        self._declared[name] = kind
+        if help_text:
+            self._lines.append(f"# HELP {name} {help_text}")
+        self._lines.append(f"# TYPE {name} {kind}")
+
+    def counter(
+        self,
+        name: str,
+        value: float,
+        labels: Mapping[str, object] | None = None,
+        help_text: str | None = None,
+    ) -> None:
+        name = sanitize_name(name)
+        self._declare(name, "counter", help_text)
+        self._lines.append(f"{name}{_labels_text(labels)} {_format_value(value)}")
+
+    def gauge(
+        self,
+        name: str,
+        value: float,
+        labels: Mapping[str, object] | None = None,
+        help_text: str | None = None,
+    ) -> None:
+        name = sanitize_name(name)
+        self._declare(name, "gauge", help_text)
+        self._lines.append(f"{name}{_labels_text(labels)} {_format_value(value)}")
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Iterable[tuple[float, int]],
+        total: float,
+        count: int,
+        labels: Mapping[str, object] | None = None,
+        help_text: str | None = None,
+    ) -> None:
+        """One histogram sample set.
+
+        *buckets* are ``(upper_bound, cumulative_count)`` pairs in ascending
+        bound order, **without** the ``+Inf`` bucket — it is emitted
+        automatically with *count* (the exposition format requires it).
+        """
+        name = sanitize_name(name)
+        self._declare(name, "histogram", help_text)
+        base = dict(labels or {})
+        for bound, cumulative in buckets:
+            bucket_labels = dict(base)
+            bucket_labels["le"] = _format_value(float(bound))
+            self._lines.append(
+                f"{name}_bucket{_labels_text(bucket_labels)} {cumulative}"
+            )
+        inf_labels = dict(base)
+        inf_labels["le"] = "+Inf"
+        self._lines.append(f"{name}_bucket{_labels_text(inf_labels)} {count}")
+        self._lines.append(f"{name}_sum{_labels_text(base)} {_format_value(total)}")
+        self._lines.append(f"{name}_count{_labels_text(base)} {count}")
+
+    def render(self) -> str:
+        return "\n".join(self._lines) + "\n" if self._lines else ""
+
+
+def flatten_numeric(
+    prefix: str, payload: Mapping[str, object]
+) -> list[tuple[str, float]]:
+    """Flatten a nested stats dict to ``(metric_name, value)`` gauge pairs.
+
+    Dict values recurse with the key appended to the name; numeric leaves
+    (bool counts as 1/0) are kept, everything else (strings, lists, opaque
+    objects) is dropped — gauge sources mix shapes freely and only the
+    numeric parts are meaningful as metrics.
+    """
+    out: list[tuple[str, float]] = []
+    for key, value in payload.items():
+        name = f"{prefix}_{sanitize_name(str(key))}"
+        if isinstance(value, Mapping):
+            out.extend(flatten_numeric(name, value))
+        elif isinstance(value, bool):
+            out.append((name, 1.0 if value else 0.0))
+        elif isinstance(value, (int, float)):
+            out.append((name, float(value)))
+    return out

@@ -1,0 +1,120 @@
+"""Rendering a trace tree as EXPLAIN ANALYZE text.
+
+One request's trace *is* its annotated plan: the service spans carry cache
+outcomes, the engine spans carry rewriting counts, the evaluation spans carry
+the strategy pick with its reason and the cost model's estimate, and the
+``join.step`` annotation children carry per-step estimated vs. actual
+cardinalities.  :func:`render_trace` draws the tree with box-drawing
+connectors; ``join.step`` spans get a compact one-line cardinality format::
+
+    join.step[0] Family  rows 1500 -> 8 (survival 0.53%, est 0.40%) scanned=8 out=5
+
+Everything else prints ``name  duration  key=value ...`` with long values
+elided, so the renderer stays useful for arbitrary spans.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from repro.observability.tracer import TraceSpan
+
+__all__ = ["render_trace"]
+
+#: Attribute keys whose values may be long free text; elide past this length.
+_ELIDE_AT = 72
+
+#: Keys consumed by the join.step special-case formatter.
+_STEP_KEYS = frozenset(
+    {
+        "step",
+        "predicate",
+        "relation_rows",
+        "rows_in",
+        "rows_scanned",
+        "frames_out",
+        "survival",
+        "est_survival",
+    }
+)
+
+
+def _short(value: Any) -> str:
+    if isinstance(value, float):
+        text = f"{value:.4g}"
+    else:
+        text = str(value)
+    if len(text) > _ELIDE_AT:
+        text = text[: _ELIDE_AT - 1] + "…"
+    return text
+
+
+def _percent(fraction: Any) -> str:
+    if not isinstance(fraction, (int, float)):
+        return "?"
+    return f"{fraction * 100.0:.2f}%"
+
+
+def _step_line(span: "TraceSpan") -> str:
+    attrs = span.attributes
+    index = attrs.get("step", "?")
+    predicate = attrs.get("predicate", "?")
+    relation_rows = attrs.get("relation_rows")
+    rows_in = attrs.get("rows_in")
+    parts = [f"join.step[{index}] {predicate}"]
+    if relation_rows is not None and rows_in is not None:
+        flow = f"rows {relation_rows} -> {rows_in}"
+        survival = attrs.get("survival")
+        est = attrs.get("est_survival")
+        qualifiers = []
+        if survival is not None:
+            qualifiers.append(f"survival {_percent(survival)}")
+        if est is not None:
+            qualifiers.append(f"est {_percent(est)}")
+        if qualifiers:
+            flow += f" ({', '.join(qualifiers)})"
+        parts.append(flow)
+    if "rows_scanned" in attrs:
+        parts.append(f"scanned={attrs['rows_scanned']}")
+    if "frames_out" in attrs:
+        parts.append(f"out={attrs['frames_out']}")
+    extra = [
+        f"{key}={_short(value)}"
+        for key, value in attrs.items()
+        if key not in _STEP_KEYS
+    ]
+    return "  ".join(parts + extra)
+
+
+def _span_line(span: "TraceSpan") -> str:
+    if span.name == "join.step":
+        return _step_line(span)
+    parts = [span.name]
+    ms = span.duration_ms
+    if ms is not None:
+        parts.append(f"{ms:.3f}ms")
+    parts.extend(
+        f"{key}={_short(value)}" for key, value in span.attributes.items()
+    )
+    return "  ".join(parts)
+
+
+def render_trace(span: "TraceSpan") -> str:
+    """The whole trace as an indented tree, one span per line."""
+    lines: list[str] = []
+
+    def walk(node: "TraceSpan", prefix: str, connector: str, child_prefix: str) -> None:
+        lines.append(prefix + connector + _span_line(node))
+        children = list(node.children)
+        for position, child in enumerate(children):
+            last = position == len(children) - 1
+            walk(
+                child,
+                child_prefix,
+                "└─ " if last else "├─ ",
+                child_prefix + ("   " if last else "│  "),
+            )
+
+    walk(span, "", "", "")
+    return "\n".join(lines)

@@ -1,0 +1,104 @@
+"""Trace sinks: where finished traces go.
+
+A sink is anything with a ``record(span)`` method; the tracer calls it once
+per finished **root** span (a whole trace).  Two implementations cover the
+serving layer's needs: a bounded in-memory ring buffer (introspection, tests,
+``CitationService.explain``) and a JSONL file writer (offline analysis,
+``repro serve --trace-jsonl``).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+from collections import deque
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+if TYPE_CHECKING:
+    from repro.observability.tracer import TraceSpan
+
+__all__ = ["TraceSink", "RingBufferSink", "JsonlSink"]
+
+
+@runtime_checkable
+class TraceSink(Protocol):
+    """The sink protocol: receive one finished root span per trace."""
+
+    def record(self, span: "TraceSpan") -> None: ...
+
+
+class RingBufferSink:
+    """Keeps the most recent *capacity* traces in memory (thread-safe)."""
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ValueError("ring buffer capacity must be positive")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._traces: deque[TraceSpan] = deque(maxlen=capacity)
+        self.recorded = 0
+
+    def record(self, span: "TraceSpan") -> None:
+        with self._lock:
+            self._traces.append(span)
+            self.recorded += 1
+
+    def traces(self) -> list["TraceSpan"]:
+        """The retained traces, oldest first."""
+        with self._lock:
+            return list(self._traces)
+
+    def last(self) -> "TraceSpan | None":
+        """The most recently recorded trace (``None`` when empty)."""
+        with self._lock:
+            return self._traces[-1] if self._traces else None
+
+    def clear(self) -> None:
+        with self._lock:
+            self._traces.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+
+class JsonlSink:
+    """Appends every trace as one JSON line to a file (thread-safe).
+
+    Accepts a path (opened lazily, append mode) or an already-open text
+    stream.  Attribute values that are not JSON-serializable are stringified
+    rather than failing the request that produced them.
+    """
+
+    def __init__(self, target: str | io.TextIOBase) -> None:
+        self._lock = threading.Lock()
+        self._path: str | None = None
+        self._stream: io.TextIOBase | None = None
+        if isinstance(target, str):
+            self._path = target
+        else:
+            self._stream = target
+        self.recorded = 0
+
+    def record(self, span: "TraceSpan") -> None:
+        line = json.dumps(span.to_dict(), sort_keys=True, default=str)
+        with self._lock:
+            if self._stream is None:
+                assert self._path is not None
+                self._stream = open(self._path, "a", encoding="utf-8")
+            self._stream.write(line + "\n")
+            self._stream.flush()
+            self.recorded += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if self._stream is not None and self._path is not None:
+                self._stream.close()
+                self._stream = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()

@@ -1,0 +1,387 @@
+"""Request-scoped tracing: structured span trees over contextvars.
+
+A :class:`TraceSpan` records one phase of a request (name, parent, wall-clock
+start, duration, free-form attributes, children); a :class:`Tracer` hands out
+spans and delivers finished traces to pluggable sinks
+(:mod:`repro.observability.sinks`) and a slow-query log
+(:mod:`repro.observability.slowlog`).  The current span is carried in a
+:mod:`contextvars` context variable, so nesting is implicit — a span opened
+anywhere inside a ``with tracer.span(...)`` block becomes a child of that
+block's span — and propagates across the serving layer's worker threads via
+:func:`contextvars.copy_context` (thread pools do **not** inherit context
+automatically; the service copies it at submit time).
+
+Tracing is designed to be zero-cost-ish when disabled:
+
+* the default global tracer is :data:`NULL_TRACER`, whose :meth:`Tracer.span`
+  returns the shared no-op :data:`NULL_SPAN` without allocating;
+* every instrumented hot path gates on the single ``tracer.enabled`` branch
+  and skips building attribute dicts entirely when it is false.
+
+Two delivery channels exist because batches nest requests:
+
+* **sinks** receive every finished *root* span (a whole trace exactly once —
+  for a batch, the batch span with the request spans as children);
+* the **slow-query log** receives every finished *boundary* span (spans
+  opened with ``boundary=True`` — the service marks each per-request root),
+  so it retains the N slowest request traces even when requests ride inside
+  a batch trace.
+
+:func:`use_tracer` installs a context-local override (propagated to worker
+threads along with the rest of the context), which is how
+``CitationService.explain`` captures a single request's trace without
+touching the process-global tracer.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import TYPE_CHECKING, Any, Iterator
+
+if TYPE_CHECKING:
+    from repro.observability.sinks import TraceSink
+    from repro.observability.slowlog import SlowQueryLog
+
+__all__ = [
+    "TraceSpan",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "NULL_SPAN",
+    "current_span",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+]
+
+#: The innermost open span of the current context (``None`` outside a trace).
+_CURRENT_SPAN: ContextVar["TraceSpan | None"] = ContextVar(
+    "repro_current_span", default=None
+)
+
+_ids = itertools.count(1)
+_id_lock = threading.Lock()
+
+
+def _next_id() -> int:
+    with _id_lock:
+        return next(_ids)
+
+
+class TraceSpan:
+    """One node of a trace tree; also the context manager that times itself.
+
+    Entering the span resolves its parent (an explicit one given at creation,
+    else the context's current span), links it into the tree and makes it
+    current; exiting records the duration, restores the context and — for
+    root/boundary spans — hands the finished trace to the tracer's sinks and
+    slow-query log.  Attributes may be set before, during or (for spans still
+    attached to an open trace) after the timed section.
+    """
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "started_at",
+        "duration_s",
+        "attributes",
+        "children",
+        "boundary",
+        "_tracer",
+        "_parent",
+        "_token",
+        "_t0",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        tracer: "Tracer | None" = None,
+        parent: "TraceSpan | None" = None,
+        boundary: bool = False,
+        attributes: dict[str, Any] | None = None,
+    ) -> None:
+        self.name = name
+        self.span_id = _next_id()
+        self.parent_id: int | None = None
+        self.started_at: float | None = None  # wall clock (time.time)
+        self.duration_s: float | None = None
+        self.attributes: dict[str, Any] = attributes if attributes is not None else {}
+        self.children: list[TraceSpan] = []
+        self.boundary = boundary
+        self._tracer = tracer
+        self._parent = parent
+        self._token = None
+        self._t0 = 0.0
+
+    # -- attributes ---------------------------------------------------------
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    def set_attributes(self, **attributes: Any) -> None:
+        self.attributes.update(attributes)
+
+    # -- structure ----------------------------------------------------------
+    def child(self, name: str, **attributes: Any) -> "TraceSpan":
+        """Attach and return an *annotation* child (untimed, already closed).
+
+        Used for per-step records whose own duration is meaningless (the
+        nested-loop join interleaves all steps) but whose placement in the
+        tree is: a ``join.step`` child of the evaluation span.
+        """
+        span = TraceSpan(name, attributes=attributes)
+        span.parent_id = self.span_id
+        span.started_at = self.started_at
+        self.children.append(span)
+        return span
+
+    def walk(self) -> Iterator["TraceSpan"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> "TraceSpan | None":
+        """The first descendant (or self) with *name*, depth-first."""
+        for span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def find_all(self, name: str) -> list["TraceSpan"]:
+        """Every descendant (or self) with *name*, depth-first order."""
+        return [span for span in self.walk() if span.name == name]
+
+    @property
+    def duration_ms(self) -> float | None:
+        return None if self.duration_s is None else self.duration_s * 1000.0
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-friendly nested dict of the whole subtree."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "started_at": self.started_at,
+            "duration_ms": (
+                None if self.duration_s is None else round(self.duration_s * 1000.0, 4)
+            ),
+            "attributes": dict(self.attributes),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    # -- context management -------------------------------------------------
+    def __enter__(self) -> "TraceSpan":
+        parent = self._parent if self._parent is not None else _CURRENT_SPAN.get()
+        if parent is not None:
+            self.parent_id = parent.span_id
+            parent.children.append(self)
+        self._parent = parent
+        # Worker-pool threads are long-lived: the token MUST be reset on
+        # exit or a stale span would leak into the thread's next task.
+        self._token = _CURRENT_SPAN.set(self)
+        self.started_at = time.time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, _tb: object) -> None:
+        self.duration_s = time.perf_counter() - self._t0
+        if exc is not None and "error" not in self.attributes:
+            self.attributes["error"] = repr(exc)
+        if self._token is not None:
+            _CURRENT_SPAN.reset(self._token)
+            self._token = None
+        tracer = self._tracer
+        if tracer is not None:
+            tracer._finished(self, is_root=self._parent is None)
+
+    def __repr__(self) -> str:
+        ms = self.duration_ms
+        timing = f"{ms:.3f}ms" if ms is not None else "open"
+        return f"TraceSpan({self.name!r}, {timing}, children={len(self.children)})"
+
+
+class _NullSpan:
+    """The shared no-op span returned by a disabled tracer."""
+
+    __slots__ = ()
+
+    #: Immutable shared state so accidental reads stay harmless.
+    name = "null"
+    span_id = 0
+    parent_id = None
+    started_at = None
+    duration_s = None
+    duration_ms = None
+    boundary = False
+    attributes: dict[str, Any] = {}
+    children: tuple = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        return None
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+    def set_attributes(self, **attributes: Any) -> None:
+        pass
+
+    def child(self, name: str, **attributes: Any) -> "_NullSpan":
+        return self
+
+    def walk(self) -> Iterator["TraceSpan"]:
+        return iter(())
+
+    def find(self, name: str) -> None:
+        return None
+
+    def find_all(self, name: str) -> list:
+        return []
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"name": "null"}
+
+    def __repr__(self) -> str:
+        return "NULL_SPAN"
+
+
+#: The singleton no-op span: every disabled-path ``with tracer.span(...)``
+#: enters and exits this same object, allocating nothing.
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Hands out spans; delivers finished traces to sinks and the slow log."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        sinks: "list[TraceSink] | None" = None,
+        slow_log: "SlowQueryLog | None" = None,
+    ) -> None:
+        self.sinks: list[TraceSink] = list(sinks or [])
+        self.slow_log = slow_log
+
+    def span(
+        self,
+        name: str,
+        parent: TraceSpan | None = None,
+        boundary: bool = False,
+        **attributes: Any,
+    ) -> TraceSpan | _NullSpan:
+        """A new span, to be entered with ``with``.
+
+        The parent is resolved at ``__enter__`` time from the context unless
+        an explicit *parent* is given.  ``boundary=True`` marks a per-request
+        root: the slow-query log receives it even when it is nested inside a
+        batch trace.
+        """
+        return TraceSpan(
+            name, tracer=self, parent=parent, boundary=boundary, attributes=attributes
+        )
+
+    def current_span(self) -> TraceSpan | None:
+        """The innermost open span of the calling context (``None`` if none)."""
+        return _CURRENT_SPAN.get()
+
+    def _finished(self, span: TraceSpan, is_root: bool) -> None:
+        if span.boundary and self.slow_log is not None:
+            self.slow_log.offer(span)
+        if is_root:
+            for sink in self.sinks:
+                sink.record(span)
+
+    def stats(self) -> dict[str, Any]:
+        """A JSON-friendly description of this tracer's configuration."""
+        out: dict[str, Any] = {
+            "enabled": self.enabled,
+            "sinks": [type(sink).__name__ for sink in self.sinks],
+        }
+        if self.slow_log is not None:
+            out["slow_log"] = self.slow_log.stats()
+        return out
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: one branch on :attr:`enabled` skips everything."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def span(
+        self,
+        name: str,
+        parent: TraceSpan | None = None,
+        boundary: bool = False,
+        **attributes: Any,
+    ) -> _NullSpan:
+        return NULL_SPAN
+
+    def current_span(self) -> None:
+        return None
+
+
+#: The shared disabled tracer (the process-wide default).
+NULL_TRACER = NullTracer()
+
+_global_tracer: Tracer = NULL_TRACER
+
+#: Context-local tracer override (see :func:`use_tracer`); checked before the
+#: process-global tracer so a single request can be traced in isolation.
+_TRACER_OVERRIDE: ContextVar[Tracer | None] = ContextVar(
+    "repro_tracer_override", default=None
+)
+
+
+def current_span() -> TraceSpan | None:
+    """The innermost open span of the calling context (``None`` if none)."""
+    return _CURRENT_SPAN.get()
+
+
+def get_tracer(fallback: Tracer | None = None) -> Tracer:
+    """The active tracer: context override, else *fallback*, else the global.
+
+    Instrumented code calls this once per operation and gates all further
+    work on ``tracer.enabled`` — with tracing off that is one context-variable
+    read and one attribute check.
+    """
+    override = _TRACER_OVERRIDE.get()
+    if override is not None:
+        return override
+    if fallback is not None:
+        return fallback
+    return _global_tracer
+
+
+def set_tracer(tracer: Tracer | None) -> Tracer:
+    """Install *tracer* process-wide (``None`` disables); return the previous."""
+    global _global_tracer
+    previous = _global_tracer
+    _global_tracer = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
+    """Override the active tracer for the current context only.
+
+    The override rides in a context variable, so it propagates into worker
+    threads together with the rest of the context (via ``copy_context``) and
+    never races concurrent requests the way swapping the global would.
+    """
+    token = _TRACER_OVERRIDE.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _TRACER_OVERRIDE.reset(token)

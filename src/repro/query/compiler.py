@@ -73,6 +73,7 @@ from repro.relational.relation import Relation
 
 __all__ = [
     "JoinStep",
+    "JoinProfile",
     "JoinProgram",
     "SemiJoinEdge",
     "StepReduction",
@@ -104,6 +105,75 @@ class JoinStep:
     post_checks: tuple[tuple[int, int], ...]
 
 
+class JoinProfile:
+    """Per-step counters filled by one profiled run of a join program.
+
+    Passing a profile to :meth:`JoinProgram.run_frames` /
+    :meth:`ReducedProgram.run_frames` switches to an instrumented copy of the
+    nested-loop join that counts, per step (= per depth of the join order):
+
+    * ``relation_rows`` — the step's full extension size;
+    * ``rows_in`` — rows its row source could supply after the reduction
+      prelude (equals ``relation_rows`` for untouched steps and for the
+      plain program), so ``rows_in / relation_rows`` is the step's measured
+      semi-join survival fraction;
+    * ``rows_scanned`` — rows actually iterated at that depth, summed over
+      every entry into the depth (index probes touch only matching rows);
+    * ``frames_out`` — partial frames that survived the step's checks and
+      descended further.
+
+    ``prelude`` records how the reduction prelude was served (``"hit"`` /
+    ``"miss"`` from a :class:`PreludeCache`, ``"cold"`` without one, ``None``
+    for the plain program); ``empty`` is set when the prelude proved the
+    query has no answers (the join never ran); ``results`` counts yielded
+    frames.  The profiled path is a deliberate mirror of the tight loops —
+    the hot (unprofiled) path never pays for the counters.
+    """
+
+    __slots__ = (
+        "step_count",
+        "relation_rows",
+        "rows_in",
+        "rows_scanned",
+        "frames_out",
+        "prelude",
+        "empty",
+        "results",
+    )
+
+    def __init__(self, step_count: int) -> None:
+        self.step_count = step_count
+        self.relation_rows = [0] * step_count
+        self.rows_in = [0] * step_count
+        self.rows_scanned = [0] * step_count
+        self.frames_out = [0] * step_count
+        self.prelude: str | None = None
+        self.empty = False
+        self.results = 0
+
+    def survival(self, position: int) -> float:
+        """Measured surviving fraction of step *position*'s extension."""
+        total = self.relation_rows[position]
+        return self.rows_in[position] / total if total else 1.0
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "prelude": self.prelude,
+            "empty": self.empty,
+            "results": self.results,
+            "steps": [
+                {
+                    "relation_rows": self.relation_rows[i],
+                    "rows_in": self.rows_in[i],
+                    "rows_scanned": self.rows_scanned[i],
+                    "frames_out": self.frames_out[i],
+                    "survival": round(self.survival(i), 4),
+                }
+                for i in range(self.step_count)
+            ],
+        }
+
+
 @dataclass(frozen=True)
 class JoinProgram:
     """A conjunctive query compiled to a fixed join order over variable slots."""
@@ -125,9 +195,20 @@ class JoinProgram:
         relations: Mapping[str, Relation],
         index_manager: IndexManager | None = None,
         use_indexes: bool = True,
+        profile: JoinProfile | None = None,
     ) -> Iterator[tuple]:
         """Yield every satisfying frame (tuple of slot values, aligned with
-        :attr:`variables`)."""
+        :attr:`variables`).
+
+        With a *profile*, an instrumented copy of the join runs instead and
+        fills the per-step counters (see :class:`JoinProfile`) — the plain
+        path below stays counter-free.
+        """
+        if profile is not None:
+            yield from self._run_frames_profiled(
+                relations, index_manager, use_indexes, profile
+            )
+            return
         frame: list = [None] * len(self.variables)
         for slot, value in self.seed:
             frame[slot] = value
@@ -176,6 +257,68 @@ class JoinProgram:
                     if row[position] != frame[slot]:
                         break
                 else:
+                    yield from descend(depth + 1)
+
+        yield from descend(0)
+
+    def _run_frames_profiled(
+        self,
+        relations: Mapping[str, Relation],
+        index_manager: IndexManager | None,
+        use_indexes: bool,
+        profile: JoinProfile,
+    ) -> Iterator[tuple]:
+        """The counting mirror of :meth:`run_frames`'s descend loop."""
+        frame: list = [None] * len(self.variables)
+        for slot, value in self.seed:
+            frame[slot] = value
+        probe = use_indexes and index_manager is not None
+        plan = [
+            [step, relations[step.predicate], None, tuple(zip(step.key_slots, step.key_values))]
+            for step in self.steps
+        ]
+        for position, step in enumerate(self.steps):
+            rows = len(relations[step.predicate])
+            profile.relation_rows[position] = rows
+            profile.rows_in[position] = rows
+        depth_count = len(plan)
+        rows_scanned = profile.rows_scanned
+        frames_out = profile.frames_out
+
+        def descend(depth: int) -> Iterator[tuple]:
+            if depth == depth_count:
+                profile.results += 1
+                yield tuple(frame)
+                return
+            entry = plan[depth]
+            step, relation, index, key_pairs = entry
+            if step.key_positions:
+                key = tuple(
+                    value if slot is None else frame[slot]
+                    for slot, value in key_pairs
+                )
+                if probe:
+                    if index is None:
+                        index = index_manager.index_for(
+                            step.predicate, relation, step.key_positions
+                        )
+                        entry[2] = index
+                    rows = index.get(key)
+                else:
+                    rows = relation.rows_matching(dict(zip(step.key_positions, key)))
+            else:
+                rows = relation
+            writes = step.writes
+            post_checks = step.post_checks
+            for row in rows:
+                rows_scanned[depth] += 1
+                for position, slot in writes:
+                    frame[slot] = row[position]
+                for position, slot in post_checks:
+                    if row[position] != frame[slot]:
+                        break
+                else:
+                    frames_out[depth] += 1
                     yield from descend(depth + 1)
 
         yield from descend(0)
@@ -680,12 +823,68 @@ class ReducedProgram:
 
         yield from descend(0)
 
+    def _frames_profiled(self, plan: list[tuple], profile: JoinProfile) -> Iterator[tuple]:
+        """The counting mirror of :meth:`_frames` (same descend loop)."""
+        program = self.program
+        frame: list = [None] * program.slot_count
+        for slot, value in program.seed:
+            frame[slot] = value
+        depth_count = len(plan)
+        rows_scanned = profile.rows_scanned
+        frames_out = profile.frames_out
+
+        def descend(depth: int) -> Iterator[tuple]:
+            if depth == depth_count:
+                profile.results += 1
+                yield tuple(frame)
+                return
+            step, kind, source, key_pairs = plan[depth]
+            if kind == "all":
+                rows = source
+            else:
+                key = tuple(
+                    value if slot is None else frame[slot]
+                    for slot, value in key_pairs
+                )
+                if kind == "map":
+                    rows = source.get(key, ())
+                else:
+                    rows = source.rows_matching(dict(zip(step.key_positions, key)))
+            writes = step.writes
+            post_checks = step.post_checks
+            for row in rows:
+                rows_scanned[depth] += 1
+                for position, slot in writes:
+                    frame[slot] = row[position]
+                for position, slot in post_checks:
+                    if row[position] != frame[slot]:
+                        break
+                else:
+                    frames_out[depth] += 1
+                    yield from descend(depth + 1)
+
+        yield from descend(0)
+
+    def _fill_profile_inputs(
+        self,
+        profile: JoinProfile,
+        candidates: list[list[tuple] | None],
+        relations: Mapping[str, Relation],
+    ) -> None:
+        """Record per-step relation sizes and post-prelude survivor counts."""
+        for position, step in enumerate(self.program.steps):
+            size = len(relations[step.predicate])
+            profile.relation_rows[position] = size
+            rows = candidates[position]
+            profile.rows_in[position] = size if rows is None else len(rows)
+
     def run_frames(
         self,
         relations: Mapping[str, Relation],
         index_manager: IndexManager | None = None,
         use_indexes: bool = True,
         prelude: "PreludeCache | None" = None,
+        profile: JoinProfile | None = None,
     ) -> Iterator[tuple]:
         """Yield every satisfying frame (same frames as the plain program).
 
@@ -694,11 +893,21 @@ class ReducedProgram:
         warm evaluation against unchanged relations skips the passes *and*
         the bucket builds entirely, and a drifted one recomputes only what
         the drift invalidated.
+
+        With a *profile*, the instrumented copy of the join runs instead and
+        fills the per-step counters plus the prelude outcome
+        (``hit``/``miss`` under a cache, ``cold`` without one); the plain
+        path stays counter-free.
         """
         probe = use_indexes and index_manager is not None
         if prelude is not None and prelude.reduced is self:
+            hits_before = prelude.hits
             snapshot = prelude.refresh(relations, index_manager, use_indexes)
+            if profile is not None:
+                profile.prelude = "hit" if prelude.hits > hits_before else "miss"
             if snapshot.empty:
+                if profile is not None:
+                    profile.empty = True
                 return
             plan = snapshot.plan if snapshot.plan_probe == probe else None
             if plan is None:
@@ -707,14 +916,25 @@ class ReducedProgram:
                 )
                 snapshot.plan = plan
                 snapshot.plan_probe = probe
+            if profile is not None:
+                self._fill_profile_inputs(profile, snapshot.candidates, relations)
+                yield from self._frames_profiled(plan, profile)
+                return
             yield from self._frames(plan)
             return
+        if profile is not None:
+            profile.prelude = "cold"
         candidates = self.reduce_relations(relations, index_manager, use_indexes)
         if candidates is None:
+            if profile is not None:
+                profile.empty = True
             return
-        yield from self._frames(
-            self._execution_plan(candidates, relations, index_manager, probe)
-        )
+        plan = self._execution_plan(candidates, relations, index_manager, probe)
+        if profile is not None:
+            self._fill_profile_inputs(profile, candidates, relations)
+            yield from self._frames_profiled(plan, profile)
+            return
+        yield from self._frames(plan)
 
     def output_row(self, frame: tuple) -> tuple:
         """Project one frame onto the query's head terms."""

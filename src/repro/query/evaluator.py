@@ -50,15 +50,17 @@ import warnings
 from typing import Iterator, Literal, Mapping
 
 from repro.errors import QueryError, UnknownRelationError
+from repro.observability import NULL_SPAN, current_fingerprint, get_tracer
 from repro.query.ast import ConjunctiveQuery, Constant, Term, Variable
 from repro.query.compiler import (
+    JoinProfile,
     JoinProgram,
     PreludeCache,
     ReducedProgram,
     compile_query,
     reduce_program,
 )
-from repro.query.stats import CostModel, EvaluationMetrics, StatisticsCatalog
+from repro.query.stats import CostEstimate, CostModel, EvaluationMetrics, StatisticsCatalog
 from repro.relational.database import Database
 from repro.relational.index import IndexManager
 from repro.relational.relation import Relation
@@ -268,7 +270,9 @@ class QueryEvaluator:
         program = self._program_for(query, relations)
         # Pure introspection: resolve without recording picks or estimates,
         # so polling this for monitoring never skews the serving metrics.
-        executor = self._executor(query, relations, program, None, None, record=False)
+        executor, _reason, _estimate = self._executor(
+            query, relations, program, None, None, record=False
+        )
         return "reduced" if isinstance(executor, ReducedProgram) else "program"
 
     def _executor(
@@ -281,9 +285,12 @@ class QueryEvaluator:
         cache: bool = True,
         prelude: PreludeCache | None = None,
         record: bool = True,
-    ) -> JoinProgram | ReducedProgram:
+    ) -> tuple[JoinProgram | ReducedProgram, str, CostEstimate | None]:
         """Resolve the strategy for one evaluation to a runnable program.
 
+        Returns ``(executor, pick reason, cost estimate or None)`` — the
+        reason and estimate feed the evaluation span's attributes, so an
+        EXPLAIN trace shows not just what ran but why the resolver picked it.
         With ``record=False`` the resolution leaves no trace in
         :attr:`metrics` (introspection via :meth:`select_strategy`).
         """
@@ -336,19 +343,20 @@ class QueryEvaluator:
         if record and self.metrics is not None:
             self.metrics.record_estimate(estimate)
         if estimate.prefers_reduction:
-            return self._picked(reduced, "cost_model", record)
-        return self._picked(program, "cost_model", record)
+            return self._picked(reduced, "cost_model", record, estimate)
+        return self._picked(program, "cost_model", record, estimate)
 
     def _picked(
         self,
         executor: JoinProgram | ReducedProgram,
         reason: str,
         record: bool = True,
-    ) -> JoinProgram | ReducedProgram:
+        estimate: CostEstimate | None = None,
+    ) -> tuple[JoinProgram | ReducedProgram, str, CostEstimate | None]:
         if record and self.metrics is not None:
             kind = "reduced" if isinstance(executor, ReducedProgram) else "program"
             self.metrics.record_pick(kind, reason)
-        return executor
+        return executor, reason, estimate
 
     # -- core join ------------------------------------------------------------
     def _frames_for(
@@ -358,15 +366,86 @@ class QueryEvaluator:
         query: ConjunctiveQuery,
         prelude: PreludeCache | None,
         cache: bool = True,
+        profile: JoinProfile | None = None,
     ) -> Iterator[tuple]:
         """Run *executor*, threading warm-prelude state into reduced runs."""
         if isinstance(executor, ReducedProgram):
             if prelude is None or prelude.reduced is not executor:
                 prelude = self.prelude_for(query, executor) if cache else None
             return executor.run_frames(
-                relations, self.index_manager, self.use_indexes, prelude
+                relations, self.index_manager, self.use_indexes, prelude, profile
             )
-        return executor.run_frames(relations, self.index_manager, self.use_indexes)
+        return executor.run_frames(
+            relations, self.index_manager, self.use_indexes, profile
+        )
+
+    # -- tracing ---------------------------------------------------------------
+    def _evaluation_span(
+        self,
+        query: ConjunctiveQuery,
+        executor: JoinProgram | ReducedProgram,
+        kind: str,
+        reason: str,
+        strategy: Strategy | None,
+        estimate: CostEstimate | None,
+    ):
+        """An open ``query.evaluate`` span plus the profile to fill (or no-ops).
+
+        Returns ``(span, profile)``; callers gate every further attribute
+        write on ``profile is not None``, so the disabled path pays exactly
+        one ``get_tracer()`` call, one branch, and a no-op context manager.
+        """
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return NULL_SPAN, None
+        span = tracer.span(
+            "query.evaluate",
+            query=query.name,
+            strategy=strategy or self.strategy,
+            executor=kind,
+            reason=reason,
+        )
+        if estimate is not None:
+            span.set_attribute("cost_estimate", estimate.as_dict())
+        steps = (
+            executor.program.steps
+            if isinstance(executor, ReducedProgram)
+            else executor.steps
+        )
+        return span, JoinProfile(len(steps))
+
+    @staticmethod
+    def _annotate_span(
+        span,
+        executor: JoinProgram | ReducedProgram,
+        profile: JoinProfile,
+        estimate: CostEstimate | None,
+    ) -> None:
+        """Copy one profiled run's counters onto its evaluation span."""
+        if profile.prelude is not None:
+            span.set_attribute("prelude", profile.prelude)
+        if profile.empty:
+            span.set_attribute("empty", True)
+        span.set_attribute("results", profile.results)
+        steps = (
+            executor.program.steps
+            if isinstance(executor, ReducedProgram)
+            else executor.steps
+        )
+        est_survival = estimate.survival if estimate is not None else None
+        for position, step in enumerate(steps):
+            child = span.child(
+                "join.step",
+                step=position,
+                predicate=step.predicate,
+                relation_rows=profile.relation_rows[position],
+                rows_in=profile.rows_in[position],
+                rows_scanned=profile.rows_scanned[position],
+                frames_out=profile.frames_out[position],
+                survival=round(profile.survival(position), 4),
+            )
+            if est_survival is not None and position < len(est_survival):
+                child.set_attribute("est_survival", round(est_survival[position], 4))
 
     def bindings(
         self,
@@ -380,7 +459,7 @@ class QueryEvaluator:
         relations = self._resolve_relations(query)
         if program is None:
             program = self._program_for(query, relations)
-        executor = self._executor(
+        executor, _reason, _estimate = self._executor(
             query, relations, program, reduced, strategy, prelude=prelude
         )
         variables = program.variables
@@ -421,22 +500,33 @@ class QueryEvaluator:
             program = self._program_for(query, relations)
         else:
             program = compile_query(query, relations)
-        executor = self._executor(
+        executor, reason, estimate = self._executor(
             query, relations, program, None, strategy, cache=cache_program
         )
-        started = time.perf_counter() if self.metrics is not None else 0.0
+        kind = "reduced" if isinstance(executor, ReducedProgram) else "program"
+        span, profile = self._evaluation_span(
+            query, executor, kind, reason, strategy, estimate
+        )
+        timed = self.metrics is not None or profile is not None
         output_row = program.output_row
-        answers = {
-            output_row(frame)
-            for frame in self._frames_for(
-                executor, relations, query, None, cache=cache_program
-            )
-        }
+        with span:
+            started = time.perf_counter() if timed else 0.0
+            answers = {
+                output_row(frame)
+                for frame in self._frames_for(
+                    executor, relations, query, None, cache=cache_program,
+                    profile=profile,
+                )
+            }
+            elapsed = time.perf_counter() - started if timed else 0.0
+            if profile is not None:
+                span.set_attribute("answers", len(answers))
+                self._annotate_span(span, executor, profile, estimate)
         if self.metrics is not None:
-            self.metrics.record_actual(
-                "reduced" if isinstance(executor, ReducedProgram) else "program",
-                time.perf_counter() - started,
-            )
+            self.metrics.record_actual(kind, elapsed)
+            fingerprint = current_fingerprint()
+            if fingerprint is not None:
+                self.metrics.record_evaluation(fingerprint, kind, elapsed, estimate)
         return Relation(schema, answers)
 
     def evaluate_with_bindings(
@@ -451,21 +541,33 @@ class QueryEvaluator:
         relations = self._resolve_relations(query)
         if program is None:
             program = self._program_for(query, relations)
-        executor = self._executor(
+        executor, reason, estimate = self._executor(
             query, relations, program, reduced, strategy, prelude=prelude
         )
+        kind = "reduced" if isinstance(executor, ReducedProgram) else "program"
+        span, profile = self._evaluation_span(
+            query, executor, kind, reason, strategy, estimate
+        )
+        timed = self.metrics is not None or profile is not None
         variables = program.variables
-        started = time.perf_counter() if self.metrics is not None else 0.0
-        out: dict[tuple, list[Binding]] = {}
-        for frame in self._frames_for(executor, relations, query, prelude):
-            out.setdefault(program.output_row(frame), []).append(
-                dict(zip(variables, frame))
-            )
+        with span:
+            started = time.perf_counter() if timed else 0.0
+            out: dict[tuple, list[Binding]] = {}
+            for frame in self._frames_for(
+                executor, relations, query, prelude, profile=profile
+            ):
+                out.setdefault(program.output_row(frame), []).append(
+                    dict(zip(variables, frame))
+                )
+            elapsed = time.perf_counter() - started if timed else 0.0
+            if profile is not None:
+                span.set_attribute("answers", len(out))
+                self._annotate_span(span, executor, profile, estimate)
         if self.metrics is not None:
-            self.metrics.record_actual(
-                "reduced" if isinstance(executor, ReducedProgram) else "program",
-                time.perf_counter() - started,
-            )
+            self.metrics.record_actual(kind, elapsed)
+            fingerprint = current_fingerprint()
+            if fingerprint is not None:
+                self.metrics.record_evaluation(fingerprint, kind, elapsed, estimate)
         return out
 
     def evaluate_parameterized(

@@ -391,7 +391,20 @@ class EvaluationMetrics:
     owns one instance and threads it into every evaluator it builds; the
     serving layer registers :meth:`snapshot` as a gauge source so the whole
     block appears in :meth:`CitationService.stats` and the CLI ``--stats``.
+
+    On top of the global aggregates, :meth:`record_evaluation` accumulates
+    estimate-vs-actual pairs **per query fingerprint** (the serving layer
+    scopes the fingerprint via
+    :func:`repro.observability.context.fingerprint_scope`); the per-query
+    measured costs are the data source the adaptive cost-model follow-on
+    needs to recalibrate its constants against real timings.
     """
+
+    #: FIFO bound on per-fingerprint estimate-vs-actual entries: the service
+    #: outlives requests, so ad-hoc query traffic must not grow the map
+    #: without bound.  Evicted fingerprints simply start a fresh entry if
+    #: they reappear.
+    MAX_TRACKED_QUERIES = 256
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
@@ -413,6 +426,10 @@ class EvaluationMetrics:
             "steps_recomputed": 0,
             "steps_reused": 0,
         }
+        # fingerprint -> {"kinds": {kind: [count, total_s]},
+        #                 "estimates": int,
+        #                 "estimated_cost": {"program": total, "reduced": total}}
+        self._by_query: dict[str, dict] = {}
 
     # -- recording -----------------------------------------------------------
     def record_pick(self, kind: str, reason: str) -> None:
@@ -444,7 +461,77 @@ class EvaluationMetrics:
             self._prelude["steps_recomputed"] += steps_recomputed
             self._prelude["steps_reused"] += steps_reused
 
+    def record_evaluation(
+        self,
+        fingerprint: str,
+        kind: str,
+        seconds: float,
+        estimate: "CostEstimate | None" = None,
+    ) -> None:
+        """Attribute one measured evaluation (and its estimate) to a query.
+
+        *fingerprint* is the request's structural fingerprint; repeated
+        evaluations of structurally identical queries accumulate into one
+        entry, so :meth:`query_profiles` exposes per-query mean estimated
+        cost next to per-query mean measured milliseconds.
+        """
+        with self._lock:
+            entry = self._by_query.get(fingerprint)
+            if entry is None:
+                entry = {
+                    "kinds": {},
+                    "estimates": 0,
+                    "estimated_cost": {"program": 0.0, "reduced": 0.0},
+                }
+                self._by_query[fingerprint] = entry
+                while len(self._by_query) > self.MAX_TRACKED_QUERIES:
+                    self._by_query.pop(next(iter(self._by_query)))
+            bucket = entry["kinds"].setdefault(kind, [0, 0.0])
+            bucket[0] += 1
+            bucket[1] += seconds
+            if estimate is not None:
+                entry["estimates"] += 1
+                entry["estimated_cost"]["program"] += estimate.program_cost
+                entry["estimated_cost"]["reduced"] += estimate.reduced_cost
+
     # -- reading -------------------------------------------------------------
+    def query_profiles(self) -> dict[str, dict]:
+        """Per-fingerprint estimate-vs-actual aggregates (JSON-friendly).
+
+        Each entry carries the per-executor-kind measured mean milliseconds
+        and, when estimates were recorded, the mean estimated cost — the raw
+        material for calibrating the cost model against this deployment's
+        actual timings.
+        """
+        with self._lock:
+            tracked = {
+                fingerprint: {
+                    "kinds": {k: list(v) for k, v in entry["kinds"].items()},
+                    "estimates": entry["estimates"],
+                    "estimated_cost": dict(entry["estimated_cost"]),
+                }
+                for fingerprint, entry in self._by_query.items()
+            }
+        profiles: dict[str, dict] = {}
+        for fingerprint, entry in tracked.items():
+            estimates = entry["estimates"]
+            profiles[fingerprint] = {
+                "evaluations": sum(c for c, _ in entry["kinds"].values()),
+                "actual_ms": {
+                    kind: {
+                        "count": int(count),
+                        "mean_ms": round(total * 1000.0 / count, 4) if count else 0.0,
+                    }
+                    for kind, (count, total) in entry["kinds"].items()
+                },
+                "estimates": estimates,
+                "mean_estimated_cost": {
+                    kind: round(total / estimates, 2) if estimates else 0.0
+                    for kind, total in entry["estimated_cost"].items()
+                },
+            }
+        return profiles
+
     def snapshot(self) -> dict:
         """A JSON-friendly snapshot of every counter and aggregate."""
         with self._lock:
@@ -454,6 +541,7 @@ class EvaluationMetrics:
             estimated = dict(self._estimated_cost)
             actuals = {k: list(v) for k, v in self._actuals.items()}
             prelude = dict(self._prelude)
+            tracked_queries = len(self._by_query)
         lookups = prelude["hits"] + prelude["misses"]
         prelude["hit_rate"] = round(prelude["hits"] / lookups, 4) if lookups else 0.0
         return {
@@ -465,6 +553,10 @@ class EvaluationMetrics:
                     kind: round(total / estimates, 2) if estimates else 0.0
                     for kind, total in estimated.items()
                 },
+                "mean_actual_ms": {
+                    kind: round(total * 1000.0 / count, 4) if count else 0.0
+                    for kind, (count, total) in actuals.items()
+                },
                 "actual_ms": {
                     kind: {
                         "count": int(count),
@@ -472,6 +564,7 @@ class EvaluationMetrics:
                     }
                     for kind, (count, total) in actuals.items()
                 },
+                "tracked_queries": tracked_queries,
             },
             "prelude_cache": prelude,
         }

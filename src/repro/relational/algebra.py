@@ -119,7 +119,7 @@ def cartesian_product(left: Relation, right: Relation, name: str | None = None) 
     """Cartesian product; attribute names are prefixed (and suffixed on
     self-joins) to stay unique."""
     attributes = _prefixed_attributes(left.schema, right.schema)
-    rows = (l + r for l in left for r in right)
+    rows = (lrow + rrow for lrow in left for rrow in right)
     return Relation(
         _derived_schema(name or f"{left.schema.name}_x_{right.schema.name}", attributes),
         rows,

@@ -12,14 +12,14 @@ import hashlib
 import threading
 from typing import Callable, Iterable, Iterator, Mapping
 
-#: Signature of a mutation listener: ``(kind, relation, row)`` with ``kind``
-#: one of ``"insert"`` / ``"delete"``, called after the change is applied.
-MutationListener = Callable[[str, str, tuple], None]
-
 from repro.errors import IntegrityError, UnknownRelationError
 from repro.relational.index import HashIndex
 from repro.relational.relation import Relation
 from repro.relational.schema import DatabaseSchema, ForeignKey, RelationSchema
+
+#: Signature of a mutation listener: ``(kind, relation, row)`` with ``kind``
+#: one of ``"insert"`` / ``"delete"``, called after the change is applied.
+MutationListener = Callable[[str, str, tuple], None]
 
 
 class Database:

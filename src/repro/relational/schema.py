@@ -13,7 +13,7 @@ which is expressed with these classes in ``repro.workloads.gtopdb``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping
 
 from repro.errors import ArityError, SchemaError, UnknownRelationError

@@ -22,7 +22,6 @@ from repro.query.ast import (
     Variable,
 )
 from repro.query.containment import containment_mapping, is_equivalent_to
-from repro.query.minimization import minimize
 from repro.rewriting.view import View, views_by_name
 
 _fresh = itertools.count()

@@ -22,6 +22,7 @@ The request/response envelope and the backend adapters live in
 from repro.api.backend import BackendCapabilities, BackendRegistry, CitationBackend
 from repro.api.envelope import CitationRequest, CitationResponse
 from repro.core.engine import CitationPlan
+from repro.service.explain import ExplainReport
 from repro.service.fingerprint import are_isomorphic, canonical_key, fingerprint
 from repro.service.metrics import LatencyHistogram, ServiceMetrics
 from repro.service.plan_cache import CacheInfo, GenerationalLRU, PlanCache
@@ -38,6 +39,7 @@ __all__ = [
     "ServiceResponse",
     "ServiceMetrics",
     "LatencyHistogram",
+    "ExplainReport",
     "PlanCache",
     "GenerationalLRU",
     "CacheInfo",

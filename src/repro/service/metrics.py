@@ -58,6 +58,29 @@ class LatencyHistogram:
     def mean_ms(self) -> float:
         return self.total_ms / self.count if self.count else 0.0
 
+    def observed_min_ms(self) -> float:
+        """The smallest observation, or 0.0 before any — never ``inf``.
+
+        :attr:`min_ms` starts at ``inf`` as the fold identity; serializing
+        that sentinel would leak ``Infinity`` into JSON output (invalid per
+        the spec), so readers go through this accessor.
+        """
+        return self.min_ms if self.count else 0.0
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """``(upper_bound_ms, cumulative_count)`` per finite bound, ascending.
+
+        Exactly the shape Prometheus histogram exposition wants (the
+        implicit ``+Inf`` bucket equals :attr:`count` and is left to the
+        renderer).
+        """
+        out: list[tuple[float, int]] = []
+        cumulative = 0
+        for bound, bucket_count in zip(self.bounds_ms, self.bucket_counts):
+            cumulative += bucket_count
+            out.append((bound, cumulative))
+        return out
+
     def percentile_ms(self, quantile: float) -> float:
         """Upper-bound estimate of the given quantile (0 < quantile <= 1)."""
         if self.count == 0:
@@ -72,16 +95,29 @@ class LatencyHistogram:
                 return min(self.bounds_ms[index], self.max_ms)
         return self.max_ms
 
-    def snapshot(self) -> dict[str, float]:
-        """A JSON-friendly summary of the histogram."""
+    def snapshot(self) -> dict[str, object]:
+        """A JSON-friendly summary of the histogram.
+
+        ``buckets`` lists cumulative counts per upper bound; the overflow
+        bucket's bound is the string ``"+Inf"`` so the snapshot survives
+        ``json.dumps`` (a float ``inf`` would serialize as the non-JSON
+        literal ``Infinity``).
+        """
+        buckets: list[dict[str, object]] = [
+            {"le_ms": bound, "count": cumulative}
+            for bound, cumulative in self.cumulative_buckets()
+        ]
+        buckets.append({"le_ms": "+Inf", "count": self.count})
         return {
             "count": self.count,
+            "total_ms": round(self.total_ms, 4),
             "mean_ms": round(self.mean_ms(), 4),
             "p50_ms": round(self.percentile_ms(0.50), 4),
             "p95_ms": round(self.percentile_ms(0.95), 4),
             "p99_ms": round(self.percentile_ms(0.99), 4),
-            "min_ms": round(self.min_ms, 4) if self.count else 0.0,
+            "min_ms": round(self.observed_min_ms(), 4),
             "max_ms": round(self.max_ms, 4),
+            "buckets": buckets,
         }
 
 
@@ -198,6 +234,80 @@ class ServiceMetrics:
         for name, source in gauge_sources.items():
             snapshot[name] = source()
         return snapshot
+
+    def to_prometheus(
+        self, namespace: str = "repro", extra: dict[str, dict] | None = None
+    ) -> str:
+        """Render every counter, histogram and gauge source as Prometheus
+        text exposition (format 0.0.4).
+
+        Flat counters become ``<namespace>_<name>_total``; per-backend
+        counters share one ``<namespace>_backend_events_total`` family with
+        ``backend``/``event`` labels; each latency histogram becomes one
+        label set of the ``<namespace>_latency_seconds`` family (bounds and
+        sums converted from the internal milliseconds to seconds, as the
+        Prometheus base-unit convention requires).  Gauge-source snapshots —
+        and any *extra* dicts the caller passes, keyed like gauge sources —
+        are flattened to gauges, keeping numeric leaves only.
+        """
+        from repro.observability.prometheus import PrometheusRenderer, flatten_numeric
+
+        with self._lock:
+            all_counters = dict(self._counters)
+            histograms = {
+                name: (
+                    histogram.cumulative_buckets(),
+                    histogram.total_ms,
+                    histogram.count,
+                )
+                for name, histogram in sorted(self._histograms.items())
+            }
+            gauge_sources = dict(self._gauge_sources)
+
+        renderer = PrometheusRenderer()
+        for name, value in sorted(all_counters.items()):
+            if name.startswith(self.BACKEND_PREFIX):
+                backend, _, event = name[len(self.BACKEND_PREFIX):].partition(".")
+                renderer.counter(
+                    f"{namespace}_backend_events_total",
+                    value,
+                    labels={"backend": backend, "event": event},
+                    help_text="Per-backend request lifecycle events.",
+                )
+            else:
+                renderer.counter(
+                    f"{namespace}_{name}_total",
+                    value,
+                    help_text=f"Total {name.replace('_', ' ')}.",
+                )
+        requests = all_counters.get("requests", 0)
+        hits = all_counters.get("result_cache_hits", 0) + all_counters.get(
+            "plan_cache_hits", 0
+        )
+        renderer.gauge(
+            f"{namespace}_cache_hit_rate",
+            hits / requests if requests else 0.0,
+            help_text="Fraction of requests answered from the result or plan cache.",
+        )
+        for name, (buckets, total_ms, count) in histograms.items():
+            renderer.histogram(
+                f"{namespace}_latency_seconds",
+                [(bound_ms / 1000.0, cumulative) for bound_ms, cumulative in buckets],
+                total_ms / 1000.0,
+                count,
+                labels={"phase": name},
+                help_text="Request phase latency in seconds.",
+            )
+        # Polled outside the lock: a source may take its own lock.
+        flattened: dict[str, dict] = {
+            name: source() for name, source in gauge_sources.items()
+        }
+        if extra:
+            flattened.update(extra)
+        for name, payload in sorted(flattened.items()):
+            for metric, value in flatten_numeric(f"{namespace}_{name}", payload):
+                renderer.gauge(metric, value)
+        return renderer.render()
 
     def reset(self) -> None:
         """Zero every counter and drop all histograms."""

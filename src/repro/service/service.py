@@ -39,10 +39,11 @@ discipline of an in-memory store applies.
 
 from __future__ import annotations
 
+import contextvars
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Hashable, Iterable, Sequence
 
 from repro.api.backend import BackendRegistry, CitationBackend
@@ -51,7 +52,16 @@ from repro.api.backends.union import UnionBackend
 from repro.api.envelope import CitationRequest, CitationResponse
 from repro.core.engine import CitationEngine, CitationPlan, CitedResult, Mode
 from repro.errors import CitationError
+from repro.observability import (
+    NULL_SPAN,
+    RingBufferSink,
+    Tracer,
+    fingerprint_scope,
+    get_tracer,
+    use_tracer,
+)
 from repro.query.ast import ConjunctiveQuery
+from repro.service.explain import ExplainReport
 from repro.service.metrics import ServiceMetrics
 from repro.service.plan_cache import GenerationalLRU, PlanCache
 
@@ -99,12 +109,16 @@ class CitationService:
         cache_results: bool = True,
         query_parser: Callable[[ConjunctiveQuery | str], ConjunctiveQuery] | None = None,
         backends: Sequence[CitationBackend] | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if engine is None and not backends:
             raise CitationError(
                 "a citation service needs an engine and/or explicit backends"
             )
         self.engine = engine
+        # The service-level tracer; a context-local override (use_tracer,
+        # which explain() relies on) still takes precedence — see tracer().
+        self._tracer = tracer
         self.metrics = metrics or ServiceMetrics()
         self.plan_cache = PlanCache(maxsize=plan_cache_size)
         self.result_cache: GenerationalLRU[Any] = GenerationalLRU(
@@ -134,6 +148,63 @@ class CitationService:
             self.metrics.register_gauge_source(
                 "evaluation", engine.evaluation_metrics.snapshot
             )
+
+    # -- observability ---------------------------------------------------------
+    def tracer(self) -> Tracer:
+        """The tracer requests are recorded with right now.
+
+        Resolution order: context-local override (:func:`use_tracer`, which
+        :meth:`explain` installs around a single request), then the tracer
+        given at construction, then the process-global one (disabled unless
+        :func:`repro.observability.set_tracer` was called).
+        """
+        return get_tracer(self._tracer)
+
+    def explain(
+        self,
+        request: CitationRequest | ConjunctiveQuery | str,
+        mode: Mode | None = None,
+    ) -> ExplainReport:
+        """Serve *request* once with tracing forced on; return its trace.
+
+        The request's EXPLAIN ANALYZE: the returned
+        :class:`~repro.service.explain.ExplainReport` carries the response
+        plus the full span tree — plan/result-cache outcomes, the strategy
+        pick with its reason and cost estimate, per-join-step estimated vs.
+        measured cardinalities, and the prelude-cache outcome.  The result
+        cache is bypassed (via the request's ``no_result_cache`` metadata
+        key) so the explained request actually executes; the plan cache is
+        exercised normally, so explaining a warm query shape shows the hit.
+        A bare query (or string) is wrapped in a relational-backend request
+        like :meth:`cite` would.
+        """
+        if not isinstance(request, CitationRequest):
+            request = self._cq_request(request, mode)
+        request = replace(
+            request,
+            metadata={**dict(request.metadata), "no_result_cache": True},
+        )
+        capture = RingBufferSink(capacity=4)
+        tracer = Tracer(sinks=[capture], slow_log=self.tracer().slow_log)
+        with use_tracer(tracer):
+            response = self.submit(request)
+        return ExplainReport(response=response, trace=capture.last())
+
+    def to_prometheus(self) -> str:
+        """Metrics as Prometheus text exposition (see ``--stats-format``).
+
+        Counters, per-backend events and latency histograms come from
+        :class:`~repro.service.metrics.ServiceMetrics`; cache and engine
+        state ride along as flattened gauges.
+        """
+        extra: dict[str, dict] = {
+            "plan_cache": self.plan_cache.stats(),
+            "result_cache": self.result_cache.stats(),
+        }
+        if self.engine is not None:
+            generation, epoch = self.engine.plan_token()
+            extra["engine"] = {"generation": generation, "cache_epoch": epoch}
+        return self.metrics.to_prometheus(extra=extra)
 
     # -- backend management ----------------------------------------------------
     def register_backend(
@@ -319,6 +390,11 @@ class CitationService:
         snapshot["plan_cache"] = self.plan_cache.stats()
         snapshot["result_cache"] = self.result_cache.stats()
         snapshot["registered_backends"] = self.registry.names()
+        tracer = self.tracer()
+        if tracer.enabled:
+            snapshot["tracing"] = tracer.stats()
+            if tracer.slow_log is not None:
+                snapshot["slow_queries"] = tracer.slow_log.snapshot()
         if self.engine is not None:
             generation, epoch = self.engine.plan_token()
             snapshot["engine"] = {
@@ -368,7 +444,50 @@ class CitationService:
         key: str,
         started: float | None = None,
     ) -> CitationResponse:
-        """Serve an already routed, parsed and fingerprinted request."""
+        """Serve an already routed, parsed and fingerprinted request.
+
+        With tracing enabled, the whole request runs under a
+        ``service.request`` *boundary* span — the root of the request's
+        trace.  Boundary spans reach the slow-query log individually even
+        when nested inside a batch span, so batch members compete for slow
+        slots as requests, not as whole batches.
+
+        The active tracer is also installed as the context-local override
+        for the request's duration: the engine and evaluator layers resolve
+        their tracer with a bare ``get_tracer()`` (they know nothing of the
+        service), so a tracer passed to the service constructor must ride
+        in the context to reach them.
+        """
+        tracer = self.tracer()
+        if not tracer.enabled:
+            return self._serve_routed_inner(backend, request, parsed, key, started)
+        with use_tracer(tracer), tracer.span(
+            "service.request",
+            boundary=True,
+            request_id=request.request_id,
+            backend=backend.name,
+            fingerprint=key,
+            query=str(request.query).strip(),
+        ) as span:
+            response = self._serve_routed_inner(backend, request, parsed, key, started)
+            span.set_attributes(
+                cached=response.cached,
+                elapsed_ms=round(response.elapsed * 1000.0, 3),
+            )
+            if response.row_count is not None:
+                span.set_attribute("rows", response.row_count)
+            if response.error is not None:
+                span.set_attribute("error", repr(response.error))
+            return response
+
+    def _serve_routed_inner(
+        self,
+        backend: CitationBackend,
+        request: CitationRequest,
+        parsed: Any,
+        key: str,
+        started: float | None = None,
+    ) -> CitationResponse:
         if started is None:
             started = time.perf_counter()
             self.metrics.increment("requests")
@@ -414,24 +533,50 @@ class CitationService:
         cache_key = self._cache_key(backend, key, request)
         token = backend.result_token(request)
         # A policy override bypasses the result cache (cached results embed
-        # the policy they were evaluated under); plans are policy-free.
+        # the policy they were evaluated under); plans are policy-free.  A
+        # request may also opt out via metadata — explain() does, so the
+        # explained request actually executes.
         use_result_cache = (
             self.cache_results
             and capabilities.supports_result_cache
             and request.policy is None
+            and not request.metadata.get("no_result_cache", False)
         )
+        tracer = self.tracer()
         if use_result_cache:
             hit = self.result_cache.get(cache_key, token)
             if hit is not None:
                 self.metrics.increment("result_cache_hits")
                 self.metrics.increment_backend(backend.name, "result_hits")
+                if tracer.enabled:
+                    span = tracer.current_span()
+                    if span is not None:
+                        span.set_attribute("result_cache", "hit")
                 return backend.rebind(hit, parsed, request), True
+        if tracer.enabled:
+            span = tracer.current_span()
+            if span is not None:
+                span.set_attribute(
+                    "result_cache", "miss" if use_result_cache else "bypass"
+                )
         if capabilities.supports_plan_cache:
-            plan, _hit = self._plan(backend, request, parsed, key)
+            plan_span = tracer.span("service.plan") if tracer.enabled else NULL_SPAN
+            with plan_span:
+                plan, plan_hit = self._plan(backend, request, parsed, key)
+                plan_span.set_attribute("plan_cache", "hit" if plan_hit else "miss")
         else:
             plan = backend.compile(parsed, request)
+        execute_span = (
+            tracer.span("service.execute", backend=backend.name)
+            if tracer.enabled
+            else NULL_SPAN
+        )
         execute_started = time.perf_counter()
-        result = backend.execute(plan, parsed, request)
+        # The fingerprint scope is always installed (one contextvar write):
+        # it keys the evaluator's per-query estimate-vs-actual accumulation,
+        # which must run with tracing off too.
+        with execute_span, fingerprint_scope(key):
+            result = backend.execute(plan, parsed, request)
         self.metrics.observe("execute", time.perf_counter() - execute_started)
         self.metrics.increment("executions")
         self.metrics.increment_backend(backend.name, "executions")
@@ -476,6 +621,27 @@ class CitationService:
         executor: ThreadPoolExecutor | None,
         timeout: float | None,
     ) -> list[CitationResponse]:
+        tracer = self.tracer()
+        if not tracer.enabled:
+            return self._submit_deduplicated_inner(
+                requests, executor, timeout, propagate=False
+            )
+        with tracer.span("service.batch", size=len(requests)) as span:
+            responses = self._submit_deduplicated_inner(
+                requests, executor, timeout, propagate=True
+            )
+            span.set_attribute(
+                "errors", sum(1 for response in responses if not response.ok)
+            )
+            return responses
+
+    def _submit_deduplicated_inner(
+        self,
+        requests: Sequence[CitationRequest],
+        executor: ThreadPoolExecutor | None,
+        timeout: float | None,
+        propagate: bool,
+    ) -> list[CitationResponse]:
         batch_started = time.monotonic()
         responses: list[CitationResponse | None] = [None] * len(requests)
         prepared: list[tuple[CitationBackend, Any] | None] = [None] * len(requests)
@@ -516,6 +682,10 @@ class CitationService:
         representatives = {
             cache_key: members[0] for cache_key, members in groups.items()
         }
+        if propagate:
+            batch_span = self.tracer().current_span()
+            if batch_span is not None:
+                batch_span.set_attribute("groups", len(groups))
 
         def serve_representative(cache_key: Hashable, index: int) -> CitationResponse:
             backend, parsed = prepared[index]  # type: ignore[misc]
@@ -533,10 +703,26 @@ class CitationService:
             }
         else:
             deadline = None if timeout is None else batch_started + timeout
-            futures: dict[Hashable, Future] = {
-                cache_key: executor.submit(serve_representative, cache_key, index)
-                for cache_key, index in representatives.items()
-            }
+            if propagate:
+                # Thread pools do not inherit contextvars, so the batch span
+                # (and any use_tracer override) would be invisible to the
+                # workers; ship each representative a copy of this context.
+                # Skipped with tracing off — a context copy per request is
+                # pure overhead then.
+                futures: dict[Hashable, Future] = {
+                    cache_key: executor.submit(
+                        contextvars.copy_context().run,
+                        serve_representative,
+                        cache_key,
+                        index,
+                    )
+                    for cache_key, index in representatives.items()
+                }
+            else:
+                futures = {
+                    cache_key: executor.submit(serve_representative, cache_key, index)
+                    for cache_key, index in representatives.items()
+                }
             outcomes = {}
             for cache_key, future in futures.items():
                 remaining = (

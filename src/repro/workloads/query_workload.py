@@ -11,7 +11,6 @@ views algorithms (Halevy 2001, which the paper cites).
 from __future__ import annotations
 
 import random
-from typing import Sequence
 
 from repro.core.citation_view import CitationView, DefaultCitationFunction
 from repro.query.ast import Atom, ConjunctiveQuery, Variable

@@ -15,13 +15,11 @@ from repro.api import (
     CitationRequest,
     RDFBackend,
     TemporalBackend,
-    UnionBackend,
     VersionedBackend,
 )
 from repro.core.temporal import TemporalCitationEngine, add_timestamps, timestamp_view
 from repro.core.union_engine import cite_union
 from repro.errors import CitationError
-from repro.query.ucq import UnionQuery
 from repro.rdf.bgp import BGPQuery, TriplePattern
 from repro.rdf.citation_rdf import ClassCitationView, RDFCitationEngine
 from repro.rdf.ontology import Ontology

@@ -24,8 +24,9 @@ settings.register_profile("dev", deadline=None)
 settings.register_profile("ci", deadline=None, derandomize=True)
 settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
-from repro import CitationEngine, parse_query
-from repro.workloads import drugbank, gtopdb, reactome
+# Deliberately after the sys.path / hypothesis-profile setup above.
+from repro import CitationEngine, parse_query  # noqa: E402
+from repro.workloads import drugbank, gtopdb, reactome  # noqa: E402
 
 
 @pytest.fixture

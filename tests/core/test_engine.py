@@ -7,7 +7,6 @@ from repro.core.record import CitationRecord
 from repro.core.rewriting_selector import RewritingSelector
 from repro.errors import CitationError, NoRewritingError
 from repro.query.evaluator import evaluate
-from repro.workloads import gtopdb
 
 
 class TestRewritings:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import CitationEngine, CitationPolicy, parse_query
+from repro import CitationEngine, CitationPolicy
 from repro.core.schema_level import (
     cite_schema_level,
     schema_level_parameter_estimate,

@@ -6,7 +6,6 @@ from repro import (
     CitationEngine,
     CitationPolicy,
     IncrementalCitationMaintainer,
-    parse_query,
     parse_sql,
 )
 from repro.core.schema_level import cite_schema_level

@@ -1,0 +1,233 @@
+"""Unit tests for the tracing primitives: spans, sinks, slow log, overrides."""
+
+import contextvars
+import io
+import json
+import threading
+
+import pytest
+
+from repro.observability import (
+    NULL_SPAN,
+    NULL_TRACER,
+    JsonlSink,
+    RingBufferSink,
+    SlowQueryLog,
+    Tracer,
+    current_span,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+
+class TestSpanTree:
+    def test_nesting_links_parent_and_child(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner", step=1) as inner:
+                assert current_span() is inner
+            assert current_span() is outer
+        assert inner.parent_id == outer.span_id
+        assert outer.children == [inner]
+        assert inner.attributes["step"] == 1
+
+    def test_context_is_restored_after_exit(self):
+        tracer = Tracer()
+        assert current_span() is None
+        with tracer.span("root"):
+            pass
+        assert current_span() is None
+
+    def test_durations_are_recorded(self):
+        tracer = Tracer()
+        with tracer.span("timed") as span:
+            assert span.duration_ms is None
+        assert span.duration_ms is not None and span.duration_ms >= 0.0
+
+    def test_exception_is_recorded_and_propagated(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("failing") as span:
+                raise ValueError("boom")
+        assert "boom" in span.attributes["error"]
+        assert span.duration_ms is not None
+
+    def test_annotation_children_are_closed_and_attached(self):
+        tracer = Tracer()
+        with tracer.span("parent") as parent:
+            child = parent.child("join.step", step=0, rows_in=3)
+        assert child in parent.children
+        assert child.parent_id == parent.span_id
+        assert child.attributes == {"step": 0, "rows_in": 3}
+        # Annotation children never become the context's current span.
+        with tracer.span("other") as other:
+            other.child("note")
+            assert current_span() is other
+
+    def test_walk_find_and_to_dict(self):
+        tracer = Tracer()
+        with tracer.span("a") as a:
+            with tracer.span("b"):
+                pass
+            with tracer.span("b"):
+                pass
+        assert len(list(a.walk())) == 3
+        assert a.find("b") is a.children[0]
+        assert len(a.find_all("b")) == 2
+        payload = json.loads(json.dumps(a.to_dict()))
+        assert payload["name"] == "a"
+        assert [c["name"] for c in payload["children"]] == ["b", "b"]
+
+    def test_span_ids_are_unique(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("x"):
+                pass
+            with tracer.span("y"):
+                pass
+        ids = [span.span_id for span in root.walk()]
+        assert len(ids) == len(set(ids))
+
+
+class TestNullPath:
+    def test_null_tracer_hands_out_the_shared_null_span(self):
+        assert NULL_TRACER.enabled is False
+        span = NULL_TRACER.span("anything", key="value")
+        assert span is NULL_SPAN
+        with span as entered:
+            assert entered is NULL_SPAN
+        assert NULL_SPAN.child("x") is NULL_SPAN
+        assert NULL_SPAN.attributes == {}
+        assert NULL_SPAN.find("anything") is None
+
+    def test_null_span_mutators_are_noops(self):
+        NULL_SPAN.set_attribute("k", 1)
+        NULL_SPAN.set_attributes(a=2)
+        assert NULL_SPAN.attributes == {}
+
+
+class TestDelivery:
+    def test_sinks_receive_only_root_spans(self):
+        sink = RingBufferSink()
+        tracer = Tracer(sinks=[sink])
+        with tracer.span("root"):
+            with tracer.span("nested"):
+                pass
+        assert sink.recorded == 1
+        assert sink.last().name == "root"
+
+    def test_boundary_spans_reach_the_slow_log_even_nested(self):
+        slow_log = SlowQueryLog(capacity=4)
+        tracer = Tracer(slow_log=slow_log)
+        with tracer.span("batch"):
+            with tracer.span("request", boundary=True):
+                pass
+            with tracer.span("request", boundary=True):
+                pass
+        names = [span.name for span in slow_log.entries()]
+        assert names == ["request", "request"]
+
+    def test_ring_buffer_evicts_oldest(self):
+        sink = RingBufferSink(capacity=2)
+        tracer = Tracer(sinks=[sink])
+        for index in range(3):
+            with tracer.span(f"t{index}"):
+                pass
+        assert sink.recorded == 3
+        assert [t.name for t in sink.traces()] == ["t1", "t2"]
+
+    def test_jsonl_sink_writes_parseable_lines(self):
+        stream = io.StringIO()
+        sink = JsonlSink(stream)
+        tracer = Tracer(sinks=[sink])
+        with tracer.span("root", query="Q"):
+            with tracer.span("child"):
+                pass
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == 1
+        payload = json.loads(lines[0])
+        assert payload["name"] == "root"
+        assert payload["attributes"]["query"] == "Q"
+        assert payload["children"][0]["name"] == "child"
+
+    def test_jsonl_sink_stringifies_unserializable_attributes(self):
+        stream = io.StringIO()
+        sink = JsonlSink(stream)
+        tracer = Tracer(sinks=[sink])
+        with tracer.span("root", value={1, 2}):
+            pass
+        assert json.loads(stream.getvalue())["attributes"]["value"]
+
+
+class TestSlowQueryLog:
+    def _span(self, tracer, name, seconds):
+        with tracer.span(name, boundary=True) as span:
+            pass
+        span.duration_s = seconds  # deterministic synthetic durations
+        return span
+
+    def test_keeps_the_n_slowest(self):
+        slow_log = SlowQueryLog(capacity=2)
+        tracer = Tracer()
+        for name, seconds in [("fast", 0.001), ("slow", 0.5), ("medium", 0.1)]:
+            span = self._span(tracer, name, seconds)
+            slow_log.offer(span)
+        assert [span.name for span in slow_log.entries()] == ["slow", "medium"]
+
+    def test_threshold_filters_fast_requests(self):
+        slow_log = SlowQueryLog(capacity=8, threshold_ms=50.0)
+        tracer = Tracer()
+        slow_log.offer(self._span(tracer, "fast", 0.001))
+        slow_log.offer(self._span(tracer, "slow", 0.2))
+        assert [span.name for span in slow_log.entries()] == ["slow"]
+
+    def test_snapshot_is_json_friendly(self):
+        slow_log = SlowQueryLog(capacity=2)
+        tracer = Tracer(slow_log=slow_log)
+        with tracer.span("service.request", boundary=True, request_id="req-1"):
+            pass
+        entries = json.loads(json.dumps(slow_log.snapshot()))
+        assert entries[0]["request_id"] == "req-1"
+        assert entries[0]["duration_ms"] >= 0.0
+
+
+class TestTracerResolution:
+    def test_fallback_then_global(self):
+        fallback = Tracer()
+        assert get_tracer(fallback) is fallback
+        assert get_tracer() is NULL_TRACER  # the default global
+
+    def test_set_tracer_installs_and_restores(self):
+        installed = Tracer()
+        previous = set_tracer(installed)
+        try:
+            assert get_tracer() is installed
+        finally:
+            set_tracer(previous)
+        assert get_tracer() is NULL_TRACER
+
+    def test_use_tracer_overrides_fallback(self):
+        fallback = Tracer()
+        override = Tracer()
+        with use_tracer(override):
+            assert get_tracer(fallback) is override
+        assert get_tracer(fallback) is fallback
+
+def test_context_propagates_to_worker_thread():
+    """copy_context carries both the override and the open span."""
+    override = Tracer()
+    results = {}
+
+    def worker():
+        results["tracer"] = get_tracer()
+        results["span"] = current_span()
+
+    with use_tracer(override):
+        with override.span("root") as root:
+            context = contextvars.copy_context()
+            thread = threading.Thread(target=lambda: context.run(worker))
+            thread.start()
+            thread.join()
+    assert results["tracer"] is override
+    assert results["span"] is root

@@ -10,7 +10,7 @@ import pytest
 
 from strategies import brute_force
 
-from repro.query.compiler import is_acyclic, join_forest, reduce_program
+from repro.query.compiler import is_acyclic, join_forest
 from repro.query.evaluator import QueryEvaluator
 from repro.query.parser import parse_query
 from repro.relational.database import Database

@@ -13,7 +13,6 @@ import pytest
 from repro.query.evaluator import DEFAULT_REDUCTION_THRESHOLD, QueryEvaluator
 from repro.query.parser import parse_query
 from repro.query.stats import (
-    CostModel,
     EvaluationMetrics,
     StatisticsCatalog,
 )

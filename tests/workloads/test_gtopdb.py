@@ -1,7 +1,5 @@
 """Tests for the synthetic GtoPdb workload."""
 
-import pytest
-
 from repro import CitationEngine
 from repro.query.evaluator import evaluate
 from repro.workloads import gtopdb

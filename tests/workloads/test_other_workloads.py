@@ -1,7 +1,5 @@
 """Tests for the Reactome, DrugBank, eagle-i and synthetic query workloads."""
 
-import pytest
-
 from repro import CitationEngine
 from repro.query.evaluator import evaluate
 from repro.rdf.citation_rdf import RDFCitationEngine
