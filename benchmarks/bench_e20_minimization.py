@@ -1,0 +1,158 @@
+"""E20 — core minimization in the compile/execute hot path.
+
+PR 7's static analyzer minimizes every query to its core before it is
+fingerprinted, rewritten and executed.  This experiment gates the two wins
+the issue promises:
+
+1. **Redundant queries compile + execute at core speed.**  On a fan-out
+   instance a query carrying fifteen redundant self-join atoms must
+   compile + execute (``cite``) at least **2x** faster with analysis
+   enabled (``analysis="warn"``, the default: the rewriting search and
+   evaluation run over the two-atom minimized core, and the analysis cache
+   makes warm requests skip even the minimization) than with
+   ``analysis="off"`` (the rewriting search walks the full seventeen-atom
+   body on every request).
+
+2. **Redundant variants share one plan-cache entry.**  Two semantically
+   equal but textually different redundant variants minimize to isomorphic
+   cores; since the service keys its plan cache by the fingerprint of the
+   core, the second variant must be a warm plan hit returning the *same*
+   plan object.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``, set by CI) shrinks the instance so the
+experiment stays a quick regression gate.  Machine-readable results land in
+``BENCH_e20.json`` (see :func:`benchmarks.conftest.record_json`) and are
+uploaded as a CI artifact to track the perf trajectory across PRs.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro import CitationEngine, CitationService
+from repro.core.spec import default_views_for_schema
+from repro.relational.database import Database
+from repro.relational.schema import Attribute, DatabaseSchema, RelationSchema
+from benchmarks.conftest import record_json, report
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+NUM_A = 12 if SMOKE else 20
+FANOUT = 3
+R_COPIES = 10
+S_COPIES = 5
+ROUNDS = 3 if SMOKE else 5
+SPEEDUP_GATE = 2.0
+
+SCHEMA = DatabaseSchema(
+    [
+        RelationSchema("R", [Attribute("a", int), Attribute("b", int)]),
+        RelationSchema("S", [Attribute("b", int), Attribute("c", int)]),
+    ]
+)
+
+CORE = "Q(A, C) :- R(A, B), S(B, C)"
+
+
+def _redundant(r_salt: str = "B", s_salt: str = "C") -> str:
+    """The core plus R_COPIES + S_COPIES redundant atoms, each of which folds
+    onto a core atom; the salts yield renamed-apart (isomorphic) variants."""
+    extra_r = ", ".join(f"R(A, {r_salt}{i})" for i in range(1, R_COPIES + 1))
+    extra_s = ", ".join(f"S(B, {s_salt}{i})" for i in range(1, S_COPIES + 1))
+    return f"Q(A, C) :- R(A, B), S(B, C), {extra_r}, {extra_s}"
+
+
+REDUNDANT = _redundant()
+
+#: The same query modulo variable renaming — textually different, so it
+#: exercises the isomorphism-invariant fingerprint, not string equality.
+REDUNDANT_RENAMED = _redundant("Y", "Z")
+
+
+def _instance() -> Database:
+    """FANOUT b-values per a-value; one c per b, so the core has one binding
+    per answer tuple while each redundant atom multiplies them by FANOUT."""
+    database = Database(SCHEMA)
+    database.insert_many(
+        "R",
+        ((a, a * FANOUT + j) for a in range(NUM_A) for j in range(FANOUT)),
+    )
+    database.insert_many(
+        "S",
+        ((a * FANOUT + j, a * FANOUT + j) for a in range(NUM_A) for j in range(FANOUT)),
+    )
+    return database
+
+
+def _best_of(callable_, rounds: int = ROUNDS):
+    best = float("inf")
+    value = None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        value = callable_()
+        best = min(best, time.perf_counter() - started)
+    return value, best
+
+
+def test_e20_minimized_core_wins_the_hot_path():
+    database = _instance()
+    views = default_views_for_schema(SCHEMA)
+    unminimized = CitationEngine(database, views, analysis="off")
+    minimized = CitationEngine(database, views, analysis="warn")
+
+    # Warm-up both engines (compile machinery, analysis cache, indexes) and
+    # check the answers agree before timing anything.
+    reference = minimized.cite(CORE)
+    off_result, off_time = _best_of(lambda: unminimized.cite(REDUNDANT))
+    warn_result, warn_time = _best_of(lambda: minimized.cite(REDUNDANT))
+    assert set(off_result.result.rows) == set(reference.result.rows)
+    assert set(warn_result.result.rows) == set(reference.result.rows)
+    assert warn_result.citation.records == off_result.citation.records
+
+    # The plan records what the analyzer did.
+    plan = minimized.compile_plan(REDUNDANT)
+    assert plan.core is not None and len(plan.core.body) == 2
+    assert any(d.code == "Q003" for d in plan.diagnostics)
+
+    speedup = off_time / warn_time if warn_time else float("inf")
+    rows = [
+        {
+            "op": "redundant_query_cite",
+            "relation_rows": database.total_rows(),
+            "answers": len(reference.result.rows),
+            "redundant_atoms": R_COPIES + S_COPIES,
+            "fanout": FANOUT,
+            "unminimized_ms": round(off_time * 1000, 3),
+            "minimized_ms": round(warn_time * 1000, 3),
+            "speedup": round(speedup, 1),
+        }
+    ]
+    report("E20: minimized core vs as-submitted compile+execute", rows)
+    record_json("e20", rows, speedup_gate=SPEEDUP_GATE)
+    assert speedup >= SPEEDUP_GATE, (
+        f"expected the minimized core to compile+execute >= {SPEEDUP_GATE}x "
+        f"faster than the unminimized query, got {speedup:.2f}x"
+    )
+
+
+def test_e20_redundant_variants_share_one_plan_cache_entry():
+    database = _instance()
+    engine = CitationEngine(database, default_views_for_schema(SCHEMA))
+    with CitationService(engine) as service:
+        first, first_hit = service.plan_for(REDUNDANT)
+        second, second_hit = service.plan_for(REDUNDANT_RENAMED)
+        snapshot = service.stats()["plan_cache"]
+    assert not first_hit
+    assert second_hit, "the renamed redundant variant must be a warm plan hit"
+    assert first is second, "both variants must share one plan-cache entry"
+
+    rows = [
+        {
+            "op": "plan_cache_variant_hit",
+            "variants": 2,
+            "warm_hit": second_hit,
+            "plan_cache_size": snapshot.get("size"),
+        }
+    ]
+    report("E20: redundant variants share one plan-cache entry", rows)
+    record_json("e20", rows)

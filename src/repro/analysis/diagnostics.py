@@ -1,0 +1,252 @@
+"""The diagnostics framework: codes, severities, reports, rule registry.
+
+A :class:`Diagnostic` is one finding of one rule: a stable code (``Q001``,
+``V003``, ...), a severity, a human-readable message and a *location* naming
+the query/view/atom it anchors to.  Rules register themselves with the
+:func:`rule` decorator so ``repro lint`` and the README can enumerate every
+code with its description; an :class:`AnalysisReport` collects the findings
+of one analysis run and renders them as text or JSON.
+
+Severities
+----------
+``error``
+    The configuration or query is wrong: it can never produce the intended
+    result (unsatisfiable constants, arity mismatches, duplicate views).
+    Under ``analysis="strict"`` these abort compilation/startup.
+``warning``
+    Probably a mistake, but well-defined (shadowed views, cartesian
+    products, coverage gaps).
+``info``
+    Observations that guide tuning (redundant atoms that were minimized
+    away, ambiguity overlaps).
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Callable, Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class Severity(str, Enum):
+    """How bad one diagnostic is; orderable (``ERROR`` is the worst)."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def weight(self) -> int:
+        return {"info": 0, "warning": 1, "error": 2}[self.value]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a coded, located, severity-tagged message.
+
+    ``location`` is a human-readable anchor (``"query 'Q'"``,
+    ``"view 'V1', atom 2"``); ``hint`` optionally says how to fix it.
+    Instances are immutable and hashable so reports deduplicate naturally.
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    location: str = ""
+    hint: str = ""
+
+    def as_dict(self) -> dict[str, str]:
+        """JSON-friendly representation (used by ``repro lint --format json``)."""
+        out = {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+        if self.location:
+            out["location"] = self.location
+        if self.hint:
+            out["hint"] = self.hint
+        return out
+
+    def render(self) -> str:
+        """One-line text rendering: ``CODE severity location: message``."""
+        prefix = f"{self.code} {self.severity.value}"
+        location = f" [{self.location}]" if self.location else ""
+        hint = f" ({self.hint})" if self.hint else ""
+        return f"{prefix}{location}: {self.message}{hint}"
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+# ---------------------------------------------------------------------------
+# Rule registry
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Rule:
+    """Metadata of one registered analysis rule."""
+
+    code: str
+    family: str
+    severity: Severity
+    description: str
+    function: Callable | None = field(default=None, compare=False, repr=False)
+
+
+_RULES: dict[str, Rule] = {}
+
+
+def rule(code: str, family: str, severity: Severity, description: str):
+    """Register an analysis rule under a stable diagnostic code.
+
+    The decorated function keeps its signature; registration only records
+    the metadata so tooling (``repro lint --list-rules``, the README table)
+    can enumerate every code.  Codes must be unique across families.
+    """
+
+    def decorate(function: Callable) -> Callable:
+        if code in _RULES and _RULES[code].function is not function:
+            raise ValueError(f"duplicate diagnostic code {code!r}")
+        _RULES[code] = Rule(code, family, severity, description, function)
+        return function
+
+    return decorate
+
+
+def registered_rules() -> tuple[Rule, ...]:
+    """Every registered rule, sorted by code (importing registers them)."""
+    # Importing the rule modules registers their rules as a side effect.
+    from repro.analysis import query_rules, view_rules  # noqa: F401
+
+    return tuple(sorted(_RULES.values(), key=lambda r: r.code))
+
+
+# ---------------------------------------------------------------------------
+# Reports
+# ---------------------------------------------------------------------------
+class AnalysisReport:
+    """An ordered, deduplicated collection of diagnostics.
+
+    Reports merge (``report.extend(other)``), filter by severity and render
+    as text or JSON.  Iteration order is insertion order, which follows rule
+    order — stable across runs for the same input.
+    """
+
+    def __init__(self, diagnostics: Iterable[Diagnostic] = ()) -> None:
+        self._diagnostics: list[Diagnostic] = []
+        self._seen: set[Diagnostic] = set()
+        self.extend(diagnostics)
+
+    # -- building -----------------------------------------------------------
+    def add(self, diagnostic: Diagnostic) -> None:
+        """Append one diagnostic (duplicates are dropped)."""
+        if diagnostic not in self._seen:
+            self._seen.add(diagnostic)
+            self._diagnostics.append(diagnostic)
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        """Append many diagnostics (an :class:`AnalysisReport` works too)."""
+        for diagnostic in diagnostics:
+            self.add(diagnostic)
+
+    # -- introspection ------------------------------------------------------
+    @property
+    def diagnostics(self) -> tuple[Diagnostic, ...]:
+        return tuple(self._diagnostics)
+
+    def by_severity(self, severity: Severity) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self._diagnostics if d.severity is severity)
+
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity is Severity.ERROR for d in self._diagnostics)
+
+    @property
+    def has_warnings(self) -> bool:
+        return any(d.severity is Severity.WARNING for d in self._diagnostics)
+
+    def counts(self) -> dict[str, int]:
+        """``{"error": n, "warning": n, "info": n}`` (always all three keys)."""
+        out = {"error": 0, "warning": 0, "info": 0}
+        for diagnostic in self._diagnostics:
+            out[diagnostic.severity.value] += 1
+        return out
+
+    def __len__(self) -> int:
+        return len(self._diagnostics)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self._diagnostics)
+
+    def __bool__(self) -> bool:
+        return bool(self._diagnostics)
+
+    # -- rendering ----------------------------------------------------------
+    def to_text(self) -> str:
+        """Multi-line text rendering, one diagnostic per line plus a summary."""
+        counts = self.counts()
+        summary = (
+            f"{counts['error']} error(s), {counts['warning']} warning(s), "
+            f"{counts['info']} info"
+        )
+        if not self._diagnostics:
+            return f"no diagnostics ({summary})"
+        lines = [diagnostic.render() for diagnostic in self._diagnostics]
+        lines.append(summary)
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        """JSON-friendly representation: diagnostics plus a summary block."""
+        return {
+            "diagnostics": [d.as_dict() for d in self._diagnostics],
+            "summary": self.counts(),
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def __repr__(self) -> str:
+        counts = self.counts()
+        return (
+            f"AnalysisReport(errors={counts['error']}, "
+            f"warnings={counts['warning']}, info={counts['info']})"
+        )
+
+
+def diagnostic(
+    code: str,
+    message: str,
+    location: str = "",
+    hint: str = "",
+    severity: Severity | None = None,
+) -> Diagnostic:
+    """Build a diagnostic for a registered code (severity from the registry).
+
+    An explicit *severity* overrides the registered default — a rule may
+    escalate (e.g. a coverage gap on a must-cover workload query).
+    """
+    registered = _RULES.get(code)
+    if severity is None:
+        if registered is None:
+            raise ValueError(f"unknown diagnostic code {code!r}")
+        severity = registered.severity
+    return Diagnostic(code, severity, message, location, hint)
+
+
+def worst_severity(diagnostics: Sequence[Diagnostic]) -> Severity | None:
+    """The most severe severity present, or ``None`` for an empty sequence."""
+    if not diagnostics:
+        return None
+    return max((d.severity for d in diagnostics), key=lambda s: s.weight)

@@ -1,0 +1,295 @@
+"""Startup-time view-set, workload and policy rules.
+
+:func:`analyze_view_set` checks a set of citation views against each other
+and the schema (containment-based duplicate/shadow detection, key terms
+missing from heads, citation-function problems); :func:`analyze_workload_coverage`
+checks the set against an expected workload (coverage gaps, ambiguity
+overlaps, dead views) using the same MiniCon machinery as
+:mod:`repro.core.view_selection`.  The service runs both at startup; the
+``repro lint`` subcommand runs them offline.
+
+Codes
+-----
+``L001`` error    view/schema mismatch (unknown relation, arity, duplicate name)
+``V001`` error    duplicate views: equivalent queries, same parameterization
+``V002`` warning  shadowed view: strictly contained in a coarser view
+``V003`` warning  coverage gap: a workload query has no rewriting
+``V004`` info     ambiguity overlap: a workload query has several rewritings
+``V005`` warning  a key attribute of a body relation is projected out of the head
+``V006`` info     dead view: used by no rewriting of any workload query
+``P001`` warning  citation-function field_map renames an attribute no snippet has
+``P002`` info     view has no citation queries (citation is constants-only)
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.analysis.diagnostics import AnalysisReport, Severity, diagnostic, rule
+from repro.core.citation_view import CitationView, DefaultCitationFunction
+from repro.core.policy import CitationPolicy
+from repro.core.spec import validate_views_against_schema
+from repro.query.ast import ConjunctiveQuery, Variable
+from repro.query.containment import is_contained_in, is_equivalent_to
+from repro.relational.database import Database
+from repro.relational.schema import DatabaseSchema
+from repro.rewriting.minicon import MiniConRewriter
+
+__all__ = ["analyze_view_set", "analyze_workload_coverage"]
+
+
+def analyze_view_set(
+    views: Sequence[CitationView],
+    schema: DatabaseSchema | None = None,
+    policy: CitationPolicy | None = None,
+) -> AnalysisReport:
+    """Run every view-set and policy rule; *policy* is accepted for symmetry
+    with the engine configuration (current policy rules are per-view)."""
+    del policy  # no policy-object rule yet; combinators carry no view refs
+    report = AnalysisReport()
+    if schema is not None:
+        _check_schema_problems(views, schema, report)
+        _check_missing_key_terms(views, schema, report)
+    _check_duplicates_and_shadows(views, report)
+    _check_citation_functions(views, report)
+    return report
+
+
+@rule(
+    "V003",
+    "view",
+    Severity.WARNING,
+    "a workload query has no rewriting over the view set: requests for it "
+    "fall back to the no-rewriting policy",
+)
+@rule(
+    "V004",
+    "view",
+    Severity.INFO,
+    "a workload query has several distinct rewritings: its citations are "
+    "ambiguous and the policy's rewrite-alternative combinator decides",
+)
+@rule(
+    "V006",
+    "view",
+    Severity.INFO,
+    "a view is used by no rewriting of any workload query",
+)
+def analyze_workload_coverage(
+    views: Sequence[CitationView],
+    workload: Sequence[ConjunctiveQuery],
+    database: Database | None = None,
+) -> AnalysisReport:
+    """Check *views* against an expected *workload* (V003/V004/V006)."""
+    del database  # reserved for cost-aware coverage scoring
+    report = AnalysisReport()
+    if not views or not workload:
+        return report
+    rewriter = MiniConRewriter([view.view for view in views])
+    used: set[str] = set()
+    for query in workload:
+        rewritings = rewriter.rewrite(query)
+        location = f"workload query {query.name!r}"
+        if not rewritings:
+            report.add(
+                diagnostic(
+                    "V003",
+                    f"no view set rewriting covers workload query {query.name!r}: "
+                    "requests for it will fall back to the no-rewriting policy",
+                    location,
+                    hint="add a view containing the query, or widen an existing one",
+                )
+            )
+            continue
+        for rewriting in rewritings:
+            for atom in rewriting.view_atoms:
+                used.add(atom.predicate)
+        if len(rewritings) > 1:
+            report.add(
+                diagnostic(
+                    "V004",
+                    f"workload query {query.name!r} has {len(rewritings)} distinct "
+                    "rewritings: citations for it are ambiguous and the policy's "
+                    "rewrite-alternative combinator decides",
+                    location,
+                )
+            )
+    for view in views:
+        if view.name not in used:
+            report.add(
+                diagnostic(
+                    "V006",
+                    f"view {view.name!r} is used by no rewriting of any workload "
+                    "query: it never contributes a citation for this workload",
+                    f"view {view.name!r}",
+                )
+            )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# L001: schema problems (delegates to the spec validator)
+# ---------------------------------------------------------------------------
+@rule(
+    "L001",
+    "view",
+    Severity.ERROR,
+    "a view or citation query does not match the database schema "
+    "(unknown relation, arity mismatch, duplicate view name)",
+)
+def _check_schema_problems(
+    views: Sequence[CitationView], schema: DatabaseSchema, report: AnalysisReport
+) -> None:
+    for problem in validate_views_against_schema(views, schema):
+        report.add(diagnostic("L001", problem))
+
+
+# ---------------------------------------------------------------------------
+# V001 / V002: containment structure of the view set
+# ---------------------------------------------------------------------------
+@rule(
+    "V001",
+    "view",
+    Severity.ERROR,
+    "two views have equivalent queries and identical parameterization: one "
+    "is redundant and doubles every rewriting",
+)
+@rule(
+    "V002",
+    "view",
+    Severity.WARNING,
+    "a view is strictly contained in a coarser unparameterized view: the "
+    "coarse view shadows it in every rewriting search",
+)
+def _check_duplicates_and_shadows(
+    views: Sequence[CitationView], report: AnalysisReport
+) -> None:
+    for index, fine in enumerate(views):
+        for coarse in views[index + 1 :]:
+            try:
+                equivalent = is_equivalent_to(fine.query, coarse.query)
+            except Exception:  # malformed pair: schema rules already flag it
+                continue
+            if equivalent:
+                if fine.parameter_names() == coarse.parameter_names():
+                    report.add(
+                        diagnostic(
+                            "V001",
+                            f"views {fine.name!r} and {coarse.name!r} are "
+                            "equivalent with identical parameters: drop one",
+                            f"view {coarse.name!r}",
+                        )
+                    )
+                # Equivalent bodies with different λ-parameters are the
+                # paper's coarse-vs-fine granularity pattern — deliberate.
+                continue
+            for inner, outer in ((fine, coarse), (coarse, fine)):
+                if inner.is_parameterized:
+                    continue  # parameterized views are finer-grained on purpose
+                if is_contained_in(inner.query, outer.query):
+                    report.add(
+                        diagnostic(
+                            "V002",
+                            f"view {inner.name!r} is strictly contained in "
+                            f"{outer.name!r}: every query it answers, "
+                            f"{outer.name!r} also answers",
+                            f"view {inner.name!r}",
+                            hint="parameterize it for finer credit, or drop it",
+                        )
+                    )
+
+
+# ---------------------------------------------------------------------------
+# V005: key terms projected out of the head
+# ---------------------------------------------------------------------------
+@rule(
+    "V005",
+    "view",
+    Severity.WARNING,
+    "a key attribute of a body relation is projected out of the view head: "
+    "cited tuples cannot be traced back to identifiable rows",
+)
+def _check_missing_key_terms(
+    views: Sequence[CitationView], schema: DatabaseSchema, report: AnalysisReport
+) -> None:
+    for view in views:
+        query = view.query
+        visible = set(query.head_variables()) | set(query.parameters)
+        bound = set(query.constant_bindings())
+        for atom in query.body:
+            if not schema.has_relation(atom.predicate):
+                continue
+            relation = schema.relation(atom.predicate)
+            key_positions = relation.key_positions()
+            if key_positions is None or atom.arity != relation.arity:
+                continue
+            missing = sorted(
+                relation.attributes[position].name
+                for position in key_positions
+                if isinstance(atom.terms[position], Variable)
+                and atom.terms[position] not in visible
+                and atom.terms[position] not in bound
+            )
+            if missing:
+                report.add(
+                    diagnostic(
+                        "V005",
+                        f"view {view.name!r} projects out key attribute(s) "
+                        f"{', '.join(missing)} of relation {atom.predicate!r}",
+                        f"view {view.name!r}",
+                        hint="keep key attributes in the head (or as λ-parameters)",
+                    )
+                )
+
+
+# ---------------------------------------------------------------------------
+# P001 / P002: citation-function rules
+# ---------------------------------------------------------------------------
+@rule(
+    "P001",
+    "policy",
+    Severity.WARNING,
+    "the citation function's field_map renames an attribute that no citation "
+    "query of the view produces: the rename never fires",
+)
+@rule(
+    "P002",
+    "policy",
+    Severity.INFO,
+    "the view has no citation queries: its citation only carries the "
+    "configured constants",
+)
+def _check_citation_functions(
+    views: Sequence[CitationView], report: AnalysisReport
+) -> None:
+    for view in views:
+        location = f"view {view.name!r}"
+        if not view.citation_queries:
+            report.add(
+                diagnostic(
+                    "P002",
+                    f"view {view.name!r} has no citation queries: its citation "
+                    "will only contain the configured constants",
+                    location,
+                )
+            )
+        function = view.citation_function
+        if not isinstance(function, DefaultCitationFunction) or not function.field_map:
+            continue
+        produced = {
+            term.name
+            for citation_query in view.citation_queries
+            for term in citation_query.head.terms
+            if isinstance(term, Variable)
+        }
+        for attribute in sorted(function.field_map):
+            if attribute not in produced:
+                report.add(
+                    diagnostic(
+                        "P001",
+                        f"field_map renames {attribute!r} but no citation query "
+                        f"of view {view.name!r} produces that attribute",
+                        location,
+                        hint=f"snippet attributes: {', '.join(sorted(produced)) or 'none'}",
+                    )
+                )

@@ -25,7 +25,8 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Any, Hashable, Iterator
+from collections.abc import Hashable, Iterator
+from typing import Any
 
 from repro.api.envelope import CitationRequest
 from repro.core.citation import Citation

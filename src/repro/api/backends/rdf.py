@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Hashable
+from collections.abc import Hashable
 
 from repro.api.backend import BackendCapabilities, CitationBackend
 from repro.api.envelope import CitationRequest

@@ -8,7 +8,7 @@ protocol, and the structural fingerprint of
 
 from __future__ import annotations
 
-from typing import Callable, Hashable
+from collections.abc import Callable, Hashable
 
 from repro.api.backend import BackendCapabilities, CitationBackend
 from repro.api.envelope import CitationRequest
@@ -85,7 +85,15 @@ class RelationalBackend(CitationBackend):
         return parse_query(text)
 
     def fingerprint(self, parsed: ConjunctiveQuery, request: CitationRequest) -> str:
-        return fingerprint(parsed)
+        """Fingerprint of the *minimized core*, not the query as submitted.
+
+        Cores are unique up to isomorphism and the fingerprint is
+        isomorphism-invariant, so every redundant variant of the same query
+        lands on one plan-cache and result-cache entry.  The engine caches
+        the analysis, so the subsequent ``compile`` reuses it; with the
+        engine's ``analysis="off"`` the core *is* the parsed query.
+        """
+        return fingerprint(self.engine.analyze(parsed).core)
 
     def compile(self, parsed: ConjunctiveQuery, request: CitationRequest) -> CitationPlan:
         return self.engine.compile_plan(parsed, self._mode(request))

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import hashlib
 from collections.abc import Sequence
-from typing import Hashable
+from collections.abc import Hashable
 
 from repro.api.backend import BackendCapabilities, CitationBackend
 from repro.api.backends.relational import _looks_like_program

@@ -15,7 +15,7 @@ skip re-materialisation.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Hashable
+from collections.abc import Hashable
 
 from repro.api.backend import BackendCapabilities, CitationBackend
 from repro.api.envelope import CitationRequest

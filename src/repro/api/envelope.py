@@ -14,7 +14,8 @@ from __future__ import annotations
 import itertools
 import threading
 from dataclasses import dataclass, field, replace
-from typing import Any, Mapping
+from collections.abc import Mapping
+from typing import Any
 
 from repro.core.citation import Citation
 

@@ -23,7 +23,7 @@ database and the same queries.
 
 from __future__ import annotations
 
-from typing import Callable, Mapping
+from collections.abc import Callable, Mapping
 
 from repro.core.citation import Citation
 from repro.core.record import CitationRecord

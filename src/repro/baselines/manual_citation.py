@@ -18,7 +18,7 @@ granularity.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 from repro.core.citation import Citation
 from repro.core.record import CitationRecord

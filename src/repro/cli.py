@@ -6,6 +6,10 @@ Subcommands
 ``batch``     serve a file of queries through the caching citation service
 ``serve``     line-oriented serving loop: queries on stdin, JSONL responses
 ``validate``  statically check a citation specification against a schema
+``lint``      run the full static analyzer over a view set (and a workload):
+              duplicate/shadowed views, coverage gaps, ambiguity, schema and
+              policy problems, with stable diagnostic codes; ``--format
+              json`` for machines, ``--strict`` to fail on warnings
 ``views``     list the citation views of a specification (or the defaults)
 ``explain``   show how the citation of a query is constructed
 ``demo``      run the paper's running example end to end
@@ -55,7 +59,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro import __version__
 from repro.api import CitationRequest, CitationResponse, TemporalBackend
@@ -295,6 +299,50 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import registered_rules
+    from repro.analysis.diagnostics import AnalysisReport
+    from repro.analysis.query_rules import analyze_query
+    from repro.analysis.view_rules import analyze_view_set, analyze_workload_coverage
+
+    if args.list_rules:
+        for rule in registered_rules():
+            print(f"{rule.code}  {rule.severity.value:<8}{rule.description}")
+        return 0
+    if not args.database:
+        raise ReproError("lint needs --database (or --list-rules)")
+    database = load_database_json(args.database)
+    if args.spec:
+        # Load without eager schema validation: schema mismatches should
+        # surface as L001 diagnostics, not abort the lint run.
+        views, policy = load_specification(args.spec)
+    else:
+        views = default_views_for_schema(database.schema, database_title=args.title)
+        policy = CitationPolicy.default()
+
+    report = AnalysisReport()
+    report.extend(analyze_view_set(views, database.schema, policy))
+    if args.workload:
+        queries = []
+        for line in _read_query_lines(args.workload):
+            query = (
+                parse_sql(line, database.schema)
+                if line.lower().startswith("select")
+                else parse_query(line)
+            )
+            queries.append(query)
+            report.extend(analyze_query(query, database.schema).diagnostics)
+        report.extend(analyze_workload_coverage(views, queries, database))
+
+    if args.format == "json":
+        print(report.to_json(indent=2))
+    else:
+        print(report.to_text())
+    if report.has_errors or (args.strict and report.has_warnings):
+        return 1
+    return 0
+
+
 def _cmd_views(args: argparse.Namespace) -> int:
     database = load_database_json(args.database)
     if args.spec:
@@ -479,6 +527,35 @@ def build_parser() -> argparse.ArgumentParser:
     validate = subparsers.add_parser("validate", help="validate a specification against a schema")
     add_common(validate, needs_spec=True)
     validate.set_defaults(func=_cmd_validate)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="statically analyse a view set (and optionally a workload): "
+        "duplicate/shadowed views, coverage gaps, schema and policy problems",
+    )
+    lint.add_argument("--database", help="database JSON file")
+    lint.add_argument("--spec", help="citation specification JSON file (optional)")
+    lint.add_argument(
+        "--title", default="Cited database", help="database title used by default views"
+    )
+    lint.add_argument(
+        "--workload", metavar="FILE", default=None,
+        help="file of expected queries (one per line, '-' for stdin): adds "
+        "per-query diagnostics plus coverage/ambiguity/dead-view checks",
+    )
+    lint.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="diagnostic output format",
+    )
+    lint.add_argument(
+        "--strict", action="store_true",
+        help="exit nonzero on warnings too (default: errors only)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print every registered diagnostic code and exit",
+    )
+    lint.set_defaults(func=_cmd_lint)
 
     views = subparsers.add_parser("views", help="list citation views (or generated defaults)")
     add_common(views)

@@ -8,7 +8,7 @@ the paper mentions: human readable, BibTeX, RIS and XML (plus JSON).
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from collections.abc import Iterable, Iterator
 
 from repro.core.expression import CitationExpression
 from repro.core.record import CitationRecord, CitationSet, set_size

@@ -16,7 +16,7 @@ tuples that disagree on some parameter value may have different citations.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Mapping, Sequence
+from collections.abc import Callable, Iterable, Mapping, Sequence
 
 from repro.errors import CitationError
 from repro.core.record import CitationRecord

@@ -25,7 +25,8 @@ Two operating modes address the paper's "Calculating citations" challenge:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Literal, Mapping, Sequence
+from collections.abc import Iterable, Mapping, Sequence
+from typing import Literal
 
 from repro.core.citation import Citation
 from repro.core.citation_view import CitationView, views_of
@@ -39,8 +40,10 @@ from repro.core.expression import (
 )
 from repro.core.policy import CitationPolicy
 from repro.core.record import CitationRecord, CitationSet
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.query_rules import QueryAnalysis, analyze_query
 from repro.core.rewriting_selector import RewritingSelector
-from repro.errors import CitationError, NoRewritingError
+from repro.errors import CitationError, NoRewritingError, StaticAnalysisError
 from repro.observability import NULL_SPAN, get_tracer
 from repro.query.ast import ConjunctiveQuery, Constant, Term, Variable
 from repro.query.compiler import JoinProgram, PreludeCache, ReducedProgram
@@ -56,6 +59,18 @@ from repro.rewriting.rewriting import Rewriting
 from repro.rewriting.view import materialize_views
 
 Mode = Literal["formal", "economical"]
+
+#: How the engine treats static analysis at compile time:
+#: ``"warn"`` (default) analyses every query, minimizes it to its core and
+#: attaches the diagnostics to the plan; ``"strict"`` additionally raises
+#: :class:`~repro.errors.StaticAnalysisError` on error-severity diagnostics;
+#: ``"off"`` skips analysis entirely (queries compile as submitted).
+AnalysisMode = Literal["strict", "warn", "off"]
+
+#: Bound on the per-engine analysis cache (analyses are per query object
+#: shape; serving traffic funnels through a fingerprint-keyed plan cache
+#: upstream, so this only needs to absorb the working set).
+_ANALYSIS_CACHE_LIMIT = 1024
 
 #: A cache-validity stamp: ``(database generation, engine cache epoch)``.
 #: Anything compiled from the engine (plans, materialised views, cached
@@ -82,6 +97,13 @@ class CitationPlan:
     mode: Mode
     token: PlanToken
     uses_fallback: bool = False
+    #: The minimized core the rewriting search actually ran on (``None`` when
+    #: analysis was off — the plan was compiled from the query as submitted).
+    #: The head is identical to ``query``'s, so results and citations are
+    #: unaffected; only redundant body atoms were dropped.
+    core: ConjunctiveQuery | None = field(default=None, compare=False)
+    #: Static-analysis findings from compile time (empty when analysis off).
+    diagnostics: tuple[Diagnostic, ...] = field(default=(), compare=False)
     #: Compiled join programs per rewriting position, filled lazily on first
     #: execution.  A program is pure description (atom order, slot layout,
     #: bound-position accessors) and independent of the data, so it rides
@@ -226,9 +248,11 @@ class CitationEngine:
         on_no_rewriting: Literal["error", "fallback"] = "error",
         fallback_citation: CitationRecord | None = None,
         strategy: Strategy = "auto",
+        analysis: AnalysisMode = "warn",
     ) -> None:
         self.database = database
         self.strategy: Strategy = strategy
+        self.analysis: AnalysisMode = analysis
         self.citation_views = list(citation_views)
         if not self.citation_views:
             raise CitationError("a citation engine needs at least one citation view")
@@ -270,6 +294,17 @@ class CitationEngine:
         # views it reads are re-pointed per execution, see
         # _execution_evaluator).
         self._evaluator: QueryEvaluator | None = None
+        # Static analysis is pure query-shape work (schema + containment, no
+        # instance data), so one bounded cache serves every compile and every
+        # fingerprint computation of the same query object.
+        self._analysis_cache: dict[ConjunctiveQuery, QueryAnalysis] = {}
+        self._analysis_stats = {
+            "analyzed": 0,
+            "cache_hits": 0,
+            "minimized": 0,
+            "errors": 0,
+            "warnings": 0,
+        }
 
     # -- caches ------------------------------------------------------------------
     @property
@@ -342,6 +377,39 @@ class CitationEngine:
                     "rows", sum(len(r) for r in self._view_relations.values())
                 )
         return self._view_relations
+
+    # -- static analysis ---------------------------------------------------------
+    def analyze(self, query: ConjunctiveQuery | str) -> QueryAnalysis:
+        """Statically analyse *query*: minimized core plus diagnostics (cached).
+
+        With ``analysis="off"`` this returns a trivial analysis (the query is
+        its own core, no diagnostics) without running any rule.  Analyses
+        depend only on the query shape and the schema, never on the data, so
+        they are cached unboundedly by query identity up to a size cap.
+        """
+        query = self._as_query(query)
+        if self.analysis == "off":
+            return QueryAnalysis(query, query, ())
+        cached = self._analysis_cache.get(query)
+        if cached is not None:
+            self._analysis_stats["cache_hits"] += 1
+            return cached
+        result = analyze_query(query, self.database.schema)
+        self._analysis_stats["analyzed"] += 1
+        if result.minimized:
+            self._analysis_stats["minimized"] += 1
+        if result.has_errors:
+            self._analysis_stats["errors"] += 1
+        if any(d.severity.value == "warning" for d in result.diagnostics):
+            self._analysis_stats["warnings"] += 1
+        if len(self._analysis_cache) >= _ANALYSIS_CACHE_LIMIT:
+            self._analysis_cache.pop(next(iter(self._analysis_cache)))
+        self._analysis_cache[query] = result
+        return result
+
+    def analysis_stats(self) -> dict[str, object]:
+        """Counters of the static-analysis pass (exposed by the service)."""
+        return {"mode": self.analysis, **self._analysis_stats}
 
     # -- rewriting ----------------------------------------------------------------
     def rewritings(self, query: ConjunctiveQuery | str) -> list[Rewriting]:
@@ -440,6 +508,13 @@ class CitationEngine:
         done exactly once.  Raises :class:`NoRewritingError` when no rewriting
         exists and the engine is configured with ``on_no_rewriting="error"``;
         with ``"fallback"`` a fallback plan is returned instead.
+
+        Unless ``analysis="off"``, the query is statically analysed first and
+        the rewriting search runs on its *minimized core* — the plan records
+        both (``plan.query`` keeps the query as submitted; the heads are
+        identical, so results and citations are unchanged) and carries the
+        diagnostics.  Under ``analysis="strict"``, error-severity diagnostics
+        abort compilation with :class:`~repro.errors.StaticAnalysisError`.
         """
         query = self._as_query(query)
         mode = mode or self.mode
@@ -450,18 +525,49 @@ class CitationEngine:
             else NULL_SPAN
         )
         with span:
+            analysis = self.analyze(query)
+            for diag in analysis.diagnostics:
+                span.child(
+                    "analysis.diagnostic",
+                    code=diag.code,
+                    severity=diag.severity.value,
+                    message=diag.message,
+                )
+            if analysis.minimized:
+                span.set_attribute("atoms_dropped", analysis.atoms_dropped)
+            if self.analysis == "strict" and analysis.has_errors:
+                raise StaticAnalysisError(
+                    f"query {query.name!r} failed static analysis: "
+                    + "; ".join(str(d) for d in analysis.report.errors),
+                    analysis.report.errors,
+                )
             token = self.plan_token()
-            rewritings = self.rewritings(query)
+            rewritings = self.rewritings(analysis.core)
             span.set_attribute("rewritings_found", len(rewritings))
             if not rewritings:
                 if self.on_no_rewriting == "error":
                     raise NoRewritingError(query.name)
                 span.set_attribute("fallback", True)
-                return CitationPlan(query, (), mode, token, uses_fallback=True)
+                return CitationPlan(
+                    query,
+                    (),
+                    mode,
+                    token,
+                    uses_fallback=True,
+                    core=analysis.core,
+                    diagnostics=analysis.diagnostics,
+                )
             if mode == "economical":
                 rewritings = self.selector.select(rewritings)
                 span.set_attribute("rewritings_selected", len(rewritings))
-            return CitationPlan(query, tuple(rewritings), mode, token)
+            return CitationPlan(
+                query,
+                tuple(rewritings),
+                mode,
+                token,
+                core=analysis.core,
+                diagnostics=analysis.diagnostics,
+            )
 
     def cite(
         self,

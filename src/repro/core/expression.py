@@ -22,7 +22,7 @@ converted to a provenance polynomial via :meth:`CitationExpression.to_polynomial
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Mapping, Sequence
+from collections.abc import Iterable, Iterator, Mapping, Sequence
 
 from repro.core.record import CitationRecord, CitationSet
 from repro.provenance.polynomial import Polynomial

@@ -20,7 +20,7 @@ benchmark measures the speed-up of the incremental path over it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Mapping
+from collections.abc import Callable, Iterable, Mapping
 
 from repro.core.engine import CitationEngine, CitedResult, TupleCitation
 from repro.core.citation import Citation

@@ -17,7 +17,7 @@ minimum estimated size for ``+R``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 from repro.core.expression import (
     Aggregate,

@@ -7,7 +7,7 @@ is a record; policies combine sets of records (:data:`CitationSet`).
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Mapping
+from collections.abc import Iterable, Iterator, Mapping
 
 from repro.errors import CitationError
 

@@ -9,7 +9,8 @@ engine should actually evaluate.
 
 from __future__ import annotations
 
-from typing import Literal, Sequence
+from collections.abc import Sequence
+from typing import Literal
 
 from repro.errors import PolicyError
 from repro.relational.database import Database

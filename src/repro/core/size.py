@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.core.citation import Citation
 from repro.core.record import CitationRecord

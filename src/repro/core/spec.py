@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 from repro.core.citation_view import CitationView, DefaultCitationFunction
 from repro.core.policy import CitationPolicy, Combinators

@@ -18,7 +18,7 @@ This module provides exactly that construction:
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 from repro.core.citation_view import CitationView, DefaultCitationFunction
 from repro.core.engine import CitationEngine, CitedResult

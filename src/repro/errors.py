@@ -55,6 +55,18 @@ class ParseError(QueryError):
         self.position = position
 
 
+class StaticAnalysisError(ReproError):
+    """Static analysis found error-severity diagnostics under strict mode.
+
+    Carries the offending diagnostics (see :mod:`repro.analysis`) on the
+    ``diagnostics`` attribute so callers can render or serialize them.
+    """
+
+    def __init__(self, message: str, diagnostics: tuple = ()) -> None:
+        super().__init__(message)
+        self.diagnostics = tuple(diagnostics)
+
+
 class RewritingError(ReproError):
     """Query rewriting using views failed or produced an inconsistent result."""
 

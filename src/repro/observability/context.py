@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from contextvars import ContextVar
-from typing import Iterator
+from collections.abc import Iterator
 
 __all__ = ["current_fingerprint", "fingerprint_scope"]
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 import re
-from typing import Iterable, Mapping
+from collections.abc import Iterable, Mapping
 
 __all__ = ["PrometheusRenderer", "flatten_numeric"]
 

@@ -10,7 +10,7 @@ semiring semantics the citation model builds on.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Mapping
+from collections.abc import Hashable, Iterable, Mapping
 
 from repro.errors import ProvenanceError, UnknownRelationError
 from repro.provenance.polynomial import Polynomial, PolynomialSemiring

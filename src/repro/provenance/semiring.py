@@ -15,7 +15,8 @@ derivations) — exactly the structure the citation model borrows.
 
 from __future__ import annotations
 
-from typing import Generic, Iterable, TypeVar
+from collections.abc import Iterable
+from typing import Generic, TypeVar
 
 from repro.errors import ProvenanceError
 

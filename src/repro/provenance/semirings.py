@@ -17,7 +17,7 @@ Security          ordered clearance levels (min, max)   clearance needed to see 
 from __future__ import annotations
 
 import math
-from typing import FrozenSet, Hashable
+from collections.abc import Hashable
 
 from repro.provenance.semiring import Semiring
 
@@ -76,7 +76,7 @@ class TropicalSemiring(Semiring[float]):
         return left + right
 
 
-class LineageSemiring(Semiring[FrozenSet[Hashable]]):
+class LineageSemiring(Semiring[frozenset[Hashable]]):
     """Lineage: the set of base tuples that contribute to an answer.
 
     Both ``+`` and ``·`` are set union; ``0`` is a distinguished bottom
@@ -106,7 +106,7 @@ class LineageSemiring(Semiring[FrozenSet[Hashable]]):
         return left | right
 
 
-class WhySemiring(Semiring[FrozenSet[FrozenSet[Hashable]]]):
+class WhySemiring(Semiring[frozenset[frozenset[Hashable]]]):
     """Why-provenance: sets of witnesses (each witness is a set of tuple ids)."""
 
     name = "why"

@@ -64,7 +64,7 @@ containing them — untouched subtrees' semi-joined key sets are reused.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import AbstractSet, Iterator, Mapping, Sequence
+from collections.abc import Set as AbstractSet, Iterator, Mapping, Sequence
 
 from repro.errors import QueryError
 from repro.query.ast import Atom, ConjunctiveQuery, Constant, Variable

@@ -13,7 +13,7 @@ queries.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+from collections.abc import Iterable, Mapping
 
 from repro.query.ast import Atom, ConjunctiveQuery, Constant, Term, Variable
 
@@ -97,7 +97,14 @@ def _normalize(query: ConjunctiveQuery) -> ConjunctiveQuery:
     if not bindings:
         return query
     if not query.body:
-        return query.inline_equalities()
+        # ``inline_equalities`` keeps the head variables, which would make
+        # the head comparison ignore the constants entirely (``CV2`` with
+        # constant "c" would look equivalent to one with constant "d").
+        # Substitute the head directly and keep the equality atoms so the
+        # query stays well-formed.
+        return ConjunctiveQuery(
+            query.head.substitute(dict(bindings)), (), query.equalities, ()
+        )
     return query.substitute(dict(bindings))
 
 
@@ -139,6 +146,10 @@ def is_isomorphic_to(query: ConjunctiveQuery, other: ConjunctiveQuery) -> bool:
     """Return ``True`` when the queries are identical up to variable renaming.
 
     A stronger check than equivalence, useful for deduplicating rewritings.
+    Like all checks in this module it works on the normalized, parameter-free
+    queries: two views that differ only in their λ-parameter sets are
+    isomorphic here (the structural fingerprint in ``repro.service`` is the
+    check that distinguishes parameterizations).
     """
     if len(query.body) != len(other.body):
         return False
@@ -146,8 +157,6 @@ def is_isomorphic_to(query: ConjunctiveQuery, other: ConjunctiveQuery) -> bool:
     backward = containment_mapping(other, query)
     if forward is None or backward is None:
         return False
-    injective_forward = all(isinstance(t, Term) for t in forward.values()) and len(
-        set(forward.values())
-    ) == len(forward)
+    injective_forward = len(set(forward.values())) == len(forward)
     injective_backward = len(set(backward.values())) == len(backward)
     return injective_forward and injective_backward

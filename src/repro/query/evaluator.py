@@ -47,7 +47,8 @@ from __future__ import annotations
 
 import time
 import warnings
-from typing import Iterator, Literal, Mapping
+from collections.abc import Iterator, Mapping
+from typing import Literal
 
 from repro.errors import QueryError, UnknownRelationError
 from repro.observability import NULL_SPAN, current_fingerprint, get_tracer

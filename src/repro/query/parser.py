@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Iterator
+from collections.abc import Iterator
 
 from repro.errors import ParseError
 from repro.query.ast import Atom, ConjunctiveQuery, Constant, EqualityAtom, Term, Variable

@@ -45,7 +45,8 @@ import itertools
 import threading
 from collections import Counter
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable, Mapping
+from collections.abc import Iterable, Mapping
+from typing import TYPE_CHECKING
 
 from repro.relational.relation import Relation
 

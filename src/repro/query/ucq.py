@@ -16,7 +16,7 @@ investigational drugs").  This module adds
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+from collections.abc import Iterable, Iterator, Sequence
 
 from repro.errors import QueryError
 from repro.query.ast import ConjunctiveQuery

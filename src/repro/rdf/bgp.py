@@ -15,7 +15,7 @@ variables.  Two evaluation paths are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Mapping, Sequence
+from collections.abc import Iterable, Iterator, Mapping, Sequence
 
 from repro.query.ast import Atom, ConjunctiveQuery, Constant, Term, Variable
 from repro.rdf.triples import Triple, TripleStore

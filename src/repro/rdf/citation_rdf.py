@@ -19,7 +19,7 @@ per-resource citations are aggregated under the configured policy.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 from repro.core.citation import Citation
 from repro.core.policy import CitationPolicy

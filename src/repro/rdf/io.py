@@ -13,7 +13,7 @@ is a pragmatic subset of N-Triples:
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Iterable
+from collections.abc import Iterable
 
 from repro.errors import ParseError
 from repro.rdf.triples import Triple, TripleStore

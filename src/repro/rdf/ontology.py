@@ -10,7 +10,7 @@ class-conditional citation views of :mod:`repro.rdf.citation_rdf` need.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Iterable
+from collections.abc import Iterable
 
 from repro.errors import OntologyError
 from repro.rdf.triples import RDF_TYPE, RDFS_SUBCLASS_OF, RDFS_SUBPROPERTY_OF, TripleStore

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from collections.abc import Iterable, Iterator
 
 RDF_TYPE = "rdf:type"
 RDFS_SUBCLASS_OF = "rdfs:subClassOf"

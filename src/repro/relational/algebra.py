@@ -8,7 +8,7 @@ relations and never mutate their inputs.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Callable, Iterable, Mapping, Sequence
+from collections.abc import Callable, Iterable, Mapping, Sequence
 
 from repro.errors import SchemaError
 from repro.relational.relation import Relation

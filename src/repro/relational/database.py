@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import hashlib
 import threading
-from typing import Callable, Iterable, Iterator, Mapping
+from collections.abc import Callable, Iterable, Iterator, Mapping
 
 from repro.errors import IntegrityError, UnknownRelationError
 from repro.relational.index import HashIndex

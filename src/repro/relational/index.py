@@ -13,7 +13,8 @@ staleness detection via :attr:`Relation.version`.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import TYPE_CHECKING, Iterable, Iterator, KeysView
+from collections.abc import Iterable, Iterator, KeysView
+from typing import TYPE_CHECKING
 
 from repro.relational.relation import Relation
 

@@ -7,7 +7,7 @@ with a set of rows.  Rows are plain Python tuples; duplicate rows are merged
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, Mapping
+from collections.abc import Callable, Iterable, Iterator, Mapping
 
 from repro.errors import IntegrityError
 from repro.relational.schema import RelationSchema

@@ -14,7 +14,7 @@ which is expressed with these classes in ``repro.workloads.gtopdb``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Mapping
+from collections.abc import Iterable, Iterator, Mapping
 
 from repro.errors import ArityError, SchemaError, UnknownRelationError
 

@@ -21,7 +21,7 @@ the unparameterized view V2 wins over the one through the parameterized V1.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 from repro.query.ast import Variable
 from repro.relational.database import Database

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.query.ast import Atom, ConjunctiveQuery, Constant, Term, Variable
 from repro.rewriting.rewriting import (

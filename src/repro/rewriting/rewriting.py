@@ -11,7 +11,7 @@ relies on ("the set of minimal equivalent rewritings {Q1, ..., Qn}").
 from __future__ import annotations
 
 import itertools
-from typing import Iterable, Mapping, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 
 from repro.errors import RewritingError
 from repro.query.ast import (

@@ -7,7 +7,7 @@ citation function; this module only cares about the relational part.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+from collections.abc import Iterable, Mapping
 
 from repro.errors import RewritingError
 from repro.query.ast import ConjunctiveQuery, Variable

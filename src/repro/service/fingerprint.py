@@ -31,7 +31,7 @@ as the cache key by :mod:`repro.service.plan_cache`.
 from __future__ import annotations
 
 import hashlib
-from typing import Mapping
+from collections.abc import Mapping
 
 from repro.query.ast import Atom, ConjunctiveQuery, Constant, Term, Variable
 

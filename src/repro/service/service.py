@@ -44,14 +44,17 @@ import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, replace
-from typing import Any, Callable, Hashable, Iterable, Sequence
+from collections.abc import Callable, Hashable, Iterable, Sequence
+from typing import Any
 
+from repro.analysis.diagnostics import AnalysisReport
+from repro.analysis.view_rules import analyze_view_set
 from repro.api.backend import BackendRegistry, CitationBackend
 from repro.api.backends.relational import RelationalBackend
 from repro.api.backends.union import UnionBackend
 from repro.api.envelope import CitationRequest, CitationResponse
 from repro.core.engine import CitationEngine, CitationPlan, CitedResult, Mode
-from repro.errors import CitationError
+from repro.errors import CitationError, StaticAnalysisError
 from repro.observability import (
     NULL_SPAN,
     RingBufferSink,
@@ -110,6 +113,7 @@ class CitationService:
         query_parser: Callable[[ConjunctiveQuery | str], ConjunctiveQuery] | None = None,
         backends: Sequence[CitationBackend] | None = None,
         tracer: Tracer | None = None,
+        startup_lint: bool = True,
     ) -> None:
         if engine is None and not backends:
             raise CitationError(
@@ -148,6 +152,28 @@ class CitationService:
             self.metrics.register_gauge_source(
                 "evaluation", engine.evaluation_metrics.snapshot
             )
+            # Compile-time query analysis counters (minimizations, cache
+            # hits, diagnostics), polled live at stats() time.
+            self.metrics.register_gauge_source("analysis", engine.analysis_stats)
+        # Startup lint: check the view set (and the policy wiring) before the
+        # first request, so broken configurations surface at boot instead of
+        # at request time.  Under the engine's strict analysis mode,
+        # error-severity findings abort startup.
+        self.startup_lint_report: AnalysisReport | None = None
+        if startup_lint and engine is not None and engine.analysis != "off":
+            report = analyze_view_set(
+                engine.citation_views, engine.database.schema, engine.policy
+            )
+            self.startup_lint_report = report
+            counts = report.counts()
+            self.metrics.increment("lint_errors", counts["error"])
+            self.metrics.increment("lint_warnings", counts["warning"])
+            if engine.analysis == "strict" and report.has_errors:
+                raise StaticAnalysisError(
+                    "citation view set failed startup lint: "
+                    + "; ".join(str(d) for d in report.errors),
+                    report.errors,
+                )
 
     # -- observability ---------------------------------------------------------
     def tracer(self) -> Tracer:
@@ -402,8 +428,11 @@ class CitationService:
                 "cache_epoch": epoch,
                 "mode": self.engine.mode,
                 "strategy": self.engine.strategy,
+                "analysis": self.engine.analysis,
                 "citation_views": len(self.engine.citation_views),
             }
+        if self.startup_lint_report is not None:
+            snapshot["startup_lint"] = self.startup_lint_report.as_dict()
         return snapshot
 
     def close(self) -> None:

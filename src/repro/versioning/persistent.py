@@ -13,7 +13,7 @@ from __future__ import annotations
 import json
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.core.citation import Citation
 from repro.core.citation_view import CitationView

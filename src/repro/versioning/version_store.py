@@ -11,7 +11,8 @@ only") are exposed because DESIGN.md calls the choice out for ablation (E6).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Literal, Mapping
+from collections.abc import Iterable, Mapping
+from typing import Literal
 
 from repro.errors import VersionError
 from repro.relational.database import Database

@@ -19,7 +19,7 @@ plus optional views over the additional relations.
 from __future__ import annotations
 
 import random
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.core.citation_view import CitationView, DefaultCitationFunction
 from repro.query.parser import parse_query

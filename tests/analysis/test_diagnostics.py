@@ -1,0 +1,136 @@
+"""Tests for the diagnostics framework: codes, reports, registry."""
+
+import json
+
+import pytest
+
+from repro.analysis.diagnostics import (
+    AnalysisReport,
+    Diagnostic,
+    Severity,
+    diagnostic,
+    registered_rules,
+    rule,
+    worst_severity,
+)
+
+
+def d(code, severity, message, location="", hint=""):
+    return Diagnostic(code, severity, message, location, hint)
+
+
+class TestDiagnostic:
+    def test_render_includes_code_severity_location_and_hint(self):
+        text = str(d("Q004", Severity.WARNING, "cartesian", "query 'Q'", "fix it"))
+        assert text == "Q004 warning [query 'Q']: cartesian (fix it)"
+
+    def test_render_without_location_or_hint(self):
+        assert str(d("Q001", Severity.ERROR, "bad")) == "Q001 error: bad"
+
+    def test_as_dict_omits_empty_fields(self):
+        payload = d("Q005", Severity.INFO, "singleton").as_dict()
+        assert payload == {"code": "Q005", "severity": "info", "message": "singleton"}
+
+    def test_as_dict_keeps_location_and_hint(self):
+        payload = d("V002", Severity.WARNING, "shadow", "view 'V'", "drop it").as_dict()
+        assert payload["location"] == "view 'V'"
+        assert payload["hint"] == "drop it"
+
+    def test_severity_ordering_by_weight(self):
+        assert Severity.ERROR.weight > Severity.WARNING.weight > Severity.INFO.weight
+
+
+class TestAnalysisReport:
+    def test_preserves_insertion_order(self):
+        first = d("Q004", Severity.WARNING, "a")
+        second = d("Q001", Severity.ERROR, "b")
+        report = AnalysisReport([first, second])
+        assert report.diagnostics == (first, second)
+
+    def test_deduplicates_identical_diagnostics(self):
+        finding = d("Q005", Severity.INFO, "same")
+        report = AnalysisReport([finding, finding])
+        report.add(finding)
+        assert len(report) == 1
+
+    def test_extend_accepts_another_report(self):
+        left = AnalysisReport([d("Q001", Severity.ERROR, "a")])
+        right = AnalysisReport([d("Q004", Severity.WARNING, "b")])
+        left.extend(right)
+        assert [x.code for x in left] == ["Q001", "Q004"]
+
+    def test_severity_filters_and_flags(self):
+        report = AnalysisReport(
+            [
+                d("Q001", Severity.ERROR, "e"),
+                d("Q004", Severity.WARNING, "w"),
+                d("Q005", Severity.INFO, "i"),
+            ]
+        )
+        assert [x.code for x in report.errors] == ["Q001"]
+        assert [x.code for x in report.warnings] == ["Q004"]
+        assert report.has_errors and report.has_warnings
+
+    def test_counts_always_has_all_three_keys(self):
+        assert AnalysisReport().counts() == {"error": 0, "warning": 0, "info": 0}
+
+    def test_empty_report_is_falsy(self):
+        assert not AnalysisReport()
+        assert AnalysisReport([d("Q005", Severity.INFO, "x")])
+
+    def test_to_text_lists_findings_and_summary(self):
+        report = AnalysisReport([d("Q001", Severity.ERROR, "boom")])
+        text = report.to_text()
+        assert "Q001 error: boom" in text
+        assert "1 error(s), 0 warning(s), 0 info" in text
+
+    def test_to_text_on_empty_report(self):
+        assert AnalysisReport().to_text().startswith("no diagnostics")
+
+    def test_to_json_round_trips(self):
+        report = AnalysisReport([d("V003", Severity.WARNING, "gap", "query 'Q'")])
+        payload = json.loads(report.to_json())
+        assert payload["summary"]["warning"] == 1
+        assert payload["diagnostics"][0]["code"] == "V003"
+
+
+class TestRegistry:
+    def test_every_documented_code_is_registered(self):
+        codes = {r.code for r in registered_rules()}
+        expected = (
+            {f"Q00{i}" for i in range(1, 9)}
+            | {f"V00{i}" for i in range(1, 7)}
+            | {"P001", "P002", "L001"}
+        )
+        assert expected <= codes
+
+    def test_rules_are_sorted_by_code(self):
+        codes = [r.code for r in registered_rules()]
+        assert codes == sorted(codes)
+
+    def test_duplicate_code_registration_is_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            rule("Q001", "query", Severity.ERROR, "imposter")(lambda: None)
+
+    def test_diagnostic_helper_resolves_severity_from_registry(self):
+        registered_rules()  # make sure the rule modules are imported
+        assert diagnostic("Q001", "m").severity is Severity.ERROR
+        assert diagnostic("V002", "m").severity is Severity.WARNING
+        assert diagnostic("Q003", "m").severity is Severity.INFO
+
+    def test_diagnostic_helper_rejects_unknown_code(self):
+        with pytest.raises(ValueError, match="unknown diagnostic code"):
+            diagnostic("Z999", "m")
+
+    def test_explicit_severity_overrides_registry(self):
+        escalated = diagnostic("V003", "m", severity=Severity.ERROR)
+        assert escalated.severity is Severity.ERROR
+
+
+class TestWorstSeverity:
+    def test_empty_sequence(self):
+        assert worst_severity([]) is None
+
+    def test_picks_the_maximum(self):
+        findings = [d("Q005", Severity.INFO, "i"), d("Q004", Severity.WARNING, "w")]
+        assert worst_severity(findings) is Severity.WARNING

@@ -1,0 +1,153 @@
+"""Integration tests: the analysis knob on the engine and the service."""
+
+import pytest
+
+from repro import CitationEngine
+from repro.errors import StaticAnalysisError
+from repro.observability import RingBufferSink, Tracer, use_tracer
+from repro.query.parser import parse_query
+from repro.service.service import CitationService
+from repro.workloads import gtopdb
+
+REDUNDANT = "Q(FID, FName) :- Family(FID, FName, Desc), Family(FID, FName2, Desc2)"
+RENAMED = "Q(I, N) :- Family(I, N, D), Family(I, N2, D2)"
+UNSAT = 'Q(FName) :- Family(FID, FName, Desc), Desc = "a", Desc = "b"'
+
+
+def engine_with(paper_db, paper_views, **kwargs):
+    return CitationEngine(paper_db, paper_views, **kwargs)
+
+
+class TestEngineAnalyze:
+    def test_analyze_minimizes_to_the_core(self, paper_engine):
+        analysis = paper_engine.analyze(parse_query(REDUNDANT))
+        assert analysis.minimized
+        assert len(analysis.core.body) == 1
+        assert "Q003" in [d.code for d in analysis.diagnostics]
+
+    def test_analyze_caches_by_query(self, paper_engine):
+        query = parse_query(REDUNDANT)
+        first = paper_engine.analyze(query)
+        second = paper_engine.analyze(query)
+        assert first is second
+        stats = paper_engine.analysis_stats()
+        assert stats["cache_hits"] >= 1
+        assert stats["analyzed"] >= 1
+
+    def test_analysis_off_returns_the_query_unchanged(self, paper_db, paper_views):
+        engine = engine_with(paper_db, paper_views, analysis="off")
+        analysis = engine.analyze(parse_query(REDUNDANT))
+        assert analysis.core == analysis.query
+        assert analysis.diagnostics == ()
+
+    def test_analysis_stats_reports_the_mode(self, paper_db, paper_views):
+        engine = engine_with(paper_db, paper_views, analysis="strict")
+        assert engine.analysis_stats()["mode"] == "strict"
+
+
+class TestCompilePlan:
+    def test_plan_carries_core_and_diagnostics(self, paper_engine):
+        plan = paper_engine.compile_plan(parse_query(REDUNDANT))
+        assert plan.core is not None
+        assert len(plan.core.body) == 1
+        assert plan.query == parse_query(REDUNDANT)  # original kept for reporting
+        assert any(d.code == "Q003" for d in plan.diagnostics)
+
+    def test_redundant_variant_executes_like_the_original(self, paper_engine):
+        minimal = paper_engine.cite("Q(FID, FName) :- Family(FID, FName, Desc)")
+        redundant = paper_engine.cite(REDUNDANT)
+        assert set(redundant.result.rows) == set(minimal.result.rows)
+        assert redundant.citation.records == minimal.citation.records
+
+    def test_strict_mode_raises_on_error_diagnostics(self, paper_db, paper_views):
+        engine = engine_with(paper_db, paper_views, analysis="strict")
+        with pytest.raises(StaticAnalysisError) as excinfo:
+            engine.compile_plan(parse_query(UNSAT))
+        assert any(d.code == "Q001" for d in excinfo.value.diagnostics)
+
+    def test_warn_mode_reports_errors_without_raising(self, paper_engine):
+        # analyze() itself never raises in warn mode; downstream rewriting
+        # still rejects the unsatisfiable query (with a late QueryError) —
+        # strict mode exists to turn that into an early, structured failure.
+        analysis = paper_engine.analyze(parse_query(UNSAT))
+        assert any(d.code == "Q001" for d in analysis.diagnostics)
+        from repro.errors import QueryError
+
+        with pytest.raises(QueryError):
+            paper_engine.compile_plan(parse_query(UNSAT))
+
+    def test_off_mode_compiles_as_submitted(self, paper_db, paper_views):
+        engine = engine_with(paper_db, paper_views, analysis="off")
+        plan = engine.compile_plan(parse_query(REDUNDANT))
+        assert plan.diagnostics == ()
+        assert plan.core == parse_query(REDUNDANT)
+
+    def test_diagnostics_become_trace_annotations(self, paper_db, paper_views):
+        sink = RingBufferSink()
+        tracer = Tracer(sinks=[sink])
+        engine = engine_with(paper_db, paper_views)
+        with use_tracer(tracer):
+            engine.compile_plan(parse_query(REDUNDANT))
+        root = sink.last()
+        assert root is not None
+
+        def walk(span):
+            yield span
+            for child in span.children:
+                yield from walk(child)
+
+        annotations = [s for s in walk(root) if s.name == "analysis.diagnostic"]
+        assert any(a.attributes.get("code") == "Q003" for a in annotations)
+
+
+class TestServiceIntegration:
+    def test_redundant_variants_share_one_plan_cache_entry(self, paper_engine):
+        with CitationService(paper_engine) as svc:
+            first, first_hit = svc.plan_for(RENAMED)
+            second, second_hit = svc.plan_for(REDUNDANT)
+        assert not first_hit
+        assert second_hit  # the minimized cores are isomorphic
+        assert first is second
+
+    def test_startup_lint_report_is_recorded(self, paper_engine):
+        with CitationService(paper_engine) as svc:
+            report = svc.startup_lint_report
+            stats = svc.stats()
+        assert report is not None
+        assert stats["engine"]["analysis"] == "warn"
+        assert stats["startup_lint"]["summary"] == report.counts()
+
+    def test_startup_lint_can_be_disabled(self, paper_engine):
+        with CitationService(paper_engine, startup_lint=False) as svc:
+            assert svc.startup_lint_report is None
+            assert "startup_lint" not in svc.stats()
+
+    def test_strict_engine_with_duplicate_views_fails_startup(self, paper_db):
+        from repro.core.citation_view import CitationView
+
+        duplicates = [
+            CitationView(parse_query("A(FID, FName, D) :- Family(FID, FName, D)")),
+            CitationView(parse_query("B(FID, FName, D) :- Family(FID, FName, D)")),
+        ]
+        engine = CitationEngine(paper_db, duplicates, analysis="strict")
+        with pytest.raises(StaticAnalysisError) as excinfo:
+            CitationService(engine)
+        assert any(d.code == "V001" for d in excinfo.value.diagnostics)
+
+    def test_warn_engine_with_duplicate_views_starts_up(self, paper_db):
+        from repro.core.citation_view import CitationView
+
+        duplicates = [
+            CitationView(parse_query("A(FID, FName, D) :- Family(FID, FName, D)")),
+            CitationView(parse_query("B(FID, FName, D) :- Family(FID, FName, D)")),
+        ]
+        engine = CitationEngine(paper_db, duplicates)
+        with CitationService(engine) as svc:
+            assert svc.startup_lint_report.has_errors
+
+    def test_analysis_gauges_in_metrics(self, paper_engine):
+        with CitationService(paper_engine) as svc:
+            svc.plan_for(REDUNDANT)
+            snapshot = svc.metrics.stats()
+        assert snapshot["analysis"]["analyzed"] >= 1
+        assert snapshot["analysis"]["minimized"] >= 1

@@ -1,0 +1,175 @@
+"""Tests for the ``repro lint`` CLI subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.policy import CitationPolicy
+from repro.core.spec import dump_specification
+from repro.relational.csvio import dump_database_json
+from repro.workloads import gtopdb
+
+
+@pytest.fixture
+def database_file(tmp_path):
+    path = tmp_path / "gtopdb.json"
+    dump_database_json(gtopdb.paper_instance(), path)
+    return str(path)
+
+
+@pytest.fixture
+def spec_file(tmp_path):
+    payload = dump_specification(gtopdb.citation_views(), CitationPolicy.default())
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return str(path)
+
+
+@pytest.fixture
+def seeded_spec_file(tmp_path):
+    """A spec with a deliberately shadowed view (the V002 fixture)."""
+    payload = {
+        "views": [
+            {"view": "AllFam(FID, FName, Desc) :- Family(FID, FName, Desc)"},
+            {
+                "view": "IntroFam(FID, FName, Desc) :- "
+                "Family(FID, FName, Desc), FamilyIntro(FID, Text)"
+            },
+        ]
+    }
+    path = tmp_path / "seeded.json"
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return str(path)
+
+
+@pytest.fixture
+def workload_file(tmp_path):
+    """A workload with one covered query and one coverage gap (V003)."""
+    path = tmp_path / "workload.dlog"
+    path.write_text(
+        "Q(FName) :- Family(FID, FName, Desc)\n"
+        "\n"
+        "# targets are not covered by any seeded view\n"
+        "Uncov(TName) :- Target(TID, TName, FID, Type)\n",
+        encoding="utf-8",
+    )
+    return str(path)
+
+
+class TestLint:
+    def test_flags_shadowed_view_and_coverage_gap(
+        self, database_file, seeded_spec_file, workload_file, capsys
+    ):
+        code = main(
+            [
+                "lint",
+                "--database",
+                database_file,
+                "--spec",
+                seeded_spec_file,
+                "--workload",
+                workload_file,
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0  # warnings only: non-strict lint passes
+        assert "V002" in out  # IntroFam shadowed by AllFam
+        assert "V003" in out  # Uncov has no rewriting
+        assert "IntroFam" in out
+        assert "Uncov" in out
+
+    def test_strict_mode_exits_nonzero_on_warnings(
+        self, database_file, seeded_spec_file, workload_file
+    ):
+        code = main(
+            [
+                "lint",
+                "--database",
+                database_file,
+                "--spec",
+                seeded_spec_file,
+                "--workload",
+                workload_file,
+                "--strict",
+            ]
+        )
+        assert code == 1
+
+    def test_json_format_is_machine_readable(
+        self, database_file, seeded_spec_file, workload_file, capsys
+    ):
+        code = main(
+            [
+                "lint",
+                "--database",
+                database_file,
+                "--spec",
+                seeded_spec_file,
+                "--workload",
+                workload_file,
+                "--format",
+                "json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        codes = {d["code"] for d in payload["diagnostics"]}
+        assert {"V002", "V003"} <= codes
+        assert payload["summary"]["warning"] >= 2
+
+    def test_error_diagnostics_exit_nonzero_without_strict(
+        self, database_file, tmp_path, capsys
+    ):
+        bad = tmp_path / "bad.json"
+        bad.write_text(
+            json.dumps({"views": [{"view": "Bad(X) :- Nonexistent(X)"}]}),
+            encoding="utf-8",
+        )
+        code = main(["lint", "--database", database_file, "--spec", str(bad)])
+        assert code == 1
+        assert "L001" in capsys.readouterr().out
+
+    def test_paper_spec_is_lint_clean_of_errors(
+        self, database_file, spec_file, capsys
+    ):
+        code = main(["lint", "--database", database_file, "--spec", spec_file])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_default_views_lint(self, database_file, capsys):
+        code = main(["lint", "--database", database_file, "--title", "GtoPdb"])
+        assert code == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_workload_accepts_sql(self, database_file, spec_file, capsys):
+        workload = "SELECT f.FName FROM Family f, FamilyIntro i WHERE f.FID = i.FID"
+        import pathlib
+
+        path = pathlib.Path(database_file).parent / "workload.sql"
+        path.write_text(workload + "\n", encoding="utf-8")
+        code = main(
+            [
+                "lint",
+                "--database",
+                database_file,
+                "--spec",
+                spec_file,
+                "--workload",
+                str(path),
+            ]
+        )
+        assert code == 0
+
+    def test_list_rules_enumerates_every_code(self, capsys):
+        code = main(["lint", "--list-rules"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for expected in ("Q001", "Q003", "V002", "V003", "P001", "L001"):
+            assert expected in out
+
+    def test_lint_without_database_is_an_error(self, capsys):
+        code = main(["lint"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

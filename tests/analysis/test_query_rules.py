@@ -1,0 +1,172 @@
+"""Tests for the compile-time query rules (Q001–Q008) and QueryAnalysis."""
+
+from repro.analysis import analyze_query
+from repro.query.parser import parse_query
+from repro.relational.schema import Attribute, DatabaseSchema, RelationSchema
+
+SCHEMA = DatabaseSchema(
+    [
+        RelationSchema(
+            "R",
+            [Attribute("a", int), Attribute("b", int)],
+            key=["a"],
+        ),
+        RelationSchema("S", [Attribute("a", int), Attribute("b", str)]),
+    ]
+)
+
+
+def codes(analysis):
+    return [diag.code for diag in analysis.diagnostics]
+
+
+class TestQ001ConstantConflicts:
+    def test_conflicting_equalities_are_an_error(self):
+        query = parse_query('Q(X) :- R(X, Y), Y = "c", Y = "d"')
+        analysis = analyze_query(query)
+        assert "Q001" in codes(analysis)
+        assert analysis.has_errors
+
+    def test_unsatisfiable_query_skips_minimization(self):
+        query = parse_query('Q(X) :- R(X, Y), R(X, Z), Y = "c", Y = "d"')
+        analysis = analyze_query(query)
+        assert "Q001" in codes(analysis)
+        assert analysis.core == query  # minimization is meaningless here
+        assert not analysis.minimized
+
+    def test_repeated_consistent_equalities_are_fine(self):
+        query = parse_query('Q(X) :- R(X, Y), Y = "c", Y = "c"')
+        assert "Q001" not in codes(analyze_query(query))
+
+
+class TestQ002KeyContradictions:
+    def test_same_key_different_constants_is_an_error(self):
+        # R's key is its first column: both atoms pin a=X but disagree on b.
+        query = parse_query("Q(X) :- R(X, 1), R(X, 2)")
+        analysis = analyze_query(query, SCHEMA)
+        assert "Q002" in codes(analysis)
+        assert analysis.has_errors
+
+    def test_different_keys_do_not_conflict(self):
+        query = parse_query("Q(X, Y) :- R(X, 1), R(Y, 2)")
+        assert "Q002" not in codes(analyze_query(query, SCHEMA))
+
+    def test_agreeing_constants_do_not_conflict(self):
+        query = parse_query("Q(X) :- R(X, 1), R(X, 1)")
+        assert "Q002" not in codes(analyze_query(query, SCHEMA))
+
+    def test_keyless_relation_is_exempt(self):
+        query = parse_query('Q(X) :- S(X, "a"), S(X, "b")')
+        assert "Q002" not in codes(analyze_query(query, SCHEMA))
+
+    def test_needs_a_schema(self):
+        query = parse_query("Q(X) :- R(X, 1), R(X, 2)")
+        assert "Q002" not in codes(analyze_query(query))
+
+    def test_equality_bound_variables_participate(self):
+        query = parse_query("Q(X) :- R(X, Y), R(X, 2), Y = 1")
+        assert "Q002" in codes(analyze_query(query, SCHEMA))
+
+
+class TestQ003Minimization:
+    def test_redundant_atom_reported_and_dropped(self):
+        query = parse_query("Q(X) :- R(X, Y), R(X, Z)")
+        analysis = analyze_query(query)
+        assert "Q003" in codes(analysis)
+        assert analysis.minimized
+        assert analysis.atoms_dropped == 1
+        assert len(analysis.core.body) == 1
+        assert analysis.query == query  # the original is kept verbatim
+
+    def test_minimal_query_reports_nothing(self):
+        query = parse_query("Q(X) :- R(X, Y), S(Y, Z)")
+        analysis = analyze_query(query)
+        assert "Q003" not in codes(analysis)
+        assert analysis.core == query
+        assert not analysis.minimized
+
+    def test_run_minimization_false_skips_the_core_computation(self):
+        query = parse_query("Q(X) :- R(X, Y), R(X, Z)")
+        analysis = analyze_query(query, run_minimization=False)
+        assert analysis.core == query
+        assert "Q003" not in codes(analysis)
+
+
+class TestQ004CartesianProduct:
+    def test_disconnected_body_warns(self):
+        query = parse_query("Q(X, Z) :- R(X, Y), S(Z, W)")
+        assert "Q004" in codes(analyze_query(query))
+
+    def test_connected_body_does_not_warn(self):
+        query = parse_query("Q(X) :- R(X, Y), S(Y, Z)")
+        assert "Q004" not in codes(analyze_query(query))
+
+    def test_equality_bound_shared_variable_is_not_a_join(self):
+        # Y is pinned to a constant, so it joins nothing: R x S is a product.
+        query = parse_query("Q(X, Z) :- R(X, Y), S(Z, Y), Y = 1")
+        assert "Q004" in codes(analyze_query(query))
+
+    def test_single_atom_is_exempt(self):
+        assert "Q004" not in codes(analyze_query(parse_query("Q(X) :- R(X, Y)")))
+
+
+class TestQ005SingletonVariables:
+    def test_singleton_existential_is_reported(self):
+        query = parse_query("Q(X) :- R(X, Y), S(X, W)")
+        analysis = analyze_query(query)
+        q005 = [d for d in analysis.diagnostics if d.code == "Q005"]
+        assert len(q005) == 1
+        assert "W" in q005[0].message and "Y" in q005[0].message
+
+    def test_head_variables_are_not_singletons(self):
+        query = parse_query("Q(X, Y) :- R(X, Y)")
+        assert "Q005" not in codes(analyze_query(query))
+
+    def test_repeated_existential_is_a_join_not_a_singleton(self):
+        query = parse_query("Q(X) :- R(X, Y), S(Y, X)")
+        assert "Q005" not in codes(analyze_query(query))
+
+
+class TestSchemaRules:
+    def test_q006_unknown_relation(self):
+        query = parse_query("Q(X) :- Nope(X, Y)")
+        analysis = analyze_query(query, SCHEMA)
+        assert "Q006" in codes(analysis)
+        assert analysis.has_errors
+
+    def test_q006_respects_known_predicates(self):
+        query = parse_query("Q(X) :- V1(X, Y)")
+        analysis = analyze_query(query, SCHEMA, known_predicates={"V1"})
+        assert "Q006" not in codes(analysis)
+
+    def test_q007_arity_mismatch(self):
+        query = parse_query("Q(X) :- R(X, Y, Z)")
+        analysis = analyze_query(query, SCHEMA)
+        assert "Q007" in codes(analysis)
+        assert analysis.has_errors
+
+    def test_q008_type_mismatch_on_literal_constant(self):
+        query = parse_query('Q(X) :- R(X, "text")')
+        assert "Q008" in codes(analyze_query(query, SCHEMA))
+
+    def test_q008_type_mismatch_via_equality_binding(self):
+        query = parse_query("Q(X) :- S(X, Y), Y = 7")
+        assert "Q008" in codes(analyze_query(query, SCHEMA))
+
+    def test_well_typed_query_is_clean(self):
+        query = parse_query('Q(X) :- R(X, 3), S(X, "ok")')
+        analysis = analyze_query(query, SCHEMA)
+        assert analysis.diagnostics == ()
+
+
+class TestQueryAnalysis:
+    def test_report_is_cached_and_matches_diagnostics(self):
+        analysis = analyze_query(parse_query("Q(X) :- R(X, Y), R(X, Z)"))
+        report = analysis.report
+        assert report is analysis.report  # lazily built once
+        assert report.diagnostics == analysis.diagnostics
+
+    def test_clean_query_has_no_errors(self):
+        analysis = analyze_query(parse_query("Q(X) :- R(X, Y)"), SCHEMA)
+        assert not analysis.has_errors
+        assert analysis.core == analysis.query

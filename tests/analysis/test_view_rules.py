@@ -1,0 +1,179 @@
+"""Tests for the view-set, workload-coverage and policy rules."""
+
+from repro.analysis import analyze_view_set, analyze_workload_coverage
+from repro.core.citation_view import CitationView, DefaultCitationFunction
+from repro.query.parser import parse_query
+from repro.workloads import gtopdb
+
+SCHEMA = gtopdb.schema()
+
+
+def view(text, **kwargs):
+    return CitationView(parse_query(text), **kwargs)
+
+
+def codes(report):
+    return [diag.code for diag in report]
+
+
+class TestV001Duplicates:
+    def test_equivalent_views_with_same_parameters_are_duplicates(self):
+        report = analyze_view_set(
+            [
+                view("A(FID, FName, Desc) :- Family(FID, FName, Desc)"),
+                view("B(FID, FName, Desc) :- Family(FID, FName, Desc)"),
+            ]
+        )
+        assert "V001" in codes(report)
+        assert report.has_errors
+
+    def test_alpha_renamed_duplicate_is_still_detected(self):
+        report = analyze_view_set(
+            [
+                view("A(FID, FName, Desc) :- Family(FID, FName, Desc)"),
+                view("B(I, N, D) :- Family(I, N, D)"),
+            ]
+        )
+        assert "V001" in codes(report)
+
+    def test_equivalent_bodies_with_different_parameters_are_deliberate(self):
+        # The paper's V1/V2 pattern: same body, coarse vs per-family credit.
+        report = analyze_view_set(
+            [
+                view("lambda FID. A(FID, FName, Desc) :- Family(FID, FName, Desc)"),
+                view("B(FID, FName, Desc) :- Family(FID, FName, Desc)"),
+            ]
+        )
+        assert "V001" not in codes(report)
+
+
+class TestV002Shadowing:
+    FINE = "Fine(FID, FName, Desc) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)"
+    COARSE = "Coarse(FID, FName, Desc) :- Family(FID, FName, Desc)"
+
+    def test_strictly_contained_view_is_shadowed(self):
+        report = analyze_view_set([view(self.FINE), view(self.COARSE)])
+        shadows = [d for d in report if d.code == "V002"]
+        assert len(shadows) == 1
+        assert "'Fine'" in shadows[0].message and "'Coarse'" in shadows[0].message
+
+    def test_detection_is_order_independent(self):
+        report = analyze_view_set([view(self.COARSE), view(self.FINE)])
+        assert "V002" in codes(report)
+
+    def test_parameterized_inner_view_is_exempt(self):
+        fine = "lambda FID. " + self.FINE
+        report = analyze_view_set([view(fine), view(self.COARSE)])
+        assert "V002" not in codes(report)
+
+    def test_incomparable_views_do_not_shadow(self):
+        report = analyze_view_set(
+            [
+                view("A(FID, FName, Desc) :- Family(FID, FName, Desc)"),
+                view("B(FID, Text) :- FamilyIntro(FID, Text)"),
+            ]
+        )
+        assert "V002" not in codes(report)
+
+
+class TestV005MissingKeyTerms:
+    def test_projected_out_key_is_reported(self):
+        report = analyze_view_set(
+            [view("NoKey(FName) :- Family(FID, FName, Desc)")], SCHEMA
+        )
+        v005 = [d for d in report if d.code == "V005"]
+        assert len(v005) == 1
+        assert "FID" in v005[0].message
+
+    def test_key_in_head_is_fine(self):
+        report = analyze_view_set(
+            [view("Keyed(FID, FName) :- Family(FID, FName, Desc)")], SCHEMA
+        )
+        assert "V005" not in codes(report)
+
+    def test_key_as_parameter_is_fine(self):
+        report = analyze_view_set(
+            [view("lambda FID. P(FID, FName) :- Family(FID, FName, Desc)")], SCHEMA
+        )
+        assert "V005" not in codes(report)
+
+
+class TestL001SchemaProblems:
+    def test_unknown_relation_in_view_is_an_error(self):
+        report = analyze_view_set([view("Bad(X) :- Nonexistent(X, Y)")], SCHEMA)
+        assert "L001" in codes(report)
+        assert report.has_errors
+
+    def test_paper_views_are_schema_clean(self):
+        report = analyze_view_set(gtopdb.citation_views(), SCHEMA)
+        assert "L001" not in codes(report)
+
+
+class TestPolicyRules:
+    def test_p002_view_without_citation_queries(self):
+        report = analyze_view_set([view("Plain(FID, Text) :- FamilyIntro(FID, Text)")])
+        assert "P002" in codes(report)
+
+    def test_p001_field_map_entry_that_never_fires(self):
+        bad = CitationView(
+            parse_query("V(FID, FName) :- Family(FID, FName, Desc)"),
+            citation_queries=[parse_query("CV(FName) :- Family(FID, FName, Desc)")],
+            citation_function=DefaultCitationFunction(field_map={"Nope": "title"}),
+        )
+        report = analyze_view_set([bad])
+        p001 = [d for d in report if d.code == "P001"]
+        assert len(p001) == 1
+        assert "'Nope'" in p001[0].message
+
+    def test_paper_views_field_maps_all_fire(self):
+        report = analyze_view_set(gtopdb.citation_views(), SCHEMA)
+        assert "P001" not in codes(report)
+
+
+class TestWorkloadCoverage:
+    VIEWS = [
+        view("FamV(FID, FName, Desc) :- Family(FID, FName, Desc)"),
+        view("IntroV(FID, Text) :- FamilyIntro(FID, Text)"),
+    ]
+
+    def test_covered_workload_is_clean(self):
+        workload = [parse_query("Q(FName) :- Family(FID, FName, Desc)")]
+        report = analyze_workload_coverage(self.VIEWS, workload)
+        assert "V003" not in codes(report)
+
+    def test_v003_uncovered_query(self):
+        workload = [parse_query("Q(TName) :- Target(TID, TName, FID, Type)")]
+        report = analyze_workload_coverage(self.VIEWS, workload)
+        v003 = [d for d in report if d.code == "V003"]
+        assert len(v003) == 1
+        assert report.has_warnings
+
+    def test_v004_ambiguous_query(self):
+        overlapping = self.VIEWS + [
+            view("FamV2(FID, FName, Desc) :- Family(FID, FName, Desc)")
+        ]
+        workload = [parse_query("Q(FName) :- Family(FID, FName, Desc)")]
+        report = analyze_workload_coverage(overlapping, workload)
+        assert "V004" in codes(report)
+
+    def test_v006_dead_view(self):
+        workload = [parse_query("Q(FName) :- Family(FID, FName, Desc)")]
+        report = analyze_workload_coverage(self.VIEWS, workload)
+        dead = [d for d in report if d.code == "V006"]
+        assert [d.location for d in dead] == ["view 'IntroV'"]
+
+    def test_empty_workload_reports_nothing(self):
+        assert not analyze_workload_coverage(self.VIEWS, [])
+
+    def test_empty_view_set_reports_nothing(self):
+        workload = [parse_query("Q(FName) :- Family(FID, FName, Desc)")]
+        assert not analyze_workload_coverage([], workload)
+
+    def test_paper_views_cover_the_paper_query(self):
+        workload = [
+            parse_query(
+                "Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)"
+            )
+        ]
+        report = analyze_workload_coverage(gtopdb.citation_views(), workload)
+        assert "V003" not in codes(report)

@@ -1,0 +1,109 @@
+"""Property tests for the static analyzer: minimization and fingerprints.
+
+Three laws the analyzer relies on:
+
+* ``minimize`` is idempotent — the core of a core is itself;
+* the minimized core is *answer-equivalent* to the original on every
+  instance (checked against the brute-force reference semantics);
+* redundant variants of one query minimize to isomorphic cores, so the
+  structural fingerprint — the plan-cache key — is identical for all of
+  them.
+"""
+
+from hypothesis import given, settings
+from strategies import brute_force, random_instances, random_queries, self_join_queries
+
+from repro.analysis import analyze_query
+from repro.query.ast import Atom, ConjunctiveQuery, Variable
+from repro.query.containment import is_equivalent_to
+from repro.query.minimization import is_minimal, minimize
+from repro.service.fingerprint import fingerprint
+
+
+def redundant_variant(query: ConjunctiveQuery, salt: str = "Dup") -> ConjunctiveQuery:
+    """Append a copy of the last body atom with existentials renamed apart.
+
+    The copy maps homomorphically onto the original atom (head variables are
+    kept, fresh existentials can bind anywhere), so the variant is equivalent
+    to *query* — exactly the redundancy core minimization must erase.
+    """
+    template = query.body[-1]
+    head = query.head_variables()
+    renaming = {
+        variable: Variable(f"{salt}{variable.name}")
+        for variable in template.variables()
+        if variable not in head
+    }
+    copy = Atom(
+        template.predicate,
+        tuple(renaming.get(t, t) if isinstance(t, Variable) else t for t in template.terms),
+    )
+    return ConjunctiveQuery(
+        query.head, tuple(query.body) + (copy,), query.equalities, query.parameters
+    )
+
+
+class TestMinimizeProperties:
+    @given(random_queries())
+    @settings(max_examples=80)
+    def test_minimize_is_idempotent(self, query):
+        core = minimize(query)
+        assert minimize(core) == core
+
+    @given(random_queries())
+    @settings(max_examples=80)
+    def test_core_is_minimal_and_equivalent(self, query):
+        core = minimize(query)
+        assert is_minimal(core)
+        assert is_equivalent_to(core, query)
+
+    @given(random_queries(), random_instances())
+    @settings(max_examples=60)
+    def test_core_is_answer_equivalent_on_random_instances(self, query, instance):
+        database, extra = instance
+        core = minimize(query)
+        assert brute_force(core, database, extra) == brute_force(
+            query, database, extra
+        )
+
+    @given(self_join_queries(), random_instances())
+    @settings(max_examples=60)
+    def test_self_join_cores_are_answer_equivalent(self, query, instance):
+        database, extra = instance
+        core = analyze_query(query).core
+        assert brute_force(core, database, extra) == brute_force(
+            query, database, extra
+        )
+
+
+class TestFingerprintProperties:
+    @given(random_queries())
+    @settings(max_examples=80)
+    def test_redundant_variants_share_one_fingerprint(self, query):
+        variant = redundant_variant(query)
+        assert is_equivalent_to(variant, query)
+        assert fingerprint(minimize(variant)) == fingerprint(minimize(query))
+
+    @given(random_queries())
+    @settings(max_examples=60)
+    def test_doubly_redundant_variants_share_one_fingerprint(self, query):
+        once = redundant_variant(query, "DupA")
+        twice = redundant_variant(once, "DupB")
+        assert fingerprint(minimize(twice)) == fingerprint(minimize(query))
+
+
+class TestAnalyzeQueryProperties:
+    @given(random_queries())
+    @settings(max_examples=80)
+    def test_analysis_core_matches_minimize(self, query):
+        analysis = analyze_query(query)
+        assert analysis.core == minimize(query)
+        assert analysis.query == query
+
+    @given(random_queries())
+    @settings(max_examples=60)
+    def test_analysis_never_reports_errors_on_generated_queries(self, query):
+        # The generators produce satisfiable, well-formed queries; only
+        # info/warning diagnostics (Q003/Q004/Q005) may appear.
+        analysis = analyze_query(query)
+        assert not analysis.has_errors

@@ -101,6 +101,75 @@ class TestEquivalence:
         assert not is_equivalent_to(a, b)
 
 
+class TestConstantOnlyQueries:
+    """CV2-style queries whose entire body is equality atoms.
+
+    The paper's whole-database citation queries look like
+    ``CV2(D) :- D = "GtoPdb"`` — no relational atoms at all.  Normalization
+    must push the constants into the head, or two such queries with
+    *different* constants would compare equal.
+    """
+
+    def test_same_constant_is_equivalent(self):
+        a = parse_query('CV2(D) :- D = "GtoPdb"')
+        b = parse_query('CV2(E) :- E = "GtoPdb"')
+        assert is_equivalent_to(a, b)
+        assert is_isomorphic_to(a, b)
+
+    def test_different_constants_are_not_equivalent(self):
+        a = parse_query('CV2(D) :- D = "GtoPdb"')
+        b = parse_query('CV2(D) :- D = "Reactome"')
+        assert not is_contained_in(a, b)
+        assert not is_contained_in(b, a)
+        assert not is_equivalent_to(a, b)
+        assert not is_isomorphic_to(a, b)
+
+    def test_constant_only_vs_relational_body(self):
+        constant_only = parse_query('Q(D) :- D = "c"')
+        relational = parse_query("Q(X) :- R(X, Y)")
+        assert not is_equivalent_to(constant_only, relational)
+
+    def test_multi_column_constant_heads(self):
+        a = parse_query('Q(D, E) :- D = "x", E = "y"')
+        swapped = parse_query('Q(D, E) :- D = "y", E = "x"')
+        assert not is_equivalent_to(a, swapped)
+
+
+class TestParameterizedContainment:
+    """λ-parameters are ignored by containment (the paper's Section 2 rule);
+    the structural fingerprint is what distinguishes parameterizations."""
+
+    def test_parameterization_does_not_affect_containment(self):
+        plain = parse_query("V(FID, FName) :- Family(FID, FName, D)")
+        parameterized = parse_query(
+            "lambda FID. V(FID, FName) :- Family(FID, FName, D)"
+        )
+        assert is_contained_in(plain, parameterized)
+        assert is_contained_in(parameterized, plain)
+
+    def test_parameterized_constant_views_keep_constant_semantics(self):
+        a = parse_query('lambda FID. CV(FID, E) :- Family(FID, N, D), E = "c"')
+        b = parse_query('lambda FID. CV(FID, E) :- Family(FID, N, D), E = "d"')
+        assert not is_equivalent_to(a, b)
+
+    def test_fingerprint_distinguishes_parameterizations(self):
+        from repro.service.fingerprint import fingerprint
+
+        plain = parse_query("V(FID, FName) :- Family(FID, FName, D)")
+        parameterized = parse_query(
+            "lambda FID. V(FID, FName) :- Family(FID, FName, D)"
+        )
+        assert is_equivalent_to(plain, parameterized)
+        assert fingerprint(plain) != fingerprint(parameterized)
+
+    def test_fingerprint_distinguishes_cv2_constants(self):
+        from repro.service.fingerprint import fingerprint
+
+        a = parse_query('CV2(D) :- D = "GtoPdb"')
+        b = parse_query('CV2(D) :- D = "Reactome"')
+        assert fingerprint(a) != fingerprint(b)
+
+
 class TestMappings:
     def test_containment_mapping_is_returned(self):
         general = parse_query("Q(X) :- R(X, Y)")

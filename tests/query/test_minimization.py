@@ -1,5 +1,6 @@
 """Tests for conjunctive-query minimization (cores)."""
 
+import repro.query.minimization as minimization
 from repro.query.containment import is_equivalent_to
 from repro.query.minimization import is_minimal, minimize
 from repro.query.parser import parse_query
@@ -55,6 +56,52 @@ class TestMinimize:
             minimal = minimize(query)
             assert is_equivalent_to(minimal, query), text
             assert is_minimal(minimal), text
+
+
+class TestSinglePassCost:
+    """The scan continues from the current index after a drop — it never
+    restarts, so the equivalence checks are bounded by the body width."""
+
+    def _count_equivalence_checks(self, monkeypatch, query):
+        calls = []
+        real = minimization.is_equivalent_to
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(minimization, "is_equivalent_to", counting)
+        minimal = minimize(query)
+        return len(calls), minimal
+
+    def test_wide_redundant_body_checks_linear_in_width(self, monkeypatch):
+        # Eleven redundant copies R(X, Y_i) fold onto the one kept atom; the
+        # restart-from-scratch strategy needed O(n^2) equivalence checks here.
+        width = 12
+        atoms = ", ".join(f"R(X, Y{i})" for i in range(width))
+        query = parse_query(f"Q(X) :- {atoms}")
+        checks, minimal = self._count_equivalence_checks(monkeypatch, query)
+        assert len(minimal.body) == 1
+        assert checks <= width
+
+    def test_irreducible_body_checks_once_per_atom(self, monkeypatch):
+        width = 8
+        atoms = ", ".join(f"R(X{i}, X{i + 1})" for i in range(width))
+        head = ", ".join(f"X{i}" for i in range(width + 1))
+        query = parse_query(f"Q({head}) :- {atoms}")
+        checks, minimal = self._count_equivalence_checks(monkeypatch, query)
+        assert minimal == query
+        assert checks <= width
+
+    def test_mixed_body_stays_linear(self, monkeypatch):
+        # Interleave droppable and essential atoms so drops land mid-scan.
+        query = parse_query(
+            "Q(X, Y) :- R(X, A), R(X, Y), S(Y, B), S(Y, C), R(X, D), S(Y, Y)"
+        )
+        checks, minimal = self._count_equivalence_checks(monkeypatch, query)
+        assert is_equivalent_to(minimal, query)
+        assert is_minimal(minimal)
+        assert checks <= len(query.body)
 
 
 class TestIsMinimal:
