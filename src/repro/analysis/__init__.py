@@ -17,11 +17,24 @@ to work before any data is touched:
   service startup and by the ``repro lint`` CLI subcommand: shadowed and
   duplicate views (by containment), dead views and coverage gaps against a
   workload, ambiguity overlaps, key terms missing from view heads,
-  citation-function field maps that can never fire.
+  citation-function field maps that can never fire;
+* :mod:`repro.analysis.ir` — a dataflow verifier over the compiled-join IR
+  (:class:`~repro.query.compiler.JoinProgram` and friends): slot
+  definite-assignment, probe-key well-formedness, faithfulness of steps to
+  the source query, semi-join trees consistent with GYO ear removal, and
+  prelude snapshots that agree with the steps they cache.  Run by
+  :meth:`~repro.core.engine.CitationEngine.compile_plan` under the
+  ``verify_plans`` knob;
+* :mod:`repro.analysis.codelint` — an AST lint over the package's own
+  source enforcing the :func:`repro.concurrency.shared_state` contract:
+  registered fields mutated only under their lock, consistent lock order,
+  thread-pool-reachable methods not touching unregistered state.
 
 Every rule has a stable diagnostic code (``Qxxx`` for query rules, ``Vxxx``
 for view-set rules, ``Pxxx`` for policy/citation-function rules, ``Lxxx``
-for specification-loading problems) so tooling can filter and gate on them.
+for specification-loading problems, ``Ixxx`` for compiled-plan IR checks
+and ``Cxxx`` for the concurrency code lint) so tooling can filter and gate
+on them.
 """
 
 from repro.analysis.diagnostics import (
@@ -30,6 +43,13 @@ from repro.analysis.diagnostics import (
     Severity,
     registered_rules,
     rule,
+)
+from repro.analysis.codelint import lint_paths, lint_source
+from repro.analysis.ir import (
+    verify_citation_plan,
+    verify_prelude,
+    verify_program,
+    verify_reduced,
 )
 from repro.analysis.query_rules import QueryAnalysis, analyze_query
 from repro.analysis.view_rules import analyze_view_set, analyze_workload_coverage
@@ -44,4 +64,10 @@ __all__ = [
     "analyze_query",
     "analyze_view_set",
     "analyze_workload_coverage",
+    "verify_citation_plan",
+    "verify_prelude",
+    "verify_program",
+    "verify_reduced",
+    "lint_paths",
+    "lint_source",
 ]

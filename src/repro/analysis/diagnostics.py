@@ -109,8 +109,15 @@ def rule(code: str, family: str, severity: Severity, description: str):
     """
 
     def decorate(function: Callable) -> Callable:
-        if code in _RULES and _RULES[code].function is not function:
-            raise ValueError(f"duplicate diagnostic code {code!r}")
+        existing = _RULES.get(code)
+        if existing is not None and existing.function is not function:
+            # Identical re-registration happens when a rule module is loaded
+            # twice under different names (e.g. ``python -m`` executes it as
+            # ``__main__`` after the package import); only a *conflicting*
+            # definition is a programming error.
+            if existing != Rule(code, family, severity, description):
+                raise ValueError(f"duplicate diagnostic code {code!r}")
+            return function
         _RULES[code] = Rule(code, family, severity, description, function)
         return function
 
@@ -120,7 +127,7 @@ def rule(code: str, family: str, severity: Severity, description: str):
 def registered_rules() -> tuple[Rule, ...]:
     """Every registered rule, sorted by code (importing registers them)."""
     # Importing the rule modules registers their rules as a side effect.
-    from repro.analysis import query_rules, view_rules  # noqa: F401
+    from repro.analysis import codelint, ir, query_rules, view_rules  # noqa: F401
 
     return tuple(sorted(_RULES.values(), key=lambda r: r.code))
 

@@ -309,8 +309,19 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         for rule in registered_rules():
             print(f"{rule.code}  {rule.severity.value:<8}{rule.description}")
         return 0
+    if args.code:
+        from repro.analysis.codelint import lint_paths
+
+        report = lint_paths(args.code)
+        if args.format == "json":
+            print(report.to_json(indent=2))
+        else:
+            print(report.to_text())
+        if report.has_errors or (args.strict and report.has_warnings):
+            return 1
+        return 0
     if not args.database:
-        raise ReproError("lint needs --database (or --list-rules)")
+        raise ReproError("lint needs --database (or --list-rules, --code)")
     database = load_database_json(args.database)
     if args.spec:
         # Load without eager schema validation: schema mismatches should
@@ -554,6 +565,11 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--list-rules", action="store_true",
         help="print every registered diagnostic code and exit",
+    )
+    lint.add_argument(
+        "--code", metavar="PATH", nargs="+", default=None,
+        help="lint Python source for concurrency contract violations "
+        "(C-codes) instead of a view set; PATH is a file or directory",
     )
     lint.set_defaults(func=_cmd_lint)
 

@@ -24,6 +24,7 @@ Two operating modes address the paper's "Calculating citations" challenge:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from collections.abc import Iterable, Mapping, Sequence
 from typing import Literal
@@ -40,10 +41,17 @@ from repro.core.expression import (
 )
 from repro.core.policy import CitationPolicy
 from repro.core.record import CitationRecord, CitationSet
-from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.diagnostics import AnalysisReport, Diagnostic
+from repro.analysis.ir import verify_citation_plan, verify_reduced
 from repro.analysis.query_rules import QueryAnalysis, analyze_query
+from repro.concurrency import shared_state
 from repro.core.rewriting_selector import RewritingSelector
-from repro.errors import CitationError, NoRewritingError, StaticAnalysisError
+from repro.errors import (
+    CitationError,
+    NoRewritingError,
+    PlanVerificationError,
+    StaticAnalysisError,
+)
 from repro.observability import NULL_SPAN, get_tracer
 from repro.query.ast import ConjunctiveQuery, Constant, Term, Variable
 from repro.query.compiler import JoinProgram, PreludeCache, ReducedProgram
@@ -66,6 +74,15 @@ Mode = Literal["formal", "economical"]
 #: :class:`~repro.errors.StaticAnalysisError` on error-severity diagnostics;
 #: ``"off"`` skips analysis entirely (queries compile as submitted).
 AnalysisMode = Literal["strict", "warn", "off"]
+
+#: How the engine treats the compiled-plan IR verifier (:mod:`repro.analysis.ir`)
+#: at compile time: ``"warn"`` verifies every compiled plan's join IR and
+#: attaches the diagnostics as trace annotations; ``"strict"`` additionally
+#: raises :class:`~repro.errors.PlanVerificationError` on error-severity
+#: diagnostics; ``"off"`` (the production default) skips verification.  The
+#: test suite flips the class default to ``"strict"`` via conftest, so every
+#: engine-compiled plan in CI is verifier-clean.
+VerifyMode = Literal["strict", "warn", "off"]
 
 #: Bound on the per-engine analysis cache (analyses are per query object
 #: shape; serving traffic funnels through a fingerprint-keyed plan cache
@@ -234,8 +251,15 @@ class CitedResult:
         return len(self.result)
 
 
+@shared_state("_analysis_cache", "_analysis_stats", lock="_analysis_lock")
 class CitationEngine:
     """Constructs citations for general queries over a cited database."""
+
+    #: Class-level default for the ``verify_plans`` knob.  Production keeps
+    #: ``"off"``; the test suite sets ``"strict"`` at conftest import so every
+    #: compiled plan is IR-verified without threading the knob through every
+    #: engine construction.
+    DEFAULT_VERIFY_PLANS: VerifyMode = "off"
 
     def __init__(
         self,
@@ -249,10 +273,18 @@ class CitationEngine:
         fallback_citation: CitationRecord | None = None,
         strategy: Strategy = "auto",
         analysis: AnalysisMode = "warn",
+        verify_plans: VerifyMode | None = None,
     ) -> None:
         self.database = database
         self.strategy: Strategy = strategy
         self.analysis: AnalysisMode = analysis
+        if verify_plans is None:
+            verify_plans = type(self).DEFAULT_VERIFY_PLANS
+        if verify_plans not in ("strict", "warn", "off"):
+            raise CitationError(
+                f"verify_plans must be 'strict', 'warn' or 'off', got {verify_plans!r}"
+            )
+        self.verify_plans: VerifyMode = verify_plans
         self.citation_views = list(citation_views)
         if not self.citation_views:
             raise CitationError("a citation engine needs at least one citation view")
@@ -296,7 +328,11 @@ class CitationEngine:
         self._evaluator: QueryEvaluator | None = None
         # Static analysis is pure query-shape work (schema + containment, no
         # instance data), so one bounded cache serves every compile and every
-        # fingerprint computation of the same query object.
+        # fingerprint computation of the same query object.  cite_many fans
+        # requests out over a thread pool, so lookup/evict/insert and the
+        # counter bumps must be atomic (the analysis itself runs unlocked —
+        # it is pure, so concurrent duplicate work races benignly).
+        self._analysis_lock = threading.Lock()
         self._analysis_cache: dict[ConjunctiveQuery, QueryAnalysis] = {}
         self._analysis_stats = {
             "analyzed": 0,
@@ -304,6 +340,8 @@ class CitationEngine:
             "minimized": 0,
             "errors": 0,
             "warnings": 0,
+            "plans_verified": 0,
+            "verify_violations": 0,
         }
 
     # -- caches ------------------------------------------------------------------
@@ -390,26 +428,35 @@ class CitationEngine:
         query = self._as_query(query)
         if self.analysis == "off":
             return QueryAnalysis(query, query, ())
-        cached = self._analysis_cache.get(query)
-        if cached is not None:
-            self._analysis_stats["cache_hits"] += 1
-            return cached
+        with self._analysis_lock:
+            cached = self._analysis_cache.get(query)
+            if cached is not None:
+                self._analysis_stats["cache_hits"] += 1
+                return cached
+        # Analysis is pure, so it runs outside the lock: concurrent misses on
+        # the same query compute equivalent results and the first insert wins.
         result = analyze_query(query, self.database.schema)
-        self._analysis_stats["analyzed"] += 1
-        if result.minimized:
-            self._analysis_stats["minimized"] += 1
-        if result.has_errors:
-            self._analysis_stats["errors"] += 1
-        if any(d.severity.value == "warning" for d in result.diagnostics):
-            self._analysis_stats["warnings"] += 1
-        if len(self._analysis_cache) >= _ANALYSIS_CACHE_LIMIT:
-            self._analysis_cache.pop(next(iter(self._analysis_cache)))
-        self._analysis_cache[query] = result
+        with self._analysis_lock:
+            existing = self._analysis_cache.get(query)
+            if existing is not None:
+                self._analysis_stats["cache_hits"] += 1
+                return existing
+            self._analysis_stats["analyzed"] += 1
+            if result.minimized:
+                self._analysis_stats["minimized"] += 1
+            if result.has_errors:
+                self._analysis_stats["errors"] += 1
+            if any(d.severity.value == "warning" for d in result.diagnostics):
+                self._analysis_stats["warnings"] += 1
+            if len(self._analysis_cache) >= _ANALYSIS_CACHE_LIMIT:
+                self._analysis_cache.pop(next(iter(self._analysis_cache)))
+            self._analysis_cache[query] = result
         return result
 
     def analysis_stats(self) -> dict[str, object]:
         """Counters of the static-analysis pass (exposed by the service)."""
-        return {"mode": self.analysis, **self._analysis_stats}
+        with self._analysis_lock:
+            return {"mode": self.analysis, **self._analysis_stats}
 
     # -- rewriting ----------------------------------------------------------------
     def rewritings(self, query: ConjunctiveQuery | str) -> list[Rewriting]:
@@ -560,7 +607,7 @@ class CitationEngine:
             if mode == "economical":
                 rewritings = self.selector.select(rewritings)
                 span.set_attribute("rewritings_selected", len(rewritings))
-            return CitationPlan(
+            plan = CitationPlan(
                 query,
                 tuple(rewritings),
                 mode,
@@ -568,6 +615,60 @@ class CitationEngine:
                 core=analysis.core,
                 diagnostics=analysis.diagnostics,
             )
+            self._verify_compiled_plan(plan, span)
+            return plan
+
+    def _verify_compiled_plan(self, plan: CitationPlan, span) -> None:
+        """Run the IR verifier over *plan*'s compiled join IR (see
+        ``verify_plans``).
+
+        Programs and reductions are compiled eagerly here — the executor
+        would compile the very same objects lazily on first execution, so
+        under ``warn``/``strict`` the verification itself is the only extra
+        work, it happens once per plan compile, and warm traffic through the
+        serving layer's plan cache never pays again.
+        """
+        if self.verify_plans == "off" or not plan.rewritings:
+            return
+        evaluator = self._execution_evaluator()
+        report = AnalysisReport()
+        for position, rewriting in enumerate(plan.rewritings):
+            program = plan.compiled_program(position)
+            if program is None:
+                program = evaluator.compile(rewriting.query)
+                plan.cache_program(position, program)
+            reduced = plan.compiled_reduced(position)
+            if reduced is None or reduced.program is not program:
+                reduced = evaluator.reduction_of(rewriting.query, program)
+                plan.cache_reduced(position, reduced)
+            report.extend(verify_reduced(reduced))
+        with self._analysis_lock:
+            self._analysis_stats["plans_verified"] += 1
+            if report.has_errors:
+                self._analysis_stats["verify_violations"] += 1
+        for diag in report:
+            span.child(
+                "ir.diagnostic",
+                code=diag.code,
+                severity=diag.severity.value,
+                message=diag.message,
+            )
+        if self.verify_plans == "strict" and report.has_errors:
+            raise PlanVerificationError(
+                f"compiled plan for {plan.query.name!r} failed IR verification: "
+                + "; ".join(str(d) for d in report.errors),
+                report.errors,
+            )
+
+    def verify_plan(self, plan: CitationPlan) -> AnalysisReport:
+        """IR-verify everything compiled onto *plan* (programs, reductions
+        and warm preludes), regardless of the ``verify_plans`` knob.
+
+        Unlike the compile-time hook this also checks warm prelude state, so
+        tests and the race harness can assert plans stay verifier-clean
+        *after* being executed and cached.
+        """
+        return verify_citation_plan(plan)
 
     def cite(
         self,

@@ -67,6 +67,16 @@ class StaticAnalysisError(ReproError):
         self.diagnostics = tuple(diagnostics)
 
 
+class PlanVerificationError(StaticAnalysisError):
+    """The IR verifier rejected a compiled plan under ``verify_plans="strict"``.
+
+    Raised from :meth:`~repro.core.engine.CitationEngine.compile_plan` when the
+    dataflow verifier (:mod:`repro.analysis.ir`) finds error-severity
+    diagnostics in a compiled ``JoinProgram``/``ReducedProgram``.  Like its
+    base class it carries the offending diagnostics on ``diagnostics``.
+    """
+
+
 class RewritingError(ReproError):
     """Query rewriting using views failed or produced an inconsistent result."""
 

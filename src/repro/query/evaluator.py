@@ -45,11 +45,13 @@ suites (``tests/property/test_strategy_equivalence.py`` and
 
 from __future__ import annotations
 
+import threading
 import time
 import warnings
 from collections.abc import Iterator, Mapping
 from typing import Literal
 
+from repro.concurrency import shared_state
 from repro.errors import QueryError, UnknownRelationError
 from repro.observability import NULL_SPAN, current_fingerprint, get_tracer
 from repro.query.ast import ConjunctiveQuery, Constant, Term, Variable
@@ -83,6 +85,7 @@ STRATEGIES: tuple[Strategy, ...] = ("auto", "program", "reduced", "cost")
 DEFAULT_REDUCTION_THRESHOLD = 4096
 
 
+@shared_state("_programs", "_reduced", "_preludes", lock="_cache_lock")
 class QueryEvaluator:
     """Evaluates conjunctive queries against a :class:`Database`.
 
@@ -149,12 +152,23 @@ class QueryEvaluator:
         self.cost_model = cost_model if cost_model is not None else CostModel(self.statistics)
         self.metrics = metrics
         self.max_cached_queries = max_cached_queries
+        # The engine shares one evaluator across cite_many's thread pool, so
+        # the three query-keyed caches are guarded: the FIFO eviction below
+        # (iterate + pop) and the identity-pairing stores race destructively
+        # without it.  RLock because the store helpers call each other.
+        # Compilation/reduction runs outside the lock (pure; duplicate work
+        # races benignly, first store wins and keeps identity pairing).
+        self._cache_lock = threading.RLock()
         self._programs: dict[ConjunctiveQuery, JoinProgram] = {}
         self._reduced: dict[ConjunctiveQuery, ReducedProgram] = {}
         self._preludes: dict[ConjunctiveQuery, PreludeCache] = {}
 
-    def _bound(self, cache: dict) -> None:
-        """Evict oldest entries beyond :attr:`max_cached_queries` (FIFO)."""
+    def _bound_locked(self, cache: dict) -> None:
+        """Evict oldest entries beyond :attr:`max_cached_queries` (FIFO).
+
+        Caller holds :attr:`_cache_lock` — iterating while another thread
+        inserts would raise ``RuntimeError`` otherwise.
+        """
         while len(cache) > self.max_cached_queries:
             cache.pop(next(iter(cache)))
 
@@ -201,13 +215,18 @@ class QueryEvaluator:
         a cached analysis of an older compile, whose variable→slot layout may
         differ, can never be paired with the wrong program.
         """
-        cached = self._reduced.get(query)
+        with self._cache_lock:
+            cached = self._reduced.get(query)
         if cached is not None and cached.program is program:
             return cached
         reduced = reduce_program(program)
-        if self._programs.get(query) is program:
-            self._reduced[query] = reduced
-            self._bound(self._reduced)
+        with self._cache_lock:
+            if self._programs.get(query) is program:
+                existing = self._reduced.get(query)
+                if existing is not None and existing.program is program:
+                    return existing
+                self._reduced[query] = reduced
+                self._bound_locked(self._reduced)
         return reduced
 
     def prelude_for(
@@ -220,23 +239,29 @@ class QueryEvaluator:
         compiled plans, so serving traffic and direct ``cite()`` calls warm
         the same state).
         """
-        prelude = self._preludes.get(query)
-        if prelude is not None and prelude.reduced is reduced:
-            return prelude
-        prelude = PreludeCache(reduced, metrics=self.metrics)
-        if self._reduced.get(query) is reduced:
-            self._preludes[query] = prelude
-            self._bound(self._preludes)
+        with self._cache_lock:
+            prelude = self._preludes.get(query)
+            if prelude is not None and prelude.reduced is reduced:
+                return prelude
+            prelude = PreludeCache(reduced, metrics=self.metrics)
+            if self._reduced.get(query) is reduced:
+                self._preludes[query] = prelude
+                self._bound_locked(self._preludes)
         return prelude
 
     def _program_for(
         self, query: ConjunctiveQuery, relations: Mapping[str, Relation]
     ) -> JoinProgram:
-        program = self._programs.get(query)
+        with self._cache_lock:
+            program = self._programs.get(query)
         if program is None:
             program = compile_query(query, relations)
-            self._programs[query] = program
-            self._bound(self._programs)
+            with self._cache_lock:
+                # setdefault keeps one canonical program per query: callers
+                # pair reductions/preludes by object identity, so a racing
+                # second compile must adopt the first thread's program.
+                program = self._programs.setdefault(query, program)
+                self._bound_locked(self._programs)
         return program
 
     # -- cache control -------------------------------------------------------
@@ -248,14 +273,16 @@ class QueryEvaluator:
         (:meth:`~repro.core.engine.CitationEngine.invalidate_caches`) and for
         benchmarks that want a guaranteed cold run.
         """
-        self._programs.clear()
-        self._reduced.clear()
-        self._preludes.clear()
+        with self._cache_lock:
+            self._programs.clear()
+            self._reduced.clear()
+            self._preludes.clear()
         self.statistics.invalidate()
 
     def invalidate_preludes(self) -> None:
         """Drop only the warm-prelude state (next evaluations run cold)."""
-        self._preludes.clear()
+        with self._cache_lock:
+            self._preludes.clear()
 
     # -- strategy selection --------------------------------------------------
     def select_strategy(
@@ -320,12 +347,12 @@ class QueryEvaluator:
         # caller will project frames with — a cached analysis of an older
         # (differently ordered) compile of the same query must not be served.
         if reduced is None or reduced.program is not program:
-            reduced = self._reduced.get(query) if cache else None
-            if reduced is None or reduced.program is not program:
+            if cache:
+                # reduction_of re-checks the cache, builds outside the lock
+                # and only stores an analysis of the evaluator's own program.
+                reduced = self.reduction_of(query, program)
+            else:
                 reduced = reduce_program(program)
-                if cache and self._programs.get(query) is program:
-                    self._reduced[query] = reduced
-                    self._bound(self._reduced)
         if strategy == "reduced":
             return self._picked(reduced, "forced", record)
         if not reduced.acyclic:
@@ -335,7 +362,8 @@ class QueryEvaluator:
         # Warm state makes the prelude free: always run reduced on a hit.
         warm = prelude if prelude is not None and prelude.reduced is reduced else None
         if warm is None and cache:
-            cached_prelude = self._preludes.get(query)
+            with self._cache_lock:
+                cached_prelude = self._preludes.get(query)
             if cached_prelude is not None and cached_prelude.reduced is reduced:
                 warm = cached_prelude
         if warm is not None and warm.is_warm(relations):

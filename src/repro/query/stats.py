@@ -48,6 +48,7 @@ from dataclasses import dataclass
 from collections.abc import Iterable, Mapping
 from typing import TYPE_CHECKING
 
+from repro.concurrency import shared_state
 from repro.relational.relation import Relation
 
 if TYPE_CHECKING:  # import cycle: compiler imports nothing from here, but keep lazy
@@ -382,6 +383,11 @@ class CostModel:
         return cost
 
 
+@shared_state(
+    "_picks", "_reasons", "_estimates", "_estimated_cost",
+    "_actuals", "_prelude", "_by_query",
+    lock="_lock",
+)
 class EvaluationMetrics:
     """Thread-safe counters describing the evaluator's strategy machinery.
 

@@ -19,6 +19,8 @@ import threading
 from bisect import bisect_left
 from collections.abc import Callable, Iterable
 
+from repro.concurrency import shared_state
+
 __all__ = ["LatencyHistogram", "ServiceMetrics", "DEFAULT_BUCKET_BOUNDS_MS"]
 
 #: Default histogram boundaries (milliseconds), roughly exponential.
@@ -121,6 +123,7 @@ class LatencyHistogram:
         }
 
 
+@shared_state("_counters", "_histograms", "_gauge_sources", lock="_lock")
 class ServiceMetrics:
     """Thread-safe counters and histograms with a ``stats()`` snapshot."""
 

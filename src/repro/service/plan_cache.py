@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from collections.abc import Hashable
 from typing import Generic, TypeVar
 
+from repro.concurrency import shared_state
 from repro.core.engine import CitationPlan
 
 __all__ = ["CacheInfo", "GenerationalLRU", "PlanCache"]
@@ -53,6 +54,7 @@ class CacheInfo:
         }
 
 
+@shared_state("_entries", "_info", lock="_lock")
 class GenerationalLRU(Generic[V]):
     """A thread-safe LRU cache whose entries carry a validity token.
 

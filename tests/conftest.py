@@ -28,6 +28,12 @@ settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 from repro import CitationEngine, parse_query  # noqa: E402
 from repro.workloads import drugbank, gtopdb, reactome  # noqa: E402
 
+# Every engine the suite builds verifies its compiled plans and *raises* on
+# any I-code finding: the whole test suite doubles as the IR verifier's
+# corpus.  Production keeps the cheap default ("off"); see
+# ``CitationEngine.DEFAULT_VERIFY_PLANS``.
+CitationEngine.DEFAULT_VERIFY_PLANS = "strict"
+
 
 @pytest.fixture
 def paper_db():
