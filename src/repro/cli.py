@@ -98,6 +98,7 @@ def _load_engine(args: argparse.Namespace) -> CitationEngine:
         policy=policy,
         on_no_rewriting="fallback",
         strategy=getattr(args, "strategy", "auto"),
+        workers=getattr(args, "workers", None),
     )
 
 
@@ -159,7 +160,7 @@ def _make_service(args: argparse.Namespace) -> CitationService:
         engine,
         plan_cache_size=getattr(args, "plan_cache", 256),
         result_cache_size=getattr(args, "result_cache", 1024),
-        max_workers=getattr(args, "workers", 4),
+        max_workers=getattr(args, "workers", None),
         query_parser=parse_user_query,
         backends=backends,
         tracer=_make_tracer(args),
@@ -442,7 +443,13 @@ def build_parser() -> argparse.ArgumentParser:
             "--strategy", choices=STRATEGY_CHOICES, default="auto",
             help="join execution strategy: auto/cost price the semi-join "
             "reduction with the statistics-driven cost model (and always "
-            "reuse a warm prelude), program/reduced force one executor",
+            "reuse a warm prelude), program/reduced force one executor, "
+            "parallel forces sharded evaluation across the worker pool",
+        )
+        sub.add_argument(
+            "--workers", type=positive_int, default=None,
+            help="worker count for both the service request pool and "
+            "sharded parallel evaluation (default: bounded CPU-derived)",
         )
 
     def add_observability_options(sub: argparse.ArgumentParser) -> None:
@@ -495,7 +502,6 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_service_options(sub: argparse.ArgumentParser) -> None:
         sub.add_argument("--mode", choices=["formal", "economical"], default="economical")
-        sub.add_argument("--workers", type=positive_int, default=4, help="thread-pool size")
         sub.add_argument(
             "--plan-cache", type=positive_int, default=256,
             help="compiled-plan cache capacity",

@@ -1,4 +1,5 @@
-"""Shared-state declarations for the concurrency lint.
+"""Concurrency primitives: worker-pool sizing, fork-based fan-out, and the
+shared-state declarations for the concurrency lint.
 
 Classes whose instances are reached from more than one thread declare which
 of their mutable fields are shared and which lock guards them:
@@ -28,12 +29,96 @@ can declare shared state without an import cycle.
 
 from __future__ import annotations
 
+import os
+import pickle
+from collections.abc import Callable, Sequence
 from typing import TypeVar
 
 _T = TypeVar("_T", bound=type)
 
 #: Attribute set on decorated classes: ``{field_name: lock_attribute_name}``.
 REGISTRY_ATTRIBUTE = "__shared_state__"
+
+#: Upper bound on CPU-derived worker-pool defaults.  Worker threads here are
+#: GIL-bound python work, so past a handful of workers more threads only add
+#: contention; fork-based shard workers past this point thrash the page cache
+#: long before they saturate a bigger machine.
+MAX_DEFAULT_WORKERS = 8
+
+
+def default_worker_count(cap: int = MAX_DEFAULT_WORKERS) -> int:
+    """CPU-count-derived default size for worker pools, bounded to [2, cap].
+
+    Both the :class:`~repro.service.service.CitationService` request pool and
+    the evaluator's shard worker pool derive their default from this single
+    function, so their combined footprint scales with the machine instead of
+    the two pools oversubscribing each other with unrelated hard-coded
+    defaults.  The floor of 2 keeps batch deadlines meaningful (one straggler
+    must not serialise a whole batch) even on single-core containers.
+    """
+    cpus = os.cpu_count() or 1
+    return max(2, min(cap, cpus))
+
+
+def fork_map(fn: Callable, items: Sequence) -> list:
+    """Apply *fn* to every item in a forked child process each; collect results.
+
+    The process-level escape hatch from the GIL for CPU-bound fan-out:
+    children inherit the parent's heap copy-on-write, so arbitrarily large
+    read-only inputs (relations, indexes, prelude snapshots) are shared for
+    free, and only each call's **return value** travels back to the parent,
+    pickled over a pipe.  ``fn`` may be a closure — it is never pickled,
+    only called in the forked child.
+
+    Children run to completion independently; the parent drains each pipe
+    fully before reaping, in submission order (safe because children never
+    block on each other).  A child that raises has its exception ``repr``
+    re-raised in the parent as :class:`RuntimeError` after all children are
+    reaped.  POSIX only — callers gate on ``hasattr(os, "fork")``.
+    """
+    children: list[tuple[int, int]] = []
+    for item in items:
+        read_fd, write_fd = os.pipe()
+        pid = os.fork()
+        if pid == 0:  # child: compute, ship the pickle, and _exit — never
+            # return into the parent's stack (atexit/pytest hooks included).
+            os.close(read_fd)
+            status = 0
+            try:
+                payload = pickle.dumps((True, fn(item)), pickle.HIGHEST_PROTOCOL)
+            except BaseException as error:  # noqa: BLE001 - crossing a process boundary
+                status = 1
+                try:
+                    payload = pickle.dumps((False, repr(error)), pickle.HIGHEST_PROTOCOL)
+                except Exception:
+                    payload = b""
+            try:
+                with os.fdopen(write_fd, "wb") as sink:
+                    sink.write(payload)
+            except BaseException:
+                status = 1
+            finally:
+                os._exit(status)
+        os.close(write_fd)
+        children.append((pid, read_fd))
+
+    results: list = []
+    errors: list[str] = []
+    for pid, read_fd in children:
+        with os.fdopen(read_fd, "rb") as source:
+            payload = source.read()
+        _, exit_status = os.waitpid(pid, 0)
+        if not payload:
+            errors.append(f"shard worker {pid} died without a result (status {exit_status})")
+            continue
+        ok, value = pickle.loads(payload)
+        if ok:
+            results.append(value)
+        else:
+            errors.append(value)
+    if errors:
+        raise RuntimeError("; ".join(errors))
+    return results
 
 
 def shared_state(*fields: str, lock: str = "_lock"):

@@ -274,9 +274,16 @@ class CitationEngine:
         strategy: Strategy = "auto",
         analysis: AnalysisMode = "warn",
         verify_plans: VerifyMode | None = None,
+        workers: int | None = None,
+        parallel_backend: str = "thread",
     ) -> None:
         self.database = database
         self.strategy: Strategy = strategy
+        #: Shard worker count for parallel evaluation (None = CPU-derived
+        #: default) and the backend running the shards; threaded into the
+        #: persistent evaluator, see ``_execution_evaluator``.
+        self.workers = workers
+        self.parallel_backend = parallel_backend
         self.analysis: AnalysisMode = analysis
         if verify_plans is None:
             verify_plans = type(self).DEFAULT_VERIFY_PLANS
@@ -373,10 +380,12 @@ class CitationEngine:
         plans held elsewhere are invalidated too.
 
         Besides the views, citation records and view indexes, this clears the
-        statistics catalog and the evaluator's compiled-program, reduction
-        and warm-prelude caches — warmed prelude state attached to plans held
-        elsewhere is dropped lazily the next time the engine executes them
-        (their recorded epoch no longer matches).
+        statistics catalog and the evaluator's compiled-program, reduction,
+        warm-prelude and shard-partition caches — warmed prelude state
+        attached to plans held elsewhere is dropped lazily the next time the
+        engine executes them (their recorded epoch no longer matches).  The
+        evaluator's shard worker pool survives on purpose: it holds threads,
+        not data, so there is nothing data-derived in it to invalidate.
         """
         self._view_relations = None
         self._record_cache.clear()
@@ -826,6 +835,9 @@ class CitationEngine:
                 statistics=self._statistics,
                 cost_model=self._cost_model,
                 metrics=self.evaluation_metrics,
+                workers=self.workers,
+                parallel_backend=self.parallel_backend,  # type: ignore[arg-type]
+                verify_partitions=self.verify_plans == "strict",
             )
             self._evaluator = evaluator
         else:

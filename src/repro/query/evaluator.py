@@ -31,7 +31,25 @@ The evaluator has a **strategy knob** for how a program is executed:
   dangling-tuple savings beat its linear passes; run whatever it picks;
 * ``"auto"`` (the default) — same as ``"cost"``, unless the evaluator was
   constructed with an explicit ``reduction_threshold`` (deprecated), in
-  which case the legacy total-cardinality gate applies instead.
+  which case the legacy total-cardinality gate applies instead;
+* ``"parallel"`` — resolve the executor like ``"auto"``, then force
+  **sharded execution**: the driving step's resolved row source is
+  partitioned by join-key hash into one slice per worker
+  (:func:`~repro.query.compiler.partition_driving_rows`), the identical
+  compiled program runs once per shard with the ``driving_rows`` override,
+  and the per-shard frame sets are merged (exact — each frame descends from
+  exactly one driving row).  The semi-join prelude is prepared **once** in
+  the calling thread and broadcast read-only to every shard.
+
+Under ``"auto"``/``"cost"`` the evaluator also *considers* sharding after
+resolving the executor: :meth:`~repro.query.stats.CostModel.parallel_estimate`
+prices the divided join work against per-worker setup and the partition
+pass, so small inputs stay serial (shard setup is not free) and only
+genuinely scan-dominated evaluations fan out.  Workers default to a bounded
+CPU-derived count (:func:`repro.concurrency.default_worker_count`); the
+backend is a shared thread pool by default, or forked child processes
+(``parallel_backend="fork"``, POSIX) for CPU-bound joins that the GIL would
+otherwise serialise.
 
 Under ``"auto"``/``"cost"`` a query whose warm
 :class:`~repro.query.compiler.PreludeCache` is current always runs reduced —
@@ -45,13 +63,15 @@ suites (``tests/property/test_strategy_equivalence.py`` and
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 import warnings
 from collections.abc import Iterator, Mapping
+from concurrent.futures import ThreadPoolExecutor
 from typing import Literal
 
-from repro.concurrency import shared_state
+from repro.concurrency import default_worker_count, fork_map, shared_state
 from repro.errors import QueryError, UnknownRelationError
 from repro.observability import NULL_SPAN, current_fingerprint, get_tracer
 from repro.query.ast import ConjunctiveQuery, Constant, Term, Variable
@@ -61,9 +81,17 @@ from repro.query.compiler import (
     PreludeCache,
     ReducedProgram,
     compile_query,
+    partition_driving_rows,
     reduce_program,
+    shard_key_positions,
 )
-from repro.query.stats import CostEstimate, CostModel, EvaluationMetrics, StatisticsCatalog
+from repro.query.stats import (
+    CostEstimate,
+    CostModel,
+    EvaluationMetrics,
+    ParallelEstimate,
+    StatisticsCatalog,
+)
 from repro.relational.database import Database
 from repro.relational.index import IndexManager
 from repro.relational.relation import Relation
@@ -71,9 +99,13 @@ from repro.relational.schema import Attribute, RelationSchema
 
 Binding = dict[Variable, object]
 
-Strategy = Literal["auto", "program", "reduced", "cost"]
+Strategy = Literal["auto", "program", "reduced", "cost", "parallel"]
 
-STRATEGIES: tuple[Strategy, ...] = ("auto", "program", "reduced", "cost")
+STRATEGIES: tuple[Strategy, ...] = ("auto", "program", "reduced", "cost", "parallel")
+
+ParallelBackend = Literal["thread", "fork"]
+
+PARALLEL_BACKENDS: tuple[ParallelBackend, ...] = ("thread", "fork")
 
 #: The legacy ``strategy="auto"`` gate: the smallest total body-extension
 #: cardinality for which the reduction prelude was presumed worth its linear
@@ -85,7 +117,8 @@ STRATEGIES: tuple[Strategy, ...] = ("auto", "program", "reduced", "cost")
 DEFAULT_REDUCTION_THRESHOLD = 4096
 
 
-@shared_state("_programs", "_reduced", "_preludes", lock="_cache_lock")
+@shared_state("_programs", "_reduced", "_preludes", "_shard_parts", lock="_cache_lock")
+@shared_state("_shard_pool", lock="_pool_lock")
 class QueryEvaluator:
     """Evaluates conjunctive queries against a :class:`Database`.
 
@@ -124,11 +157,21 @@ class QueryEvaluator:
         cost_model: CostModel | None = None,
         metrics: EvaluationMetrics | None = None,
         max_cached_queries: int = DEFAULT_MAX_CACHED_QUERIES,
+        workers: int | None = None,
+        parallel_backend: ParallelBackend = "thread",
+        verify_partitions: bool = False,
     ) -> None:
         if strategy not in STRATEGIES:
             raise ValueError(
                 f"unknown evaluation strategy {strategy!r}; expected one of {STRATEGIES}"
             )
+        if parallel_backend not in PARALLEL_BACKENDS:
+            raise ValueError(
+                f"unknown parallel backend {parallel_backend!r}; "
+                f"expected one of {PARALLEL_BACKENDS}"
+            )
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         if reduction_threshold is not None:
             warnings.warn(
                 "reduction_threshold is deprecated: strategy='auto' now consults "
@@ -152,8 +195,22 @@ class QueryEvaluator:
         self.cost_model = cost_model if cost_model is not None else CostModel(self.statistics)
         self.metrics = metrics
         self.max_cached_queries = max_cached_queries
+        #: Shard worker count.  Defaults to the same bounded CPU-derived
+        #: count the service request pool uses, so the two pools scale
+        #: together instead of oversubscribing each other.
+        self.workers = workers if workers is not None else default_worker_count()
+        # "fork" needs os.fork (POSIX); degrade to the thread backend rather
+        # than failing at evaluation time on platforms without it.
+        if parallel_backend == "fork" and not hasattr(os, "fork"):
+            parallel_backend = "thread"
+        self.parallel_backend: ParallelBackend = parallel_backend
+        #: When set, every freshly computed shard partition is checked against
+        #: the I008 rule (exact multiset cover, hash-correct routing) and a
+        #: violation raises :class:`~repro.errors.PlanVerificationError` — the
+        #: runtime leg of ``verify_plans="strict"`` for sharded execution.
+        self.verify_partitions = verify_partitions
         # The engine shares one evaluator across cite_many's thread pool, so
-        # the three query-keyed caches are guarded: the FIFO eviction below
+        # the query-keyed caches are guarded: the FIFO eviction below
         # (iterate + pop) and the identity-pairing stores race destructively
         # without it.  RLock because the store helpers call each other.
         # Compilation/reduction runs outside the lock (pure; duplicate work
@@ -162,6 +219,17 @@ class QueryEvaluator:
         self._programs: dict[ConjunctiveQuery, JoinProgram] = {}
         self._reduced: dict[ConjunctiveQuery, ReducedProgram] = {}
         self._preludes: dict[ConjunctiveQuery, PreludeCache] = {}
+        # query -> (source token, version, key positions, shard count, parts):
+        # the cached hash-partition of the driving row source, stamped by the
+        # identity of what produced the rows (the prepared plan for reduced
+        # runs, the driving relation + version for plain ones), so warm
+        # sharded traffic skips the per-row partition pass entirely.
+        self._shard_parts: dict[ConjunctiveQuery, tuple] = {}
+        # The shard pool is created lazily (serial evaluators never pay for
+        # it) and holds no query- or data-derived state — invalidate_caches
+        # deliberately leaves it alone.
+        self._pool_lock = threading.Lock()
+        self._shard_pool: ThreadPoolExecutor | None = None
 
     def _bound_locked(self, cache: dict) -> None:
         """Evict oldest entries beyond :attr:`max_cached_queries` (FIFO).
@@ -264,25 +332,57 @@ class QueryEvaluator:
                 self._bound_locked(self._programs)
         return program
 
+    # -- worker pool ---------------------------------------------------------
+    def _worker_pool(self) -> ThreadPoolExecutor:
+        """The lazily created shard pool (shared across evaluations)."""
+        with self._pool_lock:
+            if self._shard_pool is None:
+                self._shard_pool = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix="repro-shard"
+                )
+            return self._shard_pool
+
+    def close(self) -> None:
+        """Shut down the shard worker pool (idempotent).
+
+        Only the pool dies: the evaluator itself stays usable — serial
+        evaluation needs no pool, and the next sharded evaluation simply
+        recreates one.
+        """
+        with self._pool_lock:
+            pool, self._shard_pool = self._shard_pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
     # -- cache control -------------------------------------------------------
     def invalidate_caches(self) -> None:
-        """Drop compiled programs, reductions, warm preludes and statistics.
+        """Drop compiled programs, reductions, warm preludes, cached shard
+        partitions and statistics.
 
         Programs and reductions are pure description and never go stale —
         this exists for forced invalidation
         (:meth:`~repro.core.engine.CitationEngine.invalidate_caches`) and for
-        benchmarks that want a guaranteed cold run.
+        benchmarks that want a guaranteed cold run.  The shard worker pool is
+        deliberately **not** touched: it holds threads, not data, so there is
+        nothing to go stale.
         """
         with self._cache_lock:
             self._programs.clear()
             self._reduced.clear()
             self._preludes.clear()
+            self._shard_parts.clear()
         self.statistics.invalidate()
 
     def invalidate_preludes(self) -> None:
-        """Drop only the warm-prelude state (next evaluations run cold)."""
+        """Drop only the warm-prelude state (next evaluations run cold).
+
+        Cached shard partitions go with it: a reduced run's partition is
+        stamped by the prelude snapshot's prepared plan, which this
+        invalidates.
+        """
         with self._cache_lock:
             self._preludes.clear()
+            self._shard_parts.clear()
 
     # -- strategy selection --------------------------------------------------
     def select_strategy(
@@ -327,6 +427,10 @@ class QueryEvaluator:
             raise ValueError(
                 f"unknown evaluation strategy {strategy!r}; expected one of {STRATEGIES}"
             )
+        if strategy == "parallel":
+            # "parallel" forces *sharding* (see _shard_decision), not a
+            # particular executor: resolve program-vs-reduced like "auto".
+            strategy = "auto"
         if strategy == "program":
             return self._picked(program, "forced", record)
         legacy = strategy == "auto" and self.reduction_threshold is not None
@@ -387,6 +491,265 @@ class QueryEvaluator:
             self.metrics.record_pick(kind, reason)
         return executor, reason, estimate
 
+    # -- shard decision --------------------------------------------------------
+    def _shard_decision(
+        self,
+        query: ConjunctiveQuery,
+        relations: Mapping[str, Relation],
+        program: JoinProgram,
+        executor: JoinProgram | ReducedProgram,
+        strategy: Strategy | None,
+        reason: str,
+        estimate: CostEstimate | None,
+        cache: bool = True,
+        record: bool = True,
+    ) -> tuple[int, str, ParallelEstimate | None]:
+        """Decide how many shards this evaluation runs on (1 = serial).
+
+        Runs *after* executor resolution: ``"parallel"`` forces one shard per
+        worker, ``"program"``/``"reduced"`` stay serial (they are the
+        differential baselines the property suite compares sharded runs
+        against), and ``"auto"``/``"cost"`` ask
+        :meth:`CostModel.parallel_estimate` whether dividing the serial cost
+        across workers beats the shard setup + partition overhead — below
+        that crossover ``auto`` keeps picking serial.
+        """
+        strategy = strategy or self.strategy
+        if self.workers < 2:
+            return self._shards_picked(1, "no_workers", None, record)
+        if len(program.steps) < 2:
+            # A single-atom program is one scan: sharding it ships every row
+            # through a worker boundary for zero join work saved.
+            return self._shards_picked(1, "single_atom", None, record)
+        if strategy in ("program", "reduced"):
+            return self._shards_picked(1, "forced_serial", None, record)
+        if strategy == "parallel":
+            return self._shards_picked(self.workers, "forced", None, record)
+        if reason == "threshold":
+            # Deprecated legacy cardinality gate: keep its exact old
+            # behaviour, which never sharded.
+            return self._shards_picked(1, "legacy_threshold", None, record)
+        if estimate is None:
+            # The executor resolver skipped the serial estimate (warm prelude,
+            # cyclic, forced); price it now — statistics are version-cached,
+            # so this costs a few catalog lookups.
+            reduced = (
+                executor
+                if isinstance(executor, ReducedProgram)
+                else self.reduction_of(query, program)
+                if cache
+                else reduce_program(program)
+            )
+            estimate = self.cost_model.estimate(reduced, relations)
+        if isinstance(executor, ReducedProgram):
+            serial_cost = estimate.reduced_cost
+            if reason == "warm_prelude":
+                # A warm prelude is free; only the join itself divides.
+                serial_cost = max(0.0, serial_cost - estimate.prelude_cost)
+        else:
+            serial_cost = estimate.program_cost
+        driving = len(relations[program.steps[0].predicate])
+        parallel = self.cost_model.parallel_estimate(serial_cost, driving, self.workers)
+        shards = self.workers if parallel.prefers_parallel else 1
+        return self._shards_picked(shards, "cost_model", parallel, record)
+
+    def _shards_picked(
+        self,
+        shards: int,
+        reason: str,
+        estimate: ParallelEstimate | None,
+        record: bool = True,
+    ) -> tuple[int, str, ParallelEstimate | None]:
+        if record and self.metrics is not None:
+            self.metrics.record_shards(shards, reason)
+        return shards, reason, estimate
+
+    # -- sharded execution -----------------------------------------------------
+    def _partition_for(
+        self,
+        query: ConjunctiveQuery,
+        program: JoinProgram,
+        token: object,
+        version: int | None,
+        resolve_rows,
+        key_positions: tuple[int, ...],
+        shards: int,
+        cache: bool,
+    ) -> list[list[tuple]]:
+        """The cached hash-partition of the driving rows (recomputed on drift).
+
+        *token*/*version* stamp what produced the rows: the prepared plan
+        object for reduced runs (replaced whenever any participating relation
+        drifts), the driving relation and its version for plain ones.  On a
+        stamp hit the per-row partition pass is skipped entirely — the warm
+        sharded path then costs only the fan-out itself.  *resolve_rows* is
+        called only on a miss; under :attr:`verify_partitions` every fresh
+        partition must pass the I008 verifier before it is cached or run.
+        """
+        if cache:
+            with self._cache_lock:
+                entry = self._shard_parts.get(query)
+            if entry is not None:
+                held_token, held_version, held_positions, held_shards, parts = entry
+                if (
+                    held_token is token
+                    and held_version == version
+                    and held_positions == key_positions
+                    and held_shards == shards
+                ):
+                    return parts
+        rows = resolve_rows()
+        parts = partition_driving_rows(rows, key_positions, shards)
+        if self.verify_partitions:
+            # Lazy import: repro.analysis pulls in rule modules that import
+            # the query layer, so a module-level import here would cycle.
+            from repro.analysis.ir import verify_shard_partition
+            from repro.errors import PlanVerificationError
+
+            report = verify_shard_partition(program, key_positions, parts, rows)
+            if report.has_errors:
+                raise PlanVerificationError(
+                    f"shard partition for {query.name!r} failed verification: "
+                    + "; ".join(str(d) for d in report.errors),
+                    report.errors,
+                )
+        if cache:
+            with self._cache_lock:
+                self._shard_parts[query] = (token, version, key_positions, shards, parts)
+                self._bound_locked(self._shard_parts)
+        return parts
+
+    def _run_sharded(
+        self,
+        executor: JoinProgram | ReducedProgram,
+        relations: Mapping[str, Relation],
+        query: ConjunctiveQuery,
+        prelude: PreludeCache | None,
+        shards: int,
+        cache: bool = True,
+        profile: JoinProfile | None = None,
+        span=NULL_SPAN,
+    ) -> list[tuple]:
+        """Run one evaluation sharded; return the merged frame list.
+
+        The prelude (for reduced executors) runs exactly once here, in the
+        calling thread; workers receive the prepared plan read-only plus
+        their disjoint slice of the driving rows.  Per-shard timings and row
+        counts land on *span* as ``shard`` children; per-shard profiles are
+        merged into *profile* so the evaluation span's per-step counters
+        equal the serial run's.
+        """
+        program = executor.program if isinstance(executor, ReducedProgram) else executor
+        key_positions = shard_key_positions(program)
+        plan: list[tuple] | None = None
+        if isinstance(executor, ReducedProgram):
+            if prelude is None or prelude.reduced is not executor:
+                prelude = self.prelude_for(query, executor) if cache else None
+            plan = executor.prepared_plan(
+                relations, self.index_manager, self.use_indexes, prelude, profile
+            )
+            if plan is None:  # prelude proved emptiness; nothing to fan out
+                return []
+            parts = self._partition_for(
+                query, program, plan, None,
+                lambda: executor.driving_rows_from_plan(plan),
+                key_positions, shards, cache,
+            )
+        else:
+            driving_relation = relations[program.steps[0].predicate]
+            parts = self._partition_for(
+                query, program, driving_relation, driving_relation.version,
+                lambda: program.driving_rows(
+                    relations, self.index_manager, self.use_indexes
+                ),
+                key_positions, shards, cache,
+            )
+            if self.use_indexes and self.index_manager is not None:
+                # Resolve downstream probe indexes once in the parent: thread
+                # workers then share them contention-free, fork workers
+                # inherit them warm copy-on-write instead of each rebuilding.
+                for step in program.steps[1:]:
+                    if step.key_positions:
+                        self.index_manager.index_for(
+                            step.predicate,
+                            relations[step.predicate],
+                            step.key_positions,
+                        )
+
+        profiled = profile is not None
+
+        def run_shard(part: list[tuple]):
+            started = time.perf_counter()
+            shard_profile = JoinProfile(len(program.steps)) if profiled else None
+            if isinstance(executor, ReducedProgram):
+                if shard_profile is not None:
+                    frames = list(executor._frames_profiled(plan, shard_profile, part))
+                else:
+                    frames = list(executor._frames(plan, part))
+            else:
+                frames = list(
+                    executor.run_frames(
+                        relations,
+                        self.index_manager,
+                        self.use_indexes,
+                        profile=shard_profile,
+                        driving_rows=part,
+                    )
+                )
+            return frames, time.perf_counter() - started, shard_profile
+
+        tasks = [part for part in parts if part]
+        if not tasks:
+            return []
+        if len(tasks) == 1:
+            outcomes = [run_shard(tasks[0])]
+        elif self.parallel_backend == "fork":
+            outcomes = fork_map(run_shard, tasks)
+        else:
+            pool = self._worker_pool()
+            outcomes = [
+                future.result()
+                for future in [pool.submit(run_shard, part) for part in tasks]
+            ]
+
+        frames: list[tuple] = []
+        for index, (shard_frames, elapsed, shard_profile) in enumerate(outcomes):
+            frames.extend(shard_frames)
+            if profiled:
+                span.child(
+                    "shard",
+                    index=index,
+                    rows=len(tasks[index]),
+                    frames=len(shard_frames),
+                    elapsed_ms=round(elapsed * 1000.0, 3),
+                )
+                self._merge_shard_profile(profile, shard_profile, executor)
+        if profiled:
+            span.set_attribute("shards", len(tasks))
+        return frames
+
+    @staticmethod
+    def _merge_shard_profile(
+        profile: JoinProfile,
+        shard_profile: JoinProfile,
+        executor: JoinProgram | ReducedProgram,
+    ) -> None:
+        """Fold one shard's counters into the evaluation's profile.
+
+        Scanned rows, surviving frames and results are additive across the
+        disjoint shards.  The per-step input sizes are identical in every
+        shard (full extensions for a plain program), so for plain executors
+        they are copied from the shard; reduced executors had them filled
+        centrally by ``prepared_plan``.
+        """
+        for position in range(profile.step_count):
+            profile.rows_scanned[position] += shard_profile.rows_scanned[position]
+            profile.frames_out[position] += shard_profile.frames_out[position]
+        profile.results += shard_profile.results
+        if not isinstance(executor, ReducedProgram):
+            profile.relation_rows = list(shard_profile.relation_rows)
+            profile.rows_in = list(shard_profile.rows_in)
+
     # -- core join ------------------------------------------------------------
     def _frames_for(
         self,
@@ -444,6 +807,15 @@ class QueryEvaluator:
         return span, JoinProfile(len(steps))
 
     @staticmethod
+    def _annotate_shard_decision(
+        span, shard_reason: str, parallel: ParallelEstimate | None
+    ) -> None:
+        """Record why this evaluation sharded (or stayed serial) on its span."""
+        span.set_attribute("shard_decision", shard_reason)
+        if parallel is not None:
+            span.set_attribute("parallel_estimate", parallel.as_dict())
+
+    @staticmethod
     def _annotate_span(
         span,
         executor: JoinProgram | ReducedProgram,
@@ -488,11 +860,20 @@ class QueryEvaluator:
         relations = self._resolve_relations(query)
         if program is None:
             program = self._program_for(query, relations)
-        executor, _reason, _estimate = self._executor(
+        executor, reason, estimate = self._executor(
             query, relations, program, reduced, strategy, prelude=prelude
         )
+        shards, _shard_reason, _parallel = self._shard_decision(
+            query, relations, program, executor, strategy, reason, estimate
+        )
         variables = program.variables
-        for frame in self._frames_for(executor, relations, query, prelude):
+        if shards > 1:
+            frames: Iterator[tuple] | list[tuple] = self._run_sharded(
+                executor, relations, query, prelude, shards
+            )
+        else:
+            frames = self._frames_for(executor, relations, query, prelude)
+        for frame in frames:
             yield dict(zip(variables, frame))
 
     # -- public API -------------------------------------------------------------
@@ -532,6 +913,10 @@ class QueryEvaluator:
         executor, reason, estimate = self._executor(
             query, relations, program, None, strategy, cache=cache_program
         )
+        shards, shard_reason, parallel = self._shard_decision(
+            query, relations, program, executor, strategy, reason, estimate,
+            cache=cache_program,
+        )
         kind = "reduced" if isinstance(executor, ReducedProgram) else "program"
         span, profile = self._evaluation_span(
             query, executor, kind, reason, strategy, estimate
@@ -539,14 +924,25 @@ class QueryEvaluator:
         timed = self.metrics is not None or profile is not None
         output_row = program.output_row
         with span:
+            if profile is not None:
+                self._annotate_shard_decision(span, shard_reason, parallel)
             started = time.perf_counter() if timed else 0.0
-            answers = {
-                output_row(frame)
-                for frame in self._frames_for(
-                    executor, relations, query, None, cache=cache_program,
-                    profile=profile,
-                )
-            }
+            if shards > 1:
+                answers = {
+                    output_row(frame)
+                    for frame in self._run_sharded(
+                        executor, relations, query, None, shards,
+                        cache=cache_program, profile=profile, span=span,
+                    )
+                }
+            else:
+                answers = {
+                    output_row(frame)
+                    for frame in self._frames_for(
+                        executor, relations, query, None, cache=cache_program,
+                        profile=profile,
+                    )
+                }
             elapsed = time.perf_counter() - started if timed else 0.0
             if profile is not None:
                 span.set_attribute("answers", len(answers))
@@ -573,6 +969,9 @@ class QueryEvaluator:
         executor, reason, estimate = self._executor(
             query, relations, program, reduced, strategy, prelude=prelude
         )
+        shards, shard_reason, parallel = self._shard_decision(
+            query, relations, program, executor, strategy, reason, estimate
+        )
         kind = "reduced" if isinstance(executor, ReducedProgram) else "program"
         span, profile = self._evaluation_span(
             query, executor, kind, reason, strategy, estimate
@@ -580,11 +979,20 @@ class QueryEvaluator:
         timed = self.metrics is not None or profile is not None
         variables = program.variables
         with span:
+            if profile is not None:
+                self._annotate_shard_decision(span, shard_reason, parallel)
             started = time.perf_counter() if timed else 0.0
+            if shards > 1:
+                frames: Iterator[tuple] | list[tuple] = self._run_sharded(
+                    executor, relations, query, prelude, shards,
+                    profile=profile, span=span,
+                )
+            else:
+                frames = self._frames_for(
+                    executor, relations, query, prelude, profile=profile
+                )
             out: dict[tuple, list[Binding]] = {}
-            for frame in self._frames_for(
-                executor, relations, query, prelude, profile=profile
-            ):
+            for frame in frames:
                 out.setdefault(program.output_row(frame), []).append(
                     dict(zip(variables, frame))
                 )

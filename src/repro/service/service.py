@@ -39,6 +39,7 @@ discipline of an in-memory store applies.
 
 from __future__ import annotations
 
+import contextlib
 import contextvars
 import threading
 import time
@@ -53,6 +54,7 @@ from repro.api.backend import BackendRegistry, CitationBackend
 from repro.api.backends.relational import RelationalBackend
 from repro.api.backends.union import UnionBackend
 from repro.api.envelope import CitationRequest, CitationResponse
+from repro.concurrency import default_worker_count
 from repro.core.engine import CitationEngine, CitationPlan, CitedResult, Mode
 from repro.errors import CitationError, StaticAnalysisError
 from repro.observability import (
@@ -107,7 +109,7 @@ class CitationService:
         engine: CitationEngine | None = None,
         plan_cache_size: int = 256,
         result_cache_size: int = 1024,
-        max_workers: int = 4,
+        max_workers: int | None = None,
         metrics: ServiceMetrics | None = None,
         cache_results: bool = True,
         query_parser: Callable[[ConjunctiveQuery | str], ConjunctiveQuery] | None = None,
@@ -129,10 +131,18 @@ class CitationService:
             maxsize=result_cache_size
         )
         self.cache_results = cache_results
-        self.max_workers = max_workers
+        # CPU-derived bounded default, shared with the evaluator's shard
+        # pool (repro.concurrency.default_worker_count) so the two pools
+        # scale together instead of oversubscribing each other.
+        self.max_workers = (
+            max_workers if max_workers is not None else default_worker_count()
+        )
+        if self.max_workers < 1:
+            raise CitationError(f"max_workers must be >= 1, got {self.max_workers}")
         self._compile_lock = threading.Lock()
         self._executor: ThreadPoolExecutor | None = None
         self._executor_lock = threading.Lock()
+        self._closed = False
         self.registry = BackendRegistry()
         if engine is not None:
             # Pluggable request parsing (the CLI injects a Datalog+SQL
@@ -252,11 +262,20 @@ class CitationService:
         """Serve one citation request through routing and the caches.
 
         Never raises: errors (routing, parsing, compilation, execution) ride
-        in the response.  Call :meth:`CitationResponse.unwrap` to re-raise.
+        in the response — including use after :meth:`close`, which rides as a
+        :class:`~repro.errors.CitationError`.  Call
+        :meth:`CitationResponse.unwrap` to re-raise.
         """
         started = time.perf_counter()
         self.metrics.increment("requests")
         request = request.with_id()
+        if self._closed:
+            self.metrics.increment("errors")
+            return CitationResponse(
+                request=request,
+                error=CitationError(self._CLOSED_MESSAGE),
+                elapsed=time.perf_counter() - started,
+            )
         try:
             backend = self.registry.route(request)
         except Exception as error:
@@ -296,9 +315,10 @@ class CitationService:
         still populate the caches.  The response list is positionally aligned
         with *requests*.
         """
+        self._ensure_open()
         self.metrics.increment("batch_requests")
         if max_workers is not None and max_workers != self.max_workers:
-            with ThreadPoolExecutor(max_workers=max_workers) as executor:
+            with self._batch_pool(max_workers) as executor:
                 return self._submit_deduplicated(requests, executor, timeout)
         return self._submit_deduplicated(requests, self._pool(), timeout)
 
@@ -371,6 +391,7 @@ class CitationService:
         rebound to their own query text.  Errors propagate — use
         :meth:`cite_many` for error isolation.
         """
+        self._ensure_open()
         self.metrics.increment("batch_requests")
         requests = [self._cq_request(query, mode) for query in queries]
         responses = self._submit_deduplicated(requests, executor=None, timeout=None)
@@ -391,10 +412,11 @@ class CitationService:
         carrying the error.  The response list is positionally aligned with
         *queries*.
         """
+        self._ensure_open()
         self.metrics.increment("batch_requests")
         requests = [self._cq_request(query, mode) for query in queries]
         if max_workers is not None and max_workers != self.max_workers:
-            with ThreadPoolExecutor(max_workers=max_workers) as executor:
+            with self._batch_pool(max_workers) as executor:
                 responses = self._submit_deduplicated(requests, executor, timeout)
         else:
             responses = self._submit_deduplicated(requests, self._pool(), timeout)
@@ -421,6 +443,7 @@ class CitationService:
             snapshot["tracing"] = tracer.stats()
             if tracer.slow_log is not None:
                 snapshot["slow_queries"] = tracer.slow_log.snapshot()
+        snapshot["workers"] = self.max_workers
         if self.engine is not None:
             generation, epoch = self.engine.plan_token()
             snapshot["engine"] = {
@@ -430,18 +453,42 @@ class CitationService:
                 "strategy": self.engine.strategy,
                 "analysis": self.engine.analysis,
                 "citation_views": len(self.engine.citation_views),
+                "workers": self.engine.workers
+                if self.engine.workers is not None
+                else default_worker_count(),
+                "parallel_backend": self.engine.parallel_backend,
             }
         if self.startup_lint_report is not None:
             snapshot["startup_lint"] = self.startup_lint_report.as_dict()
         return snapshot
 
+    #: The post-close contract in one place: closing detaches the mutation
+    #: listener, so a resurrected pool would serve requests whose writes no
+    #: longer count into ``mutations_observed`` — silently drifting the very
+    #: metric the race suite reconciles.  Refusing loudly is the contract.
+    _CLOSED_MESSAGE = (
+        "this CitationService is closed: its worker pool was shut down and its "
+        "mutation listener detached, so serving again would silently drift "
+        "mutations_observed — construct a new service instead"
+    )
+
     def close(self) -> None:
-        """Shut down the worker pool and detach from the database."""
+        """Shut down the worker pool and detach from the database.
+
+        Idempotent, and **terminal**: a closed service refuses further
+        serving (batch entry points raise :class:`CitationError`;
+        :meth:`submit` returns it in the response) instead of lazily
+        recreating the pool with the mutation listener gone.  The shutdown
+        waits for in-flight work outside the lock, so a slow straggler
+        cannot deadlock a concurrent caller probing :meth:`_pool`.
+        """
         with self._executor_lock:
-            if self._executor is not None:
-                self._executor.shutdown(wait=True)
-                self._executor = None
-        if self.engine is not None:
+            already_closed = self._closed
+            self._closed = True
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+        if not already_closed and self.engine is not None:
             self.engine.database.remove_mutation_listener(self._count_mutation)
 
     def __enter__(self) -> "CitationService":
@@ -451,14 +498,42 @@ class CitationService:
         self.close()
 
     # -- internals -------------------------------------------------------------
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise CitationError(self._CLOSED_MESSAGE)
+
     def _pool(self) -> ThreadPoolExecutor:
         with self._executor_lock:
+            # Checked under the same lock close() flips the flag with, so a
+            # pool can never be resurrected after close() swapped it out.
+            self._ensure_open()
             if self._executor is None:
                 self._executor = ThreadPoolExecutor(
                     max_workers=self.max_workers,
                     thread_name_prefix="citation-service",
                 )
             return self._executor
+
+    @contextlib.contextmanager
+    def _batch_pool(self, max_workers: int):
+        """An ad-hoc pool for one batch with an explicit worker override.
+
+        Shut down with ``wait=False``: the batch *timeout* is a **response
+        deadline**, so the call must return the moment every response is
+        decided.  A ``with ThreadPoolExecutor(...)`` block would block on
+        exit until timed-out stragglers finish — with ``timeout=2`` and one
+        hung backend the batch would not return for the straggler's full
+        runtime.  Letting stragglers finish in the background is safe: a
+        straggler only writes through to the token-stamped result cache,
+        exactly like the persistent pool's documented behaviour.
+        """
+        executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="citation-batch"
+        )
+        try:
+            yield executor
+        finally:
+            executor.shutdown(wait=False)
 
     def _cache_key(
         self, backend: CitationBackend, key: str, request: CitationRequest

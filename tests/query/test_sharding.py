@@ -1,0 +1,357 @@
+"""Tests for sharded parallel evaluation: planning, partitioning, execution.
+
+Covers the shard planner (:func:`shard_key_positions`,
+:func:`partition_driving_rows`, :meth:`JoinProgram.driving_rows`), the I008
+partition verifier, the ``"parallel"`` strategy on both backends, the cost
+model's parallel crossover (``auto`` stays serial on small inputs), the
+shard-partition cache, the worker pool lifecycle and the concurrency-lint
+registration of the new shared state.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis.ir import verify_shard_partition
+from repro.concurrency import MAX_DEFAULT_WORKERS, declared_shared_state, default_worker_count
+from repro.core.engine import CitationEngine
+from repro.query.compiler import (
+    compile_query,
+    partition_driving_rows,
+    shard_key_positions,
+)
+from repro.query.evaluator import QueryEvaluator
+from repro.query.parser import parse_query
+from repro.query.stats import CostModel, EvaluationMetrics, StatisticsCatalog
+from repro.relational.index import IndexManager
+from repro.workloads import gtopdb
+
+JOIN = "Q(FName, Text) :- Family(FID, FName, D), FamilyIntro(FID, Text)"
+CARTESIAN = "Q(A, B) :- Family(A, X, Y), FamilyIntro(B, T)"
+THREE_WAY = (
+    "Q(FName, PName, Text) :- Family(FID, FName, D), Committee(FID, PName), "
+    "FamilyIntro(FID, Text)"
+)
+
+
+@pytest.fixture
+def db():
+    return gtopdb.paper_instance()
+
+
+def _program(db, text):
+    query = parse_query(text)
+    relations = {atom.predicate: db.relation(atom.predicate) for atom in query.body}
+    return query, compile_query(query, relations), relations
+
+
+class TestShardPlanning:
+    def test_key_positions_follow_downstream_probes(self, db):
+        """The partition hashes the join key itself, so co-joining rows land
+        in the same shard and downstream probes stay local."""
+        _query, program, _relations = _program(db, JOIN)
+        driving = program.steps[0]
+        consumed = {
+            slot for step in program.steps[1:] for slot in step.key_slots
+            if slot is not None
+        }
+        positions = shard_key_positions(program)
+        assert positions
+        for position in positions:
+            assert dict(driving.writes)[position] in consumed
+
+    def test_cartesian_falls_back_to_all_writes(self, db):
+        _query, program, _relations = _program(db, CARTESIAN)
+        assert shard_key_positions(program) == tuple(
+            p for p, _slot in program.steps[0].writes
+        )
+
+    def test_partition_is_disjoint_complete_and_routed(self, db):
+        _query, program, relations = _program(db, JOIN)
+        rows = list(relations["Family"])
+        positions = shard_key_positions(program)
+        parts = partition_driving_rows(rows, positions, 3)
+        assert len(parts) == 3
+        flattened = [row for part in parts for row in part]
+        assert sorted(flattened) == sorted(rows)
+        for index, part in enumerate(parts):
+            for row in part:
+                assert hash(tuple(row[p] for p in positions)) % 3 == index
+
+    def test_partition_rejects_bad_shard_count(self):
+        with pytest.raises(ValueError):
+            partition_driving_rows([], (0,), 0)
+
+    def test_driving_rows_match_the_relation(self, db):
+        _query, program, relations = _program(db, JOIN)
+        assert sorted(program.driving_rows(relations)) == sorted(relations["Family"])
+
+    def test_driving_rows_respect_constant_seeds(self, db):
+        query, program, relations = _program(db, "Q(FName) :- Family(11, FName, D)")
+        rows = program.driving_rows(relations, IndexManager(db), True)
+        assert rows == [row for row in relations["Family"] if row[0] == 11]
+
+
+class TestPartitionVerifier:
+    def _fixture(self, db, shards=3):
+        _query, program, relations = _program(db, JOIN)
+        rows = list(relations["Family"])
+        positions = shard_key_positions(program)
+        parts = partition_driving_rows(rows, positions, shards)
+        return program, positions, parts, rows
+
+    def test_clean_partition_verifies(self, db):
+        program, positions, parts, rows = self._fixture(db)
+        assert not verify_shard_partition(program, positions, parts, rows).has_errors
+
+    def test_dropped_row_is_flagged(self, db):
+        program, positions, parts, rows = self._fixture(db)
+        tampered = [list(part) for part in parts]
+        next(part for part in tampered if part).pop()
+        report = verify_shard_partition(program, positions, tampered, rows)
+        assert any("missing" in d.message for d in report.errors)
+
+    def test_duplicated_row_is_flagged(self, db):
+        program, positions, parts, rows = self._fixture(db)
+        tampered = [list(part) for part in parts]
+        donor = next(part for part in tampered if part)
+        donor.append(donor[0])
+        report = verify_shard_partition(program, positions, tampered, rows)
+        assert any("duplicated or foreign" in d.message for d in report.errors)
+
+    def test_misrouted_row_is_flagged(self, db):
+        program, positions, parts, rows = self._fixture(db)
+        tampered = [list(part) for part in parts]
+        source = next(i for i, part in enumerate(tampered) if part)
+        row = tampered[source].pop()
+        tampered[(source + 1) % len(tampered)].append(row)
+        report = verify_shard_partition(program, positions, tampered, rows)
+        assert any("hash selects" in d.message for d in report.errors)
+
+    def test_codes_are_i008(self, db):
+        program, positions, parts, rows = self._fixture(db)
+        report = verify_shard_partition(program, positions, [], rows)
+        assert report.has_errors
+        assert {d.code for d in report.errors} == {"I008"}
+
+
+class TestParallelExecution:
+    def _serial_reference(self, db, text):
+        return QueryEvaluator(db, strategy="program").evaluate(parse_query(text)).rows
+
+    @pytest.mark.parametrize("text", [JOIN, CARTESIAN, THREE_WAY])
+    def test_thread_backend_matches_serial(self, db, text):
+        evaluator = QueryEvaluator(
+            db, strategy="parallel", workers=2, verify_partitions=True
+        )
+        try:
+            assert evaluator.evaluate(parse_query(text)).rows == (
+                self._serial_reference(db, text)
+            )
+        finally:
+            evaluator.close()
+
+    @pytest.mark.skipif(not hasattr(os, "fork"), reason="fork backend is POSIX-only")
+    @pytest.mark.parametrize("text", [JOIN, THREE_WAY])
+    def test_fork_backend_matches_serial(self, db, text):
+        evaluator = QueryEvaluator(
+            db, strategy="parallel", workers=2, parallel_backend="fork"
+        )
+        try:
+            assert evaluator.evaluate(parse_query(text)).rows == (
+                self._serial_reference(db, text)
+            )
+        finally:
+            evaluator.close()
+
+    def test_binding_sets_survive_sharding(self, db):
+        query = parse_query(JOIN)
+        serial = QueryEvaluator(db, strategy="program").evaluate_with_bindings(query)
+        evaluator = QueryEvaluator(db, strategy="parallel", workers=2)
+        try:
+            sharded = evaluator.evaluate_with_bindings(query)
+        finally:
+            evaluator.close()
+        assert set(serial) == set(sharded)
+        for row, bindings in serial.items():
+            assert {frozenset(b.items()) for b in bindings} == {
+                frozenset(b.items()) for b in sharded[row]
+            }
+
+    def test_auto_stays_serial_below_the_crossover(self, db):
+        """The acceptance gate: on a small instance ``auto`` must keep
+        picking serial — shard setup dwarfs the divided join work."""
+        metrics = EvaluationMetrics()
+        evaluator = QueryEvaluator(db, strategy="auto", workers=4, metrics=metrics)
+        evaluator.evaluate(parse_query(JOIN))
+        sharding = metrics.snapshot()["sharding"]
+        assert sharding["parallel"] == 0
+        assert sharding["serial"] == 1
+        assert "cost_model" in sharding["reasons"]
+
+    def test_parallel_strategy_records_forced_sharding(self, db):
+        metrics = EvaluationMetrics()
+        evaluator = QueryEvaluator(
+            db, strategy="parallel", workers=2, metrics=metrics
+        )
+        try:
+            evaluator.evaluate(parse_query(JOIN))
+        finally:
+            evaluator.close()
+        sharding = metrics.snapshot()["sharding"]
+        assert sharding["parallel"] == 1
+        assert sharding["shards_executed"] == 2
+        assert sharding["reasons"] == {"forced": 1}
+
+    def test_single_atom_never_shards(self, db):
+        metrics = EvaluationMetrics()
+        evaluator = QueryEvaluator(db, strategy="parallel", workers=4, metrics=metrics)
+        evaluator.evaluate(parse_query("Q(F) :- Family(FID, F, D)"))
+        assert metrics.snapshot()["sharding"]["reasons"] == {"single_atom": 1}
+
+    def test_one_worker_never_shards(self, db):
+        metrics = EvaluationMetrics()
+        evaluator = QueryEvaluator(db, strategy="parallel", workers=1, metrics=metrics)
+        evaluator.evaluate(parse_query(JOIN))
+        assert metrics.snapshot()["sharding"]["reasons"] == {"no_workers": 1}
+
+    def test_forced_serial_strategies_never_shard(self, db):
+        for strategy in ("program", "reduced"):
+            metrics = EvaluationMetrics()
+            evaluator = QueryEvaluator(
+                db, strategy=strategy, workers=4, metrics=metrics
+            )
+            evaluator.evaluate(parse_query(JOIN))
+            assert metrics.snapshot()["sharding"]["reasons"] == {"forced_serial": 1}
+
+    def test_fork_degrades_to_thread_without_os_fork(self, db, monkeypatch):
+        monkeypatch.delattr(os, "fork", raising=False)
+        evaluator = QueryEvaluator(db, parallel_backend="fork")
+        assert evaluator.parallel_backend == "thread"
+
+    def test_unknown_backend_rejected(self, db):
+        with pytest.raises(ValueError):
+            QueryEvaluator(db, parallel_backend="processes")
+
+    def test_bad_worker_count_rejected(self, db):
+        with pytest.raises(ValueError):
+            QueryEvaluator(db, workers=0)
+
+
+class TestParallelCostModel:
+    def _model(self, db):
+        return CostModel(StatisticsCatalog(IndexManager(db)))
+
+    def test_small_input_prefers_serial(self, db):
+        estimate = self._model(db).parallel_estimate(100.0, 10, 4)
+        assert not estimate.prefers_parallel
+        assert estimate.as_dict()["strategy"] == "serial"
+
+    def test_large_input_prefers_parallel(self, db):
+        estimate = self._model(db).parallel_estimate(1_000_000.0, 1_000, 4)
+        assert estimate.prefers_parallel
+        assert estimate.as_dict()["strategy"] == "parallel"
+
+    def test_crossover_is_monotone_in_serial_cost(self, db):
+        model = self._model(db)
+        costs = [model.parallel_estimate(c, 100, 4) for c in (1e2, 1e4, 1e6)]
+        flips = [e.prefers_parallel for e in costs]
+        assert flips == sorted(flips)  # serial → parallel, never back
+
+
+class TestPartitionCache:
+    def test_warm_traffic_reuses_the_partition(self, db):
+        query = parse_query(JOIN)
+        evaluator = QueryEvaluator(db, strategy="parallel", workers=2)
+        try:
+            evaluator.evaluate(query)
+            first = evaluator._shard_parts[query][4]
+            evaluator.evaluate(query)
+            assert evaluator._shard_parts[query][4] is first
+        finally:
+            evaluator.close()
+
+    def test_drift_recomputes_the_partition(self, db):
+        query = parse_query(JOIN)
+        evaluator = QueryEvaluator(db, strategy="parallel", workers=2)
+        try:
+            evaluator.evaluate(query)
+            first = evaluator._shard_parts[query][4]
+            db.insert("Family", (77, "NewFam", "ND"))
+            db.insert("FamilyIntro", (77, "text"))
+            assert (
+                evaluator.evaluate(query).rows
+                == QueryEvaluator(db, strategy="program").evaluate(query).rows
+            )
+            assert evaluator._shard_parts[query][4] is not first
+        finally:
+            evaluator.close()
+
+    def test_invalidate_caches_drops_partitions(self, db):
+        query = parse_query(JOIN)
+        evaluator = QueryEvaluator(db, strategy="parallel", workers=2)
+        try:
+            evaluator.evaluate(query)
+            assert evaluator._shard_parts
+            evaluator.invalidate_caches()
+            assert not evaluator._shard_parts
+        finally:
+            evaluator.close()
+
+
+class TestWorkerPool:
+    def test_close_is_idempotent_and_evaluator_survives(self, db):
+        query = parse_query(JOIN)
+        evaluator = QueryEvaluator(db, strategy="parallel", workers=2)
+        reference = QueryEvaluator(db, strategy="program").evaluate(query).rows
+        assert evaluator.evaluate(query).rows == reference
+        evaluator.close()
+        evaluator.close()
+        # The evaluator stays usable: the next sharded run recreates the pool.
+        assert evaluator.evaluate(query).rows == reference
+        evaluator.close()
+
+    def test_pool_is_lazy(self, db):
+        evaluator = QueryEvaluator(db, strategy="program", workers=2)
+        evaluator.evaluate(parse_query(JOIN))
+        assert evaluator._shard_pool is None
+
+    def test_shared_state_registration(self):
+        declared = declared_shared_state(QueryEvaluator)
+        assert declared["_shard_parts"] == "_cache_lock"
+        assert declared["_shard_pool"] == "_pool_lock"
+
+    def test_default_worker_count_is_bounded(self):
+        count = default_worker_count()
+        assert 2 <= count <= MAX_DEFAULT_WORKERS
+
+
+class TestEngineWiring:
+    def test_strict_engine_verifies_partitions(self, db):
+        engine = CitationEngine(
+            db, gtopdb.citation_views(), verify_plans="strict", workers=3
+        )
+        assert engine._execution_evaluator().verify_partitions
+
+    def test_off_engine_skips_partition_verification(self, db):
+        engine = CitationEngine(db, gtopdb.citation_views(), verify_plans="off")
+        assert not engine._execution_evaluator().verify_partitions
+
+    def test_engine_threads_workers_and_backend(self, db):
+        engine = CitationEngine(db, gtopdb.citation_views(), workers=3)
+        evaluator = engine._execution_evaluator()
+        assert evaluator.workers == 3
+        assert evaluator.parallel_backend == "thread"
+
+    def test_parallel_engine_citations_match_serial(self, db):
+        serial = CitationEngine(db, gtopdb.citation_views())
+        parallel = CitationEngine(
+            db, gtopdb.citation_views(), strategy="parallel", workers=2
+        )
+        query = gtopdb.paper_query()
+        left = serial.cite(query)
+        right = parallel.cite(query)
+        assert {t.row for t in left.tuple_citations} == {
+            t.row for t in right.tuple_citations
+        }
+        assert str(left.citation.to_text()) == str(right.citation.to_text())

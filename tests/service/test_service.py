@@ -351,6 +351,7 @@ class TestEvaluationMetricsExposure:
             "pick_reasons",
             "cost_model",
             "prelude_cache",
+            "sharding",
         }
         picks = evaluation["picks"]
         # First call executes, the repeat is a result-cache hit: at least
