@@ -65,6 +65,14 @@ class CitationRequest:
     request_id:
         Caller-supplied correlation id; the service assigns ``req-N`` when
         omitted.
+    timeout:
+        Per-request deadline in seconds.  The service converts it into a
+        propagated :class:`~repro.resilience.deadline.Deadline` the moment the
+        request starts executing, so the engine's cooperative cancellation
+        checkpoints stop the evaluation instead of letting it finish in the
+        background; the response then carries a
+        :class:`~repro.errors.DeadlineExceeded` error.  ``None`` (default)
+        means no per-request deadline (a batch deadline may still apply).
     metadata:
         Free-form annotations carried through to the response.  The service
         honours one key — ``no_result_cache: True`` skips the result cache
@@ -79,6 +87,7 @@ class CitationRequest:
     as_of: Any = None
     policy: Any = None
     request_id: str | None = None
+    timeout: float | None = None
     metadata: Mapping[str, Any] = field(default_factory=dict)
 
     def with_id(self) -> "CitationRequest":
@@ -100,6 +109,12 @@ class CitationResponse:
     :attr:`citation` is the backend-independent view of its citation.
     ``cached`` is true when no evaluation ran for this request (result-cache
     hit or within-batch deduplication onto another request's execution).
+    ``stale`` marks a degraded answer: under deadline or overload pressure
+    the service (when configured with ``serve_stale=True``) may fall back to
+    a result-cache entry whose generation stamp no longer matches the live
+    database.  ``error_code`` is the stable machine-readable classification
+    of :attr:`error` (see :func:`repro.errors.error_code_for`), ``None`` on
+    success.
     """
 
     request: CitationRequest
@@ -107,8 +122,10 @@ class CitationResponse:
     result: Any = None
     citation: Citation | None = None
     error: Exception | None = None
+    error_code: str | None = None
     elapsed: float = 0.0
     cached: bool = False
+    stale: bool = False
     fingerprint: str | None = None
     row_count: int | None = None
 
@@ -139,6 +156,8 @@ class CitationResponse:
         }
         if self.request.request_id is not None:
             payload["request_id"] = self.request.request_id
+        if self.stale:
+            payload["stale"] = True
         if self.ok:
             if self.row_count is not None:
                 payload["rows"] = self.row_count
@@ -147,4 +166,6 @@ class CitationResponse:
         else:
             payload["error"] = str(self.error)
             payload["error_type"] = type(self.error).__name__
+            if self.error_code is not None:
+                payload["error_code"] = self.error_code
         return payload

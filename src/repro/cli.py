@@ -164,6 +164,8 @@ def _make_service(args: argparse.Namespace) -> CitationService:
         query_parser=parse_user_query,
         backends=backends,
         tracer=_make_tracer(args),
+        max_inflight=getattr(args, "max_inflight", None),
+        queue_depth=getattr(args, "queue_depth", 0),
     )
 
 
@@ -186,6 +188,7 @@ def _request_for(args: argparse.Namespace, text: str) -> CitationRequest:
         backend=backend,
         mode=getattr(args, "mode", None),
         as_of=as_of,
+        timeout=getattr(args, "request_timeout", None),
     )
 
 
@@ -464,6 +467,28 @@ def build_parser() -> argparse.ArgumentParser:
             "traces (shown by --stats and the serve .slowlog directive)",
         )
 
+    def add_resilience_options(
+        sub: argparse.ArgumentParser, request_timeout: bool = True
+    ) -> None:
+        if request_timeout:
+            sub.add_argument(
+                "--timeout", dest="request_timeout", type=float, default=None,
+                metavar="SECONDS",
+                help="per-request deadline: evaluation past it is "
+                "cooperatively cancelled and answered with a typed "
+                "DEADLINE_EXCEEDED error",
+            )
+        sub.add_argument(
+            "--max-inflight", type=positive_int, default=None,
+            help="admission control: max concurrently executing requests "
+            "(default: unbounded, admission control off)",
+        )
+        sub.add_argument(
+            "--queue-depth", type=int, default=0,
+            help="admission control: requests allowed to wait for a slot "
+            "beyond --max-inflight before shedding (default: 0)",
+        )
+
     def add_backend_options(sub: argparse.ArgumentParser) -> None:
         sub.add_argument(
             "--backend", choices=BACKEND_CHOICES, default="auto",
@@ -498,6 +523,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="--stats output format: a JSON snapshot or Prometheus text exposition",
     )
     add_observability_options(cite)
+    add_resilience_options(cite)
     cite.set_defaults(func=_cmd_cite)
 
     def add_service_options(sub: argparse.ArgumentParser) -> None:
@@ -527,8 +553,11 @@ def build_parser() -> argparse.ArgumentParser:
     add_service_options(batch)
     batch.add_argument("queries", help="file with one query per line, or '-' for stdin")
     batch.add_argument(
-        "--timeout", type=float, default=None, help="per-request timeout in seconds"
+        "--timeout", type=float, default=None,
+        help="batch response deadline in seconds (also propagated into "
+        "workers as a cooperative cancellation deadline)",
     )
+    add_resilience_options(batch, request_timeout=False)
     batch.set_defaults(func=_cmd_batch)
 
     serve = subparsers.add_parser(
@@ -539,6 +568,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(serve)
     add_backend_options(serve)
     add_service_options(serve)
+    add_resilience_options(serve)
     serve.set_defaults(func=_cmd_serve)
 
     validate = subparsers.add_parser("validate", help="validate a specification against a schema")

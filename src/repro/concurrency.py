@@ -22,9 +22,10 @@ Two escape hatches keep the rule honest rather than noisy: ``__init__`` may
 initialise registered fields before the object is published, and methods whose
 name ends in ``_locked`` document that the caller already holds the lock.
 
-This module deliberately imports nothing from the rest of the package so any
-module — including the query layer the analysis passes themselves import —
-can declare shared state without an import cycle.
+This module deliberately imports nothing from the rest of the package except
+the leaf :mod:`repro.errors` module, so any module — including the query
+layer the analysis passes themselves import — can declare shared state
+without an import cycle.
 """
 
 from __future__ import annotations
@@ -33,6 +34,8 @@ import os
 import pickle
 from collections.abc import Callable, Sequence
 from typing import TypeVar
+
+from .errors import WorkerCrashError
 
 _T = TypeVar("_T", bound=type)
 
@@ -60,8 +63,8 @@ def default_worker_count(cap: int = MAX_DEFAULT_WORKERS) -> int:
     return max(2, min(cap, cpus))
 
 
-def fork_map(fn: Callable, items: Sequence) -> list:
-    """Apply *fn* to every item in a forked child process each; collect results.
+def fork_map_outcomes(fn: Callable, items: Sequence) -> list[tuple]:
+    """Apply *fn* to every item in a forked child each; report per-item outcomes.
 
     The process-level escape hatch from the GIL for CPU-bound fan-out:
     children inherit the parent's heap copy-on-write, so arbitrarily large
@@ -72,9 +75,15 @@ def fork_map(fn: Callable, items: Sequence) -> list:
 
     Children run to completion independently; the parent drains each pipe
     fully before reaping, in submission order (safe because children never
-    block on each other).  A child that raises has its exception ``repr``
-    re-raised in the parent as :class:`RuntimeError` after all children are
-    reaped.  POSIX only — callers gate on ``hasattr(os, "fork")``.
+    block on each other).  Returns one ``(value, error)`` pair per item:
+    ``(result, None)`` on success, ``(None, exception)`` otherwise.  A child
+    that raises ships the **exception object itself** back (falling back to
+    a ``RuntimeError`` of its ``repr`` when it does not pickle); a child
+    that dies without writing a result — killed, OOM, ``os._exit`` — becomes
+    a :class:`~repro.errors.WorkerCrashError`, which is *transient*: the
+    input shard is intact in the parent, so callers can re-run it in-process
+    (the evaluator's serial-retry degradation path).  POSIX only — callers
+    gate on ``hasattr(os, "fork")``.
     """
     children: list[tuple[int, int]] = []
     for item in items:
@@ -89,9 +98,14 @@ def fork_map(fn: Callable, items: Sequence) -> list:
             except BaseException as error:  # noqa: BLE001 - crossing a process boundary
                 status = 1
                 try:
-                    payload = pickle.dumps((False, repr(error)), pickle.HIGHEST_PROTOCOL)
+                    payload = pickle.dumps((False, error), pickle.HIGHEST_PROTOCOL)
                 except Exception:
-                    payload = b""
+                    try:
+                        payload = pickle.dumps(
+                            (False, RuntimeError(repr(error))), pickle.HIGHEST_PROTOCOL
+                        )
+                    except Exception:
+                        payload = b""
             try:
                 with os.fdopen(write_fd, "wb") as sink:
                     sink.write(payload)
@@ -102,22 +116,38 @@ def fork_map(fn: Callable, items: Sequence) -> list:
         os.close(write_fd)
         children.append((pid, read_fd))
 
-    results: list = []
-    errors: list[str] = []
+    outcomes: list[tuple] = []
     for pid, read_fd in children:
         with os.fdopen(read_fd, "rb") as source:
             payload = source.read()
         _, exit_status = os.waitpid(pid, 0)
         if not payload:
-            errors.append(f"shard worker {pid} died without a result (status {exit_status})")
+            code = os.waitstatus_to_exitcode(exit_status)
+            outcomes.append((None, WorkerCrashError(pid, code)))
             continue
         ok, value = pickle.loads(payload)
         if ok:
-            results.append(value)
+            outcomes.append((value, None))
+        elif isinstance(value, BaseException):
+            outcomes.append((None, value))
         else:
-            errors.append(value)
-    if errors:
-        raise RuntimeError("; ".join(errors))
+            outcomes.append((None, RuntimeError(str(value))))
+    return outcomes
+
+
+def fork_map(fn: Callable, items: Sequence) -> list:
+    """Like :func:`fork_map_outcomes`, but all-or-nothing: collect results,
+    or re-raise the first per-item error after all children are reaped."""
+    results = []
+    first_error: BaseException | None = None
+    for value, error in fork_map_outcomes(fn, items):
+        if error is not None:
+            if first_error is None:
+                first_error = error
+        else:
+            results.append(value)
+    if first_error is not None:
+        raise first_error
     return results
 
 

@@ -109,3 +109,134 @@ class ProvenanceError(ReproError):
 
 class OntologyError(ReproError):
     """An RDF/ontology operation referenced unknown classes or produced a cycle."""
+
+
+# -- resilience taxonomy ------------------------------------------------------
+#
+# The serving layer classifies failures into *transient* (worth retrying:
+# the same request may succeed a moment later on an unchanged system) and
+# *permanent* (retrying is wasted work: the request itself is at fault).
+# :class:`TransientError` is the marker base; :func:`is_transient` folds in
+# stdlib exception types that cross the process/OS boundary, so callers ask
+# one question instead of growing private isinstance ladders.
+
+
+class TransientError(ReproError):
+    """Marker base for failures that may succeed if the caller retries.
+
+    Subclasses describe conditions of the *system* (a crashed worker, a full
+    queue) rather than of the *request*; a :class:`RetryPolicy
+    <repro.resilience.retry.RetryPolicy>` retries these and nothing else.
+    """
+
+
+class DeadlineExceeded(ReproError, TimeoutError):
+    """A request ran past its deadline and was cooperatively cancelled.
+
+    Raised from a cancellation checkpoint (join loop, prelude pass, shard
+    worker, cache wait) the moment the propagated
+    :class:`~repro.resilience.deadline.Deadline` expires.  ``where`` names the
+    checkpoint that fired, so traces show how deep the request got.  Also a
+    :class:`TimeoutError` so existing ``except TimeoutError`` callers treat
+    engine-side cancellation like the pool-side timeout it replaces.
+
+    Deliberately **not** transient: retrying an expired request against the
+    same deadline cannot succeed, and the caller's clock — not the system's
+    state — is what changed.
+    """
+
+    def __init__(self, where: str = "", remaining: float = 0.0) -> None:
+        suffix = f" at {where}" if where else ""
+        super().__init__(f"deadline exceeded{suffix}")
+        self.where = where
+        self.remaining = remaining
+
+    def __reduce__(self):  # crosses the fork-shard pickle pipe intact
+        return (type(self), (self.where, self.remaining))
+
+
+class Overloaded(TransientError):
+    """The service shed this request: admission queue and in-flight slots full.
+
+    Carries ``retry_after`` (seconds), a backoff hint derived from observed
+    service times, so well-behaved clients spread their retries instead of
+    stampeding the moment capacity frees up.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.1) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+    def __reduce__(self):  # crosses the fork-shard pickle pipe intact
+        return (type(self), (self.args[0], self.retry_after))
+
+
+class WorkerCrashError(TransientError):
+    """A shard worker process died before reporting a result.
+
+    Raised by :func:`repro.concurrency.fork_map` when a forked child exits
+    without writing its result pickle (killed, OOM, ``os._exit`` in a fault
+    injection).  Transient by definition — the input shard is intact and
+    re-running it in-process succeeds — which is exactly the contract the
+    evaluator's serial-retry degradation path relies on.
+    """
+
+    def __init__(self, pid: int, status: int) -> None:
+        super().__init__(f"shard worker {pid} died without a result (status {status})")
+        self.pid = pid
+        self.status = status
+
+    def __reduce__(self):  # crosses the fork-shard pickle pipe intact
+        return (type(self), (self.pid, self.status))
+
+
+def is_transient(error: BaseException) -> bool:
+    """Whether *error* is worth retrying against an unchanged request.
+
+    True for the :class:`TransientError` hierarchy plus stdlib conditions
+    that originate in the environment rather than the request:
+    ``ConnectionError`` and ``InterruptedError``.  :class:`DeadlineExceeded`
+    is always permanent (see its docstring), even though it subclasses
+    ``TimeoutError``.
+    """
+    if isinstance(error, DeadlineExceeded):
+        return False
+    return isinstance(error, (TransientError, ConnectionError, InterruptedError))
+
+
+#: Exception type -> stable machine-readable code for response envelopes.
+#: Checked in order, so subclasses must precede their bases.
+_ERROR_CODES: tuple[tuple[type[BaseException], str], ...] = (
+    (DeadlineExceeded, "DEADLINE_EXCEEDED"),
+    (Overloaded, "OVERLOADED"),
+    (WorkerCrashError, "WORKER_CRASHED"),
+    (ParseError, "PARSE_ERROR"),
+    (PlanVerificationError, "PLAN_VERIFICATION_FAILED"),
+    (StaticAnalysisError, "STATIC_ANALYSIS_FAILED"),
+    (NoRewritingError, "NO_REWRITING"),
+    (RewritingError, "REWRITING_FAILED"),
+    (UnknownRelationError, "UNKNOWN_RELATION"),
+    (ArityError, "ARITY_MISMATCH"),
+    (SchemaError, "SCHEMA_ERROR"),
+    (IntegrityError, "INTEGRITY_ERROR"),
+    (QueryError, "QUERY_ERROR"),
+    (PolicyError, "POLICY_ERROR"),
+    (CitationError, "CITATION_ERROR"),
+    (VersionError, "VERSION_ERROR"),
+    (ProvenanceError, "PROVENANCE_ERROR"),
+    (OntologyError, "ONTOLOGY_ERROR"),
+    (TimeoutError, "TIMEOUT"),
+)
+
+
+def error_code_for(error: BaseException) -> str:
+    """Stable machine-readable code for *error* (``"DEADLINE_EXCEEDED"``, ...).
+
+    Unlisted exception types fall back to the upper-cased class name, so
+    every error gets *some* code and new types degrade gracefully rather
+    than all collapsing into one bucket.
+    """
+    for exc_type, code in _ERROR_CODES:
+        if isinstance(error, exc_type):
+            return code
+    return type(error).__name__.upper()

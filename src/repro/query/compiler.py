@@ -64,10 +64,11 @@ containing them — untouched subtrees' semi-joined key sets are reused.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from collections.abc import Set as AbstractSet, Iterator, Mapping, Sequence
+from collections.abc import Set as AbstractSet, Callable, Iterator, Mapping, Sequence
 
 from repro.errors import QueryError
 from repro.query.ast import Atom, ConjunctiveQuery, Constant, Variable
+from repro.resilience import faults
 from repro.relational.index import IndexManager
 from repro.relational.relation import Relation
 
@@ -230,6 +231,7 @@ class JoinProgram:
         use_indexes: bool = True,
         profile: JoinProfile | None = None,
         driving_rows: Sequence[tuple] | None = None,
+        cancel: Callable[[], None] | None = None,
     ) -> Iterator[tuple]:
         """Yield every satisfying frame (tuple of slot values, aligned with
         :attr:`variables`).
@@ -244,10 +246,16 @@ class JoinProgram:
         step would have resolved (see :meth:`driving_rows`); every other
         check (writes, post-checks, deeper probes) still applies, so a
         partition of the resolved rows yields a partition of the frames.
+
+        With *cancel* (a zero-arg callable, typically
+        :meth:`Deadline.checker <repro.resilience.deadline.Deadline.checker>`),
+        every scanned row is a cancellation checkpoint: the callable raises
+        :class:`~repro.errors.DeadlineExceeded` to abandon the join
+        mid-descent.  ``None`` costs one predicate test per row.
         """
         if profile is not None:
             yield from self._run_frames_profiled(
-                relations, index_manager, use_indexes, profile, driving_rows
+                relations, index_manager, use_indexes, profile, driving_rows, cancel
             )
             return
         frame: list = [None] * len(self.variables)
@@ -294,6 +302,8 @@ class JoinProgram:
             writes = step.writes
             post_checks = step.post_checks
             for row in rows:
+                if cancel is not None:
+                    cancel()
                 for position, slot in writes:
                     frame[slot] = row[position]
                 for position, slot in post_checks:
@@ -311,6 +321,7 @@ class JoinProgram:
         use_indexes: bool,
         profile: JoinProfile,
         driving_rows: Sequence[tuple] | None = None,
+        cancel: Callable[[], None] | None = None,
     ) -> Iterator[tuple]:
         """The counting mirror of :meth:`run_frames`'s descend loop."""
         frame: list = [None] * len(self.variables)
@@ -357,6 +368,8 @@ class JoinProgram:
             writes = step.writes
             post_checks = step.post_checks
             for row in rows:
+                if cancel is not None:
+                    cancel()
                 rows_scanned[depth] += 1
                 for position, slot in writes:
                     frame[slot] = row[position]
@@ -660,6 +673,7 @@ class ReducedProgram:
         use_indexes: bool = True,
         _step_rows: Sequence[list[tuple] | None] | None = None,
         _edge_keys: dict[int, AbstractSet[tuple]] | None = None,
+        cancel: Callable[[], None] | None = None,
     ) -> list[list[tuple] | None] | None:
         """Run every pruning pass; return per-step surviving rows.
 
@@ -674,11 +688,18 @@ class ReducedProgram:
         found in the dict skip their projection, edges absent from it have
         their freshly computed projection stored back into it.  Neither the
         supplied row lists nor the key sets are ever mutated.
+
+        *cancel* adds a cancellation checkpoint between passes — before each
+        step prefilter, each semi-join edge, and each SIP step — so an
+        expired deadline abandons the prelude between its O(rows) passes.
         """
+        faults.fire("prelude.build")
         steps = self.program.steps
         probe = use_indexes and index_manager is not None
         candidates: list[list[tuple] | None] = []
         for position, step in enumerate(steps):
+            if cancel is not None:
+                cancel()
             relation = relations[step.predicate]
             if _step_rows is not None:
                 rows = _step_rows[position]
@@ -691,6 +712,8 @@ class ReducedProgram:
         if self.semi_joins:
             for index, edge in enumerate(self.semi_joins):
                 # Bottom-up: children filter parents.
+                if cancel is not None:
+                    cancel()
                 keys = _edge_keys.get(index) if _edge_keys is not None else None
                 if keys is None:
                     keys = self._projection(
@@ -704,6 +727,8 @@ class ReducedProgram:
                 ):
                     return None
             for edge in reversed(self.semi_joins):  # top-down: parents filter children
+                if cancel is not None:
+                    cancel()
                 keys = self._projection(
                     edge.parent, edge.parent_positions, candidates, relations,
                     index_manager, probe,
@@ -718,6 +743,8 @@ class ReducedProgram:
         # downstream steps drop rows probing values outside those sets.
         value_sets: dict[int, set] = {}
         for position, (step, reduction) in enumerate(zip(steps, self.reductions)):
+            if cancel is not None:
+                cancel()
             filters = [
                 (p, value_sets[s])
                 for p, s in reduction.sip_filters
@@ -851,13 +878,17 @@ class ReducedProgram:
         return list(source.rows_matching(dict(zip(step.key_positions, key))))
 
     def _frames(
-        self, plan: list[tuple], driving_rows: Sequence[tuple] | None = None
+        self,
+        plan: list[tuple],
+        driving_rows: Sequence[tuple] | None = None,
+        cancel: Callable[[], None] | None = None,
     ) -> Iterator[tuple]:
         """Run the nested-loop join over prepared row sources.
 
         The descend loop mirrors JoinProgram.run_frames — fix both together.
         *driving_rows* overrides the depth-0 row source (sharded execution);
-        see :meth:`JoinProgram.run_frames`.
+        *cancel* makes every scanned row a cancellation checkpoint; see
+        :meth:`JoinProgram.run_frames`.
         """
         program = self.program
         frame: list = [None] * program.slot_count
@@ -886,6 +917,8 @@ class ReducedProgram:
             writes = step.writes
             post_checks = step.post_checks
             for row in rows:
+                if cancel is not None:
+                    cancel()
                 for position, slot in writes:
                     frame[slot] = row[position]
                 for position, slot in post_checks:
@@ -901,6 +934,7 @@ class ReducedProgram:
         plan: list[tuple],
         profile: JoinProfile,
         driving_rows: Sequence[tuple] | None = None,
+        cancel: Callable[[], None] | None = None,
     ) -> Iterator[tuple]:
         """The counting mirror of :meth:`_frames` (same descend loop)."""
         program = self.program
@@ -933,6 +967,8 @@ class ReducedProgram:
             writes = step.writes
             post_checks = step.post_checks
             for row in rows:
+                if cancel is not None:
+                    cancel()
                 rows_scanned[depth] += 1
                 for position, slot in writes:
                     frame[slot] = row[position]
@@ -965,6 +1001,7 @@ class ReducedProgram:
         use_indexes: bool = True,
         prelude: "PreludeCache | None" = None,
         profile: JoinProfile | None = None,
+        cancel: Callable[[], None] | None = None,
     ) -> list[tuple] | None:
         """Run (or serve from *prelude*) the reduction and prepare row sources.
 
@@ -973,12 +1010,13 @@ class ReducedProgram:
         :meth:`run_frames` so sharded execution can prepare the prelude
         exactly once in the parent and broadcast the plan read-only to every
         shard worker.  With a *profile*, fills its prelude outcome, emptiness
-        and per-step input counters.
+        and per-step input counters.  *cancel* checkpoints the prelude
+        passes (see :meth:`reduce_relations`).
         """
         probe = use_indexes and index_manager is not None
         if prelude is not None and prelude.reduced is self:
             hits_before = prelude.hits
-            snapshot = prelude.refresh(relations, index_manager, use_indexes)
+            snapshot = prelude.refresh(relations, index_manager, use_indexes, cancel)
             if profile is not None:
                 profile.prelude = "hit" if prelude.hits > hits_before else "miss"
             if snapshot.empty:
@@ -997,7 +1035,9 @@ class ReducedProgram:
             return plan
         if profile is not None:
             profile.prelude = "cold"
-        candidates = self.reduce_relations(relations, index_manager, use_indexes)
+        candidates = self.reduce_relations(
+            relations, index_manager, use_indexes, cancel=cancel
+        )
         if candidates is None:
             if profile is not None:
                 profile.empty = True
@@ -1015,6 +1055,7 @@ class ReducedProgram:
         prelude: "PreludeCache | None" = None,
         profile: JoinProfile | None = None,
         driving_rows: Sequence[tuple] | None = None,
+        cancel: Callable[[], None] | None = None,
     ) -> Iterator[tuple]:
         """Yield every satisfying frame (same frames as the plain program).
 
@@ -1031,14 +1072,19 @@ class ReducedProgram:
 
         With *driving_rows*, the depth-0 step iterates exactly the supplied
         rows (sharded execution; see :meth:`JoinProgram.run_frames`).
+
+        With *cancel*, prelude passes and scanned rows become cancellation
+        checkpoints (see :meth:`JoinProgram.run_frames`).
         """
-        plan = self.prepared_plan(relations, index_manager, use_indexes, prelude, profile)
+        plan = self.prepared_plan(
+            relations, index_manager, use_indexes, prelude, profile, cancel
+        )
         if plan is None:
             return
         if profile is not None:
-            yield from self._frames_profiled(plan, profile, driving_rows)
+            yield from self._frames_profiled(plan, profile, driving_rows, cancel)
             return
-        yield from self._frames(plan, driving_rows)
+        yield from self._frames(plan, driving_rows, cancel)
 
     def output_row(self, frame: tuple) -> tuple:
         """Project one frame onto the query's head terms."""
@@ -1342,6 +1388,7 @@ class PreludeCache:
         relations: Mapping[str, Relation],
         index_manager: IndexManager | None,
         use_indexes: bool,
+        cancel: Callable[[], None] | None = None,
     ) -> _PreludeSnapshot:
         """Return a current snapshot, recomputing only what drift invalidated.
 
@@ -1349,6 +1396,9 @@ class PreludeCache:
         :meth:`is_warm` (the strategy resolver does): refresh must stay
         self-validating for callers that reach it directly, and the repeated
         stamp comparison is a handful of identity checks.
+
+        *cancel* checkpoints each recomputed prefilter and the reduction
+        passes; a warm hit never checks — it does no O(rows) work.
         """
         stamps = self._stamps(relations)
         snapshot = self._snapshot
@@ -1369,6 +1419,8 @@ class PreludeCache:
                 rows = memo[2]
                 reused += 1
             else:
+                if cancel is not None:
+                    cancel()
                 rows = reduced._prefilter_step(position, relation, index_manager, probe)
                 self._step_memo[position] = (relation, version, rows)
                 recomputed += 1
@@ -1397,6 +1449,7 @@ class PreludeCache:
             use_indexes,
             _step_rows=step_rows,
             _edge_keys=edge_keys,
+            cancel=cancel,
         )
         for index, keys in edge_keys.items():
             self._edge_memo[index] = (edge_stamps[index], keys)

@@ -71,9 +71,11 @@ from collections.abc import Iterator, Mapping
 from concurrent.futures import ThreadPoolExecutor
 from typing import Literal
 
-from repro.concurrency import default_worker_count, fork_map, shared_state
-from repro.errors import QueryError, UnknownRelationError
+from repro.concurrency import default_worker_count, fork_map_outcomes, shared_state
+from repro.errors import QueryError, UnknownRelationError, WorkerCrashError
 from repro.observability import NULL_SPAN, current_fingerprint, get_tracer
+from repro.resilience import faults
+from repro.resilience.deadline import Deadline, current_deadline
 from repro.query.ast import ConjunctiveQuery, Constant, Term, Variable
 from repro.query.compiler import (
     JoinProfile,
@@ -629,6 +631,7 @@ class QueryEvaluator:
         cache: bool = True,
         profile: JoinProfile | None = None,
         span=NULL_SPAN,
+        deadline: Deadline | None = None,
     ) -> list[tuple]:
         """Run one evaluation sharded; return the merged frame list.
 
@@ -638,15 +641,25 @@ class QueryEvaluator:
         counts land on *span* as ``shard`` children; per-shard profiles are
         merged into *profile* so the evaluation span's per-step counters
         equal the serial run's.
+
+        With a *deadline*, the prelude and every shard poll it at their
+        cancellation checkpoints (each shard builds its own rate-limited
+        checker — the absolute monotonic expiry is fork-safe, a counting
+        closure is not shareable).  A fork shard that **crashes** (rather
+        than raises) is retried serially in-process on its intact row slice
+        — degradation, counted in :attr:`metrics` and on *span*, instead of
+        a failed evaluation.
         """
         program = executor.program if isinstance(executor, ReducedProgram) else executor
         key_positions = shard_key_positions(program)
+        parent_cancel = deadline.checker("prelude") if deadline is not None else None
         plan: list[tuple] | None = None
         if isinstance(executor, ReducedProgram):
             if prelude is None or prelude.reduced is not executor:
                 prelude = self.prelude_for(query, executor) if cache else None
             plan = executor.prepared_plan(
-                relations, self.index_manager, self.use_indexes, prelude, profile
+                relations, self.index_manager, self.use_indexes, prelude, profile,
+                parent_cancel,
             )
             if plan is None:  # prelude proved emptiness; nothing to fan out
                 return []
@@ -678,14 +691,19 @@ class QueryEvaluator:
 
         profiled = profile is not None
 
-        def run_shard(part: list[tuple]):
+        def run_shard(task: tuple[int, list[tuple]]):
+            shard_index, part = task
+            faults.fire("shard.execute", key=shard_index)
+            cancel = deadline.checker("shard") if deadline is not None else None
             started = time.perf_counter()
             shard_profile = JoinProfile(len(program.steps)) if profiled else None
             if isinstance(executor, ReducedProgram):
                 if shard_profile is not None:
-                    frames = list(executor._frames_profiled(plan, shard_profile, part))
+                    frames = list(
+                        executor._frames_profiled(plan, shard_profile, part, cancel)
+                    )
                 else:
-                    frames = list(executor._frames(plan, part))
+                    frames = list(executor._frames(plan, part, cancel))
             else:
                 frames = list(
                     executor.run_frames(
@@ -694,38 +712,73 @@ class QueryEvaluator:
                         self.use_indexes,
                         profile=shard_profile,
                         driving_rows=part,
+                        cancel=cancel,
                     )
                 )
             return frames, time.perf_counter() - started, shard_profile
 
-        tasks = [part for part in parts if part]
+        tasks = [(index, part) for index, part in enumerate(parts) if part]
         if not tasks:
             return []
+        retried_serially = 0
         if len(tasks) == 1:
             outcomes = [run_shard(tasks[0])]
         elif self.parallel_backend == "fork":
-            outcomes = fork_map(run_shard, tasks)
+
+            def run_shard_forked(task: tuple[int, list[tuple]]):
+                # Runs in the forked child: the fault registry was inherited
+                # copy-on-write, so a "fork.child" spec armed in the parent
+                # (e.g. os._exit) trips here and kills this child only.
+                faults.fire("fork.child", key=task[0])
+                return run_shard(task)
+
+            outcomes = []
+            for task, (value, error) in zip(
+                tasks, fork_map_outcomes(run_shard_forked, tasks)
+            ):
+                if error is None:
+                    outcomes.append(value)
+                    continue
+                if not isinstance(error, WorkerCrashError):
+                    # A real exception from the child (DeadlineExceeded,
+                    # QueryError, ...) is the evaluation's answer — re-raise.
+                    raise error
+                # The child died without reporting; its row slice is intact
+                # in this process, so degrade: re-run the shard serially.
+                retried_serially += 1
+                if profiled:
+                    span.child(
+                        "shard.retry", index=task[0], pid=error.pid,
+                        status=error.status,
+                    )
+                outcomes.append(run_shard(task))
+            if retried_serially and self.metrics is not None:
+                self.metrics.record_degraded_retry(retried_serially)
         else:
             pool = self._worker_pool()
             outcomes = [
                 future.result()
-                for future in [pool.submit(run_shard, part) for part in tasks]
+                for future in [pool.submit(run_shard, task) for task in tasks]
             ]
 
         frames: list[tuple] = []
-        for index, (shard_frames, elapsed, shard_profile) in enumerate(outcomes):
+        for (shard_index, part), (shard_frames, elapsed, shard_profile) in zip(
+            tasks, outcomes
+        ):
             frames.extend(shard_frames)
             if profiled:
                 span.child(
                     "shard",
-                    index=index,
-                    rows=len(tasks[index]),
+                    index=shard_index,
+                    rows=len(part),
                     frames=len(shard_frames),
                     elapsed_ms=round(elapsed * 1000.0, 3),
                 )
                 self._merge_shard_profile(profile, shard_profile, executor)
         if profiled:
             span.set_attribute("shards", len(tasks))
+            if retried_serially:
+                span.set_attribute("degraded_retries", retried_serially)
         return frames
 
     @staticmethod
@@ -759,16 +812,22 @@ class QueryEvaluator:
         prelude: PreludeCache | None,
         cache: bool = True,
         profile: JoinProfile | None = None,
+        cancel=None,
     ) -> Iterator[tuple]:
-        """Run *executor*, threading warm-prelude state into reduced runs."""
+        """Run *executor*, threading warm-prelude state into reduced runs.
+
+        *cancel* (a zero-arg checkpoint callable) flows through to the
+        prelude passes and the per-row join loops.
+        """
         if isinstance(executor, ReducedProgram):
             if prelude is None or prelude.reduced is not executor:
                 prelude = self.prelude_for(query, executor) if cache else None
             return executor.run_frames(
-                relations, self.index_manager, self.use_indexes, prelude, profile
+                relations, self.index_manager, self.use_indexes, prelude, profile,
+                cancel=cancel,
             )
         return executor.run_frames(
-            relations, self.index_manager, self.use_indexes, profile
+            relations, self.index_manager, self.use_indexes, profile, cancel=cancel
         )
 
     # -- tracing ---------------------------------------------------------------
@@ -857,6 +916,9 @@ class QueryEvaluator:
         prelude: PreludeCache | None = None,
     ) -> Iterator[Binding]:
         """Yield every satisfying assignment of the query's variables."""
+        deadline = current_deadline()
+        if deadline is not None:
+            deadline.check("bindings.start")
         relations = self._resolve_relations(query)
         if program is None:
             program = self._program_for(query, relations)
@@ -869,10 +931,13 @@ class QueryEvaluator:
         variables = program.variables
         if shards > 1:
             frames: Iterator[tuple] | list[tuple] = self._run_sharded(
-                executor, relations, query, prelude, shards
+                executor, relations, query, prelude, shards, deadline=deadline
             )
         else:
-            frames = self._frames_for(executor, relations, query, prelude)
+            cancel = deadline.checker("join") if deadline is not None else None
+            frames = self._frames_for(
+                executor, relations, query, prelude, cancel=cancel
+            )
         for frame in frames:
             yield dict(zip(variables, frame))
 
@@ -905,6 +970,9 @@ class QueryEvaluator:
         strategy: Strategy | None = None,
     ) -> Relation:
         schema = result_schema(query)
+        deadline = current_deadline()
+        if deadline is not None:
+            deadline.check("evaluate.start")
         relations = self._resolve_relations(query)
         if cache_program:
             program = self._program_for(query, relations)
@@ -933,14 +1001,16 @@ class QueryEvaluator:
                     for frame in self._run_sharded(
                         executor, relations, query, None, shards,
                         cache=cache_program, profile=profile, span=span,
+                        deadline=deadline,
                     )
                 }
             else:
+                cancel = deadline.checker("join") if deadline is not None else None
                 answers = {
                     output_row(frame)
                     for frame in self._frames_for(
                         executor, relations, query, None, cache=cache_program,
-                        profile=profile,
+                        profile=profile, cancel=cancel,
                     )
                 }
             elapsed = time.perf_counter() - started if timed else 0.0
@@ -963,6 +1033,9 @@ class QueryEvaluator:
         prelude: PreludeCache | None = None,
     ) -> dict[tuple, list[Binding]]:
         """Map every output tuple to the list of bindings producing it."""
+        deadline = current_deadline()
+        if deadline is not None:
+            deadline.check("evaluate.start")
         relations = self._resolve_relations(query)
         if program is None:
             program = self._program_for(query, relations)
@@ -985,11 +1058,13 @@ class QueryEvaluator:
             if shards > 1:
                 frames: Iterator[tuple] | list[tuple] = self._run_sharded(
                     executor, relations, query, prelude, shards,
-                    profile=profile, span=span,
+                    profile=profile, span=span, deadline=deadline,
                 )
             else:
+                cancel = deadline.checker("join") if deadline is not None else None
                 frames = self._frames_for(
-                    executor, relations, query, prelude, profile=profile
+                    executor, relations, query, prelude, profile=profile,
+                    cancel=cancel,
                 )
             out: dict[tuple, list[Binding]] = {}
             for frame in frames:

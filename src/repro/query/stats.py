@@ -504,6 +504,7 @@ class EvaluationMetrics:
             "parallel": 0,       # evaluations that ran sharded
             "serial": 0,         # evaluations the shard resolver kept serial
             "shards_executed": 0,
+            "degraded_retries": 0,  # crashed fork shards re-run serially
             "reasons": {},       # shard-decision reason -> count
         }
 
@@ -538,6 +539,17 @@ class EvaluationMetrics:
                 self._sharding["serial"] += 1
             reasons = self._sharding["reasons"]
             reasons[reason] = reasons.get(reason, 0) + 1
+
+    def record_degraded_retry(self, shards: int = 1) -> None:
+        """Count *shards* crashed shard workers re-run serially in-process.
+
+        The graceful-degradation path: a dead fork child's slice of the
+        driving rows is intact in the parent, so the evaluation completes —
+        slower — instead of failing.  A nonzero counter under the fork
+        backend is the signal to look at worker health.
+        """
+        with self._lock:
+            self._sharding["degraded_retries"] += shards
 
     def record_prelude(
         self, hit: bool, steps_recomputed: int = 0, steps_reused: int = 0

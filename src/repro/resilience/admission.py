@@ -1,0 +1,152 @@
+"""Admission control: bounded in-flight requests plus a bounded wait queue.
+
+Under overload a service has exactly three honest options per request: run
+it, queue it, or refuse it *now* with a hint about when to come back.
+:class:`AdmissionController` implements that triage for
+:class:`~repro.service.service.CitationService`.  Up to ``max_inflight``
+requests execute concurrently; up to ``queue_depth`` more wait on a
+condition variable (bounded further by each waiter's own deadline); anything
+past both bounds is shed immediately with a typed
+:class:`~repro.errors.Overloaded` carrying a ``retry_after`` derived from
+observed service times — refusing cheaply is the whole point, a shed request
+must not consume the capacity it is being protected from.
+
+Disabled (``max_inflight=None``) the controller is never constructed, so the
+default service path pays nothing.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Iterator
+from contextlib import contextmanager
+
+from ..concurrency import shared_state
+from ..errors import Overloaded
+from .deadline import Deadline
+
+__all__ = ["AdmissionController"]
+
+#: Fallback retry-after hint (seconds) before any request has completed.
+_DEFAULT_RETRY_AFTER = 0.05
+
+#: Exponential-moving-average weight for the observed service time.
+_EMA_ALPHA = 0.2
+
+
+@shared_state("_inflight", "_queued", "_shed", "_admitted", "_mean_service_s", lock="_lock")
+class AdmissionController:
+    """Bounded concurrency gate with load shedding and a retry-after hint.
+
+    Parameters
+    ----------
+    max_inflight:
+        Requests allowed to execute concurrently.  Must be >= 1.
+    queue_depth:
+        Requests allowed to wait for a slot beyond ``max_inflight``.  0 means
+        shed the instant all slots are busy.
+    """
+
+    def __init__(self, max_inflight: int, queue_depth: int = 0) -> None:
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        if queue_depth < 0:
+            raise ValueError(f"queue_depth must be >= 0, got {queue_depth}")
+        self.max_inflight = int(max_inflight)
+        self.queue_depth = int(queue_depth)
+        self._lock = threading.Lock()
+        self._slot_freed = threading.Condition(self._lock)
+        self._inflight = 0
+        self._queued = 0
+        self._shed = 0
+        self._admitted = 0
+        self._mean_service_s = 0.0
+
+    # -- admission -----------------------------------------------------------
+    @contextmanager
+    def admit(self, deadline: Deadline | None = None) -> Iterator[None]:
+        """Hold one execution slot for the duration of the block.
+
+        Sheds with :class:`~repro.errors.Overloaded` when both the slots and
+        the queue are full, or when this waiter's *deadline* expires before a
+        slot frees up (a queued request that can no longer finish in time is
+        shed, not run — running it would waste the slot on a guaranteed
+        timeout).
+        """
+        with self._lock:
+            if self._inflight < self.max_inflight:
+                self._inflight += 1
+                self._admitted += 1
+            else:
+                if self._queued >= self.queue_depth:
+                    self._shed += 1
+                    raise Overloaded(
+                        f"admission queue full ({self._inflight} in flight, "
+                        f"{self._queued} queued)",
+                        retry_after=self._retry_after_locked(),
+                    )
+                self._queued += 1
+                try:
+                    self._wait_for_slot_locked(deadline)
+                finally:
+                    self._queued -= 1
+                self._inflight += 1
+                self._admitted += 1
+        try:
+            yield
+        finally:
+            with self._lock:
+                self._inflight -= 1
+                self._slot_freed.notify()
+
+    def _wait_for_slot_locked(self, deadline: Deadline | None) -> None:
+        """Block until an in-flight slot is free; shed on deadline expiry."""
+        while self._inflight >= self.max_inflight:
+            wait_s = deadline.remaining() if deadline is not None else None
+            if wait_s is not None and wait_s <= 0.0:
+                self._shed += 1
+                raise Overloaded(
+                    "deadline expired while queued for admission",
+                    retry_after=self._retry_after_locked(),
+                )
+            if not self._slot_freed.wait(timeout=wait_s):
+                self._shed += 1
+                raise Overloaded(
+                    "deadline expired while queued for admission",
+                    retry_after=self._retry_after_locked(),
+                )
+
+    # -- feedback ------------------------------------------------------------
+    def record_service_time(self, seconds: float) -> None:
+        """Fold one completed request's duration into the retry-after hint."""
+        with self._lock:
+            if self._mean_service_s == 0.0:
+                self._mean_service_s = seconds
+            else:
+                self._mean_service_s += _EMA_ALPHA * (seconds - self._mean_service_s)
+
+    def _retry_after_locked(self) -> float:
+        """Hint: roughly one queue-drain of mean service times, floor 50ms."""
+        mean = self._mean_service_s or _DEFAULT_RETRY_AFTER
+        backlog = self._queued + 1
+        return max(_DEFAULT_RETRY_AFTER, mean * backlog)
+
+    # -- introspection -------------------------------------------------------
+    def snapshot(self) -> dict[str, int | float]:
+        """Point-in-time gauge block for ``ServiceMetrics`` / ``stats()``."""
+        with self._lock:
+            return {
+                "max_inflight": self.max_inflight,
+                "queue_depth": self.queue_depth,
+                "inflight": self._inflight,
+                "queued": self._queued,
+                "admitted": self._admitted,
+                "shed": self._shed,
+                "mean_service_ms": self._mean_service_s * 1000.0,
+            }
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently holding an execution slot."""
+        with self._lock:
+            return self._inflight

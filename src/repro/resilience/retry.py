@@ -1,0 +1,109 @@
+"""Retry policy: exponential backoff with decorrelated jitter.
+
+Retries are only safe and only useful for *transient* failures — conditions
+of the system, not the request (see :func:`repro.errors.is_transient`).
+:class:`RetryPolicy` encapsulates the three decisions every retry loop gets
+subtly wrong when hand-rolled: **whether** to retry (the taxonomy), **how
+long** to wait (decorrelated jitter, so synchronized clients decohere
+instead of retrying in lockstep), and **when to give up** (attempt budget,
+and never sleeping past the request's deadline — a retry that cannot finish
+in time is abandoned immediately).
+
+The jitter follows the "decorrelated" scheme: each sleep is drawn uniformly
+from ``[base, prev * 3]`` capped at ``max_delay``, seeded via
+``random.Random(seed)`` so chaos tests replay byte-identical schedules.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections.abc import Callable
+from typing import TypeVar
+
+from ..errors import is_transient
+from .deadline import Deadline
+
+__all__ = ["RetryPolicy"]
+
+_T = TypeVar("_T")
+
+
+class RetryPolicy:
+    """Bounded retry of transient failures with decorrelated-jitter backoff.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries including the first (1 disables retrying).
+    base_delay:
+        Lower bound of every backoff sleep, seconds.
+    max_delay:
+        Upper bound of every backoff sleep, seconds.
+    seed:
+        Seeds the jitter RNG; fixed seeds make retry schedules
+        deterministic for tests.
+    classify:
+        Predicate deciding retryability; defaults to
+        :func:`repro.errors.is_transient`.
+
+    Instances are immutable after construction apart from the RNG, which is
+    only touched inside :meth:`call`; each call draws its own schedule, so a
+    policy may be shared across threads (``random.Random`` is internally
+    locked).
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        base_delay: float = 0.01,
+        max_delay: float = 0.5,
+        seed: int | None = None,
+        classify: Callable[[BaseException], bool] | None = None,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if base_delay < 0 or max_delay < base_delay:
+            raise ValueError(
+                f"need 0 <= base_delay <= max_delay, got {base_delay}, {max_delay}"
+            )
+        self.max_attempts = int(max_attempts)
+        self.base_delay = float(base_delay)
+        self.max_delay = float(max_delay)
+        self._random = random.Random(seed)
+        self._classify = classify or is_transient
+
+    def call(
+        self,
+        fn: Callable[[], _T],
+        deadline: Deadline | None = None,
+        on_retry: Callable[[int, BaseException], None] | None = None,
+    ) -> _T:
+        """Run *fn*, retrying transient failures up to the attempt budget.
+
+        *on_retry* is invoked with ``(attempt, error)`` before each backoff
+        sleep — the service uses it to count ``errors_transient_retried``
+        and annotate the trace.  Permanent errors, exhausted budgets, and
+        sleeps that would overrun *deadline* all re-raise the last error.
+        """
+        prev_delay = self.base_delay
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                return fn()
+            except BaseException as error:  # noqa: BLE001 - classified below
+                if attempt >= self.max_attempts or not self._classify(error):
+                    raise
+                delay = self._next_delay(prev_delay)
+                prev_delay = delay
+                if deadline is not None and deadline.remaining() <= delay:
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt, error)
+                if delay > 0.0:
+                    time.sleep(delay)
+        raise AssertionError("unreachable: loop returns or raises")
+
+    def _next_delay(self, prev_delay: float) -> float:
+        """One decorrelated-jitter draw: uniform in [base, prev*3], capped."""
+        upper = max(self.base_delay, prev_delay * 3.0)
+        return min(self.max_delay, self._random.uniform(self.base_delay, upper))

@@ -140,6 +140,24 @@ class ServiceMetrics:
         "errors",
         "timeouts",
         "mutations_observed",
+        # -- resilience: one response per request, classified ---------------
+        # ``responses`` counts every response the serving path materialises
+        # (including batch-worker responses later replaced by a pool-timeout
+        # response), so quiescence is observable:
+        # requests == responses + deduplicated once no worker is running.
+        "responses",
+        # The ``errors`` total split by failure class.  ``errors_timeout``
+        # counts cooperative deadline cancellations, ``errors_shed``
+        # admission-control rejections, ``errors_permanent`` everything
+        # else; ``errors_transient_retried`` counts *retry attempts* that a
+        # RetryPolicy absorbed (not responses — a retried request that
+        # eventually succeeds shows up in ``executions``).
+        "errors_timeout",
+        "errors_shed",
+        "errors_permanent",
+        "errors_transient_retried",
+        # Degraded serving: stale result-cache entries served under pressure.
+        "stale_served",
     )
 
     def __init__(self) -> None:

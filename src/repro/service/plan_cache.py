@@ -62,12 +62,20 @@ class GenerationalLRU(Generic[V]):
     the stored token no longer matches the caller's current token (an
     invalidation: the entry is dropped and counted separately, so hit-rate
     statistics distinguish capacity misses from staleness).
+
+    ``keep_stale=True`` opts into *stale retention*: a token-mismatched
+    ``get`` still counts an invalidation and a miss, but leaves the entry in
+    place so :meth:`get_stale` can serve it later as a degraded answer (the
+    citation service's ``serve_stale`` fallback under deadline or overload
+    pressure).  The default drops mismatched entries eagerly, exactly as
+    before — existing caches see identical eviction and invalidation counts.
     """
 
-    def __init__(self, maxsize: int = 256) -> None:
+    def __init__(self, maxsize: int = 256, keep_stale: bool = False) -> None:
         if maxsize < 1:
             raise ValueError("cache maxsize must be >= 1")
         self.maxsize = maxsize
+        self.keep_stale = keep_stale
         self._entries: OrderedDict[Hashable, tuple[Hashable, V]] = OrderedDict()
         self._lock = threading.RLock()
         self._info = CacheInfo()
@@ -81,13 +89,31 @@ class GenerationalLRU(Generic[V]):
                 return None
             stored_token, value = entry
             if stored_token != token:
-                del self._entries[key]
+                if not self.keep_stale:
+                    del self._entries[key]
                 self._info.invalidations += 1
                 self._info.misses += 1
                 return None
             self._entries.move_to_end(key)
             self._info.hits += 1
             return value
+
+    def get_stale(self, key: Hashable, token: Hashable) -> tuple[V, bool] | None:
+        """Return ``(value, fresh)`` for *key* regardless of token validity.
+
+        The degraded-serving accessor: where :meth:`get` refuses
+        token-mismatched entries, this returns whatever is stored — ``fresh``
+        tells the caller whether the stamp still matches *token*.  Does not
+        touch hit/miss counters or LRU order (a stale serve should neither
+        look like a cache hit nor keep a dead entry warm); returns ``None``
+        only when the key is absent entirely.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            stored_token, value = entry
+            return value, stored_token == token
 
     def put(self, key: Hashable, value: V, token: Hashable) -> None:
         """Insert (or refresh) *key* with a validity stamp of *token*."""

@@ -56,7 +56,13 @@ from repro.api.backends.union import UnionBackend
 from repro.api.envelope import CitationRequest, CitationResponse
 from repro.concurrency import default_worker_count
 from repro.core.engine import CitationEngine, CitationPlan, CitedResult, Mode
-from repro.errors import CitationError, StaticAnalysisError
+from repro.errors import (
+    CitationError,
+    DeadlineExceeded,
+    Overloaded,
+    StaticAnalysisError,
+    error_code_for,
+)
 from repro.observability import (
     NULL_SPAN,
     RingBufferSink,
@@ -66,6 +72,8 @@ from repro.observability import (
     use_tracer,
 )
 from repro.query.ast import ConjunctiveQuery
+from repro.resilience import AdmissionController, Deadline, RetryPolicy, faults
+from repro.resilience.deadline import current_deadline, deadline_scope
 from repro.service.explain import ExplainReport
 from repro.service.metrics import ServiceMetrics
 from repro.service.plan_cache import GenerationalLRU, PlanCache
@@ -116,6 +124,11 @@ class CitationService:
         backends: Sequence[CitationBackend] | None = None,
         tracer: Tracer | None = None,
         startup_lint: bool = True,
+        max_inflight: int | None = None,
+        queue_depth: int = 0,
+        retry_policy: RetryPolicy | None = None,
+        serve_stale: bool = False,
+        default_timeout: float | None = None,
     ) -> None:
         if engine is None and not backends:
             raise CitationError(
@@ -127,10 +140,28 @@ class CitationService:
         self._tracer = tracer
         self.metrics = metrics or ServiceMetrics()
         self.plan_cache = PlanCache(maxsize=plan_cache_size)
+        # Stale retention is opt-in (serve_stale): the degraded-serving
+        # fallback needs token-mismatched entries to survive lookups, while
+        # the default cache keeps its eager-eviction semantics untouched.
         self.result_cache: GenerationalLRU[Any] = GenerationalLRU(
-            maxsize=result_cache_size
+            maxsize=result_cache_size, keep_stale=serve_stale
         )
         self.cache_results = cache_results
+        # -- resilience: all default-off, each independently opt-in ----------
+        # Admission control bounds concurrent execution; the retry policy
+        # absorbs transient failures; serve_stale degrades to stamped stale
+        # results under deadline/overload pressure; default_timeout applies a
+        # per-request deadline when the request itself carries none.
+        self.admission = (
+            AdmissionController(max_inflight, queue_depth)
+            if max_inflight is not None
+            else None
+        )
+        self.retry_policy = retry_policy
+        self.serve_stale = serve_stale
+        self.default_timeout = default_timeout
+        if self.admission is not None:
+            self.metrics.register_gauge_source("admission", self.admission.snapshot)
         # CPU-derived bounded default, shared with the evaluator's shard
         # pool (repro.concurrency.default_worker_count) so the two pools
         # scale together instead of oversubscribing each other.
@@ -270,30 +301,35 @@ class CitationService:
         self.metrics.increment("requests")
         request = request.with_id()
         if self._closed:
-            self.metrics.increment("errors")
+            closed_error = CitationError(self._CLOSED_MESSAGE)
+            self._count_error_response(closed_error)
             return CitationResponse(
                 request=request,
-                error=CitationError(self._CLOSED_MESSAGE),
+                error=closed_error,
+                error_code=error_code_for(closed_error),
                 elapsed=time.perf_counter() - started,
             )
         try:
             backend = self.registry.route(request)
         except Exception as error:
-            self.metrics.increment("errors")
+            self._count_error_response(error)
             return CitationResponse(
-                request=request, error=error, elapsed=time.perf_counter() - started
+                request=request,
+                error=error,
+                error_code=error_code_for(error),
+                elapsed=time.perf_counter() - started,
             )
         self.metrics.increment_backend(backend.name, "requests")
         try:
             parsed = backend.parse(request)
             key = backend.fingerprint(parsed, request)
         except Exception as error:  # error isolation: report, never crash a batch
-            self.metrics.increment("errors")
-            self.metrics.increment_backend(backend.name, "errors")
+            self._count_error_response(error, backend)
             return CitationResponse(
                 request=request,
                 backend=backend.name,
                 error=error,
+                error_code=error_code_for(error),
                 elapsed=time.perf_counter() - started,
             )
         return self._serve_routed(backend, request, parsed, key, started)
@@ -311,8 +347,13 @@ class CitationService:
         same citations rebound to their own query.  *timeout* is a **response
         deadline for the batch**, measured from the call: any request not
         answered within *timeout* seconds yields a response carrying a
-        :class:`TimeoutError`; its worker finishes in the background and may
-        still populate the caches.  The response list is positionally aligned
+        :class:`TimeoutError`.  The budget also rides into each worker as a
+        propagated :class:`~repro.resilience.deadline.Deadline`, so engine
+        work past the deadline is cooperatively cancelled (a typed
+        :class:`~repro.errors.DeadlineExceeded` response) instead of burning
+        CPU to completion in the background; only workers blocked outside
+        the engine's cancellation checkpoints fall back to the synthesised
+        pool-timeout response.  The response list is positionally aligned
         with *requests*.
         """
         self._ensure_open()
@@ -444,6 +485,14 @@ class CitationService:
             if tracer.slow_log is not None:
                 snapshot["slow_queries"] = tracer.slow_log.snapshot()
         snapshot["workers"] = self.max_workers
+        snapshot["resilience"] = {
+            "admission": self.admission is not None,
+            "max_inflight": None if self.admission is None else self.admission.max_inflight,
+            "queue_depth": None if self.admission is None else self.admission.queue_depth,
+            "retry": self.retry_policy is not None,
+            "serve_stale": self.serve_stale,
+            "default_timeout": self.default_timeout,
+        }
         if self.engine is not None:
             generation, epoch = self.engine.plan_token()
             snapshot["engine"] = {
@@ -597,19 +646,26 @@ class CitationService:
             self.metrics.increment("requests")
             self.metrics.increment_backend(backend.name, "requests")
         try:
-            result, cached = self._through_caches(backend, request, parsed, key)
+            with self._request_deadline(request):
+                result, cached, stale = self._admitted_through_caches(
+                    backend, request, parsed, key
+                )
         except Exception as error:
-            self.metrics.increment("errors")
-            self.metrics.increment_backend(backend.name, "errors")
+            self._count_error_response(error, backend)
             return CitationResponse(
                 request=request,
                 backend=backend.name,
                 error=error,
+                error_code=error_code_for(error),
                 elapsed=time.perf_counter() - started,
                 fingerprint=key,
             )
         elapsed = time.perf_counter() - started
         self.metrics.observe("request", elapsed)
+        self.metrics.increment("responses")
+        if stale:
+            self.metrics.increment("stale_served")
+            self.metrics.increment_backend(backend.name, "stale_served")
         return CitationResponse(
             request=request,
             backend=backend.name,
@@ -617,9 +673,109 @@ class CitationService:
             citation=backend.citation_of(result),
             elapsed=elapsed,
             cached=cached,
+            stale=stale,
             fingerprint=key,
             row_count=backend.row_count(result),
         )
+
+    def _request_deadline(self, request: CitationRequest):
+        """The deadline scope governing one request's execution.
+
+        ``request.timeout`` (or the service's ``default_timeout``) becomes a
+        propagated :class:`~repro.resilience.deadline.Deadline`; an ambient
+        deadline (the batch budget installed by ``submit_batch``) still
+        applies and nested scopes tighten, so a generous per-request timeout
+        can never extend a batch deadline.
+        """
+        timeout = request.timeout if request.timeout is not None else self.default_timeout
+        if timeout is None:
+            return contextlib.nullcontext()
+        return deadline_scope(Deadline.after(timeout))
+
+    def _count_error_response(self, error: BaseException, backend: CitationBackend | None = None) -> None:
+        """Count one materialised error response, split by failure class."""
+        self.metrics.increment("errors")
+        self.metrics.increment("responses")
+        if backend is not None:
+            self.metrics.increment_backend(backend.name, "errors")
+        if isinstance(error, DeadlineExceeded):
+            self.metrics.increment("errors_timeout")
+        elif isinstance(error, Overloaded):
+            self.metrics.increment("errors_shed")
+        else:
+            self.metrics.increment("errors_permanent")
+
+    def _admitted_through_caches(
+        self,
+        backend: CitationBackend,
+        request: CitationRequest,
+        parsed: Any,
+        key: str,
+    ) -> tuple[Any, bool, bool]:
+        """``_through_caches`` under admission control, with stale fallback.
+
+        Returns ``(result, cached, stale)``.  Deadline or overload failures
+        may degrade to a retained stale result-cache entry when the service
+        was built with ``serve_stale=True``; everything else propagates.
+        """
+        admission = self.admission
+        try:
+            if admission is None:
+                result, cached = self._through_caches(backend, request, parsed, key)
+            else:
+                service_started = time.monotonic()
+                with admission.admit(current_deadline()):
+                    result, cached = self._through_caches(
+                        backend, request, parsed, key
+                    )
+                admission.record_service_time(time.monotonic() - service_started)
+            return result, cached, False
+        except (DeadlineExceeded, Overloaded) as error:
+            fallback = self._stale_fallback(backend, request, parsed, key, error)
+            if fallback is None:
+                raise
+            result, fresh = fallback
+            if fresh:
+                # The entry became valid concurrently (another worker just
+                # cached it): a plain result-cache hit, not a degradation.
+                self.metrics.increment("result_cache_hits")
+                self.metrics.increment_backend(backend.name, "result_hits")
+                return result, True, False
+            return result, True, True
+
+    def _stale_fallback(
+        self,
+        backend: CitationBackend,
+        request: CitationRequest,
+        parsed: Any,
+        key: str,
+        error: BaseException,
+    ) -> tuple[Any, bool] | None:
+        """A retained result-cache entry for *request*, or ``None``.
+
+        Only consulted after a deadline/overload failure and only when the
+        request would have been result-cacheable in the first place (no
+        policy override, no ``no_result_cache`` opt-out).
+        """
+        if not self.serve_stale or not self.cache_results:
+            return None
+        if not backend.capabilities().supports_result_cache:
+            return None
+        if request.policy is not None or request.metadata.get("no_result_cache", False):
+            return None
+        cache_key = self._cache_key(backend, key, request)
+        entry = self.result_cache.get_stale(cache_key, backend.result_token(request))
+        if entry is None:
+            return None
+        value, fresh = entry
+        tracer = self.tracer()
+        if tracer.enabled:
+            span = tracer.current_span()
+            if span is not None:
+                span.set_attributes(
+                    stale_served=not fresh, stale_reason=error_code_for(error)
+                )
+        return backend.rebind(value, parsed, request), fresh
 
     def _through_caches(
         self,
@@ -680,7 +836,7 @@ class CitationService:
         # it keys the evaluator's per-query estimate-vs-actual accumulation,
         # which must run with tracing off too.
         with execute_span, fingerprint_scope(key):
-            result = backend.execute(plan, parsed, request)
+            result = self._execute_with_retry(backend, plan, parsed, request)
         self.metrics.observe("execute", time.perf_counter() - execute_started)
         self.metrics.increment("executions")
         self.metrics.increment_backend(backend.name, "executions")
@@ -689,6 +845,43 @@ class CitationService:
             # request start, not the (possibly data-independent) plan stamp.
             self.result_cache.put(cache_key, result, token)
         return result, False
+
+    def _execute_with_retry(
+        self,
+        backend: CitationBackend,
+        plan: Any,
+        parsed: Any,
+        request: CitationRequest,
+    ) -> Any:
+        """One backend execution, retried under the configured policy.
+
+        Only *transient* failures (see :func:`repro.errors.is_transient`) are
+        retried, bounded by the request's remaining deadline; each absorbed
+        retry is counted, so a spike of transient failures is visible even
+        when every request ultimately succeeds.  The ``backend.execute``
+        fault point lets the chaos suite inject failures exactly here.
+        """
+
+        def run() -> Any:
+            faults.fire("backend.execute", key=backend.name)
+            return backend.execute(plan, parsed, request)
+
+        policy = self.retry_policy
+        if policy is None:
+            return run()
+        tracer = self.tracer()
+
+        def on_retry(attempt: int, error: BaseException) -> None:
+            self.metrics.increment("errors_transient_retried")
+            self.metrics.increment_backend(backend.name, "transient_retried")
+            if tracer.enabled:
+                span = tracer.current_span()
+                if span is not None:
+                    span.set_attributes(
+                        retries=attempt, last_transient=error_code_for(error)
+                    )
+
+        return policy.call(run, deadline=current_deadline(), on_retry=on_retry)
 
     def _plan(
         self,
@@ -719,6 +912,16 @@ class CitationService:
             self.plan_cache.put(cache_key, plan, stamp)
         return plan, False
 
+    #: How long past the batch deadline to wait for a cancelled worker to
+    #: come home with its real DeadlineExceeded response before synthesising
+    #: a pool-timeout response on its behalf.  Applied batch-wide (anchored
+    #: to the deadline, not per future), so the worst case adds one grace to
+    #: the batch, not one per straggler.  Workers running engine work hit a
+    #: cancellation checkpoint within ~CHECK_STRIDE rows and beat this
+    #: comfortably; only un-checkpointed backends (a blocking stub, real I/O)
+    #: fall through to the synthesised response, exactly as before.
+    _BATCH_CANCEL_GRACE = 0.1
+
     def _submit_deduplicated(
         self,
         requests: Sequence[CitationRequest],
@@ -747,6 +950,9 @@ class CitationService:
         propagate: bool,
     ) -> list[CitationResponse]:
         batch_started = time.monotonic()
+        batch_deadline = (
+            None if timeout is None else Deadline(batch_started + timeout)
+        )
         responses: list[CitationResponse | None] = [None] * len(requests)
         prepared: list[tuple[CitationBackend, Any] | None] = [None] * len(requests)
         stamped = [request.with_id() for request in requests]
@@ -757,18 +963,22 @@ class CitationService:
             try:
                 backend = self.registry.route(request)
             except Exception as error:  # unroutable request: isolate immediately
-                self.metrics.increment("errors")
-                responses[index] = CitationResponse(request=request, error=error)
+                self._count_error_response(error)
+                responses[index] = CitationResponse(
+                    request=request, error=error, error_code=error_code_for(error)
+                )
                 continue
             self.metrics.increment_backend(backend.name, "requests")
             try:
                 parsed = backend.parse(request)
                 key = backend.fingerprint(parsed, request)
             except Exception as error:  # malformed request: isolate immediately
-                self.metrics.increment("errors")
-                self.metrics.increment_backend(backend.name, "errors")
+                self._count_error_response(error, backend)
                 responses[index] = CitationResponse(
-                    request=request, backend=backend.name, error=error
+                    request=request,
+                    backend=backend.name,
+                    error=error,
+                    error_code=error_code_for(error),
                 )
                 continue
             prepared[index] = (backend, parsed)
@@ -796,9 +1006,44 @@ class CitationService:
             # The representative's "requests" counter was already bumped in
             # the grouping loop; _serve_routed must not double-count it.
             started = time.perf_counter()
-            return self._serve_routed(
-                backend, stamped[index], parsed, group_keys[cache_key], started
-            )
+            if batch_deadline is None:
+                return self._serve_routed(
+                    backend, stamped[index], parsed, group_keys[cache_key], started
+                )
+            # The batch budget rides into the worker as a propagated
+            # deadline (thread pools do not inherit contextvars), so the
+            # engine's cancellation checkpoints stop timed-out work instead
+            # of letting it burn CPU to completion in the background.
+            with deadline_scope(batch_deadline):
+                return self._serve_routed(
+                    backend, stamped[index], parsed, group_keys[cache_key], started
+                )
+
+        def submit_representative(
+            submit_args: tuple, cache_key: Hashable, index: int
+        ) -> Future:
+            """Submit one representative, isolating submission failures.
+
+            The ``service.pool_submit`` fault point fires here; an injected
+            (or real — e.g. concurrent shutdown) submission failure becomes
+            that representative's error response instead of aborting the
+            whole batch with siblings already in flight.
+            """
+            try:
+                faults.fire("service.pool_submit", key=index)
+                return executor.submit(*submit_args, cache_key, index)
+            except Exception as error:
+                self._count_error_response(error)
+                failed: Future = Future()
+                failed.set_result(
+                    CitationResponse(
+                        request=stamped[index],
+                        error=error,
+                        error_code=error_code_for(error),
+                        fingerprint=group_keys[cache_key],
+                    )
+                )
+                return failed
 
         if executor is None:
             outcomes = {
@@ -814,9 +1059,8 @@ class CitationService:
                 # Skipped with tracing off — a context copy per request is
                 # pure overhead then.
                 futures: dict[Hashable, Future] = {
-                    cache_key: executor.submit(
-                        contextvars.copy_context().run,
-                        serve_representative,
+                    cache_key: submit_representative(
+                        (contextvars.copy_context().run, serve_representative),
                         cache_key,
                         index,
                     )
@@ -824,7 +1068,9 @@ class CitationService:
                 }
             else:
                 futures = {
-                    cache_key: executor.submit(serve_representative, cache_key, index)
+                    cache_key: submit_representative(
+                        (serve_representative,), cache_key, index
+                    )
                     for cache_key, index in representatives.items()
                 }
             outcomes = {}
@@ -834,18 +1080,35 @@ class CitationService:
                 )
                 try:
                     outcomes[cache_key] = future.result(timeout=remaining)
+                    continue
                 except TimeoutError:
-                    self.metrics.increment("timeouts")
-                    index = representatives[cache_key]
-                    outcomes[cache_key] = CitationResponse(
-                        request=stamped[index],
-                        error=TimeoutError(
-                            f"citation request missed the batch deadline of "
-                            f"{timeout:.3f}s"
-                        ),
-                        elapsed=time.monotonic() - batch_started,
-                        fingerprint=group_keys[cache_key],
-                    )
+                    pass
+                # The worker saw the same deadline and its cancellation
+                # checkpoints are already unwinding it; grant one short,
+                # batch-wide grace so it can come home with its real
+                # DeadlineExceeded response (counted once) before we
+                # synthesise a pool-timeout response on its behalf.
+                grace = max(
+                    0.0, deadline + self._BATCH_CANCEL_GRACE - time.monotonic()
+                )
+                try:
+                    outcomes[cache_key] = future.result(timeout=grace)
+                    continue
+                except TimeoutError:
+                    pass
+                self.metrics.increment("timeouts")
+                index = representatives[cache_key]
+                timeout_error = TimeoutError(
+                    f"citation request missed the batch deadline of "
+                    f"{timeout:.3f}s"
+                )
+                outcomes[cache_key] = CitationResponse(
+                    request=stamped[index],
+                    error=timeout_error,
+                    error_code=error_code_for(timeout_error),
+                    elapsed=time.monotonic() - batch_started,
+                    fingerprint=group_keys[cache_key],
+                )
 
         for cache_key, members in groups.items():
             outcome = outcomes[cache_key]
@@ -866,6 +1129,7 @@ class CitationService:
                         citation=backend.citation_of(result),
                         elapsed=outcome.elapsed,
                         cached=True,
+                        stale=outcome.stale,
                         fingerprint=outcome.fingerprint,
                         row_count=backend.row_count(result),
                     )
@@ -874,6 +1138,7 @@ class CitationService:
                         request=stamped[index],
                         backend=outcome.backend,
                         error=outcome.error,
+                        error_code=outcome.error_code,
                         elapsed=outcome.elapsed,
                         fingerprint=outcome.fingerprint,
                     )

@@ -1,0 +1,127 @@
+"""Tests for the admission controller: slots, queueing, shedding."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import Overloaded, is_transient
+from repro.resilience import AdmissionController, Deadline
+
+
+class TestValidation:
+    def test_rejects_nonpositive_inflight(self):
+        with pytest.raises(ValueError):
+            AdmissionController(0)
+
+    def test_rejects_negative_queue(self):
+        with pytest.raises(ValueError):
+            AdmissionController(1, queue_depth=-1)
+
+
+class TestAdmission:
+    def test_admits_within_capacity(self):
+        controller = AdmissionController(2)
+        with controller.admit():
+            with controller.admit():
+                assert controller.inflight == 2
+        assert controller.inflight == 0
+        assert controller.snapshot()["admitted"] == 2
+
+    def test_sheds_when_full_and_queue_disabled(self):
+        controller = AdmissionController(1, queue_depth=0)
+        with controller.admit():
+            with pytest.raises(Overloaded) as excinfo:
+                with controller.admit():
+                    pass
+        assert excinfo.value.retry_after > 0.0
+        assert is_transient(excinfo.value)
+        assert controller.snapshot()["shed"] == 1
+
+    def test_queued_request_runs_when_slot_frees(self):
+        controller = AdmissionController(1, queue_depth=1)
+        holding = threading.Event()
+        release = threading.Event()
+        admitted = []
+
+        def hold_slot():
+            with controller.admit():
+                holding.set()
+                release.wait(timeout=5.0)
+
+        def wait_in_queue():
+            with controller.admit(Deadline.after(5.0)):
+                admitted.append(True)
+
+        holder = threading.Thread(target=hold_slot)
+        holder.start()
+        assert holding.wait(timeout=5.0)
+        waiter = threading.Thread(target=wait_in_queue)
+        waiter.start()
+        # Give the waiter time to enter the queue, then free the slot.
+        deadline = time.monotonic() + 5.0
+        while controller.snapshot()["queued"] == 0 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert controller.snapshot()["queued"] == 1
+        release.set()
+        holder.join(timeout=5.0)
+        waiter.join(timeout=5.0)
+        assert admitted == [True]
+        assert controller.snapshot()["shed"] == 0
+
+    def test_queued_request_sheds_on_deadline_expiry(self):
+        controller = AdmissionController(1, queue_depth=1)
+        release = threading.Event()
+        holding = threading.Event()
+
+        def hold_slot():
+            with controller.admit():
+                holding.set()
+                release.wait(timeout=5.0)
+
+        holder = threading.Thread(target=hold_slot)
+        holder.start()
+        assert holding.wait(timeout=5.0)
+        try:
+            with pytest.raises(Overloaded):
+                with controller.admit(Deadline.after(0.02)):
+                    pass
+        finally:
+            release.set()
+            holder.join(timeout=5.0)
+        snapshot = controller.snapshot()
+        assert snapshot["shed"] == 1
+        assert snapshot["queued"] == 0
+
+    def test_slot_released_when_work_raises(self):
+        controller = AdmissionController(1)
+        with pytest.raises(RuntimeError):
+            with controller.admit():
+                raise RuntimeError("work failed")
+        assert controller.inflight == 0
+        with controller.admit():
+            pass  # the slot is reusable
+
+    def test_retry_after_tracks_service_times(self):
+        controller = AdmissionController(1, queue_depth=0)
+        controller.record_service_time(2.0)
+        with controller.admit():
+            with pytest.raises(Overloaded) as excinfo:
+                with controller.admit():
+                    pass
+        # Hint is about one queue-drain of mean service times.
+        assert excinfo.value.retry_after >= 2.0
+
+    def test_snapshot_shape(self):
+        snapshot = AdmissionController(3, queue_depth=2).snapshot()
+        assert snapshot == {
+            "max_inflight": 3,
+            "queue_depth": 2,
+            "inflight": 0,
+            "queued": 0,
+            "admitted": 0,
+            "shed": 0,
+            "mean_service_ms": 0.0,
+        }

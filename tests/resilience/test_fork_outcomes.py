@@ -1,0 +1,76 @@
+"""Tests for per-item fork fan-out outcomes and crash reporting."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.concurrency import fork_map, fork_map_outcomes
+from repro.errors import DeadlineExceeded, WorkerCrashError, is_transient
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="fork fan-out is POSIX-only"
+)
+
+
+class TestOutcomes:
+    def test_success_outcomes(self):
+        outcomes = fork_map_outcomes(lambda x: x * x, [1, 2, 3])
+        assert outcomes == [(1, None), (4, None), (9, None)]
+
+    def test_child_exception_ships_the_typed_object(self):
+        def work(x):
+            if x == 1:
+                raise DeadlineExceeded("shard", remaining=0.0)
+            return x
+
+        outcomes = fork_map_outcomes(work, [0, 1, 2])
+        assert outcomes[0] == (0, None)
+        assert outcomes[2] == (2, None)
+        value, error = outcomes[1]
+        assert value is None
+        assert isinstance(error, DeadlineExceeded)
+        assert error.where == "shard"
+
+    def test_dead_child_becomes_worker_crash(self):
+        def work(x):
+            if x == "die":
+                os._exit(42)
+            return x
+
+        outcomes = fork_map_outcomes(work, ["ok", "die"])
+        assert outcomes[0] == ("ok", None)
+        value, error = outcomes[1]
+        assert value is None
+        assert isinstance(error, WorkerCrashError)
+        assert error.status == 42
+        assert error.pid > 0
+        assert is_transient(error)
+
+    def test_unpicklable_exception_degrades_to_runtimeerror(self):
+        class Unpicklable(Exception):
+            def __reduce__(self):
+                raise TypeError("nope")
+
+        outcomes = fork_map_outcomes(
+            lambda _x: (_ for _ in ()).throw(Unpicklable("boom")), [None]
+        )
+        value, error = outcomes[0]
+        assert value is None
+        assert isinstance(error, RuntimeError)
+        assert "boom" in str(error)
+
+
+class TestForkMapWrapper:
+    def test_all_or_nothing_success(self):
+        assert fork_map(lambda x: x + 1, [1, 2]) == [2, 3]
+
+    def test_first_error_is_raised_after_all_children_reaped(self):
+        def work(x):
+            if x % 2:
+                raise ValueError(f"odd {x}")
+            return x
+
+        with pytest.raises(ValueError, match="odd 1"):
+            fork_map(work, [0, 1, 2, 3])
